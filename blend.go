@@ -1,0 +1,265 @@
+// Package blend is a unified data discovery system for tabular data lakes,
+// reproducing "BLEND: A Unified Data Discovery System" (ICDE 2025).
+//
+// BLEND answers discovery queries — keyword search, single- and
+// multi-column join discovery, union search, and correlation discovery —
+// over a lake of tables through one declarative Plan API. All operators
+// execute as SQL over a single unified index (the AllTables fact table),
+// and a two-phase optimizer reorders operators and rewrites their SQL with
+// intermediate results before execution.
+//
+// Basic usage:
+//
+//	d := blend.IndexTables(blend.ColumnStore, tables)
+//	plan := blend.NewPlan()
+//	plan.MustAddSeeker("rows", blend.MC(examples, 10))
+//	plan.MustAddSeeker("col", blend.SC(values, 10))
+//	plan.MustAddCombiner("both", blend.Intersect(10), "rows", "col")
+//	res, err := d.Run(plan)
+//	// res.Tables lists the top tables, best first.
+package blend
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"blend/internal/core"
+	"blend/internal/costmodel"
+	"blend/internal/storage"
+	"blend/internal/table"
+)
+
+// Re-exported substrate types. Table is the relational table model; Layout
+// selects the physical representation of the index.
+type (
+	// Table is an in-memory relational table (see NewTable, ReadCSVFile).
+	Table = table.Table
+	// Column is one table attribute.
+	Column = table.Column
+	// Layout selects the index's physical layout.
+	Layout = storage.Layout
+	// Plan is a declarative discovery task: a DAG of seekers and
+	// combiners.
+	Plan = core.Plan
+	// Seeker is a low-level search operator.
+	Seeker = core.Seeker
+	// Combiner merges seeker results with a set operation.
+	Combiner = core.Combiner
+	// Result is the outcome of running a plan.
+	Result = core.PlanResult
+	// Hits is an ordered list of scored tables.
+	Hits = core.Hits
+	// TableHit is one scored table.
+	TableHit = core.TableHit
+	// RunOptions tunes plan execution.
+	RunOptions = core.RunOptions
+)
+
+// Physical layouts of the AllTables index.
+const (
+	// ColumnStore stores index attributes in parallel arrays (the paper's
+	// commercial-column-store deployment; fastest for seekers).
+	ColumnStore = storage.ColumnStore
+	// RowStore stores one struct per index entry (the paper's PostgreSQL
+	// deployment).
+	RowStore = storage.RowStore
+)
+
+// NewTable creates an empty table with the given column names.
+func NewTable(name string, columns ...string) *Table { return table.New(name, columns...) }
+
+// ReadCSVFile loads one table from a CSV file.
+func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// ReadCSVDir loads every .csv file in a directory as a table.
+func ReadCSVDir(dir string) ([]*Table, error) { return table.ReadCSVDir(dir) }
+
+// NewPlan creates an empty discovery plan.
+func NewPlan() *Plan { return core.NewPlan() }
+
+// ParsePlanJSON decodes a declarative JSON plan document (see the format
+// documented in internal/core/planjson.go and the `blend plan` CLI).
+func ParsePlanJSON(r io.Reader) (*Plan, error) { return core.ParsePlanJSON(r) }
+
+// EncodePlanJSON writes a plan as its JSON document. Plans containing
+// user-defined seekers or combiners cannot be encoded.
+func EncodePlanJSON(p *Plan, w io.Writer) error { return core.EncodePlanJSON(p, w) }
+
+// Seeker constructors (§IV-A of the paper).
+
+// SC builds a single-column join seeker: top-k tables with a column
+// overlapping the given values the most.
+func SC(values []string, k int) Seeker { return core.NewSC(values, k) }
+
+// KW builds a keyword seeker: top-k tables overlapping the keywords
+// anywhere in the table.
+func KW(keywords []string, k int) Seeker { return core.NewKW(keywords, k) }
+
+// MC builds a multi-column join seeker: top-k tables containing whole query
+// tuples in single rows. Each tuple lists the composite-key values of one
+// query row.
+func MC(tuples [][]string, k int) Seeker { return core.NewMC(tuples, k) }
+
+// Correlation builds a correlation seeker: top-k tables joinable on the
+// keys whose numeric column correlates the most (by |QCR|) with the target.
+// keys and targets are paired by position.
+func Correlation(keys []string, targets []float64, k int) Seeker {
+	return core.NewCorrelation(keys, targets, k)
+}
+
+// Semantic builds an embedding-based seeker: top-k tables with a column
+// semantically similar to the given values, served by an HNSW index over
+// column embeddings. This implements the paper's future-work extension
+// (§X); results are approximate and the optimizer neither reorders nor
+// rewrites the underlying ANN search.
+func Semantic(values []string, k int) Seeker { return core.NewSemantic(values, k) }
+
+// Combiner constructors (§IV-B).
+
+// Intersect keeps tables found by every input.
+func Intersect(k int) Combiner { return core.NewIntersect(k) }
+
+// Union keeps tables found by any input.
+func Union(k int) Combiner { return core.NewUnion(k) }
+
+// Difference keeps tables of the first input absent from the second.
+func Difference(k int) Combiner { return core.NewDifference(k) }
+
+// Counter ranks tables by how many inputs found them.
+func Counter(k int) Combiner { return core.NewCounter(k) }
+
+// Discovery is the top-level handle on one indexed data lake.
+type Discovery struct {
+	engine *core.Engine
+}
+
+// IndexTables builds the unified index over the given tables (the offline
+// phase, Fig. 2e) and returns a ready-to-query Discovery. Call
+// Table.InferKinds (or load via CSV, which infers automatically) before
+// indexing so numeric columns gain quadrant bits.
+func IndexTables(layout Layout, tables []*Table) *Discovery {
+	return &Discovery{engine: core.NewEngine(storage.Build(layout, tables))}
+}
+
+// IndexCSVDir loads every CSV file in dir and indexes the resulting lake.
+func IndexCSVDir(layout Layout, dir string) (*Discovery, error) {
+	tables, err := table.ReadCSVDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blend: load lake from %s: %w", dir, err)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("blend: no CSV tables found in %s", dir)
+	}
+	return IndexTables(layout, tables), nil
+}
+
+// OpenIndex loads a previously saved index file.
+func OpenIndex(path string) (*Discovery, error) {
+	s, err := storage.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("blend: open index %s: %w", path, err)
+	}
+	return &Discovery{engine: core.NewEngine(s)}, nil
+}
+
+// SaveIndex persists the index to a file for later OpenIndex calls.
+func (d *Discovery) SaveIndex(path string) error {
+	if err := d.engine.Store().SaveFile(path); err != nil {
+		return fmt.Errorf("blend: save index %s: %w", path, err)
+	}
+	return nil
+}
+
+// Run executes a plan with the optimizer enabled.
+func (d *Discovery) Run(p *Plan) (*Result, error) { return d.engine.RunPlan(p) }
+
+// RunUnoptimized executes a plan without operator reordering or query
+// rewriting (the paper's B-NO configuration).
+func (d *Discovery) RunUnoptimized(p *Plan) (*Result, error) { return d.engine.RunPlanNoOpt(p) }
+
+// RunWithOptions executes a plan with explicit options.
+func (d *Discovery) RunWithOptions(p *Plan, opts RunOptions) (*Result, error) {
+	return d.engine.Run(p, opts)
+}
+
+// Seek executes a single seeker outside any plan and returns the scored
+// tables.
+func (d *Discovery) Seek(s Seeker) (Hits, error) {
+	hits, _, err := d.engine.RunSeeker(s)
+	return hits, err
+}
+
+// TrainCostModels runs the offline cost-model training of §VII-B:
+// samplesPerKind random inputs per seeker type are executed and timed, and
+// a linear model per type is fitted and installed for use by the optimizer.
+func (d *Discovery) TrainCostModels(samplesPerKind int, seed int64) error {
+	_, err := core.TrainCostModels(d.engine, samplesPerKind, seed)
+	return err
+}
+
+// SaveCostModels persists the trained cost models as JSON (the paper
+// trains once per lake installation; the models ride alongside the index
+// file). It fails if TrainCostModels has not run.
+func (d *Discovery) SaveCostModels(path string) error {
+	if d.engine.Cost == nil {
+		return fmt.Errorf("blend: no trained cost models; call TrainCostModels first")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.engine.Cost.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCostModels installs previously saved cost models.
+func (d *Discovery) LoadCostModels(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	per, err := costmodel.LoadModels(f)
+	if err != nil {
+		return err
+	}
+	d.engine.Cost = per
+	return nil
+}
+
+// WritePlanDot renders a plan's DAG in Graphviz dot format (Fig. 2b).
+func WritePlanDot(p *Plan, w io.Writer) error { return p.WriteDot(w) }
+
+// SetCorrelationSampleSize sets h, the number of leading row ids the
+// correlation seeker samples (§V; default 256). Unlike the sketch baseline,
+// h can be changed per query without re-indexing the lake.
+func (d *Discovery) SetCorrelationSampleSize(h int) { d.engine.SampleH = h }
+
+// TableNames maps hits to table names.
+func (d *Discovery) TableNames(h Hits) []string { return d.engine.TableNames(h) }
+
+// AddTable appends one table to the index without rebuilding it — the
+// incremental maintenance a single unified index enables (§I). The table
+// is immediately discoverable. Not safe concurrently with queries.
+func (d *Discovery) AddTable(t *Table) { d.engine.Store().AddTable(t) }
+
+// NumTables reports the number of indexed tables.
+func (d *Discovery) NumTables() int { return d.engine.Store().NumTables() }
+
+// Stats summarizes the index (shape, dictionary, posting-list skew).
+func (d *Discovery) Stats() storage.Stats { return d.engine.Store().ComputeStats() }
+
+// TableByID reconstructs an indexed table from the unified index (BLEND
+// never retains source files; cell locations suffice).
+func (d *Discovery) TableByID(id int32) *Table { return d.engine.Store().ReconstructTable(id) }
+
+// IndexSizeBytes estimates the resident size of the unified index.
+func (d *Discovery) IndexSizeBytes() int64 { return d.engine.Store().SizeBytes() }
+
+// Engine exposes the underlying execution engine for advanced use
+// (experiments, benchmarking, raw SQL via Engine.Catalog).
+func (d *Discovery) Engine() *core.Engine { return d.engine }

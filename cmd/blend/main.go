@@ -1,0 +1,311 @@
+// Command blend is the BLEND command-line interface: it indexes a CSV data
+// lake into the unified AllTables index, runs individual seekers against
+// it, executes raw SQL on the index relation, and demonstrates the paper's
+// running example.
+//
+// Usage:
+//
+//	blend index -lake DIR -out FILE [-layout column|row]
+//	blend seek  -index FILE -op sc|kw -values v1,v2,… [-k 10]
+//	blend seek  -index FILE -op mc -tuples "a|b,c|d" [-k 10]
+//	blend sql   -index FILE -query "SELECT … FROM AllTables …"
+//	blend demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blend"
+	"blend/internal/minisql"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "seek":
+		err = cmdSeek(os.Args[2:])
+	case "sql":
+		err = cmdSQL(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "demo":
+		err = cmdDemo()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "blend: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blend:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  blend index -lake DIR -out FILE [-layout column|row]   build the unified index
+  blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
+  blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
+  blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
+  blend plan  -index FILE -file plan.json [-no-opt]      run a JSON discovery plan
+  blend stats -index FILE                                index statistics
+  blend demo                                             run the paper's Example 1`)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	index := fs.String("index", "", "index file built by `blend index`")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" {
+		return fmt.Errorf("stats: -index is required")
+	}
+	d, err := blend.OpenIndex(*index)
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("layout:               %v\n", st.Layout)
+	fmt.Printf("tables:               %d (avg %.1f cols × %.1f rows)\n",
+		st.Tables, st.AvgColumnsPerTbl, st.AvgRowsPerTable)
+	fmt.Printf("index entries:        %d\n", st.Entries)
+	fmt.Printf("distinct values:      %d (%d dictionary bytes)\n", st.DistinctValues, st.DictBytes)
+	fmt.Printf("numeric cells:        %d (with quadrant bits)\n", st.NumericCells)
+	fmt.Printf("posting lists:        avg %.2f, max %d\n", st.AvgPostingLength, st.MaxPostingLength)
+	fmt.Printf("estimated footprint:  %d bytes\n", st.EstimatedBytes)
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	index := fs.String("index", "", "index file built by `blend index`")
+	file := fs.String("file", "", "JSON plan document")
+	noOpt := fs.Bool("no-opt", false, "disable the optimizer (B-NO)")
+	parallel := fs.Bool("parallel", false, "run independent seekers concurrently")
+	profile := fs.Bool("profile", false, "print a per-node execution profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" || *file == "" {
+		return fmt.Errorf("plan: -index and -file are required")
+	}
+	d, err := blend.OpenIndex(*index)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	p, err := blend.ParsePlanJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	res, err := d.RunWithOptions(p, blend.RunOptions{Optimize: !*noOpt, Parallel: *parallel})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan: %v\nseeker order: %v\nduration: %v\n", p, res.SeekerOrder, res.Duration)
+	if *profile {
+		fmt.Print(res.Profile())
+	}
+	for i, name := range res.Tables {
+		fmt.Printf("%2d. %-30s score=%s\n", i+1, name, strconv.FormatFloat(res.Output[i].Score, 'g', 4, 64))
+	}
+	if len(res.Tables) == 0 {
+		fmt.Println("no matching tables")
+	}
+	return nil
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	lakeDir := fs.String("lake", "", "directory of CSV tables")
+	out := fs.String("out", "lake.blend", "output index file")
+	layout := fs.String("layout", "column", "physical layout: column or row")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *lakeDir == "" {
+		return fmt.Errorf("index: -lake is required")
+	}
+	l := blend.ColumnStore
+	if *layout == "row" {
+		l = blend.RowStore
+	}
+	d, err := blend.IndexCSVDir(l, *lakeDir)
+	if err != nil {
+		return err
+	}
+	if err := d.SaveIndex(*out); err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d tables (%d bytes) -> %s\n", d.NumTables(), d.IndexSizeBytes(), *out)
+	return nil
+}
+
+func cmdSeek(args []string) error {
+	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	index := fs.String("index", "", "index file built by `blend index`")
+	op := fs.String("op", "sc", "seeker: sc, kw, or mc")
+	values := fs.String("values", "", "comma-separated input values (sc/kw)")
+	tuples := fs.String("tuples", "", "comma-separated tuples of |-separated values (mc)")
+	k := fs.Int("k", 10, "top-k result size")
+	preview := fs.Int("preview", 0, "print the first N rows of each result table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" {
+		return fmt.Errorf("seek: -index is required")
+	}
+	d, err := blend.OpenIndex(*index)
+	if err != nil {
+		return err
+	}
+	var seeker blend.Seeker
+	switch *op {
+	case "sc":
+		seeker = blend.SC(splitList(*values), *k)
+	case "kw":
+		seeker = blend.KW(splitList(*values), *k)
+	case "mc":
+		var rows [][]string
+		for _, t := range splitList(*tuples) {
+			rows = append(rows, strings.Split(t, "|"))
+		}
+		if len(rows) == 0 {
+			return fmt.Errorf("seek: -tuples is required for mc")
+		}
+		seeker = blend.MC(rows, *k)
+	default:
+		return fmt.Errorf("seek: unknown op %q", *op)
+	}
+	hits, err := d.Seek(seeker)
+	if err != nil {
+		return err
+	}
+	names := d.TableNames(hits)
+	for i, h := range hits {
+		fmt.Printf("%2d. %-30s score=%s\n", i+1, names[i], strconv.FormatFloat(h.Score, 'g', 4, 64))
+		if *preview > 0 {
+			if err := d.TableByID(h.TableID).Format(os.Stdout, *preview); err != nil {
+				return err
+			}
+		}
+	}
+	if len(hits) == 0 {
+		fmt.Println("no matching tables")
+	}
+	return nil
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	index := fs.String("index", "", "index file built by `blend index`")
+	query := fs.String("query", "", "SQL over the AllTables relation")
+	limit := fs.Int("print", 50, "maximum rows to print")
+	explain := fs.Bool("explain", false, "print the execution plan instead of results")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index == "" || *query == "" {
+		return fmt.Errorf("sql: -index and -query are required")
+	}
+	d, err := blend.OpenIndex(*index)
+	if err != nil {
+		return err
+	}
+	if *explain {
+		out, err := minisql.ExplainSQL(d.Engine().Catalog(), *query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	res, err := minisql.ExecSQL(d.Engine().Catalog(), *query)
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns(), "\t"))
+	for r := 0; r < res.NumRows() && r < *limit; r++ {
+		cells := make([]string, len(res.Columns()))
+		for c := range cells {
+			cells[c] = res.Cell(r, c).String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	if res.NumRows() > *limit {
+		fmt.Printf("... (%d rows total)\n", res.NumRows())
+	}
+	return nil
+}
+
+// cmdDemo runs Example 1 of the paper on the Fig. 1 lake.
+func cmdDemo() error {
+	t1 := blend.NewTable("T1", "Team", "Size")
+	for _, r := range [][2]string{{"Finance", "31"}, {"Marketing", "28"}, {"HR", "33"}, {"IT", "92"}, {"Sales", "80"}} {
+		t1.MustAppendRow(r[0], r[1])
+	}
+	mk := func(name, year string, itLead string) *blend.Table {
+		t := blend.NewTable(name, "Lead", "Year", "Team")
+		rows := [][2]string{
+			{itLead, "IT"}, {"Draco Malfoy", "Marketing"}, {"Harry Potter", "Finance"},
+			{"Cho Chang", "R&D"}, {"Luna Lovegood", "Sales"}, {"Firenze", "HR"},
+		}
+		for _, r := range rows {
+			t.MustAppendRow(r[0], year, r[1])
+		}
+		return t
+	}
+	lake := []*blend.Table{t1, mk("T2", "2022", "Tom Riddle"), mk("T3", "2024", "Ronald Weasley")}
+	for _, t := range lake {
+		t.InferKinds()
+	}
+	d := blend.IndexTables(blend.ColumnStore, lake)
+
+	fmt.Println("Example 1: find up-to-date tables to fill the Head column of S")
+	fmt.Println(`  positives: ("HR","Firenze")   negatives: ("IT","Tom Riddle")`)
+	p := blend.NegativeExamplesPlan(
+		[][]string{{"HR", "Firenze"}},
+		[][]string{{"IT", "Tom Riddle"}}, 10)
+	p.MustAddSeeker("dep", blend.SC([]string{"HR", "Marketing", "Finance", "IT", "R&D", "Sales"}, 10))
+	p.MustAddCombiner("intersect", blend.Intersect(10), "exclude", "dep")
+	res, err := d.Run(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  answer: %v (expected [T3])\n", res.Tables)
+	fmt.Printf("  seekers executed in order %v with optimizer rewrites\n", res.SeekerOrder)
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

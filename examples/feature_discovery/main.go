@@ -1,0 +1,57 @@
+// Feature discovery: enrich an ML training table with a new correlated
+// feature column from the lake while avoiding multicollinearity with
+// features the model already has — the task of §VIII-B4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+
+	"blend"
+)
+
+func main() {
+	// The lake: a table whose Income column tracks the prediction target,
+	// a table duplicating a feature we already own (multicollinear), and
+	// an unrelated noise table.
+	n := 30
+	districts := make([]string, n)
+	for i := range districts {
+		districts[i] = "district-" + strconv.Itoa(i)
+	}
+	income := blend.NewTable("census_income", "District", "Income")
+	schooling := blend.NewTable("school_years", "District", "Years") // ≈ owned feature
+	noise := blend.NewTable("lottery_draws", "District", "Number")
+	for i, dst := range districts {
+		income.MustAppendRow(dst, strconv.Itoa(1000+i*50))      // grows with target
+		schooling.MustAppendRow(dst, strconv.Itoa(8+(i*13%17))) // tracks owned feature
+		noise.MustAppendRow(dst, strconv.Itoa((i*7919+31)%997)) // noise
+	}
+	lake := []*blend.Table{income, schooling, noise}
+	for _, t := range lake {
+		t.InferKinds()
+	}
+	d := blend.IndexTables(blend.ColumnStore, lake)
+
+	// The model's target grows linearly across districts; its existing
+	// feature is the schooling pattern.
+	target := make([]float64, n)
+	owned := make([]float64, n)
+	for i := range target {
+		target[i] = float64(i)
+		owned[i] = float64(8 + (i * 13 % 17))
+	}
+	joinRows := [][]string{{districts[0]}, {districts[1]}, {districts[2]}}
+
+	plan := blend.FeatureDiscoveryPlan(districts, target, [][]float64{owned}, joinRows, 1)
+	res, err := d.Run(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new feature tables (correlated with target, not with owned features): %v\n", res.Tables)
+	fmt.Println("per-node results:")
+	for _, id := range plan.NodeIDs() {
+		fmt.Printf("  %-18s -> %v\n", id, d.TableNames(res.NodeHits[id]))
+	}
+}

@@ -1,0 +1,57 @@
+// Imputation: fill missing values in a table by discovering lake tables
+// that contain both the complete example rows and the incomplete rows'
+// known values — the example-based data imputation task of §VIII-B3,
+// built on functional dependencies between columns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blend"
+)
+
+func main() {
+	// The user's table: country ↦ capital, with holes.
+	user := blend.NewTable("my_countries", "Country", "Capital")
+	user.MustAppendRow("france", "paris")
+	user.MustAppendRow("japan", "tokyo")
+	user.MustAppendRow("brazil", "") // missing
+	user.MustAppendRow("kenya", "")  // missing
+	user.MustAppendRow("norway", "") // missing
+
+	// The lake: one complete reference table, one stale/partial table, one
+	// unrelated table.
+	complete := blend.NewTable("world_capitals", "Nation", "City")
+	for _, r := range [][2]string{
+		{"france", "paris"}, {"japan", "tokyo"}, {"brazil", "brasilia"},
+		{"kenya", "nairobi"}, {"norway", "oslo"}, {"chile", "santiago"},
+	} {
+		complete.MustAppendRow(r[0], r[1])
+	}
+	partial := blend.NewTable("europe_only", "Nation", "City")
+	partial.MustAppendRow("france", "paris")
+	partial.MustAppendRow("norway", "oslo")
+	unrelated := blend.NewTable("populations", "Nation", "Pop")
+	unrelated.MustAppendRow("france", "68")
+	unrelated.MustAppendRow("japan", "124")
+	lake := []*blend.Table{complete, partial, unrelated}
+	for _, t := range lake {
+		t.InferKinds()
+	}
+	d := blend.IndexTables(blend.ColumnStore, lake)
+
+	// Complete rows become MC examples; the known halves of incomplete
+	// rows become the SC query (the data-imputation sub-plan of Fig. 4).
+	examples := [][]string{{"france", "paris"}, {"japan", "tokyo"}}
+	known := []string{"brazil", "kenya", "norway"}
+	plan := blend.ImputationPlan(examples, known, 5)
+	res, err := d.Run(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tables that can impute the missing capitals: %v\n", res.Tables)
+	if len(res.Tables) > 0 && res.Tables[0] == "world_capitals" {
+		fmt.Println("→ join my_countries with world_capitals to fill brasilia, nairobi, oslo")
+	}
+}

@@ -1,0 +1,72 @@
+// Negative examples: discover tables containing wanted rows while
+// excluding tables that carry known-outdated facts — the paper's running
+// example (Fig. 1 / Example 1) as a runnable program, including the
+// CSV round trip through a lake directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"blend"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "blend-lake-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	writeLake(dir)
+
+	// Index the lake straight from the CSV directory.
+	d, err := blend.IndexCSVDir(blend.ColumnStore, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d CSV tables from %s\n", d.NumTables(), dir)
+
+	// The user knows ("HR","Firenze") is correct and ("IT","Tom Riddle")
+	// is outdated: any table pairing IT with Tom Riddle is stale.
+	plan := blend.NegativeExamplesPlan(
+		[][]string{{"HR", "Firenze"}},
+		[][]string{{"IT", "Tom Riddle"}},
+		10,
+	)
+	// Additionally require joinability on the department column.
+	plan.MustAddSeeker("departments",
+		blend.SC([]string{"HR", "Marketing", "Finance", "IT", "R&D", "Sales"}, 10))
+	plan.MustAddCombiner("answer", blend.Intersect(10), "exclude", "departments")
+
+	res, err := d.Run(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("up-to-date tables for filling the Head column: %v\n", res.Tables)
+}
+
+func writeLake(dir string) {
+	t1 := blend.NewTable("T1_team_sizes", "Team", "Size")
+	for _, r := range [][2]string{
+		{"Finance", "31"}, {"Marketing", "28"}, {"HR", "33"}, {"IT", "92"}, {"Sales", "80"},
+	} {
+		t1.MustAppendRow(r[0], r[1])
+	}
+	mk := func(name, year, itLead string) *blend.Table {
+		t := blend.NewTable(name, "Lead", "Year", "Team")
+		for _, r := range [][2]string{
+			{itLead, "IT"}, {"Draco Malfoy", "Marketing"}, {"Harry Potter", "Finance"},
+			{"Cho Chang", "R&D"}, {"Luna Lovegood", "Sales"}, {"Firenze", "HR"},
+		} {
+			t.MustAppendRow(r[0], year, r[1])
+		}
+		return t
+	}
+	for _, t := range []*blend.Table{t1, mk("T2_leads_2022", "2022", "Tom Riddle"), mk("T3_leads_2024", "2024", "Ronald Weasley")} {
+		if err := t.WriteCSVFile(filepath.Join(dir, t.Name+".csv")); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

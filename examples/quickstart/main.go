@@ -1,0 +1,62 @@
+// Quickstart: index a small data lake, run a single-column join search,
+// then compose a two-seeker discovery plan — the fastest path through
+// BLEND's public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blend"
+)
+
+func main() {
+	// A tiny lake: three tables about company departments.
+	sizes := blend.NewTable("team_sizes", "Team", "Size")
+	for _, r := range [][2]string{
+		{"Finance", "31"}, {"Marketing", "28"}, {"HR", "33"}, {"IT", "92"}, {"Sales", "80"},
+	} {
+		sizes.MustAppendRow(r[0], r[1])
+	}
+	leads2022 := blend.NewTable("leads_2022", "Lead", "Year", "Team")
+	leads2024 := blend.NewTable("leads_2024", "Lead", "Year", "Team")
+	for _, r := range [][2]string{
+		{"Tom Riddle", "IT"}, {"Draco Malfoy", "Marketing"}, {"Harry Potter", "Finance"},
+		{"Cho Chang", "R&D"}, {"Luna Lovegood", "Sales"}, {"Firenze", "HR"},
+	} {
+		leads2022.MustAppendRow(r[0], "2022", r[1])
+		leads2024.MustAppendRow(r[0], "2024", r[1])
+	}
+	lake := []*blend.Table{sizes, leads2022, leads2024}
+	for _, t := range lake {
+		t.InferKinds() // detect numeric columns so quadrant bits are indexed
+	}
+
+	// Offline phase: build the unified AllTables index.
+	d := blend.IndexTables(blend.ColumnStore, lake)
+	fmt.Printf("indexed %d tables, %d bytes\n", d.NumTables(), d.IndexSizeBytes())
+
+	// A standalone seeker: which tables join with our department column?
+	departments := []string{"HR", "Marketing", "Finance", "IT", "Sales"}
+	hits, err := d.Seek(blend.SC(departments, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\njoinable on departments:")
+	for i, name := range d.TableNames(hits) {
+		fmt.Printf("  %d. %s (overlap %.0f)\n", i+1, name, hits[i].Score)
+	}
+
+	// A composed plan: tables that contain the row ("HR","Firenze") AND
+	// join on the department column.
+	plan := blend.NewPlan()
+	plan.MustAddSeeker("row", blend.MC([][]string{{"HR", "Firenze"}}, 10))
+	plan.MustAddSeeker("col", blend.SC(departments, 10))
+	plan.MustAddCombiner("both", blend.Intersect(5), "row", "col")
+	res, err := d.Run(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan result: %v\n", res.Tables)
+	fmt.Printf("optimizer executed seekers as %v (faster first, later ones rewritten)\n", res.SeekerOrder)
+}

@@ -1,0 +1,81 @@
+// Semantic search: discover tables whose columns are *about the same
+// things* as the query even when exact values barely overlap — the
+// embedding-based extension of the paper's §X future work, served by an
+// HNSW index over column embeddings and freely composable with the exact
+// operators.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"blend"
+)
+
+func main() {
+	// Lake: two tables about German cities with *different* value sets,
+	// and one table of unrelated sensor codes.
+	cities1 := blend.NewTable("cities_north", "City", "State")
+	for _, r := range [][2]string{
+		{"hamburg", "hamburg"}, {"bremen", "bremen"}, {"kiel", "schleswig holstein"},
+		{"rostock", "mecklenburg"}, {"luebeck", "schleswig holstein"},
+	} {
+		cities1.MustAppendRow(r[0], r[1])
+	}
+	cities2 := blend.NewTable("cities_south", "City", "State")
+	for _, r := range [][2]string{
+		{"munich", "bavaria"}, {"stuttgart", "baden wuerttemberg"},
+		{"nuremberg", "bavaria"}, {"augsburg", "bavaria"}, {"ulm", "baden wuerttemberg"},
+	} {
+		cities2.MustAppendRow(r[0], r[1])
+	}
+	sensors := blend.NewTable("sensor_codes", "Code", "Reading")
+	sensors.MustAppendRow("zx-9981", "20.04")
+	sensors.MustAppendRow("qy-1123", "19.78")
+	sensors.MustAppendRow("kv-5540", "21.33")
+	lake := []*blend.Table{cities1, cities2, sensors}
+	for _, t := range lake {
+		t.InferKinds()
+	}
+	d := blend.IndexTables(blend.ColumnStore, lake)
+
+	// The query column overlaps each city table on a single value only;
+	// token-level similarity still places both city columns far above the
+	// sensor codes.
+	query := []string{"hamburg", "bremen", "munich"}
+	exact, err := d.Seek(blend.SC(query, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact SC seeker:\n")
+	for i, name := range d.TableNames(exact) {
+		fmt.Printf("  %d. %-14s overlap=%.0f\n", i+1, name, exact[i].Score)
+	}
+
+	semantic, err := d.Seek(blend.Semantic(query, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic seeker (cosine similarity):\n")
+	for i, name := range d.TableNames(semantic) {
+		fmt.Printf("  %d. %-14s sim=%.2f\n", i+1, name, semantic[i].Score)
+	}
+
+	// Compose: semantically similar tables that also contain "bavaria".
+	p := blend.NewPlan()
+	p.MustAddSeeker("similar", blend.Semantic(query, 10))
+	p.MustAddSeeker("exactkw", blend.KW([]string{"bavaria"}, 10))
+	p.MustAddCombiner("both", blend.Intersect(5), "similar", "exactkw")
+	res, err := d.Run(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("semantic ∩ keyword:      %v\n", res.Tables)
+
+	// Render the plan DAG for documentation.
+	fmt.Println("\nplan DAG (Graphviz):")
+	if err := blend.WritePlanDot(p, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package dataxformer reimplements the inverted index of DataXFormer
+// (Abedjan et al., CIDR 2015), the content-to-table lookup structure BLEND
+// absorbs into AllTables (§V): every cell value maps to its full list of
+// (table, column, row) locations. Standalone it serves keyword search and
+// example-based transformation lookups; in the Table VIII storage
+// comparison it is one of the redundant structures the unified index
+// replaces.
+package dataxformer
+
+import (
+	"sort"
+
+	"blend/internal/table"
+)
+
+// Loc is one cell location.
+type Loc struct {
+	TableID  int32
+	ColumnID int32
+	RowID    int32
+}
+
+// Index maps every distinct cell value to all its locations in the lake.
+type Index struct {
+	postings   map[string][]Loc
+	tableNames []string
+}
+
+// Build indexes every non-null cell of every table.
+func Build(tables []*table.Table) *Index {
+	ix := &Index{postings: make(map[string][]Loc)}
+	for tid, t := range tables {
+		ix.tableNames = append(ix.tableNames, t.Name)
+		for r, row := range t.Rows {
+			for c, v := range row {
+				if v == table.Null {
+					continue
+				}
+				ix.postings[v] = append(ix.postings[v], Loc{
+					TableID: int32(tid), ColumnID: int32(c), RowID: int32(r),
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// Lookup returns all locations of a value.
+func (ix *Index) Lookup(value string) []Loc { return ix.postings[value] }
+
+// TableName maps a table id to its name.
+func (ix *Index) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(ix.tableNames) {
+		return ""
+	}
+	return ix.tableNames[tid]
+}
+
+// Hit is one keyword-search result.
+type Hit struct {
+	TableID int32
+	Overlap int
+}
+
+// SearchTables returns the top-k tables by the number of distinct keywords
+// they contain — keyword search over the inverted index.
+func (ix *Index) SearchTables(keywords []string, k int) []Hit {
+	seen := make(map[string]struct{}, len(keywords))
+	counts := make(map[int32]int)
+	for _, kw := range keywords {
+		if kw == "" {
+			continue
+		}
+		if _, dup := seen[kw]; dup {
+			continue
+		}
+		seen[kw] = struct{}{}
+		tables := make(map[int32]struct{})
+		for _, loc := range ix.postings[kw] {
+			tables[loc.TableID] = struct{}{}
+		}
+		for tid := range tables {
+			counts[tid]++
+		}
+	}
+	hits := make([]Hit, 0, len(counts))
+	for tid, n := range counts {
+		hits = append(hits, Hit{TableID: tid, Overlap: n})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Overlap != hits[b].Overlap {
+			return hits[a].Overlap > hits[b].Overlap
+		}
+		return hits[a].TableID < hits[b].TableID
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SizeBytes estimates the index's resident size: value strings plus
+// 12-byte locations.
+func (ix *Index) SizeBytes() int64 {
+	var b int64
+	for v, ps := range ix.postings {
+		b += int64(len(v)) + 16 + int64(len(ps))*12
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package dataxformer
+
+import (
+	"testing"
+
+	"blend/internal/table"
+)
+
+func lake() []*table.Table {
+	t1 := table.New("teams", "Team", "Size")
+	t1.MustAppendRow("HR", "33")
+	t1.MustAppendRow("IT", "92")
+	t2 := table.New("leads", "Lead", "Team")
+	t2.MustAppendRow("Firenze", "HR")
+	t2.MustAppendRow("", "Sales") // null cell skipped
+	return []*table.Table{t1, t2}
+}
+
+func TestLookupLocations(t *testing.T) {
+	ix := Build(lake())
+	locs := ix.Lookup("HR")
+	if len(locs) != 2 {
+		t.Fatalf("HR locations = %d, want 2", len(locs))
+	}
+	// Exact location of teams[0][0].
+	found := false
+	for _, l := range locs {
+		if l.TableID == 0 && l.ColumnID == 0 && l.RowID == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing location: %+v", locs)
+	}
+	if ix.Lookup("") != nil {
+		t.Fatal("nulls must not be indexed")
+	}
+	if ix.Lookup("missing") != nil {
+		t.Fatal("unknown value should return nil")
+	}
+}
+
+func TestSearchTables(t *testing.T) {
+	ix := Build(lake())
+	hits := ix.SearchTables([]string{"HR", "92", "Firenze"}, 5)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// teams matches HR + 92; leads matches HR + Firenze: tie at 2, broken
+	// by table id.
+	if hits[0].TableID != 0 || hits[0].Overlap != 2 {
+		t.Fatalf("best = %+v", hits[0])
+	}
+	// Duplicate keywords count once.
+	again := ix.SearchTables([]string{"HR", "HR"}, 5)
+	if again[0].Overlap != 1 {
+		t.Fatalf("duplicate keyword counted twice: %+v", again[0])
+	}
+}
+
+func TestSearchTablesK(t *testing.T) {
+	ix := Build(lake())
+	if got := ix.SearchTables([]string{"HR"}, 1); len(got) != 1 {
+		t.Fatalf("k=1 returned %d", len(got))
+	}
+	if got := ix.SearchTables(nil, 5); len(got) != 0 {
+		t.Fatalf("empty query matched %v", got)
+	}
+}
+
+func TestTableNameAndSize(t *testing.T) {
+	ix := Build(lake())
+	if ix.TableName(1) != "leads" || ix.TableName(-1) != "" {
+		t.Fatal("TableName wrong")
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

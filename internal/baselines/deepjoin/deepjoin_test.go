@@ -1,0 +1,53 @@
+package deepjoin
+
+import (
+	"testing"
+
+	"blend/internal/table"
+)
+
+func lake() []*table.Table {
+	cities := table.New("cities", "City", "Country")
+	cities.MustAppendRow("berlin", "germany")
+	cities.MustAppendRow("hamburg", "germany")
+	cities.MustAppendRow("munich", "germany")
+	people := table.New("people", "Name")
+	people.MustAppendRow("alice cooper")
+	people.MustAppendRow("brian may")
+	return []*table.Table{cities, people}
+}
+
+func TestSearchFindsSemanticallySimilarColumn(t *testing.T) {
+	ix := Build(lake())
+	hits := ix.Search([]string{"berlin", "munich", "cologne"}, 1)
+	if len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Column.TableID != 0 || hits[0].Column.ColumnID != 0 {
+		t.Fatalf("best = %+v, want cities.City", hits[0])
+	}
+	if hits[0].Similarity <= 0 {
+		t.Fatalf("similarity = %v", hits[0].Similarity)
+	}
+}
+
+func TestSearchTables(t *testing.T) {
+	ix := Build(lake())
+	hits := ix.SearchTables([]string{"berlin", "germany"}, 5)
+	if len(hits) == 0 || ix.TableName(hits[0].Column.TableID) != "cities" {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestSearchEmptyColumn(t *testing.T) {
+	ix := Build(lake())
+	if hits := ix.Search([]string{"", ""}, 3); hits != nil {
+		t.Fatalf("empty column matched %v", hits)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Build(lake()).SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

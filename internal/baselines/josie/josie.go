@@ -1,0 +1,195 @@
+// Package josie reimplements JOSIE (Zhu et al., SIGMOD 2019), the
+// single-column join-discovery baseline BLEND compares against in §VIII-D:
+// exact top-k overlap set similarity search over posting lists with
+// frequency-ordered token processing and best-possible-overlap pruning.
+//
+// The index maps each distinct token to the list of lake columns containing
+// it. A query column's tokens are processed from rarest to most frequent;
+// candidate columns accumulate overlap counts, and the search stops early
+// once no unseen candidate can still enter the top-k — the data-dependent
+// pruning that makes JOSIE fast on skewed posting-length distributions.
+package josie
+
+import (
+	"sort"
+
+	"blend/internal/table"
+)
+
+// ColumnRef identifies one lake column.
+type ColumnRef struct {
+	TableID  int32
+	ColumnID int32
+}
+
+// Index is the JOSIE posting-list index over a lake.
+type Index struct {
+	postings map[string][]ColumnRef
+	// tables records table names by id, for result mapping.
+	tableNames []string
+}
+
+// Build indexes the distinct value sets of every column of every table.
+// Table ids are assigned in slice order, matching storage.Build.
+func Build(tables []*table.Table) *Index {
+	ix := &Index{postings: make(map[string][]ColumnRef)}
+	for tid, t := range tables {
+		ix.tableNames = append(ix.tableNames, t.Name)
+		for c := 0; c < t.NumCols(); c++ {
+			ref := ColumnRef{TableID: int32(tid), ColumnID: int32(c)}
+			for _, v := range t.DistinctColumnValues(c) {
+				ix.postings[v] = append(ix.postings[v], ref)
+			}
+		}
+	}
+	return ix
+}
+
+// TableName maps a table id to its name.
+func (ix *Index) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(ix.tableNames) {
+		return ""
+	}
+	return ix.tableNames[tid]
+}
+
+// Hit is one result column with its exact overlap.
+type Hit struct {
+	Column  ColumnRef
+	Overlap int
+}
+
+// Search returns the top-k columns by exact set overlap with the query
+// values. Ties break on (TableID, ColumnID) for determinism.
+func (ix *Index) Search(query []string, k int) []Hit {
+	toks := distinct(query)
+	if len(toks) == 0 || k <= 0 {
+		return nil
+	}
+	// Process tokens rarest-first: the cheapest lists go first and the
+	// termination bound tightens fastest.
+	sort.Slice(toks, func(a, b int) bool {
+		la, lb := len(ix.postings[toks[a]]), len(ix.postings[toks[b]])
+		if la != lb {
+			return la < lb
+		}
+		return toks[a] < toks[b]
+	})
+	counts := make(map[ColumnRef]int)
+	for i, tok := range toks {
+		remaining := len(toks) - i
+		// Early termination: a column not yet seen can reach at most
+		// `remaining` overlap. If the current k-th best already meets or
+		// exceeds that, unseen candidates cannot displace it, and seen
+		// candidates keep accumulating through the loop below — but only
+		// posting lists of remaining tokens matter, so check first.
+		if kth := kthBest(counts, k); kth >= remaining && len(counts) >= k {
+			// Seen candidates still need the remaining tokens counted.
+			for _, rest := range toks[i:] {
+				for _, ref := range ix.postings[rest] {
+					if _, seen := counts[ref]; seen {
+						counts[ref]++
+					}
+				}
+			}
+			break
+		}
+		for _, ref := range ix.postings[tok] {
+			counts[ref]++
+		}
+	}
+	hits := make([]Hit, 0, len(counts))
+	for ref, n := range counts {
+		hits = append(hits, Hit{Column: ref, Overlap: n})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Overlap != hits[b].Overlap {
+			return hits[a].Overlap > hits[b].Overlap
+		}
+		if hits[a].Column.TableID != hits[b].Column.TableID {
+			return hits[a].Column.TableID < hits[b].Column.TableID
+		}
+		return hits[a].Column.ColumnID < hits[b].Column.ColumnID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchTables collapses Search results to distinct tables (best column per
+// table), the granularity BLEND's SC seeker reports.
+func (ix *Index) SearchTables(query []string, k int) []Hit {
+	cols := ix.Search(query, 4*k)
+	best := make(map[int32]Hit)
+	for _, h := range cols {
+		if b, ok := best[h.Column.TableID]; !ok || h.Overlap > b.Overlap {
+			best[h.Column.TableID] = h
+		}
+	}
+	hits := make([]Hit, 0, len(best))
+	for _, h := range best {
+		hits = append(hits, h)
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Overlap != hits[b].Overlap {
+			return hits[a].Overlap > hits[b].Overlap
+		}
+		return hits[a].Column.TableID < hits[b].Column.TableID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// kthBest returns the k-th largest count, or 0 when fewer than k
+// candidates exist.
+func kthBest(counts map[ColumnRef]int, k int) int {
+	if len(counts) < k {
+		return 0
+	}
+	// Small k: selection by partial scan is fine at this scale.
+	top := make([]int, 0, k)
+	for _, n := range counts {
+		if len(top) < k {
+			top = append(top, n)
+			sort.Ints(top)
+			continue
+		}
+		if n > top[0] {
+			top[0] = n
+			sort.Ints(top)
+		}
+	}
+	return top[0]
+}
+
+// SizeBytes estimates the index's resident size: per-token posting lists
+// plus the token strings themselves.
+func (ix *Index) SizeBytes() int64 {
+	var b int64
+	for tok, ps := range ix.postings {
+		b += int64(len(tok)) + 16 + int64(len(ps))*8
+	}
+	for _, n := range ix.tableNames {
+		b += int64(len(n)) + 16
+	}
+	return b
+}
+
+func distinct(values []string) []string {
+	seen := make(map[string]struct{}, len(values))
+	out := make([]string, 0, len(values))
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package josie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"blend/internal/table"
+)
+
+func lake() []*table.Table {
+	t1 := table.New("teams", "Team")
+	for _, v := range []string{"HR", "Marketing", "Finance", "IT", "Sales"} {
+		t1.MustAppendRow(v)
+	}
+	t2 := table.New("leads", "Lead", "Team")
+	t2.MustAppendRow("Firenze", "HR")
+	t2.MustAppendRow("Tom", "IT")
+	t3 := table.New("cities", "City")
+	t3.MustAppendRow("Berlin")
+	t3.MustAppendRow("Hannover")
+	return []*table.Table{t1, t2, t3}
+}
+
+func TestSearchExactOverlap(t *testing.T) {
+	ix := Build(lake())
+	hits := ix.Search([]string{"HR", "IT", "Sales", "Berlin"}, 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Column.TableID != 0 || hits[0].Overlap != 3 {
+		t.Fatalf("best = %+v, want teams.Team overlap 3", hits[0])
+	}
+}
+
+func TestSearchTablesCollapses(t *testing.T) {
+	ix := Build(lake())
+	hits := ix.SearchTables([]string{"HR", "IT"}, 10)
+	// teams and leads both contain HR and IT (leads.Team has both).
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	for _, h := range hits {
+		if h.Overlap != 2 {
+			t.Fatalf("overlap = %d, want 2", h.Overlap)
+		}
+	}
+}
+
+func TestSearchEmptyAndMissing(t *testing.T) {
+	ix := Build(lake())
+	if ix.Search(nil, 5) != nil {
+		t.Fatal("empty query must return nil")
+	}
+	if got := ix.Search([]string{"does-not-exist"}, 5); len(got) != 0 {
+		t.Fatalf("missing value matched %v", got)
+	}
+	if ix.Search([]string{"HR"}, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestSearchDeduplicatesQuery(t *testing.T) {
+	ix := Build(lake())
+	a := ix.Search([]string{"HR", "HR", "IT"}, 5)
+	b := ix.Search([]string{"HR", "IT"}, 5)
+	if len(a) != len(b) {
+		t.Fatal("duplicate query values changed results")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("duplicate query values changed results")
+		}
+	}
+}
+
+func TestTableName(t *testing.T) {
+	ix := Build(lake())
+	if ix.TableName(1) != "leads" || ix.TableName(-1) != "" || ix.TableName(99) != "" {
+		t.Fatal("TableName wrong")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Build(lake()).SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+// TestMatchesBruteForce property-checks the pruned search against a naive
+// overlap computation on random lakes.
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("v%02d", i)
+	}
+	for trial := 0; trial < 25; trial++ {
+		numTables := 3 + rng.Intn(6)
+		tables := make([]*table.Table, numTables)
+		for ti := range tables {
+			tb := table.New(fmt.Sprintf("t%d", ti), "a", "b")
+			rows := 3 + rng.Intn(15)
+			for r := 0; r < rows; r++ {
+				tb.MustAppendRow(vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))])
+			}
+			tables[ti] = tb
+		}
+		ix := Build(tables)
+		qn := 1 + rng.Intn(10)
+		query := make([]string, qn)
+		for i := range query {
+			query[i] = vocab[rng.Intn(len(vocab))]
+		}
+		k := 1 + rng.Intn(5)
+		got := ix.Search(query, k)
+
+		// Brute force per column.
+		qset := make(map[string]bool)
+		for _, q := range query {
+			qset[q] = true
+		}
+		type colKey struct{ t, c int }
+		want := make(map[colKey]int)
+		for ti, tb := range tables {
+			for c := 0; c < tb.NumCols(); c++ {
+				n := 0
+				for _, v := range tb.DistinctColumnValues(c) {
+					if qset[v] {
+						n++
+					}
+				}
+				if n > 0 {
+					want[colKey{ti, c}] = n
+				}
+			}
+		}
+		var wantOverlaps []int
+		for _, n := range want {
+			wantOverlaps = append(wantOverlaps, n)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(wantOverlaps)))
+		if len(wantOverlaps) > k {
+			wantOverlaps = wantOverlaps[:k]
+		}
+		if len(got) != len(wantOverlaps) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(wantOverlaps))
+		}
+		for i := range got {
+			if got[i].Overlap != wantOverlaps[i] {
+				t.Fatalf("trial %d: overlap[%d] = %d, want %d", trial, i, got[i].Overlap, wantOverlaps[i])
+			}
+			if want[colKey{int(got[i].Column.TableID), int(got[i].Column.ColumnID)}] != got[i].Overlap {
+				t.Fatalf("trial %d: hit %v has wrong overlap", trial, got[i])
+			}
+		}
+	}
+}

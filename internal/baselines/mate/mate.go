@@ -1,0 +1,216 @@
+// Package mate reimplements MATE (Esmailoghli et al., VLDB 2022), the
+// multi-column join-discovery baseline of §VIII-E: an inverted index whose
+// entries carry the XASH super key of their row, an initiator-column fetch,
+// XASH-based filtering, and row-by-row exact validation in application
+// code.
+//
+// The contrast with BLEND's MC seeker is architectural: MATE fetches every
+// row matching the single initiator column and relies on XASH alone to
+// prune, so far more candidate rows survive to validation (the false
+// positives counted in Table V); BLEND's SQL joins the per-column index
+// hits first, discarding rows that lack values from the other columns
+// before any validation happens.
+package mate
+
+import (
+	"sort"
+
+	"blend/internal/table"
+	"blend/internal/xash"
+)
+
+// entry is one inverted-index posting: the row location plus its super key.
+type entry struct {
+	tableID int32
+	rowID   int32
+	key     xash.Key
+}
+
+// Index is the MATE index over a lake.
+type Index struct {
+	postings   map[string][]entry
+	tables     []*table.Table // retained for application-level validation
+	tableNames []string
+}
+
+// Build indexes every cell value with its row's XASH super key. The source
+// tables are retained: MATE validates candidate rows against the raw data
+// at the application level.
+func Build(tables []*table.Table) *Index {
+	ix := &Index{postings: make(map[string][]entry), tables: tables}
+	for tid, t := range tables {
+		ix.tableNames = append(ix.tableNames, t.Name)
+		for r, row := range t.Rows {
+			key := xash.HashRow(row)
+			seen := make(map[string]struct{}, len(row))
+			for _, v := range row {
+				if v == table.Null {
+					continue
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				ix.postings[v] = append(ix.postings[v], entry{
+					tableID: int32(tid), rowID: int32(r), key: key,
+				})
+			}
+		}
+	}
+	return ix
+}
+
+// TableName maps a table id to its name.
+func (ix *Index) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(ix.tableNames) {
+		return ""
+	}
+	return ix.tableNames[tid]
+}
+
+// Hit is one result table with its joinable-row count.
+type Hit struct {
+	TableID int32
+	Rows    int
+}
+
+// Stats reports the filtering funnel of one search, feeding Table V:
+// Fetched rows from the initiator column, Candidates surviving the XASH
+// filter, TruePositives passing exact validation, and FalsePositives
+// (candidates that validation rejected).
+type Stats struct {
+	Fetched        int
+	Candidates     int
+	TruePositives  int
+	FalsePositives int
+}
+
+// Search finds the top-k tables containing the query tuples on their
+// composite key. Each tuple lists the key values of one query row.
+func (ix *Index) Search(tuples [][]string, k int) ([]Hit, Stats) {
+	var stats Stats
+	if len(tuples) == 0 {
+		return nil, stats
+	}
+	width := len(tuples[0])
+	// Initiator column: the query column with the shortest total posting
+	// length (MATE's cheapest-first fetch).
+	initiator, bestCost := 0, -1
+	for c := 0; c < width; c++ {
+		cost := 0
+		for _, v := range columnValues(tuples, c) {
+			cost += len(ix.postings[v])
+		}
+		if bestCost < 0 || cost < bestCost {
+			initiator, bestCost = c, cost
+		}
+	}
+
+	tupleKeys := make([]xash.Key, len(tuples))
+	for i, t := range tuples {
+		tupleKeys[i] = xash.HashRow(t)
+	}
+
+	type rowKey struct{ tid, rid int32 }
+	seen := make(map[rowKey]struct{})
+	joinable := make(map[int32]int)
+	for _, v := range columnValues(tuples, initiator) {
+		for _, e := range ix.postings[v] {
+			rk := rowKey{e.tableID, e.rowID}
+			if _, dup := seen[rk]; dup {
+				continue
+			}
+			seen[rk] = struct{}{}
+			stats.Fetched++
+			// XASH filter: some query tuple must be fully covered by the
+			// row's super key.
+			matched := -1
+			for ti, tk := range tupleKeys {
+				if e.key.Contains(tk) {
+					matched = ti
+					break
+				}
+			}
+			if matched < 0 {
+				continue
+			}
+			stats.Candidates++
+			// Application-level validation against the raw table.
+			if ix.validate(e.tableID, e.rowID, tuples, tupleKeys) {
+				stats.TruePositives++
+				joinable[e.tableID]++
+			} else {
+				stats.FalsePositives++
+			}
+		}
+	}
+	hits := make([]Hit, 0, len(joinable))
+	for tid, n := range joinable {
+		hits = append(hits, Hit{TableID: tid, Rows: n})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Rows != hits[b].Rows {
+			return hits[a].Rows > hits[b].Rows
+		}
+		return hits[a].TableID < hits[b].TableID
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, stats
+}
+
+// validate checks whether the raw row contains every value of some query
+// tuple.
+func (ix *Index) validate(tid, rid int32, tuples [][]string, keys []xash.Key) bool {
+	row := ix.tables[tid].Rows[rid]
+	cells := make(map[string]struct{}, len(row))
+	for _, c := range row {
+		if c != table.Null {
+			cells[c] = struct{}{}
+		}
+	}
+	for _, t := range tuples {
+		all := true
+		for _, v := range t {
+			if v == table.Null {
+				continue
+			}
+			if _, ok := cells[v]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// SizeBytes estimates the index size: postings with 16-byte super keys per
+// entry plus token strings. The retained raw tables are not counted — the
+// paper's storage comparison covers index structures.
+func (ix *Index) SizeBytes() int64 {
+	var b int64
+	for tok, ps := range ix.postings {
+		b += int64(len(tok)) + 16 + int64(len(ps))*24
+	}
+	return b
+}
+
+func columnValues(tuples [][]string, c int) []string {
+	seen := make(map[string]struct{}, len(tuples))
+	out := make([]string, 0, len(tuples))
+	for _, t := range tuples {
+		if c >= len(t) || t[c] == "" {
+			continue
+		}
+		if _, dup := seen[t[c]]; dup {
+			continue
+		}
+		seen[t[c]] = struct{}{}
+		out = append(out, t[c])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package mate
+
+import (
+	"testing"
+
+	"blend/internal/table"
+)
+
+func lake() []*table.Table {
+	t2 := table.New("T2", "Lead", "Year", "Team")
+	t2.MustAppendRow("Tom Riddle", "2022", "IT")
+	t2.MustAppendRow("Firenze", "2022", "HR")
+	t3 := table.New("T3", "Lead", "Year", "Team")
+	t3.MustAppendRow("Ronald Weasley", "2024", "IT")
+	t3.MustAppendRow("Firenze", "2024", "HR")
+	return []*table.Table{t2, t3}
+}
+
+func TestSearchFindsAlignedTuples(t *testing.T) {
+	ix := Build(lake())
+	hits, stats := ix.Search([][]string{{"HR", "Firenze"}}, 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if stats.TruePositives != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Recall is 100% by construction (bloom filter has no false negatives).
+	if hits[0].Rows != 1 || hits[1].Rows != 1 {
+		t.Fatalf("row counts = %v", hits)
+	}
+}
+
+func TestSearchRejectsMisaligned(t *testing.T) {
+	ix := Build(lake())
+	// HR and Tom Riddle never co-occur in a row.
+	hits, stats := ix.Search([][]string{{"HR", "Tom Riddle"}}, 10)
+	if len(hits) != 0 {
+		t.Fatalf("misaligned matched %v", hits)
+	}
+	if stats.TruePositives != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// The initiator fetch still touched rows.
+	if stats.Fetched == 0 {
+		t.Fatal("expected fetched rows")
+	}
+}
+
+func TestSearchEmpty(t *testing.T) {
+	ix := Build(lake())
+	hits, _ := ix.Search(nil, 10)
+	if hits != nil {
+		t.Fatal("empty query must return nil")
+	}
+}
+
+func TestInitiatorPicksCheapestColumn(t *testing.T) {
+	// "IT" appears twice across the lake, "Tom Riddle" once: the initiator
+	// must be the Tom Riddle column, fetching only one row.
+	ix := Build(lake())
+	_, stats := ix.Search([][]string{{"IT", "Tom Riddle"}}, 10)
+	if stats.Fetched != 1 {
+		t.Fatalf("fetched = %d, want 1 (cheapest initiator)", stats.Fetched)
+	}
+}
+
+func TestMultipleTuplesAccumulateRows(t *testing.T) {
+	ix := Build(lake())
+	hits, _ := ix.Search([][]string{{"HR", "Firenze"}, {"IT", "Tom Riddle"}}, 10)
+	// T2 matches both tuples (2 rows), T3 only the HR tuple.
+	if len(hits) != 2 || hits[0].Rows != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if ix.TableName(hits[0].TableID) != "T2" {
+		t.Fatalf("best = %s", ix.TableName(hits[0].TableID))
+	}
+}
+
+func TestStatsFunnelMonotone(t *testing.T) {
+	ix := Build(lake())
+	_, stats := ix.Search([][]string{{"HR", "Firenze"}}, 10)
+	if stats.Candidates > stats.Fetched {
+		t.Fatal("candidates cannot exceed fetched")
+	}
+	if stats.TruePositives+stats.FalsePositives != stats.Candidates {
+		t.Fatal("TP + FP must equal candidates")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Build(lake()).SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestTableName(t *testing.T) {
+	ix := Build(lake())
+	if ix.TableName(0) != "T2" || ix.TableName(5) != "" {
+		t.Fatal("TableName wrong")
+	}
+}

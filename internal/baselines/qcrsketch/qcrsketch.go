@@ -1,0 +1,206 @@
+// Package qcrsketch reimplements the sketch-based correlation-discovery
+// baseline of Santos et al. (ICDE 2022) that BLEND compares against in
+// §VIII-G: for every (categorical key column, numeric column) pair in the
+// lake, the index stores the h smallest hashes of key⊕quadrant; retrieval
+// intersects the query's sketch with each stored sketch and estimates the
+// correlation from the fraction of agreeing quadrant bits.
+//
+// Two limitations of the original — reproduced faithfully because the
+// paper's experiments rely on them — are: (1) join keys must be
+// categorical, so numeric-key queries find nothing (Table VII, NYC (All));
+// (2) the sketch size h is fixed at indexing time, so changing it requires
+// re-indexing the lake, unlike BLEND's query-time h.
+package qcrsketch
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"blend/internal/qcr"
+	"blend/internal/table"
+)
+
+// sketchEntry pairs a key hash with the quadrant bit of its numeric value.
+type sketchEntry struct {
+	keyHash  uint64
+	quadrant int8
+}
+
+// pairSketch is the stored sketch of one (key column, numeric column)
+// pair.
+type pairSketch struct {
+	tableID int32
+	keyCol  int32
+	numCol  int32
+	entries []sketchEntry // h smallest key hashes, ascending
+}
+
+// Index is the QCR sketch index over a lake. Its size grows with the
+// number of column pairs per table — the quadratic blow-up BLEND's single
+// Quadrant column avoids (§V).
+type Index struct {
+	h          int
+	sketches   []pairSketch
+	tableNames []string
+}
+
+// Build indexes every (categorical, numeric) column pair of every table
+// with sketch size h.
+func Build(tables []*table.Table, h int) *Index {
+	ix := &Index{h: h}
+	for tid, t := range tables {
+		ix.tableNames = append(ix.tableNames, t.Name)
+		var catCols, numCols []int
+		for c := 0; c < t.NumCols(); c++ {
+			if t.Columns[c].Kind == table.KindNumeric {
+				numCols = append(numCols, c)
+			} else {
+				catCols = append(catCols, c)
+			}
+		}
+		for _, kc := range catCols {
+			for _, nc := range numCols {
+				sk := buildPairSketch(t, kc, nc, h)
+				if len(sk) == 0 {
+					continue
+				}
+				ix.sketches = append(ix.sketches, pairSketch{
+					tableID: int32(tid), keyCol: int32(kc), numCol: int32(nc), entries: sk,
+				})
+			}
+		}
+	}
+	return ix
+}
+
+func buildPairSketch(t *table.Table, keyCol, numCol, h int) []sketchEntry {
+	nums, rows := t.NumericColumnValues(numCol)
+	if len(nums) == 0 {
+		return nil
+	}
+	mean := qcr.Mean(nums)
+	entries := make([]sketchEntry, 0, len(nums))
+	for i, r := range rows {
+		key := t.Cell(r, keyCol)
+		if key == table.Null {
+			continue
+		}
+		entries = append(entries, sketchEntry{
+			keyHash:  hashKey(key),
+			quadrant: qcr.QuadrantBit(nums[i], mean),
+		})
+	}
+	return smallestH(entries, h)
+}
+
+// smallestH keeps the h entries with the smallest key hashes (the min-hash
+// selection of the original), deduplicated by hash.
+func smallestH(entries []sketchEntry, h int) []sketchEntry {
+	sort.Slice(entries, func(a, b int) bool { return entries[a].keyHash < entries[b].keyHash })
+	out := entries[:0]
+	var last uint64
+	for i, e := range entries {
+		if i > 0 && e.keyHash == last {
+			continue
+		}
+		last = e.keyHash
+		out = append(out, e)
+		if len(out) == h {
+			break
+		}
+	}
+	return append([]sketchEntry(nil), out...)
+}
+
+// TableName maps a table id to its name.
+func (ix *Index) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(ix.tableNames) {
+		return ""
+	}
+	return ix.tableNames[tid]
+}
+
+// Hit is one result table with its estimated |QCR|.
+type Hit struct {
+	TableID int32
+	AbsQCR  float64
+}
+
+// Search estimates, for every indexed column pair, the correlation between
+// the query target and the pair's numeric column across the join keys, and
+// returns the top-k tables by |QCR| estimate. Keys pair positionally with
+// targets.
+func (ix *Index) Search(keys []string, targets []float64, k int) []Hit {
+	n := len(keys)
+	if len(targets) < n {
+		n = len(targets)
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := qcr.Mean(targets[:n])
+	queryQuad := make(map[uint64]int8, n)
+	for i := 0; i < n; i++ {
+		if keys[i] == "" {
+			continue
+		}
+		queryQuad[hashKey(keys[i])] = qcr.QuadrantBit(targets[i], mean)
+	}
+	best := make(map[int32]float64)
+	for _, sk := range ix.sketches {
+		agree, total := 0, 0
+		for _, e := range sk.entries {
+			q, ok := queryQuad[e.keyHash]
+			if !ok {
+				continue
+			}
+			total++
+			if q == e.quadrant {
+				agree++
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		est := qcr.FromAgreement(agree, total)
+		if est < 0 {
+			est = -est
+		}
+		if cur, ok := best[sk.tableID]; !ok || est > cur {
+			best[sk.tableID] = est
+		}
+	}
+	hits := make([]Hit, 0, len(best))
+	for tid, s := range best {
+		hits = append(hits, Hit{TableID: tid, AbsQCR: s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].AbsQCR != hits[b].AbsQCR {
+			return hits[a].AbsQCR > hits[b].AbsQCR
+		}
+		return hits[a].TableID < hits[b].TableID
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SizeBytes estimates the index size: 9 bytes per sketch entry plus
+// per-pair bookkeeping.
+func (ix *Index) SizeBytes() int64 {
+	var b int64
+	for _, sk := range ix.sketches {
+		b += 16 + int64(len(sk.entries))*9
+	}
+	return b
+}
+
+// NumSketches reports the number of stored column-pair sketches.
+func (ix *Index) NumSketches() int { return len(ix.sketches) }
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,125 @@
+package qcrsketch
+
+import (
+	"strconv"
+	"testing"
+
+	"blend/internal/table"
+)
+
+func keysN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "key" + strconv.Itoa(i)
+	}
+	return out
+}
+
+func corrLake(n int) []*table.Table {
+	good := table.New("good", "City", "Pop")
+	noise := table.New("noise", "City", "Rand")
+	for i, c := range keysN(n) {
+		good.MustAppendRow(c, strconv.Itoa((i+1)*10))
+		noise.MustAppendRow(c, strconv.Itoa((i*7919+13)%997))
+	}
+	good.InferKinds()
+	noise.InferKinds()
+	return []*table.Table{good, noise}
+}
+
+func TestSearchRanksCorrelatedFirst(t *testing.T) {
+	n := 40
+	ix := Build(corrLake(n), 256)
+	targets := make([]float64, n)
+	for i := range targets {
+		targets[i] = float64(i + 1)
+	}
+	hits := ix.Search(keysN(n), targets, 2)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if ix.TableName(hits[0].TableID) != "good" || hits[0].AbsQCR < 0.9 {
+		t.Fatalf("best = %v (%s)", hits[0], ix.TableName(hits[0].TableID))
+	}
+	if hits[1].AbsQCR >= hits[0].AbsQCR {
+		t.Fatal("noise must rank below the correlated table")
+	}
+}
+
+func TestNumericKeysNotSupported(t *testing.T) {
+	// Lake table keyed by a numeric column: the baseline cannot index it
+	// (only categorical keys are sketched), so the query finds nothing —
+	// the limitation behind Table VII's NYC (All) gap.
+	tb := table.New("numkey", "Id", "Metric")
+	for i := 1; i <= 20; i++ {
+		tb.MustAppendRow(strconv.Itoa(i), strconv.Itoa(i*100))
+	}
+	tb.InferKinds()
+	ix := Build([]*table.Table{tb}, 64)
+	if ix.NumSketches() != 0 {
+		t.Fatalf("numeric key column was sketched: %d", ix.NumSketches())
+	}
+	keys := make([]string, 20)
+	targets := make([]float64, 20)
+	for i := range keys {
+		keys[i] = strconv.Itoa(i + 1)
+		targets[i] = float64(i + 1)
+	}
+	if hits := ix.Search(keys, targets, 5); len(hits) != 0 {
+		t.Fatalf("numeric-key query matched %v", hits)
+	}
+}
+
+func TestSketchSizeBounded(t *testing.T) {
+	n := 500
+	h := 32
+	ix := Build(corrLake(n), h)
+	for _, sk := range ix.sketches {
+		if len(sk.entries) > h {
+			t.Fatalf("sketch has %d entries, cap %d", len(sk.entries), h)
+		}
+	}
+}
+
+func TestSearchEmptyInputs(t *testing.T) {
+	ix := Build(corrLake(10), 16)
+	if hits := ix.Search(nil, nil, 5); hits != nil {
+		t.Fatalf("empty query matched %v", hits)
+	}
+}
+
+func TestSizeBytesGrowsQuadratically(t *testing.T) {
+	// Two numeric columns and two categorical columns → 4 pair sketches;
+	// BLEND's single Quadrant column avoids this blow-up.
+	tb := table.New("wide", "K1", "K2", "N1", "N2")
+	for i := 0; i < 20; i++ {
+		tb.MustAppendRow("a"+strconv.Itoa(i), "b"+strconv.Itoa(i),
+			strconv.Itoa(i), strconv.Itoa(i*2))
+	}
+	tb.InferKinds()
+	ix := Build([]*table.Table{tb}, 64)
+	if ix.NumSketches() != 4 {
+		t.Fatalf("sketches = %d, want 4 (2 cat × 2 num)", ix.NumSketches())
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestAntiCorrelationScoresHigh(t *testing.T) {
+	n := 40
+	anti := table.New("anti", "City", "Neg")
+	for i, c := range keysN(n) {
+		anti.MustAppendRow(c, strconv.Itoa((n-i)*10))
+	}
+	anti.InferKinds()
+	ix := Build([]*table.Table{anti}, 256)
+	targets := make([]float64, n)
+	for i := range targets {
+		targets[i] = float64(i + 1)
+	}
+	hits := ix.Search(keysN(n), targets, 1)
+	if len(hits) != 1 || hits[0].AbsQCR < 0.9 {
+		t.Fatalf("anti-correlated table scored %v", hits)
+	}
+}

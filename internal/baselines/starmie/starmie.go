@@ -1,0 +1,153 @@
+// Package starmie reimplements the union-search baseline of §VIII-F
+// (Starmie, Fan et al., VLDB 2023) on the substituted embedding stack: each
+// lake column embeds to a dense vector (internal/embed standing in for the
+// contrastive model, see DESIGN.md §3), the vectors live in an HNSW index,
+// and a query table scores candidates by greedily matching its columns to
+// their nearest lake columns — the architecture (embed → ANN → aggregate)
+// and its runtime profile are preserved.
+package starmie
+
+import (
+	"sort"
+
+	"blend/internal/embed"
+	"blend/internal/hnsw"
+	"blend/internal/table"
+)
+
+// columnRef locates an embedded column.
+type columnRef struct {
+	tableID  int32
+	columnID int32
+}
+
+// Index is the Starmie column-embedding index.
+type Index struct {
+	ann        *hnsw.Index
+	refs       []columnRef // external id -> column
+	vectors    []embed.Vector
+	tableNames []string
+	// probeWidth is how many ANN neighbours each query column fetches.
+	probeWidth int
+}
+
+// Build embeds every non-empty column of every table and indexes the
+// vectors in HNSW.
+func Build(tables []*table.Table) *Index {
+	ix := &Index{
+		ann:        hnsw.New(hnsw.DefaultConfig()),
+		probeWidth: 32,
+	}
+	for tid, t := range tables {
+		ix.tableNames = append(ix.tableNames, t.Name)
+		for c := 0; c < t.NumCols(); c++ {
+			vec := embed.Column(t.ColumnValues(c))
+			if vec.IsZero() {
+				continue
+			}
+			id := len(ix.refs)
+			ix.refs = append(ix.refs, columnRef{tableID: int32(tid), columnID: int32(c)})
+			ix.vectors = append(ix.vectors, vec)
+			// Add cannot fail: IsZero filtered zero vectors.
+			if err := ix.ann.Add(id, vec); err != nil {
+				panic("starmie: " + err.Error())
+			}
+		}
+	}
+	return ix
+}
+
+// TableName maps a table id to its name.
+func (ix *Index) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(ix.tableNames) {
+		return ""
+	}
+	return ix.tableNames[tid]
+}
+
+// Hit is one unionable-table result with its aggregate column-match score.
+type Hit struct {
+	TableID int32
+	Score   float64
+}
+
+// Search returns the top-k tables unionable with the query table: every
+// query column probes the ANN index, per-table column similarities
+// aggregate greedily (each lake column matches at most one query column),
+// and tables rank by total matched similarity.
+func (ix *Index) Search(query *table.Table, k int) []Hit {
+	type match struct {
+		qcol int
+		ref  columnRef
+		sim  float64
+	}
+	var matches []match
+	for c := 0; c < query.NumCols(); c++ {
+		vec := embed.Column(query.ColumnValues(c))
+		if vec.IsZero() {
+			continue
+		}
+		for _, r := range ix.ann.Search(vec, ix.probeWidth) {
+			matches = append(matches, match{
+				qcol: c,
+				ref:  ix.refs[r.ID],
+				sim:  float64(r.Similarity),
+			})
+		}
+	}
+	// Greedy bipartite matching per table: best similarity first, each
+	// query column and each lake column used once.
+	sort.Slice(matches, func(a, b int) bool {
+		if matches[a].sim != matches[b].sim {
+			return matches[a].sim > matches[b].sim
+		}
+		if matches[a].ref.tableID != matches[b].ref.tableID {
+			return matches[a].ref.tableID < matches[b].ref.tableID
+		}
+		return matches[a].qcol < matches[b].qcol
+	})
+	type key struct {
+		tid  int32
+		qcol int
+	}
+	usedQ := make(map[key]bool)
+	usedL := make(map[columnRef]bool)
+	score := make(map[int32]float64)
+	for _, m := range matches {
+		if m.sim <= 0 {
+			continue
+		}
+		kq := key{m.ref.tableID, m.qcol}
+		if usedQ[kq] || usedL[m.ref] {
+			continue
+		}
+		usedQ[kq] = true
+		usedL[m.ref] = true
+		score[m.ref.tableID] += m.sim
+	}
+	hits := make([]Hit, 0, len(score))
+	for tid, s := range score {
+		hits = append(hits, Hit{TableID: tid, Score: s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].TableID < hits[b].TableID
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SizeBytes estimates the index size: the HNSW graph plus the retained
+// column vectors ("Starmie vectors are stored as a file", §VIII-B5).
+func (ix *Index) SizeBytes() int64 {
+	var b int64 = ix.ann.SizeBytes()
+	for _, v := range ix.vectors {
+		b += int64(len(v)) * 4
+	}
+	b += int64(len(ix.refs)) * 8
+	return b
+}

@@ -1,0 +1,101 @@
+package starmie
+
+import (
+	"fmt"
+	"testing"
+
+	"blend/internal/table"
+)
+
+// unionLake builds two schema families: people tables (unionable with each
+// other) and metric tables.
+func unionLake() []*table.Table {
+	var tables []*table.Table
+	people := [][2]string{
+		{"alice johnson", "engineering"}, {"bob smith", "marketing"},
+		{"carol white", "finance"}, {"dan brown", "engineering"},
+		{"eve black", "sales"}, {"frank green", "support"},
+	}
+	for i := 0; i < 3; i++ {
+		tb := table.New(fmt.Sprintf("people%d", i), "Name", "Department")
+		for j, p := range people {
+			if (i+j)%3 != 0 { // partial, non-identical overlap
+				tb.MustAppendRow(p[0], p[1])
+			}
+		}
+		tables = append(tables, tb)
+	}
+	for i := 0; i < 2; i++ {
+		tb := table.New(fmt.Sprintf("metrics%d", i), "SensorReading", "Station")
+		tb.MustAppendRow("temperature 20.4", "station north")
+		tb.MustAppendRow("humidity 88", "station south")
+		tb.MustAppendRow("pressure 1011", "station west")
+		tables = append(tables, tb)
+	}
+	return tables
+}
+
+func TestSearchFindsUnionableFamily(t *testing.T) {
+	ix := Build(unionLake())
+	q := table.New("q", "Name", "Department")
+	q.MustAppendRow("alice johnson", "engineering")
+	q.MustAppendRow("bob smith", "marketing")
+	hits := ix.Search(q, 3)
+	if len(hits) != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+	for _, h := range hits {
+		name := ix.TableName(h.TableID)
+		if name != "people0" && name != "people1" && name != "people2" {
+			t.Fatalf("non-people table %s in top-3: %v", name, hits)
+		}
+	}
+}
+
+func TestSearchScoresMetricFamilyLower(t *testing.T) {
+	ix := Build(unionLake())
+	q := table.New("q", "Reading", "Where")
+	q.MustAppendRow("temperature 19.9", "station north")
+	hits := ix.Search(q, 2)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if name := ix.TableName(hits[0].TableID); name != "metrics0" && name != "metrics1" {
+		t.Fatalf("best = %s, want a metrics table", name)
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	ix := Build(unionLake())
+	q := table.New("q", "Empty")
+	if hits := ix.Search(q, 5); len(hits) != 0 {
+		t.Fatalf("empty query matched %v", hits)
+	}
+}
+
+func TestGreedyMatchingUsesEachQueryColumnOnce(t *testing.T) {
+	ix := Build(unionLake())
+	q := table.New("q", "Name", "Department")
+	q.MustAppendRow("alice johnson", "engineering")
+	hits := ix.Search(q, 1)
+	if len(hits) != 1 {
+		t.Fatal("no hits")
+	}
+	// Max score = 2 columns × similarity ≤ 1 each.
+	if hits[0].Score > 2.0001 {
+		t.Fatalf("score %v exceeds column budget", hits[0].Score)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Build(unionLake()).SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}
+
+func TestTableName(t *testing.T) {
+	ix := Build(unionLake())
+	if ix.TableName(0) != "people0" || ix.TableName(-1) != "" {
+		t.Fatal("TableName wrong")
+	}
+}

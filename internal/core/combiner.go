@@ -1,0 +1,194 @@
+package core
+
+import "fmt"
+
+// CombinerKind identifies the set operators of §IV-B.
+type CombinerKind int
+
+const (
+	// Intersect keeps tables present in every input.
+	Intersect CombinerKind = iota
+	// Union keeps tables present in any input.
+	Union
+	// Difference keeps tables of the first input absent from the second.
+	Difference
+	// Counter ranks tables by how many inputs contain them.
+	Counter
+)
+
+// String names the combiner kind.
+func (k CombinerKind) String() string {
+	switch k {
+	case Intersect:
+		return "Intersect"
+	case Union:
+		return "Union"
+	case Difference:
+		return "Difference"
+	case Counter:
+		return "Counter"
+	default:
+		return fmt.Sprintf("CombinerKind(%d)", int(k))
+	}
+}
+
+// Combiner merges the table collections produced by seekers or other
+// combiners (§IV-B). Implementations must be pure: same inputs, same
+// output.
+type Combiner interface {
+	// Kind reports the set operation.
+	Kind() CombinerKind
+	// TopK is the combiner-level result limit (-1 for unlimited).
+	TopK() int
+	// MinInputs/MaxInputs bound the accepted input count; MaxInputs < 0
+	// means unbounded.
+	MinInputs() int
+	MaxInputs() int
+	// Combine merges the inputs.
+	Combine(inputs []Hits) Hits
+}
+
+// IntersectCombiner implements ∩.
+type IntersectCombiner struct{ K int }
+
+// NewIntersect builds an intersection combiner with result limit k.
+func NewIntersect(k int) *IntersectCombiner { return &IntersectCombiner{K: k} }
+
+// Kind implements Combiner.
+func (c *IntersectCombiner) Kind() CombinerKind { return Intersect }
+
+// TopK implements Combiner.
+func (c *IntersectCombiner) TopK() int { return c.K }
+
+// MinInputs implements Combiner.
+func (c *IntersectCombiner) MinInputs() int { return 2 }
+
+// MaxInputs implements Combiner.
+func (c *IntersectCombiner) MaxInputs() int { return -1 }
+
+// Combine keeps tables appearing in all inputs; scores are summed so that
+// tables strong under several seekers rank first.
+func (c *IntersectCombiner) Combine(inputs []Hits) Hits {
+	if len(inputs) == 0 {
+		return nil
+	}
+	count := make(map[int32]int)
+	score := make(map[int32]float64)
+	for _, in := range inputs {
+		for _, h := range in {
+			count[h.TableID]++
+			score[h.TableID] += h.Score
+		}
+	}
+	out := make(Hits, 0)
+	for id, n := range count {
+		if n == len(inputs) {
+			out = append(out, TableHit{TableID: id, Score: score[id]})
+		}
+	}
+	return topK(out, c.K)
+}
+
+// UnionCombiner implements ∪.
+type UnionCombiner struct{ K int }
+
+// NewUnion builds a union combiner with result limit k.
+func NewUnion(k int) *UnionCombiner { return &UnionCombiner{K: k} }
+
+// Kind implements Combiner.
+func (c *UnionCombiner) Kind() CombinerKind { return Union }
+
+// TopK implements Combiner.
+func (c *UnionCombiner) TopK() int { return c.K }
+
+// MinInputs implements Combiner.
+func (c *UnionCombiner) MinInputs() int { return 1 }
+
+// MaxInputs implements Combiner.
+func (c *UnionCombiner) MaxInputs() int { return -1 }
+
+// Combine keeps every table, with its best score across inputs.
+func (c *UnionCombiner) Combine(inputs []Hits) Hits {
+	var all Hits
+	for _, in := range inputs {
+		all = append(all, in...)
+	}
+	return topK(dedupeBest(all), c.K)
+}
+
+// DifferenceCombiner implements \: tables of the first input that do not
+// appear in the second. It accepts exactly two inputs (§IV-B).
+type DifferenceCombiner struct{ K int }
+
+// NewDifference builds a difference combiner with result limit k.
+func NewDifference(k int) *DifferenceCombiner { return &DifferenceCombiner{K: k} }
+
+// Kind implements Combiner.
+func (c *DifferenceCombiner) Kind() CombinerKind { return Difference }
+
+// TopK implements Combiner.
+func (c *DifferenceCombiner) TopK() int { return c.K }
+
+// MinInputs implements Combiner.
+func (c *DifferenceCombiner) MinInputs() int { return 2 }
+
+// MaxInputs implements Combiner.
+func (c *DifferenceCombiner) MaxInputs() int { return 2 }
+
+// Combine subtracts the second input's tables from the first's.
+func (c *DifferenceCombiner) Combine(inputs []Hits) Hits {
+	if len(inputs) != 2 {
+		return nil
+	}
+	excluded := make(map[int32]struct{}, len(inputs[1]))
+	for _, h := range inputs[1] {
+		excluded[h.TableID] = struct{}{}
+	}
+	out := make(Hits, 0, len(inputs[0]))
+	for _, h := range inputs[0] {
+		if _, ok := excluded[h.TableID]; !ok {
+			out = append(out, h)
+		}
+	}
+	return topK(out, c.K)
+}
+
+// CounterCombiner ranks tables by their occurrence count across inputs —
+// the aggregation step of BLEND's union-search plan (§VII-A).
+type CounterCombiner struct{ K int }
+
+// NewCounter builds a counter combiner with result limit k.
+func NewCounter(k int) *CounterCombiner { return &CounterCombiner{K: k} }
+
+// Kind implements Combiner.
+func (c *CounterCombiner) Kind() CombinerKind { return Counter }
+
+// TopK implements Combiner.
+func (c *CounterCombiner) TopK() int { return c.K }
+
+// MinInputs implements Combiner.
+func (c *CounterCombiner) MinInputs() int { return 1 }
+
+// MaxInputs implements Combiner.
+func (c *CounterCombiner) MaxInputs() int { return -1 }
+
+// Combine counts, per table, the number of inputs containing it and ranks
+// descending by that frequency.
+func (c *CounterCombiner) Combine(inputs []Hits) Hits {
+	count := make(map[int32]float64)
+	for _, in := range inputs {
+		seen := make(map[int32]struct{}, len(in))
+		for _, h := range in {
+			if _, dup := seen[h.TableID]; dup {
+				continue
+			}
+			seen[h.TableID] = struct{}{}
+			count[h.TableID]++
+		}
+	}
+	out := make(Hits, 0, len(count))
+	for id, n := range count {
+		out = append(out, TableHit{TableID: id, Score: n})
+	}
+	return topK(out, c.K)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the plan DAG in Graphviz dot format, mirroring the
+// DAG representation of Fig. 2b: seekers are boxes labeled with their
+// kind and k, combiners are ellipses with their set operation, and edges
+// follow the data flow. The output node is drawn with a double border.
+func (p *Plan) WriteDot(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n  rankdir=LR;\n")
+	for _, id := range p.order {
+		n := p.nodes[id]
+		var label, shape, extra string
+		if n.isSeeker() {
+			label = fmt.Sprintf("%s\\n%s (k=%d)", id, n.seeker.Kind(), n.seeker.TopK())
+			shape = "box"
+		} else {
+			label = fmt.Sprintf("%s\\n%s", id, n.combiner.Kind())
+			shape = "ellipse"
+		}
+		if id == p.output {
+			extra = ", peripheries=2"
+		}
+		fmt.Fprintf(&sb, "  %s [label=\"%s\", shape=%s%s];\n", dotID(id), label, shape, extra)
+	}
+	for _, id := range p.order {
+		for _, in := range p.nodes[id].inputs {
+			fmt.Fprintf(&sb, "  %s -> %s;\n", dotID(in), dotID(id))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// dotID quotes a node id for dot.
+func dotID(id string) string {
+	return `"` + strings.ReplaceAll(id, `"`, `\"`) + `"`
+}

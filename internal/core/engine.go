@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"blend/internal/alltables"
+	"blend/internal/costmodel"
+	"blend/internal/minisql"
+	"blend/internal/storage"
+)
+
+// DefaultSampleH is the default correlation sample size h (§V); the paper's
+// experiments use h = 256.
+const DefaultSampleH = 256
+
+// Engine executes discovery plans against one indexed data lake. It owns
+// the SQL catalog exposing the AllTables relation and, optionally, the
+// trained per-seeker cost models used by the optimizer.
+type Engine struct {
+	store *storage.Store
+	cat   *minisql.Catalog
+
+	// SampleH is the number of leading row ids sampled by the correlation
+	// seeker (the `rowid < h` predicate of Listing 3).
+	SampleH int
+
+	// Cost holds the learned cost models per seeker kind; when nil the
+	// optimizer falls back to pure rule-based ranking.
+	Cost *costmodel.PerKind
+
+	// Lazily built embedding side-index for the SemanticSeeker extension.
+	semOnce sync.Once
+	semIdx  *semanticIdx
+}
+
+// NewEngine wraps an AllTables store for plan execution.
+func NewEngine(store *storage.Store) *Engine {
+	cat := minisql.NewCatalog()
+	cat.Register(alltables.Name, alltables.New(store))
+	return &Engine{store: store, cat: cat, SampleH: DefaultSampleH}
+}
+
+// Store returns the engine's index.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Catalog returns the SQL catalog (exposed for tests and the CLI's raw SQL
+// mode).
+func (e *Engine) Catalog() *minisql.Catalog { return e.cat }
+
+// execSQL runs a seeker's SQL and times it.
+func (e *Engine) execSQL(sql string) (*minisql.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := minisql.ExecSQL(e.cat, sql)
+	return res, time.Since(start), err
+}
+
+// TableNames maps hits to table names, preserving order.
+func (e *Engine) TableNames(h Hits) []string {
+	out := make([]string, len(h))
+	for i, t := range h {
+		out[i] = e.store.TableName(t.TableID)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a declarative discovery task: a DAG of named seeker and combiner
+// nodes where edges carry table collections (Fig. 2b). Build one by adding
+// nodes, then execute it with Engine.RunPlan.
+type Plan struct {
+	nodes map[string]*planNode
+	// order preserves insertion order: it is the unoptimized execution
+	// order and the deterministic basis for optimization.
+	order []string
+	// output names the node whose result is the plan's result; defaults to
+	// the last added node.
+	output string
+}
+
+type planNode struct {
+	id       string
+	seeker   Seeker
+	combiner Combiner
+	inputs   []string
+}
+
+func (n *planNode) isSeeker() bool { return n.seeker != nil }
+
+// NewPlan creates an empty plan.
+func NewPlan() *Plan {
+	return &Plan{nodes: make(map[string]*planNode)}
+}
+
+// AddSeeker adds a named seeker node. Names must be unique within the plan.
+func (p *Plan) AddSeeker(id string, s Seeker) error {
+	if s == nil {
+		return fmt.Errorf("plan: seeker %q is nil", id)
+	}
+	return p.add(&planNode{id: id, seeker: s})
+}
+
+// AddCombiner adds a named combiner node consuming the given input nodes.
+// Inputs may be added later; the plan is validated when executed.
+func (p *Plan) AddCombiner(id string, c Combiner, inputs ...string) error {
+	if c == nil {
+		return fmt.Errorf("plan: combiner %q is nil", id)
+	}
+	if min := c.MinInputs(); len(inputs) < min {
+		return fmt.Errorf("plan: combiner %q needs at least %d inputs, got %d", id, min, len(inputs))
+	}
+	if max := c.MaxInputs(); max >= 0 && len(inputs) > max {
+		return fmt.Errorf("plan: combiner %q accepts at most %d inputs, got %d", id, max, len(inputs))
+	}
+	return p.add(&planNode{id: id, combiner: c, inputs: append([]string(nil), inputs...)})
+}
+
+// MustAddSeeker is AddSeeker that panics on error, for plan literals in
+// examples and tests.
+func (p *Plan) MustAddSeeker(id string, s Seeker) {
+	if err := p.AddSeeker(id, s); err != nil {
+		panic(err)
+	}
+}
+
+// MustAddCombiner is AddCombiner that panics on error.
+func (p *Plan) MustAddCombiner(id string, c Combiner, inputs ...string) {
+	if err := p.AddCombiner(id, c, inputs...); err != nil {
+		panic(err)
+	}
+}
+
+func (p *Plan) add(n *planNode) error {
+	if n.id == "" {
+		return fmt.Errorf("plan: node id must not be empty")
+	}
+	if _, dup := p.nodes[n.id]; dup {
+		return fmt.Errorf("plan: duplicate node id %q", n.id)
+	}
+	p.nodes[n.id] = n
+	p.order = append(p.order, n.id)
+	p.output = n.id
+	return nil
+}
+
+// SetOutput selects which node's result the plan returns. By default the
+// last added node is the output.
+func (p *Plan) SetOutput(id string) error {
+	if _, ok := p.nodes[id]; !ok {
+		return fmt.Errorf("plan: unknown output node %q", id)
+	}
+	p.output = id
+	return nil
+}
+
+// Output returns the current output node id.
+func (p *Plan) Output() string { return p.output }
+
+// Len returns the number of nodes.
+func (p *Plan) Len() int { return len(p.nodes) }
+
+// NodeIDs returns the node ids in insertion order.
+func (p *Plan) NodeIDs() []string { return append([]string(nil), p.order...) }
+
+// validate checks that every referenced input exists and that the DAG is
+// acyclic, returning a topological order (insertion-order stable).
+func (p *Plan) validate() ([]string, error) {
+	if len(p.nodes) == 0 {
+		return nil, fmt.Errorf("plan: empty plan")
+	}
+	for _, id := range p.order {
+		n := p.nodes[id]
+		for _, in := range n.inputs {
+			if _, ok := p.nodes[in]; !ok {
+				return nil, fmt.Errorf("plan: node %q references unknown input %q", id, in)
+			}
+			if in == id {
+				return nil, fmt.Errorf("plan: node %q consumes itself", id)
+			}
+		}
+	}
+	// Kahn's algorithm with insertion-order tie breaking keeps execution
+	// deterministic for unoptimized runs.
+	indeg := make(map[string]int, len(p.nodes))
+	dependents := make(map[string][]string, len(p.nodes))
+	for _, id := range p.order {
+		indeg[id] = len(p.nodes[id].inputs)
+		for _, in := range p.nodes[id].inputs {
+			dependents[in] = append(dependents[in], id)
+		}
+	}
+	var topo []string
+	ready := make([]string, 0, len(p.nodes))
+	for _, id := range p.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		topo = append(topo, id)
+		for _, d := range dependents[id] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(topo) != len(p.nodes) {
+		return nil, fmt.Errorf("plan: cycle detected among nodes")
+	}
+	return topo, nil
+}
+
+// consumers returns, per node id, the ids of nodes consuming it.
+func (p *Plan) consumers() map[string][]string {
+	out := make(map[string][]string, len(p.nodes))
+	for _, id := range p.order {
+		for _, in := range p.nodes[id].inputs {
+			out[in] = append(out[in], id)
+		}
+	}
+	return out
+}
+
+// String renders a compact description of the DAG for diagnostics.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for i, id := range p.order {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		n := p.nodes[id]
+		if n.isSeeker() {
+			fmt.Fprintf(&sb, "%s=%s(k=%d)", id, n.seeker.Kind(), n.seeker.TopK())
+		} else {
+			fmt.Fprintf(&sb, "%s=%s(%s)", id, n.combiner.Kind(), strings.Join(n.inputs, ","))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON plan documents let discovery tasks be written declaratively outside
+// Go code (the CLI's `blend plan` subcommand executes them). The format
+// mirrors the paper's API one-to-one:
+//
+//	{
+//	  "output": "answer",
+//	  "nodes": [
+//	    {"id": "pos", "seeker": {"kind": "mc", "tuples": [["HR","Firenze"]], "k": 10}},
+//	    {"id": "dep", "seeker": {"kind": "sc", "values": ["HR","IT"], "k": 10}},
+//	    {"id": "answer", "combiner": {"kind": "intersect", "k": 10},
+//	     "inputs": ["pos", "dep"]}
+//	  ]
+//	}
+
+// planDoc is the JSON document shape.
+type planDoc struct {
+	Output string        `json:"output,omitempty"`
+	Nodes  []planNodeDoc `json:"nodes"`
+}
+
+type planNodeDoc struct {
+	ID       string       `json:"id"`
+	Seeker   *seekerDoc   `json:"seeker,omitempty"`
+	Combiner *combinerDoc `json:"combiner,omitempty"`
+	Inputs   []string     `json:"inputs,omitempty"`
+}
+
+type seekerDoc struct {
+	Kind string `json:"kind"` // sc | kw | mc | correlation | semantic
+	K    int    `json:"k"`
+	// Values serves sc, kw, and semantic.
+	Values []string `json:"values,omitempty"`
+	// Tuples serves mc.
+	Tuples [][]string `json:"tuples,omitempty"`
+	// Keys and Targets serve correlation.
+	Keys    []string  `json:"keys,omitempty"`
+	Targets []float64 `json:"targets,omitempty"`
+}
+
+type combinerDoc struct {
+	Kind string `json:"kind"` // intersect | union | difference | counter
+	K    int    `json:"k"`
+}
+
+// ParsePlanJSON decodes a JSON plan document into an executable Plan.
+func ParsePlanJSON(r io.Reader) (*Plan, error) {
+	var doc planDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("plan json: %w", err)
+	}
+	p := NewPlan()
+	for _, n := range doc.Nodes {
+		switch {
+		case n.Seeker != nil && n.Combiner != nil:
+			return nil, fmt.Errorf("plan json: node %q is both seeker and combiner", n.ID)
+		case n.Seeker != nil:
+			if len(n.Inputs) > 0 {
+				return nil, fmt.Errorf("plan json: seeker node %q cannot have inputs", n.ID)
+			}
+			s, err := n.Seeker.build()
+			if err != nil {
+				return nil, fmt.Errorf("plan json: node %q: %w", n.ID, err)
+			}
+			if err := p.AddSeeker(n.ID, s); err != nil {
+				return nil, err
+			}
+		case n.Combiner != nil:
+			c, err := n.Combiner.build()
+			if err != nil {
+				return nil, fmt.Errorf("plan json: node %q: %w", n.ID, err)
+			}
+			if err := p.AddCombiner(n.ID, c, n.Inputs...); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("plan json: node %q has neither seeker nor combiner", n.ID)
+		}
+	}
+	if doc.Output != "" {
+		if err := p.SetOutput(doc.Output); err != nil {
+			return nil, err
+		}
+	}
+	if p.Len() == 0 {
+		return nil, fmt.Errorf("plan json: no nodes")
+	}
+	return p, nil
+}
+
+func (d *seekerDoc) build() (Seeker, error) {
+	switch d.Kind {
+	case "sc":
+		return NewSC(d.Values, d.K), nil
+	case "kw":
+		return NewKW(d.Values, d.K), nil
+	case "semantic":
+		return NewSemantic(d.Values, d.K), nil
+	case "mc":
+		return NewMC(d.Tuples, d.K), nil
+	case "correlation":
+		if len(d.Keys) == 0 || len(d.Targets) == 0 {
+			return nil, fmt.Errorf("correlation seeker needs keys and targets")
+		}
+		return NewCorrelation(d.Keys, d.Targets, d.K), nil
+	default:
+		return nil, fmt.Errorf("unknown seeker kind %q", d.Kind)
+	}
+}
+
+func (d *combinerDoc) build() (Combiner, error) {
+	switch d.Kind {
+	case "intersect":
+		return NewIntersect(d.K), nil
+	case "union":
+		return NewUnion(d.K), nil
+	case "difference":
+		return NewDifference(d.K), nil
+	case "counter":
+		return NewCounter(d.K), nil
+	default:
+		return nil, fmt.Errorf("unknown combiner kind %q", d.Kind)
+	}
+}
+
+// EncodePlanJSON renders a Plan back to its JSON document. Plans built
+// from custom Seeker or Combiner implementations outside this package
+// cannot be encoded and return an error.
+func EncodePlanJSON(p *Plan, w io.Writer) error {
+	doc := planDoc{Output: p.output}
+	for _, id := range p.order {
+		n := p.nodes[id]
+		nd := planNodeDoc{ID: id, Inputs: n.inputs}
+		if n.isSeeker() {
+			sd, err := encodeSeeker(n.seeker)
+			if err != nil {
+				return fmt.Errorf("plan json: node %q: %w", id, err)
+			}
+			nd.Seeker = sd
+		} else {
+			cd, err := encodeCombiner(n.combiner)
+			if err != nil {
+				return fmt.Errorf("plan json: node %q: %w", id, err)
+			}
+			nd.Combiner = cd
+		}
+		doc.Nodes = append(doc.Nodes, nd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func encodeSeeker(s Seeker) (*seekerDoc, error) {
+	switch x := s.(type) {
+	case *SCSeeker:
+		return &seekerDoc{Kind: "sc", K: x.K, Values: x.Values}, nil
+	case *KWSeeker:
+		return &seekerDoc{Kind: "kw", K: x.K, Values: x.Keywords}, nil
+	case *SemanticSeeker:
+		return &seekerDoc{Kind: "semantic", K: x.K, Values: x.Values}, nil
+	case *MCSeeker:
+		return &seekerDoc{Kind: "mc", K: x.K, Tuples: x.Tuples}, nil
+	case *CorrelationSeeker:
+		return &seekerDoc{Kind: "correlation", K: x.K, Keys: x.Keys, Targets: x.Targets}, nil
+	default:
+		return nil, fmt.Errorf("unsupported seeker type %T", s)
+	}
+}
+
+func encodeCombiner(c Combiner) (*combinerDoc, error) {
+	switch x := c.(type) {
+	case *IntersectCombiner:
+		return &combinerDoc{Kind: "intersect", K: x.K}, nil
+	case *UnionCombiner:
+		return &combinerDoc{Kind: "union", K: x.K}, nil
+	case *DifferenceCombiner:
+		return &combinerDoc{Kind: "difference", K: x.K}, nil
+	case *CounterCombiner:
+		return &combinerDoc{Kind: "counter", K: x.K}, nil
+	default:
+		return nil, fmt.Errorf("unsupported combiner type %T", c)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const example1JSON = `{
+  "output": "intersect",
+  "nodes": [
+    {"id": "P_examples", "seeker": {"kind": "mc", "tuples": [["HR","Firenze"]], "k": 10}},
+    {"id": "N_examples", "seeker": {"kind": "mc", "tuples": [["IT","Tom Riddle"]], "k": 10}},
+    {"id": "exclude", "combiner": {"kind": "difference", "k": 10},
+     "inputs": ["P_examples", "N_examples"]},
+    {"id": "dep", "seeker": {"kind": "sc",
+     "values": ["HR","Marketing","Finance","IT","R&D","Sales"], "k": 10}},
+    {"id": "intersect", "combiner": {"kind": "intersect", "k": 10},
+     "inputs": ["exclude", "dep"]}
+  ]
+}`
+
+func TestParsePlanJSONExample1(t *testing.T) {
+	p, err := ParsePlanJSON(strings.NewReader(example1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 5 || p.Output() != "intersect" {
+		t.Fatalf("plan = %s", p)
+	}
+	e := fig1Engine()
+	res, err := e.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Tables, []string{"T3"}) {
+		t.Fatalf("json plan result = %v, want [T3]", res.Tables)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p, err := ParsePlanJSON(strings.NewReader(example1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePlanJSON(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ParsePlanJSON(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if p2.String() != p.String() || p2.Output() != p.Output() {
+		t.Fatalf("round trip changed the plan:\n%s\n%s", p, p2)
+	}
+}
+
+func TestPlanJSONAllNodeKinds(t *testing.T) {
+	doc := `{
+	  "nodes": [
+	    {"id": "a", "seeker": {"kind": "kw", "values": ["x"], "k": 5}},
+	    {"id": "b", "seeker": {"kind": "semantic", "values": ["x"], "k": 5}},
+	    {"id": "c", "seeker": {"kind": "correlation", "keys": ["k1"], "targets": [1.5], "k": 5}},
+	    {"id": "u", "combiner": {"kind": "union", "k": 5}, "inputs": ["a", "b"]},
+	    {"id": "n", "combiner": {"kind": "counter", "k": 5}, "inputs": ["u", "c"]}
+	  ]
+	}`
+	p, err := ParsePlanJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Output() != "n" { // defaults to last node
+		t.Fatalf("output = %q", p.Output())
+	}
+	var buf bytes.Buffer
+	if err := EncodePlanJSON(p, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePlanJSONErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{}`,
+		`{"nodes": []}`,
+		`{"nodes": [{"id": "x"}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "nope", "k": 1}}]}`,
+		`{"nodes": [{"id": "x", "combiner": {"kind": "nope", "k": 1}, "inputs": ["a","b"]}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "k": 1}, "inputs": ["y"]}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "k": 1},
+		             "combiner": {"kind": "union", "k": 1}}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "correlation", "k": 1}}]}`,
+		`{"output": "ghost", "nodes": [{"id": "x", "seeker": {"kind": "sc", "k": 1}}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "k": 1}, "bogus": true}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "k": 1}},
+		            {"id": "x", "seeker": {"kind": "sc", "k": 1}}]}`,
+	}
+	for _, doc := range bad {
+		if _, err := ParsePlanJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParsePlanJSON(%q) should fail", doc)
+		}
+	}
+}
+
+// customSeeker is a user-defined operator (the paper allows custom
+// combiners/seekers); JSON encoding must reject it cleanly rather than
+// guess a representation.
+type customSeeker struct{ SCSeeker }
+
+func TestEncodePlanJSONRejectsCustomNodes(t *testing.T) {
+	p := NewPlan()
+	p.MustAddSeeker("c", &customSeeker{SCSeeker{Values: []string{"x"}, K: 1}})
+	var buf bytes.Buffer
+	if err := EncodePlanJSON(p, &buf); err == nil {
+		t.Fatal("custom seeker must not encode silently")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	p, err := ParsePlanJSON(strings.NewReader(example1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph plan",
+		`"P_examples" [label="P_examples\nMC (k=10)", shape=box]`,
+		`"exclude" [label="exclude\nDifference", shape=ellipse]`,
+		`"intersect" [label="intersect\nIntersect", shape=ellipse, peripheries=2]`,
+		`"P_examples" -> "exclude";`,
+		`"dep" -> "intersect";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile renders a per-node execution report: which seekers ran in what
+// order, with their durations, SQL row counts, rewrite status, and the MC
+// validation funnel — the observability counterpart of the paper's
+// Table IV/V diagnostics.
+func (r *PlanResult) Profile() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %v across %d nodes\n", r.Duration, len(r.NodeHits))
+	if len(r.SeekerOrder) > 0 {
+		fmt.Fprintf(&sb, "seeker order: %s\n", strings.Join(r.SeekerOrder, " → "))
+	}
+	for _, id := range r.SeekerOrder {
+		st, ok := r.Stats[id]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-20s %-9s %10v  sql_rows=%-6d hits=%-4d",
+			id, st.Kind.String(), st.Duration.Round(10_000), st.SQLRows, len(r.NodeHits[id]))
+		if st.Kind == MC {
+			fmt.Fprintf(&sb, " candidates=%-5d validated=%-5d", st.Candidates, st.Validated)
+		}
+		if st.Rewritten {
+			sb.WriteString(" [rewritten]")
+		}
+		sb.WriteByte('\n')
+	}
+	// Combiner nodes (everything with hits but no stats), sorted for
+	// deterministic output.
+	var combiners []string
+	for id := range r.NodeHits {
+		if _, isSeeker := r.Stats[id]; !isSeeker {
+			combiners = append(combiners, id)
+		}
+	}
+	sort.Strings(combiners)
+	for _, id := range combiners {
+		fmt.Fprintf(&sb, "  %-20s combiner            hits=%d\n", id, len(r.NodeHits[id]))
+	}
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RunOptions tune plan execution.
+type RunOptions struct {
+	// Optimize enables the two-phase optimizer (execution-group
+	// reordering + query rewriting). Disabled it reproduces B-NO, the
+	// paper's unoptimized baseline.
+	Optimize bool
+	// ForcedOrder, when non-empty, fixes the relative execution order of
+	// seekers inside execution groups (used by the optimizer experiments
+	// to run random and oracle orders). Ids absent from the slice keep
+	// their ranked position.
+	ForcedOrder []string
+	// Parallel executes independent seekers — those outside every
+	// execution group and not awaiting a Difference rewrite — on
+	// concurrent goroutines. Results are identical to sequential
+	// execution (seekers are pure reads); only SeekerOrder becomes
+	// nondeterministic. Sub-plans joined by Union or Counter combiners,
+	// like the multi-objective plan of Listing 4, gain the most.
+	Parallel bool
+}
+
+// PlanResult is the outcome of executing a discovery plan.
+type PlanResult struct {
+	// Output holds the scored tables of the plan's output node.
+	Output Hits
+	// Tables holds the output table names, best first.
+	Tables []string
+	// NodeHits maps every node id to its result.
+	NodeHits map[string]Hits
+	// Stats maps seeker node ids to execution diagnostics.
+	Stats map[string]RunStats
+	// SeekerOrder is the order in which seekers actually executed.
+	SeekerOrder []string
+	// Duration is the total wall-clock execution time, including
+	// optimization overhead (the paper reports optimizer time as part of
+	// BLEND's runtime).
+	Duration time.Duration
+}
+
+// RunPlan executes the plan with the optimizer enabled.
+func (e *Engine) RunPlan(p *Plan) (*PlanResult, error) {
+	return e.Run(p, RunOptions{Optimize: true})
+}
+
+// RunPlanNoOpt executes the plan without optimization (B-NO): seekers run
+// in insertion order with no rewriting.
+func (e *Engine) RunPlanNoOpt(p *Plan) (*PlanResult, error) {
+	return e.Run(p, RunOptions{})
+}
+
+// Run executes the plan with explicit options.
+func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
+	start := time.Now()
+	topo, err := p.validate()
+	if err != nil {
+		return nil, err
+	}
+	res := &PlanResult{
+		NodeHits: make(map[string]Hits, len(p.nodes)),
+		Stats:    make(map[string]RunStats),
+	}
+
+	// Membership maps for optimization decisions.
+	groupOf := make(map[string]*executionGroup)
+	var groups []executionGroup
+	excludeFrom := make(map[string]string) // minuend seeker -> subtrahend node
+	if opts.Optimize {
+		groups = p.findExecutionGroups()
+		for gi := range groups {
+			for _, m := range groups[gi].members {
+				groupOf[m] = &groups[gi]
+			}
+		}
+		consumers := p.consumers()
+		for _, id := range p.order {
+			n := p.nodes[id]
+			if n.isSeeker() || n.combiner.Kind() != Difference || len(n.inputs) != 2 {
+				continue
+			}
+			minuend := n.inputs[0]
+			mn := p.nodes[minuend]
+			// Only rewrite a seeker exclusively owned by this combiner,
+			// and only when it is not already inside an intersect group.
+			if mn != nil && mn.isSeeker() && len(consumers[minuend]) == 1 && groupOf[minuend] == nil {
+				excludeFrom[minuend] = n.inputs[1]
+			}
+		}
+	}
+
+	ranOrder := make([]string, 0, len(p.nodes))
+	var resolve func(id string) error
+	runSeeker := func(id string, rw Rewrite) error {
+		n := p.nodes[id]
+		hits, stats, err := n.seeker.run(e, rw)
+		if err != nil {
+			return fmt.Errorf("plan node %q: %w", id, err)
+		}
+		res.NodeHits[id] = hits
+		res.Stats[id] = stats
+		ranOrder = append(ranOrder, id)
+		return nil
+	}
+	runGroup := func(g *executionGroup) error {
+		order := e.rankSeekers(p, g.members)
+		if len(opts.ForcedOrder) > 0 {
+			order = applyForcedOrder(order, opts.ForcedOrder)
+		}
+		var prior []int32
+		for i, id := range order {
+			rw := NoRewrite
+			if i > 0 {
+				rw = IncludeTables(prior)
+			}
+			if err := runSeeker(id, rw); err != nil {
+				return err
+			}
+			// The next seeker searches only within the tables found so
+			// far (the Intersection rewrite rule).
+			prior = res.NodeHits[id].TableIDs()
+		}
+		return nil
+	}
+	resolve = func(id string) error {
+		if _, done := res.NodeHits[id]; done {
+			return nil
+		}
+		n := p.nodes[id]
+		if n.isSeeker() {
+			if g := groupOf[id]; g != nil {
+				return runGroup(g)
+			}
+			if sub, ok := excludeFrom[id]; ok {
+				if err := resolve(sub); err != nil {
+					return err
+				}
+				return runSeeker(id, ExcludeTables(res.NodeHits[sub].TableIDs()))
+			}
+			return runSeeker(id, NoRewrite)
+		}
+		// Combiner: resolve inputs first. For Difference the subtrahend
+		// resolves before the minuend so its result can rewrite the
+		// minuend's SQL.
+		inputs := n.inputs
+		if opts.Optimize && n.combiner.Kind() == Difference && len(inputs) == 2 {
+			if err := resolve(inputs[1]); err != nil {
+				return err
+			}
+		}
+		for _, in := range inputs {
+			if err := resolve(in); err != nil {
+				return err
+			}
+		}
+		collected := make([]Hits, len(inputs))
+		for i, in := range inputs {
+			collected[i] = res.NodeHits[in]
+		}
+		res.NodeHits[id] = n.combiner.Combine(collected)
+		return nil
+	}
+
+	if opts.Parallel {
+		if err := runFreeSeekersParallel(e, p, topo, groupOf, excludeFrom, res, &ranOrder); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, id := range topo {
+		if err := resolve(id); err != nil {
+			return nil, err
+		}
+	}
+	res.Output = res.NodeHits[p.output]
+	res.Tables = e.TableNames(res.Output)
+	res.SeekerOrder = ranOrder
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// RunSeeker executes a single seeker outside any plan (the "simple task"
+// mode of §VII-A).
+func (e *Engine) RunSeeker(s Seeker) (Hits, RunStats, error) {
+	return s.run(e, NoRewrite)
+}
+
+// runFreeSeekersParallel executes every seeker with no execution-group or
+// rewrite dependency concurrently, filling res before the sequential
+// resolve pass picks up the remaining nodes. Seekers only read the
+// immutable index, so concurrent execution returns exactly the sequential
+// results.
+func runFreeSeekersParallel(e *Engine, p *Plan, topo []string, groupOf map[string]*executionGroup, excludeFrom map[string]string, res *PlanResult, ranOrder *[]string) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, id := range topo {
+		n := p.nodes[id]
+		if !n.isSeeker() || groupOf[id] != nil {
+			continue
+		}
+		if _, waits := excludeFrom[id]; waits {
+			continue
+		}
+		wg.Add(1)
+		go func(id string, s Seeker) {
+			defer wg.Done()
+			hits, stats, err := s.run(e, NoRewrite)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("plan node %q: %w", id, err)
+				}
+				return
+			}
+			res.NodeHits[id] = hits
+			res.Stats[id] = stats
+			*ranOrder = append(*ranOrder, id)
+		}(id, n.seeker)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// applyForcedOrder reorders ranked ids so that ids listed in forced appear
+// in forced's relative order; unlisted ids keep their ranked positions.
+func applyForcedOrder(ranked, forced []string) []string {
+	pos := make(map[string]int, len(forced))
+	for i, id := range forced {
+		pos[id] = i
+	}
+	// Collect ranked ids that are constrained, in forced order.
+	var constrained []string
+	for _, id := range forced {
+		for _, r := range ranked {
+			if r == id {
+				constrained = append(constrained, id)
+				break
+			}
+		}
+	}
+	out := make([]string, 0, len(ranked))
+	ci := 0
+	for _, id := range ranked {
+		if _, ok := pos[id]; ok {
+			out = append(out, constrained[ci])
+			ci++
+		} else {
+			out = append(out, id)
+		}
+	}
+	return out
+}

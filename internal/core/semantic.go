@@ -1,0 +1,154 @@
+package core
+
+import (
+	"time"
+
+	"blend/internal/costmodel"
+	"blend/internal/embed"
+	"blend/internal/hnsw"
+	"blend/internal/storage"
+)
+
+// Semantic is the seeker kind of the SemanticSeeker extension.
+const Semantic = costmodel.KindSemantic
+
+// SemanticSeeker implements the paper's future-work extension (§X):
+// discovery by semantic rather than syntactic similarity, through
+// high-dimensional column embeddings and an HNSW index built over the
+// unified index's contents. The first semantic query on an engine builds
+// the embedding index lazily from AllTables; subsequent queries reuse it.
+//
+// Because ANN search is approximate, the optimizer never reorders a
+// semantic seeker against others in an execution group; rewrites are
+// applied as post-filters so intermediate results still narrow the output
+// without touching the ANN search itself (the result-set stability concern
+// the paper raises for approximate operators).
+type SemanticSeeker struct {
+	// Values is the query column content to embed.
+	Values []string
+	K      int
+	// Probe is how many ANN neighbours to fetch before table dedup and
+	// rewrite filtering; defaults to 4·K.
+	Probe int
+}
+
+// NewSemantic builds a semantic seeker over a query column's values.
+func NewSemantic(values []string, k int) *SemanticSeeker {
+	return &SemanticSeeker{Values: append([]string(nil), values...), K: k}
+}
+
+// Kind implements Seeker.
+func (s *SemanticSeeker) Kind() SeekerKind { return Semantic }
+
+// TopK implements Seeker.
+func (s *SemanticSeeker) TopK() int { return s.K }
+
+// Features implements Seeker. ANN cost scales with the probe width, not
+// the lake, so the features describe the query only.
+func (s *SemanticSeeker) Features(store *storage.Store) costmodel.Features {
+	return costmodel.Features{Card: float64(len(s.Values)), Cols: 1, AvgFreq: 1}
+}
+
+// SQL implements Seeker. The semantic seeker runs against the embedding
+// side-index, not the relational one; it has no SQL form.
+func (s *SemanticSeeker) SQL(Rewrite) string { return "" }
+
+func (s *SemanticSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+	stats := RunStats{Kind: Semantic, Rewritten: rw.active()}
+	if len(s.Values) == 0 {
+		return nil, stats, nil
+	}
+	start := time.Now()
+	idx := e.semanticIndex()
+	vec := embed.Column(s.Values)
+	if vec.IsZero() {
+		stats.Duration = time.Since(start)
+		return nil, stats, nil
+	}
+	probe := s.Probe
+	if probe <= 0 {
+		probe = 4 * s.K
+	}
+	if probe < s.K {
+		probe = s.K
+	}
+	results := idx.ann.Search(vec, probe)
+	stats.SQLRows = len(results)
+
+	allowed, excluded := rw.filterSets()
+	best := make(map[int32]float64)
+	for _, r := range results {
+		tid := idx.refs[r.ID]
+		if allowed != nil {
+			if _, ok := allowed[tid]; !ok {
+				continue
+			}
+		}
+		if excluded != nil {
+			if _, ok := excluded[tid]; ok {
+				continue
+			}
+		}
+		sim := float64(r.Similarity)
+		if cur, ok := best[tid]; !ok || sim > cur {
+			best[tid] = sim
+		}
+	}
+	hits := make(Hits, 0, len(best))
+	for tid, sim := range best {
+		hits = append(hits, TableHit{TableID: tid, Score: sim})
+	}
+	stats.Duration = time.Since(start)
+	return topK(hits, s.K), stats, nil
+}
+
+// filterSets converts a rewrite into post-filter sets for operators that
+// cannot push the predicate into their search.
+func (r Rewrite) filterSets() (allowed, excluded map[int32]struct{}) {
+	switch r.mode {
+	case 1:
+		allowed = make(map[int32]struct{}, len(r.ids))
+		for _, id := range r.ids {
+			allowed[id] = struct{}{}
+		}
+	case 2:
+		excluded = make(map[int32]struct{}, len(r.ids))
+		for _, id := range r.ids {
+			excluded[id] = struct{}{}
+		}
+	}
+	return allowed, excluded
+}
+
+// semanticIdx is the lazily built embedding side-index: one vector per
+// non-empty lake column.
+type semanticIdx struct {
+	ann *hnsw.Index
+	// refs maps ANN external ids to table ids.
+	refs []int32
+}
+
+// semanticIndex returns the engine's embedding index, building it on first
+// use from the store's reconstructed columns.
+func (e *Engine) semanticIndex() *semanticIdx {
+	e.semOnce.Do(func() {
+		idx := &semanticIdx{ann: hnsw.New(hnsw.DefaultConfig())}
+		for tid := int32(0); tid < int32(e.store.NumTables()); tid++ {
+			t := e.store.ReconstructTable(tid)
+			for c := 0; c < t.NumCols(); c++ {
+				vec := embed.Column(t.ColumnValues(c))
+				if vec.IsZero() {
+					continue
+				}
+				id := len(idx.refs)
+				idx.refs = append(idx.refs, tid)
+				if err := idx.ann.Add(id, vec); err != nil {
+					// IsZero filtered zero vectors; Add cannot fail.
+					panic("core: " + err.Error())
+				}
+			}
+		}
+		e.semIdx = idx
+	})
+	return e.semIdx
+}

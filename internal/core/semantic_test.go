@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"blend/internal/storage"
+	"blend/internal/table"
+)
+
+// semanticLake builds tables with distinct vocabularies: cities versus
+// person names, so embedding similarity separates them cleanly.
+func semanticLake() []*table.Table {
+	cities := table.New("cities", "City", "Country")
+	for _, r := range [][2]string{
+		{"berlin", "germany"}, {"hamburg", "germany"}, {"munich", "germany"},
+		{"cologne", "germany"}, {"frankfurt", "germany"},
+	} {
+		cities.MustAppendRow(r[0], r[1])
+	}
+	people := table.New("people", "Name", "Role")
+	for _, r := range [][2]string{
+		{"alice cooper", "singer"}, {"brian may", "guitarist"},
+		{"neil peart", "drummer"}, {"geddy lee", "bassist"},
+	} {
+		people.MustAppendRow(r[0], r[1])
+	}
+	return []*table.Table{cities, people}
+}
+
+func TestSemanticSeekerFindsSimilarColumn(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	// Query shares tokens with the cities table but is not identical.
+	hits, stats, err := e.RunSeeker(NewSemantic([]string{"berlin", "munich", "dresden"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kind != Semantic {
+		t.Fatalf("kind = %v", stats.Kind)
+	}
+	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "cities" {
+		t.Fatalf("hits = %v (%v)", hits, e.TableNames(hits))
+	}
+	if hits[0].Score <= 0 {
+		t.Fatalf("similarity score = %v", hits[0].Score)
+	}
+}
+
+func TestSemanticSeekerEmptyAndZeroInputs(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	hits, _, err := e.RunSeeker(NewSemantic(nil, 5))
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("empty input: hits=%v err=%v", hits, err)
+	}
+	hits, _, err = e.RunSeeker(NewSemantic([]string{"", ""}, 5))
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("null-only input: hits=%v err=%v", hits, err)
+	}
+}
+
+func TestSemanticSeekerIndexReused(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	a := e.semanticIndex()
+	b := e.semanticIndex()
+	if a != b {
+		t.Fatal("semantic index must be built once and reused")
+	}
+	if a.ann.Len() != 4 { // 2 tables × 2 columns
+		t.Fatalf("indexed columns = %d, want 4", a.ann.Len())
+	}
+}
+
+func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	s := NewSemantic([]string{"berlin", "hamburg"}, 5)
+	all, _, err := e.RunSeeker(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) == 0 {
+		t.Fatal("no hits")
+	}
+	// Excluding the best table must remove it without erroring.
+	filtered, _, err := s.run(e, ExcludeTables([]int32{all[0].TableID}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Contains(all[0].TableID) {
+		t.Fatal("exclude rewrite ignored")
+	}
+	// Including only the best table must keep exactly it.
+	only, _, err := s.run(e, IncludeTables([]int32{all[0].TableID}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 || only[0].TableID != all[0].TableID {
+		t.Fatalf("include rewrite wrong: %v", only)
+	}
+}
+
+func TestSemanticSeekerExcludedFromExecutionGroups(t *testing.T) {
+	p := NewPlan()
+	p.MustAddSeeker("sem", NewSemantic([]string{"berlin"}, 5))
+	p.MustAddSeeker("sc", NewSC([]string{"berlin"}, 5))
+	p.MustAddSeeker("kw", NewKW([]string{"berlin"}, 5))
+	p.MustAddCombiner("i", NewIntersect(5), "sem", "sc", "kw")
+	groups := p.findExecutionGroups()
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	for _, m := range groups[0].members {
+		if m == "sem" {
+			t.Fatal("semantic seeker must stay outside execution groups")
+		}
+	}
+	if len(groups[0].members) != 2 {
+		t.Fatalf("members = %v", groups[0].members)
+	}
+}
+
+func TestSemanticInPlanWithExactSeekers(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	p := NewPlan()
+	p.MustAddSeeker("sem", NewSemantic([]string{"berlin", "dresden"}, 5))
+	p.MustAddSeeker("sc", NewSC([]string{"germany"}, 5))
+	p.MustAddCombiner("both", NewIntersect(5), "sem", "sc")
+	res, err := e.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 1 || res.Tables[0] != "cities" {
+		t.Fatalf("plan result = %v", res.Tables)
+	}
+}

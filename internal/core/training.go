@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blend/internal/costmodel"
+	"blend/internal/table"
+)
+
+// TrainCostModels performs the offline training step of §VII-B: it samples
+// random seeker inputs from the indexed lake, executes each seeker
+// standalone, measures the runtime, and fits one linear model per seeker
+// kind. The fitted models are installed on the engine and returned.
+//
+// Training is deterministic for a given seed. samplesPerKind of 1000
+// matches the paper; experiments here use smaller counts because the
+// synthetic lakes are smaller.
+func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerKind, error) {
+	if samplesPerKind < 8 {
+		return nil, fmt.Errorf("core: need at least 8 samples per kind, got %d", samplesPerKind)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	per := &costmodel.PerKind{}
+	for _, kind := range []SeekerKind{KW, SC, MC, C} {
+		var feats []costmodel.Features
+		var times []float64
+		for i := 0; i < samplesPerKind; i++ {
+			s := sampleSeeker(e, rng, kind)
+			if s == nil {
+				continue
+			}
+			_, stats, err := e.RunSeeker(s)
+			if err != nil {
+				return nil, fmt.Errorf("core: training run for %v: %w", kind, err)
+			}
+			feats = append(feats, s.Features(e.store))
+			times = append(times, float64(stats.Duration.Microseconds()))
+		}
+		if len(feats) < 8 {
+			continue // lake too small to sample this kind; keep heuristic
+		}
+		m, err := costmodel.Fit(feats, times)
+		if err != nil {
+			continue // degenerate sample; heuristic fallback stays in place
+		}
+		per.Set(kind, m)
+	}
+	e.Cost = per
+	return per, nil
+}
+
+// sampleSeeker draws a random seeker input from the lake, mirroring how
+// the paper samples 1000 random Qs from Gittables per seeker type. Returns
+// nil when the randomly chosen table cannot supply the kind's input shape.
+func sampleSeeker(e *Engine, rng *rand.Rand, kind SeekerKind) Seeker {
+	st := e.store
+	if st.NumTables() == 0 {
+		return nil
+	}
+	t := st.ReconstructTable(int32(rng.Intn(st.NumTables())))
+	if t.NumRows() == 0 || t.NumCols() == 0 {
+		return nil
+	}
+	k := 10
+	switch kind {
+	case KW:
+		col := rng.Intn(t.NumCols())
+		vals := t.DistinctColumnValues(col)
+		if len(vals) == 0 {
+			return nil
+		}
+		n := 1 + rng.Intn(min(5, len(vals)))
+		return NewKW(sampleStrings(rng, vals, n), k)
+	case SC:
+		col := rng.Intn(t.NumCols())
+		vals := t.DistinctColumnValues(col)
+		if len(vals) == 0 {
+			return nil
+		}
+		n := 1 + rng.Intn(len(vals))
+		return NewSC(sampleStrings(rng, vals, n), k)
+	case MC:
+		if t.NumCols() < 2 {
+			return nil
+		}
+		c1 := rng.Intn(t.NumCols())
+		c2 := rng.Intn(t.NumCols())
+		if c1 == c2 {
+			c2 = (c2 + 1) % t.NumCols()
+		}
+		rows := min(t.NumRows(), 1+rng.Intn(8))
+		tuples := make([][]string, 0, rows)
+		for r := 0; r < rows; r++ {
+			v1, v2 := t.Cell(r, c1), t.Cell(r, c2)
+			if v1 == "" || v2 == "" {
+				continue
+			}
+			tuples = append(tuples, []string{v1, v2})
+		}
+		if len(tuples) == 0 {
+			return nil
+		}
+		return NewMC(tuples, k)
+	case C:
+		keyCol, numCol := -1, -1
+		for c := 0; c < t.NumCols(); c++ {
+			if t.Columns[c].Kind == table.KindNumeric {
+				numCol = c
+			} else {
+				keyCol = c
+			}
+		}
+		if keyCol < 0 || numCol < 0 {
+			return nil
+		}
+		nums, rows := t.NumericColumnValues(numCol)
+		if len(nums) < 2 {
+			return nil
+		}
+		keys := make([]string, len(nums))
+		for i, r := range rows {
+			keys[i] = t.Cell(r, keyCol)
+		}
+		return NewCorrelation(keys, nums, k)
+	}
+	return nil
+}
+
+func sampleStrings(rng *rand.Rand, pool []string, n int) []string {
+	idx := rng.Perm(len(pool))
+	if n > len(pool) {
+		n = len(pool)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[idx[i]]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

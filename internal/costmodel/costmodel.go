@@ -1,0 +1,170 @@
+// Package costmodel implements BLEND's learning-based cost estimation
+// (§VII-B): one linear regression model per seeker type that predicts
+// relative runtime from three features of the input Q — its cardinality,
+// its number of columns, and the average index frequency of its values.
+// Models are trained offline on sampled queries (ordinary least squares via
+// normal equations) and consulted online to order seekers of the same type.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Features describe one seeker input, mirroring §VII-B: cardinality of Q,
+// number of columns involved in Q, and the average frequency of Q's values
+// in the database (for MC, the product of per-column averages).
+type Features struct {
+	Card    float64
+	Cols    float64
+	AvgFreq float64
+}
+
+// vector expands features into the regression design row. Features are
+// log1p-compressed: posting lengths and cardinalities are heavy-tailed and
+// runtimes scale sub-linearly in them.
+func (f Features) vector() [dims]float64 {
+	return [dims]float64{1, math.Log1p(f.Card), math.Log1p(f.Cols), math.Log1p(f.AvgFreq)}
+}
+
+const dims = 4
+
+// Model is a fitted linear predictor of seeker runtime (in arbitrary but
+// consistent units; only the ordering matters to the optimizer).
+type Model struct {
+	W [dims]float64
+}
+
+// Predict estimates the runtime for the given input features.
+func (m *Model) Predict(f Features) float64 {
+	x := f.vector()
+	var y float64
+	for i := range x {
+		y += m.W[i] * x[i]
+	}
+	return y
+}
+
+// Fit computes the ordinary-least-squares fit of y on the feature vectors.
+// It returns an error when fewer samples than dimensions are supplied or
+// the normal matrix is singular (degenerate training sets).
+func Fit(xs []Features, ys []float64) (*Model, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("costmodel: %d feature rows vs %d targets", len(xs), len(ys))
+	}
+	if len(xs) < dims {
+		return nil, fmt.Errorf("costmodel: need at least %d samples, got %d", dims, len(xs))
+	}
+	// Normal equations: (XᵀX) w = Xᵀy.
+	var a [dims][dims]float64
+	var b [dims]float64
+	for i, f := range xs {
+		x := f.vector()
+		for r := 0; r < dims; r++ {
+			for c := 0; c < dims; c++ {
+				a[r][c] += x[r] * x[c]
+			}
+			b[r] += x[r] * ys[i]
+		}
+	}
+	// Ridge damping keeps the solve stable when features are collinear
+	// (e.g. all sampled queries have the same column count).
+	const ridge = 1e-6
+	for d := 0; d < dims; d++ {
+		a[d][d] += ridge
+	}
+	w, ok := solve(a, b)
+	if !ok {
+		return nil, fmt.Errorf("costmodel: singular normal matrix")
+	}
+	return &Model{W: w}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the dims×dims
+// system.
+func solve(a [dims][dims]float64, b [dims]float64) ([dims]float64, bool) {
+	var w [dims]float64
+	for col := 0; col < dims; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < dims; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-12 {
+			return w, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate.
+		for r := col + 1; r < dims; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < dims; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := dims - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < dims; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, true
+}
+
+// Kind identifies a seeker type for model selection. It mirrors core's
+// seeker kinds without importing it (costmodel sits below core).
+type Kind int
+
+const (
+	// KindKW is the keyword seeker.
+	KindKW Kind = iota
+	// KindSC is the single-column seeker.
+	KindSC
+	// KindMC is the multi-column seeker.
+	KindMC
+	// KindC is the correlation seeker.
+	KindC
+	// KindSemantic is the embedding-based seeker (the §X future-work
+	// extension implemented in this reproduction).
+	KindSemantic
+	numKinds
+)
+
+// String names the kind as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindKW:
+		return "KW"
+	case KindSC:
+		return "SC"
+	case KindMC:
+		return "MC"
+	case KindC:
+		return "C"
+	case KindSemantic:
+		return "Semantic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// PerKind holds one trained model per seeker type.
+type PerKind struct {
+	models [numKinds]*Model
+}
+
+// Set installs the model for a kind.
+func (p *PerKind) Set(k Kind, m *Model) { p.models[k] = m }
+
+// Get returns the model for a kind, or nil when untrained.
+func (p *PerKind) Get(k Kind) *Model {
+	if k < 0 || k >= numKinds {
+		return nil
+	}
+	return p.models[k]
+}

@@ -1,0 +1,136 @@
+package costmodel
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFitRecoversLinearRelation(t *testing.T) {
+	// Runtime = 5 + 2·log1p(card) + 0.5·log1p(freq), no column effect.
+	rng := rand.New(rand.NewSource(1))
+	var xs []Features
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		f := Features{
+			Card:    float64(rng.Intn(1000) + 1),
+			Cols:    float64(rng.Intn(5) + 1),
+			AvgFreq: float64(rng.Intn(500) + 1),
+		}
+		y := 5 + 2*math.Log1p(f.Card) + 0.5*math.Log1p(f.AvgFreq)
+		xs = append(xs, f)
+		ys = append(ys, y)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range xs[:20] {
+		if got := m.Predict(f); math.Abs(got-ys[i]) > 0.05 {
+			t.Fatalf("sample %d: predict %v, want %v", i, got, ys[i])
+		}
+	}
+}
+
+func TestFitOrdersByCost(t *testing.T) {
+	// The optimizer only needs the ordering: cheap inputs must predict
+	// below expensive ones.
+	var xs []Features
+	var ys []float64
+	for card := 1; card <= 64; card *= 2 {
+		f := Features{Card: float64(card), Cols: 1, AvgFreq: 10}
+		xs = append(xs, f)
+		ys = append(ys, math.Log1p(float64(card))*100)
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := m.Predict(Features{Card: 2, Cols: 1, AvgFreq: 10})
+	large := m.Predict(Features{Card: 500, Cols: 1, AvgFreq: 10})
+	if small >= large {
+		t.Fatalf("ordering lost: small=%v large=%v", small, large)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]Features{{1, 1, 1}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := Fit([]Features{{1, 1, 1}, {2, 2, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("too few samples must fail")
+	}
+}
+
+func TestFitCollinearFeaturesStillSolves(t *testing.T) {
+	// All samples share Cols = 1; the ridge term keeps the solve stable.
+	var xs []Features
+	var ys []float64
+	for i := 1; i <= 30; i++ {
+		xs = append(xs, Features{Card: float64(i), Cols: 1, AvgFreq: float64(i)})
+		ys = append(ys, float64(i))
+	}
+	if _, err := Fit(xs, ys); err != nil {
+		t.Fatalf("collinear fit failed: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{KindKW: "KW", KindSC: "SC", KindMC: "MC", KindC: "C"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestPerKind(t *testing.T) {
+	var p PerKind
+	if p.Get(KindSC) != nil {
+		t.Fatal("empty PerKind must return nil")
+	}
+	m := &Model{}
+	p.Set(KindSC, m)
+	if p.Get(KindSC) != m {
+		t.Fatal("Set/Get mismatch")
+	}
+	if p.Get(Kind(99)) != nil {
+		t.Fatal("out-of-range kind must return nil")
+	}
+}
+
+func TestModelPersistenceRoundTrip(t *testing.T) {
+	per := &PerKind{}
+	per.Set(KindSC, &Model{W: [4]float64{1, 2, 3, 4}})
+	per.Set(KindMC, &Model{W: [4]float64{-1, 0.5, 0, 9}})
+	var buf bytes.Buffer
+	if err := per.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *back.Get(KindSC) != *per.Get(KindSC) || *back.Get(KindMC) != *per.Get(KindMC) {
+		t.Fatal("weights changed in round trip")
+	}
+	if back.Get(KindKW) != nil {
+		t.Fatal("untrained kinds must stay nil")
+	}
+}
+
+func TestLoadModelsRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"",
+		"not json",
+		`{"version": 99, "models": {}}`,
+		`{"version": 1, "models": {"Bogus": [1,2,3,4]}}`,
+		`{"version": 1, "models": {}, "extra": true}`,
+	} {
+		if _, err := LoadModels(strings.NewReader(doc)); err == nil {
+			t.Errorf("LoadModels(%q) should fail", doc)
+		}
+	}
+}

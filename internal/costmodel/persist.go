@@ -1,0 +1,60 @@
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON persistence for trained models, so the offline training step
+// (§VII-B: "it is advisable to run the training module once upon lake
+// installation") survives process restarts alongside the index file.
+
+type persistedModels struct {
+	Version int                   `json:"version"`
+	Models  map[string][4]float64 `json:"models"`
+}
+
+// Save writes the trained models as JSON.
+func (p *PerKind) Save(w io.Writer) error {
+	doc := persistedModels{Version: 1, Models: map[string][4]float64{}}
+	for k := Kind(0); k < numKinds; k++ {
+		if m := p.Get(k); m != nil {
+			doc.Models[k.String()] = m.W
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadModels reads models previously written by Save.
+func LoadModels(r io.Reader) (*PerKind, error) {
+	var doc persistedModels
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("costmodel: decode models: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("costmodel: unsupported model version %d", doc.Version)
+	}
+	per := &PerKind{}
+	for name, w := range doc.Models {
+		k, ok := kindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("costmodel: unknown seeker kind %q", name)
+		}
+		per.Set(k, &Model{W: w})
+	}
+	return per, nil
+}
+
+func kindByName(name string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

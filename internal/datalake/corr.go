@@ -1,0 +1,184 @@
+package datalake
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"blend/internal/qcr"
+	"blend/internal/table"
+)
+
+// CorrConfig shapes a correlation-discovery benchmark in the style of the
+// NYC open data experiments (Table VII): tables join on a shared key
+// universe and carry numeric columns, some of which are planted to
+// correlate with the hidden targets behind the queries.
+type CorrConfig struct {
+	Name string
+	// NumTables is the number of lake tables.
+	NumTables int
+	// Rows is the number of key rows per table.
+	Rows int
+	// CorrelatedShare in [0,1] is the fraction of tables planted to
+	// correlate strongly with some query target.
+	CorrelatedShare float64
+	// NumericKeys switches the join-key universe from categorical strings
+	// to numeric strings — the NYC (All) variant that breaks the sketch
+	// baseline.
+	NumericKeys bool
+	// SortedByMetric orders each table's rows by its Metric column. Real
+	// open-data tables are often stored sorted, which biases BLEND's
+	// convenience sampling (rowid < h) — the effect the BLEND (rand)
+	// ablation of Table VII isolates.
+	SortedByMetric bool
+	// Queries is the number of (key, target) query pairs.
+	Queries int
+	Seed    int64
+}
+
+// CorrQuery is one benchmark query: join keys paired with a numeric
+// target, plus the exact-Pearson ground-truth ranking of lake tables.
+type CorrQuery struct {
+	Keys    []string
+	Targets []float64
+	// TopTables is the exact ground truth: lake tables ranked by the
+	// highest |Pearson| between the query target and any of their numeric
+	// columns, restricted to joined keys.
+	TopTables []string
+}
+
+// CorrBenchmark is a generated correlation benchmark.
+type CorrBenchmark struct {
+	Config CorrConfig
+	Tables []*table.Table
+	// Queries holds the benchmark queries; ground truth is computed
+	// exactly against the generated tables.
+	Queries []CorrQuery
+}
+
+// GenCorrBenchmark builds the lake and queries. Every table keys on the
+// same universe (shuffled, full coverage) and carries two numeric columns;
+// in planted tables the first numeric column is a noisy linear function of
+// a hidden signal that the queries' targets also follow.
+func GenCorrBenchmark(cfg CorrConfig) *CorrBenchmark {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &CorrBenchmark{Config: cfg}
+
+	keys := make([]string, cfg.Rows)
+	keyVocab := vocab("k", cfg.Rows)
+	for i := range keys {
+		if cfg.NumericKeys {
+			keys[i] = strconv.Itoa(100000 + i)
+		} else {
+			keys[i] = fmt.Sprintf("key_%s", keyVocab[i])
+		}
+	}
+	// Hidden signal per key, shared by planted tables and query targets.
+	signal := make(map[string]float64, cfg.Rows)
+	for _, k := range keys {
+		signal[k] = rng.NormFloat64()
+	}
+
+	numCorrelated := int(float64(cfg.NumTables) * cfg.CorrelatedShare)
+	for t := 0; t < cfg.NumTables; t++ {
+		tb := table.New(fmt.Sprintf("%s_t%03d", cfg.Name, t), "Key", "Metric", "Extra")
+		perm := rng.Perm(len(keys))
+		correlated := t < numCorrelated
+		noise := 0.2 + rng.Float64()*0.5
+		for _, i := range perm {
+			k := keys[i]
+			var metric float64
+			if correlated {
+				metric = signal[k] + noise*rng.NormFloat64()
+			} else {
+				metric = rng.NormFloat64()
+			}
+			tb.Rows = append(tb.Rows, []string{
+				k,
+				strconv.FormatFloat(metric, 'f', 4, 64),
+				strconv.Itoa(rng.Intn(1000)),
+			})
+		}
+		if cfg.SortedByMetric {
+			sort.SliceStable(tb.Rows, func(a, b int) bool {
+				fa, _ := strconv.ParseFloat(tb.Rows[a][1], 64)
+				fb, _ := strconv.ParseFloat(tb.Rows[b][1], 64)
+				return fa < fb
+			})
+		}
+		tb.InferKinds()
+		b.Tables = append(b.Tables, tb)
+	}
+
+	for q := 0; q < cfg.Queries; q++ {
+		target := make([]float64, len(keys))
+		for i, k := range keys {
+			target[i] = signal[k] + 0.3*rng.NormFloat64()
+		}
+		b.Queries = append(b.Queries, CorrQuery{
+			Keys:      append([]string(nil), keys...),
+			Targets:   target,
+			TopTables: b.exactTop(keys, target, 10),
+		})
+	}
+	return b
+}
+
+// exactTop computes the ground truth for one query: tables ranked by the
+// best |Pearson| between the target and any numeric column over joined
+// keys.
+func (b *CorrBenchmark) exactTop(keys []string, target []float64, k int) []string {
+	tVal := make(map[string]float64, len(keys))
+	for i, key := range keys {
+		tVal[key] = target[i]
+	}
+	type scored struct {
+		name string
+		abs  float64
+	}
+	var all []scored
+	for _, tb := range b.Tables {
+		best := 0.0
+		for c := 0; c < tb.NumCols(); c++ {
+			if tb.Columns[c].Kind != table.KindNumeric {
+				continue
+			}
+			var xs, ys []float64
+			for _, row := range tb.Rows {
+				tv, ok := tVal[row[0]]
+				if !ok {
+					continue
+				}
+				f, err := strconv.ParseFloat(row[c], 64)
+				if err != nil {
+					continue
+				}
+				xs = append(xs, tv)
+				ys = append(ys, f)
+			}
+			p := qcr.Pearson(xs, ys)
+			if p < 0 {
+				p = -p
+			}
+			if p > best {
+				best = p
+			}
+		}
+		all = append(all, scored{name: tb.Name, abs: best})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].abs != all[b].abs {
+			return all[a].abs > all[b].abs
+		}
+		return all[a].name < all[b].name
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.name
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package datalake generates seeded synthetic data lakes with planted
+// ground truth for every experiment in the paper (see DESIGN.md §3 for the
+// substitution rationale). The paper's corpora — Gittables, DWTC, WDC,
+// open-data portals, the TUS/SANTOS benchmarks, NYC open data — are
+// multi-terabyte downloads; these generators reproduce the query-relevant
+// statistics at laptop scale: Zipf-skewed value frequencies (posting-list
+// shape), labeled unionable groups, and planted correlated column pairs.
+package datalake
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// syllables and suffixes compose deterministic word-like tokens. Web-table
+// cells are words with diverse characters and lengths, which is what gives
+// the XASH signature its selectivity; a hex-counter vocabulary would share
+// almost all characters and make every row signature collide.
+var syllables = []string{
+	"al", "ber", "cron", "dez", "est", "fur", "gam", "hol", "ix", "jor",
+	"kan", "lum", "mer", "nov", "oq", "pra", "quil", "ross", "stav", "tur",
+	"ulm", "vex", "wyn", "xen", "yor", "zeph", "bright", "dam", "field", "gate",
+}
+
+var suffixes = []string{
+	"", "a", "o", "is", "um", "er", "ton", "by", "ville", "shire", "berg", "stad",
+}
+
+// vocab produces a deterministic vocabulary of n distinct word-like
+// tokens; prefix namespaces vocabularies so different domains never
+// collide.
+func vocab(prefix string, n int) []string {
+	out := make([]string, n)
+	ns, nx := len(syllables), len(suffixes)
+	for i := range out {
+		a := syllables[i%ns]
+		b := syllables[(i/ns)%ns]
+		c := suffixes[(i/(ns*ns))%nx]
+		serial := i / (ns * ns * nx)
+		if serial > 0 {
+			out[i] = fmt.Sprintf("%s %s%s%s %d", prefix, a, b, c, serial)
+		} else if prefix != "" {
+			out[i] = fmt.Sprintf("%s %s%s%s", prefix, a, b, c)
+		} else {
+			out[i] = a + b + c
+		}
+	}
+	return out
+}
+
+// zipfPicker draws vocabulary indices with a Zipf(s=1.3) distribution, the
+// heavy tail observed in web-table value frequencies. Deterministic for a
+// given rng state.
+type zipfPicker struct {
+	z *rand.Zipf
+}
+
+func newZipfPicker(rng *rand.Rand, n int) *zipfPicker {
+	if n < 1 {
+		n = 1
+	}
+	return &zipfPicker{z: rand.NewZipf(rng, 1.3, 1, uint64(n-1))}
+}
+
+func (p *zipfPicker) pick() int { return int(p.z.Uint64()) }

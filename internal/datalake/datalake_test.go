@@ -1,0 +1,266 @@
+package datalake
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"blend/internal/qcr"
+	"blend/internal/table"
+)
+
+func TestGenJoinLakeDeterministic(t *testing.T) {
+	cfg := JoinLakeConfig{Name: "x", NumTables: 5, ColsPerTable: 3, RowsPerTable: 20, VocabSize: 100, Seed: 1}
+	a := GenJoinLake(cfg)
+	b := GenJoinLake(cfg)
+	if len(a.Tables) != 5 {
+		t.Fatalf("tables = %d", len(a.Tables))
+	}
+	for i := range a.Tables {
+		if !reflect.DeepEqual(a.Tables[i].Rows, b.Tables[i].Rows) {
+			t.Fatal("same seed must generate identical lakes")
+		}
+	}
+	c := GenJoinLake(JoinLakeConfig{Name: "x", NumTables: 5, ColsPerTable: 3, RowsPerTable: 20, VocabSize: 100, Seed: 2})
+	if reflect.DeepEqual(a.Tables[0].Rows, c.Tables[0].Rows) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestJoinLakeShape(t *testing.T) {
+	lake := GenJoinLake(JoinLakeConfig{Name: "s", NumTables: 4, ColsPerTable: 4, RowsPerTable: 30, VocabSize: 50, Seed: 3})
+	for _, tb := range lake.Tables {
+		if tb.NumCols() != 4 || tb.NumRows() != 30 {
+			t.Fatalf("table %s has wrong shape", tb.Name)
+		}
+		// Last column must be numeric.
+		if tb.Columns[3].Kind != table.KindNumeric {
+			t.Fatalf("table %s last column kind = %v", tb.Name, tb.Columns[3].Kind)
+		}
+	}
+}
+
+func TestJoinLakeZipfSkew(t *testing.T) {
+	lake := GenJoinLake(JoinLakeConfig{Name: "z", NumTables: 20, ColsPerTable: 3, RowsPerTable: 100, VocabSize: 1000, Seed: 4})
+	freq := make(map[string]int)
+	for _, tb := range lake.Tables {
+		for _, row := range tb.Rows {
+			for c := 0; c < 2; c++ {
+				freq[row[c]]++
+			}
+		}
+	}
+	// Heavy tail: the most frequent token should appear far more often
+	// than the median token.
+	max := 0
+	for _, n := range freq {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 20 {
+		t.Fatalf("no head token: max frequency = %d", max)
+	}
+	if len(freq) < 50 {
+		t.Fatalf("vocabulary collapse: %d distinct tokens", len(freq))
+	}
+}
+
+func TestQueryColumn(t *testing.T) {
+	lake := GenJoinLake(JoinLakeConfig{Name: "q", NumTables: 5, ColsPerTable: 3, RowsPerTable: 50, VocabSize: 200, Seed: 5})
+	for _, size := range []int{1, 10, 100} {
+		q := lake.QueryColumn(size)
+		if len(q) != size {
+			t.Fatalf("query size = %d, want %d", len(q), size)
+		}
+		seen := map[string]bool{}
+		for _, v := range q {
+			if seen[v] {
+				t.Fatal("query values must be distinct")
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestQueryTuples(t *testing.T) {
+	lake := GenJoinLake(JoinLakeConfig{Name: "qt", NumTables: 5, ColsPerTable: 4, RowsPerTable: 50, VocabSize: 200, Seed: 6})
+	tuples, src := lake.QueryTuples(5, 2)
+	if len(tuples) == 0 || src == "" {
+		t.Fatal("no tuples generated")
+	}
+	for _, tp := range tuples {
+		if len(tp) != 2 {
+			t.Fatalf("tuple width = %d", len(tp))
+		}
+	}
+}
+
+func TestBruteForceTopOverlap(t *testing.T) {
+	lake := GenJoinLake(JoinLakeConfig{Name: "bf", NumTables: 6, ColsPerTable: 3, RowsPerTable: 40, VocabSize: 100, Seed: 7})
+	q := lake.QueryColumn(20)
+	top := lake.BruteForceTopOverlap(q, 3)
+	if len(top) == 0 {
+		t.Fatal("query drawn from the lake must match something")
+	}
+	if len(top) > 3 {
+		t.Fatal("k not respected")
+	}
+}
+
+func TestGenUnionBenchmark(t *testing.T) {
+	b := GenUnionBenchmark(UnionConfig{
+		Name: "u", NumGroups: 3, TablesPerGroup: 4, RowsPerTable: 20,
+		ColsPerTable: 3, DomainSize: 50, Queries: 6, Seed: 8,
+	})
+	if len(b.Tables) != 12 || len(b.Queries) != 6 {
+		t.Fatalf("shape: %d tables %d queries", len(b.Tables), len(b.Queries))
+	}
+	for _, q := range b.Queries {
+		if len(q.Relevant) != 4 {
+			t.Fatalf("relevant = %d, want 4", len(q.Relevant))
+		}
+		// Query values must come from its group's domains: overlap with a
+		// relevant table should exist, with an irrelevant one should not.
+		qvals := map[string]bool{}
+		for _, row := range q.Query.Rows {
+			for _, v := range row {
+				qvals[v] = true
+			}
+		}
+		for _, tb := range b.Tables {
+			overlap := 0
+			for _, row := range tb.Rows {
+				for _, v := range row {
+					if qvals[v] {
+						overlap++
+					}
+				}
+			}
+			if q.Relevant[tb.Name] && overlap == 0 {
+				t.Fatalf("relevant table %s has zero overlap", tb.Name)
+			}
+			if !q.Relevant[tb.Name] && overlap > 0 {
+				t.Fatalf("irrelevant table %s overlaps the query", tb.Name)
+			}
+		}
+	}
+}
+
+func TestGenCorrBenchmark(t *testing.T) {
+	b := GenCorrBenchmark(CorrConfig{
+		Name: "c", NumTables: 10, Rows: 60, CorrelatedShare: 0.4,
+		Queries: 3, Seed: 9,
+	})
+	if len(b.Tables) != 10 || len(b.Queries) != 3 {
+		t.Fatal("shape wrong")
+	}
+	// Planted tables (t000..t003) must dominate the ground-truth top-4.
+	for _, q := range b.Queries {
+		if len(q.TopTables) == 0 {
+			t.Fatal("no ground truth")
+		}
+		planted := 0
+		for _, name := range q.TopTables[:4] {
+			for i := 0; i < 4; i++ {
+				if name == b.Tables[i].Name {
+					planted++
+				}
+			}
+		}
+		if planted < 3 {
+			t.Fatalf("only %d planted tables in ground-truth top-4: %v", planted, q.TopTables[:4])
+		}
+	}
+}
+
+func TestGenCorrBenchmarkNumericKeys(t *testing.T) {
+	b := GenCorrBenchmark(CorrConfig{
+		Name: "n", NumTables: 4, Rows: 30, CorrelatedShare: 0.5,
+		NumericKeys: true, Queries: 1, Seed: 10,
+	})
+	// Keys must parse as numbers and the key column must infer numeric.
+	if b.Tables[0].Columns[0].Kind != table.KindNumeric {
+		t.Fatal("numeric keys should infer a numeric key column")
+	}
+}
+
+func TestCorrGroundTruthMatchesPearson(t *testing.T) {
+	b := GenCorrBenchmark(CorrConfig{
+		Name: "gt", NumTables: 6, Rows: 80, CorrelatedShare: 0.5, Queries: 1, Seed: 11,
+	})
+	q := b.Queries[0]
+	// Recompute the best table by hand and compare with ground truth #1.
+	best, bestAbs := "", -1.0
+	tVal := map[string]float64{}
+	for i, k := range q.Keys {
+		tVal[k] = q.Targets[i]
+	}
+	for _, tb := range b.Tables {
+		var xs, ys []float64
+		for _, row := range tb.Rows {
+			if tv, ok := tVal[row[0]]; ok {
+				if f, err := strconv.ParseFloat(row[1], 64); err == nil {
+					xs = append(xs, tv)
+					ys = append(ys, f)
+				}
+			}
+		}
+		p := qcr.Pearson(xs, ys)
+		if p < 0 {
+			p = -p
+		}
+		if p > bestAbs {
+			best, bestAbs = tb.Name, p
+		}
+	}
+	if q.TopTables[0] != best {
+		t.Fatalf("ground truth %s != recomputed %s", q.TopTables[0], best)
+	}
+}
+
+func TestRegistryCoversTableII(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 11 {
+		t.Fatalf("registry has %d lakes, Table II lists 11", len(reg))
+	}
+	names := map[string]bool{}
+	for _, spec := range reg {
+		if names[spec.PaperName] {
+			t.Fatalf("duplicate lake %s", spec.PaperName)
+		}
+		names[spec.PaperName] = true
+		if spec.Config.NumTables <= 0 || spec.Config.RowsPerTable <= 0 {
+			t.Fatalf("lake %s has empty config", spec.PaperName)
+		}
+	}
+	if !names["Gittables"] || !names["NYC open data"] {
+		t.Fatal("key lakes missing")
+	}
+}
+
+func TestLakeByName(t *testing.T) {
+	tabs := LakeByName("SANTOS")
+	if len(tabs) == 0 {
+		t.Fatal("SANTOS lake missing")
+	}
+	if LakeByName("not-a-lake") != nil {
+		t.Fatal("unknown lake must return nil")
+	}
+}
+
+func TestZipfPickerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := newZipfPicker(rng, 10)
+	for i := 0; i < 1000; i++ {
+		if v := p.pick(); v < 0 || v >= 10 {
+			t.Fatalf("pick out of range: %d", v)
+		}
+	}
+	// Degenerate size.
+	p1 := newZipfPicker(rng, 1)
+	if p1.pick() != 0 {
+		t.Fatal("single-element picker must return 0")
+	}
+}

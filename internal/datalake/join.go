@@ -1,0 +1,176 @@
+package datalake
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"blend/internal/table"
+)
+
+// JoinLakeConfig shapes a lake for join-discovery experiments (Fig. 5,
+// Fig. 6, Table V).
+type JoinLakeConfig struct {
+	// Name labels the lake in experiment output.
+	Name string
+	// NumTables is the number of lake tables.
+	NumTables int
+	// ColsPerTable is the column count of each table.
+	ColsPerTable int
+	// RowsPerTable is the row count of each table.
+	RowsPerTable int
+	// VocabSize is the shared string vocabulary size; smaller values mean
+	// more cross-table overlap and longer posting lists.
+	VocabSize int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// JoinLake is a generated lake plus the vocabulary it draws from.
+type JoinLake struct {
+	Config JoinLakeConfig
+	Tables []*table.Table
+	Vocab  []string
+	rng    *rand.Rand
+}
+
+// GenJoinLake builds a join-benchmark lake: every table mixes string
+// columns drawn Zipf-skewed from a shared vocabulary (joinable content)
+// with one numeric column (so correlation machinery has cells to index).
+func GenJoinLake(cfg JoinLakeConfig) *JoinLake {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	voc := vocab("v", cfg.VocabSize)
+	picker := newZipfPicker(rng, cfg.VocabSize)
+	lake := &JoinLake{Config: cfg, Vocab: voc, rng: rng}
+	for t := 0; t < cfg.NumTables; t++ {
+		cols := make([]string, cfg.ColsPerTable)
+		for c := range cols {
+			cols[c] = fmt.Sprintf("col%d", c)
+		}
+		tb := table.New(fmt.Sprintf("%s_t%04d", cfg.Name, t), cols...)
+		for r := 0; r < cfg.RowsPerTable; r++ {
+			row := make([]string, cfg.ColsPerTable)
+			for c := range row {
+				if c == cfg.ColsPerTable-1 {
+					// Last column is numeric.
+					row[c] = fmt.Sprintf("%d", rng.Intn(100000))
+					continue
+				}
+				row[c] = voc[picker.pick()]
+			}
+			tb.Rows = append(tb.Rows, row)
+		}
+		tb.InferKinds()
+		lake.Tables = append(lake.Tables, tb)
+	}
+	return lake
+}
+
+// QueryColumn draws a join-search query column of the given size: values
+// sampled from a random lake table column (so queries hit real content),
+// padded from the vocabulary when the table column is too small — the
+// protocol of §VIII-D ("3,000 query columns per data lake, 1,000 per query
+// size").
+func (l *JoinLake) QueryColumn(size int) []string {
+	t := l.Tables[l.rng.Intn(len(l.Tables))]
+	col := l.rng.Intn(t.NumCols())
+	if t.Columns[col].Kind == table.KindNumeric && t.NumCols() > 1 {
+		col = (col + 1) % t.NumCols()
+	}
+	vals := t.DistinctColumnValues(col)
+	out := make([]string, 0, size)
+	seen := make(map[string]struct{}, size)
+	add := func(v string) {
+		if _, dup := seen[v]; dup {
+			return
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	for _, i := range l.rng.Perm(len(vals)) {
+		if len(out) == size {
+			return out
+		}
+		add(vals[i])
+	}
+	for len(out) < size {
+		add(l.Vocab[l.rng.Intn(len(l.Vocab))])
+	}
+	return out
+}
+
+// QueryTuples draws multi-column query rows for MC-seeker experiments:
+// n rows of the given width taken verbatim from one random table (so the
+// planted ground truth — that source table — is always discoverable).
+// It returns the tuples and the source table's name.
+func (l *JoinLake) QueryTuples(n, width int) ([][]string, string) {
+	t := l.Tables[l.rng.Intn(len(l.Tables))]
+	if width > t.NumCols() {
+		width = t.NumCols()
+	}
+	tuples := make([][]string, 0, n)
+	for _, r := range l.rng.Perm(t.NumRows()) {
+		if len(tuples) == n {
+			break
+		}
+		row := make([]string, width)
+		ok := true
+		for c := 0; c < width; c++ {
+			row[c] = t.Cell(r, c)
+			if row[c] == table.Null {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			tuples = append(tuples, row)
+		}
+	}
+	return tuples, t.Name
+}
+
+// BruteForceTopOverlap computes, for a query column, the exact top-k lake
+// tables by maximum per-column distinct overlap — the ground truth for the
+// LakeBench-style effectiveness comparison (Fig. 6).
+func (l *JoinLake) BruteForceTopOverlap(query []string, k int) []string {
+	qset := make(map[string]bool, len(query))
+	for _, q := range query {
+		qset[q] = true
+	}
+	type scored struct {
+		name    string
+		overlap int
+	}
+	var all []scored
+	for _, t := range l.Tables {
+		best := 0
+		for c := 0; c < t.NumCols(); c++ {
+			n := 0
+			for _, v := range t.DistinctColumnValues(c) {
+				if qset[v] {
+					n++
+				}
+			}
+			if n > best {
+				best = n
+			}
+		}
+		if best > 0 {
+			all = append(all, scored{name: t.Name, overlap: best})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].overlap != all[b].overlap {
+			return all[a].overlap > all[b].overlap
+		}
+		return all[a].name < all[b].name
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.name
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package datalake
+
+import "blend/internal/table"
+
+// LakeSpec describes one scaled-down stand-in for a lake of Table II.
+// Scale is roughly 1:1000 against the paper's corpora: the shape (relative
+// table counts, width, and skew) is preserved while absolute sizes stay
+// laptop-friendly.
+type LakeSpec struct {
+	// PaperName is the corpus name as printed in Table II.
+	PaperName string
+	// PaperTables/PaperColumns/PaperRows echo the paper's reported sizes
+	// (0 when the paper reports "-").
+	PaperTables  int64
+	PaperColumns int64
+	PaperRows    int64
+	// Config generates our scaled equivalent.
+	Config JoinLakeConfig
+}
+
+// Registry lists the scaled stand-ins for every lake of Table II, keyed in
+// the paper's row order.
+func Registry() []LakeSpec {
+	mk := func(paper string, pt, pc, pr int64, tables, cols, rows, vocabK int, seed int64) LakeSpec {
+		return LakeSpec{
+			PaperName:    paper,
+			PaperTables:  pt,
+			PaperColumns: pc,
+			PaperRows:    pr,
+			Config: JoinLakeConfig{
+				Name:         paper,
+				NumTables:    tables,
+				ColsPerTable: cols,
+				RowsPerTable: rows,
+				VocabSize:    vocabK,
+				Seed:         seed,
+			},
+		}
+	}
+	return []LakeSpec{
+		mk("DWTC", 145_000_000, 760_000_000, 1_500_000_000, 400, 5, 120, 8000, 101),
+		mk("Lakebench Webtable Large", 2_800_000, 14_800_000, 63_700_000, 250, 5, 60, 6000, 102),
+		mk("Gittables", 1_500_000, 16_800_000, 345_000_000, 200, 8, 100, 5000, 103),
+		mk("German Open Data", 17_144, 440_000, 62_000_000, 60, 6, 200, 3000, 104),
+		mk("WDC", 0, 163_000_000, 1_600_000_000, 300, 4, 80, 7000, 105),
+		mk("Canada, US, and UK Open Data", 0, 745_000, 1_100_000_000, 120, 5, 300, 4000, 106),
+		mk("TUS", 1_530, 14_800, 6_800_000, 40, 6, 150, 2500, 107),
+		mk("TUS Large", 5_043, 55_000, 9_600_000, 80, 6, 120, 3500, 108),
+		mk("SANTOS", 550, 6_322, 3_800_000, 30, 6, 180, 2000, 109),
+		mk("SANTOS Large", 11_090, 121_000, 85_000_000, 90, 7, 150, 4500, 110),
+		mk("NYC open data", 1_063, 16_000, 290_000_000, 35, 8, 400, 2500, 111),
+	}
+}
+
+// LakeByName generates the scaled lake for a Table II corpus name, or nil
+// when unknown.
+func LakeByName(name string) []*table.Table {
+	for _, spec := range Registry() {
+		if spec.PaperName == name {
+			return GenJoinLake(spec.Config).Tables
+		}
+	}
+	return nil
+}

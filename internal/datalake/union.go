@@ -1,0 +1,94 @@
+package datalake
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blend/internal/table"
+)
+
+// UnionConfig shapes a union-search benchmark lake in the style of the TUS
+// and SANTOS benchmarks (Table VI, Fig. 7): tables belong to labeled
+// groups; tables in a group share a schema family and draw rows from the
+// same domains, so they are unionable with each other and with queries
+// drawn from the group.
+type UnionConfig struct {
+	Name string
+	// NumGroups is the number of unionable families.
+	NumGroups int
+	// TablesPerGroup is the number of lake tables per family.
+	TablesPerGroup int
+	// RowsPerTable is the row count of each table.
+	RowsPerTable int
+	// ColsPerTable is the column count of each family's schema.
+	ColsPerTable int
+	// DomainSize is the vocabulary size of each column domain.
+	DomainSize int
+	// Queries is the number of query tables to generate.
+	Queries int
+	Seed    int64
+}
+
+// UnionQuery is one benchmark query with its ground-truth unionable tables.
+type UnionQuery struct {
+	Query    *table.Table
+	Relevant map[string]bool
+}
+
+// UnionBenchmark is a generated union-search benchmark.
+type UnionBenchmark struct {
+	Config  UnionConfig
+	Tables  []*table.Table
+	Queries []UnionQuery
+}
+
+// GenUnionBenchmark builds the lake and queries. Each group g has
+// ColsPerTable domains (disjoint vocabularies across groups); every table
+// of the group — and every query drawn from the group — samples rows from
+// those domains, giving high value overlap within a group and none across
+// groups.
+func GenUnionBenchmark(cfg UnionConfig) *UnionBenchmark {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := &UnionBenchmark{Config: cfg}
+
+	domains := make([][][]string, cfg.NumGroups) // group -> column -> vocab
+	groupTables := make([][]string, cfg.NumGroups)
+	for g := 0; g < cfg.NumGroups; g++ {
+		domains[g] = make([][]string, cfg.ColsPerTable)
+		for c := 0; c < cfg.ColsPerTable; c++ {
+			domains[g][c] = vocab(fmt.Sprintf("g%dc%d_", g, c), cfg.DomainSize)
+		}
+		for ti := 0; ti < cfg.TablesPerGroup; ti++ {
+			name := fmt.Sprintf("%s_g%02d_t%02d", cfg.Name, g, ti)
+			groupTables[g] = append(groupTables[g], name)
+			b.Tables = append(b.Tables, genUnionTable(rng, name, domains[g], cfg.RowsPerTable))
+		}
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		g := q % cfg.NumGroups
+		query := genUnionTable(rng, fmt.Sprintf("query%03d", q), domains[g], cfg.RowsPerTable)
+		relevant := make(map[string]bool, len(groupTables[g]))
+		for _, n := range groupTables[g] {
+			relevant[n] = true
+		}
+		b.Queries = append(b.Queries, UnionQuery{Query: query, Relevant: relevant})
+	}
+	return b
+}
+
+func genUnionTable(rng *rand.Rand, name string, domains [][]string, rows int) *table.Table {
+	cols := make([]string, len(domains))
+	for c := range cols {
+		cols[c] = fmt.Sprintf("attr%d", c)
+	}
+	t := table.New(name, cols...)
+	for r := 0; r < rows; r++ {
+		row := make([]string, len(domains))
+		for c := range row {
+			row[c] = domains[c][rng.Intn(len(domains[c]))]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.InferKinds()
+	return t
+}

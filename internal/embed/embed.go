@@ -1,0 +1,131 @@
+// Package embed produces deterministic dense embeddings for table columns.
+//
+// It substitutes for the contrastive language models of the Starmie and
+// DeepJoin baselines, which cannot be trained or shipped offline (see
+// DESIGN.md §3). A column embeds as the TF-weighted feature-hashed bag of
+// its cell tokens, L2-normalized — a classical semantic proxy with the
+// properties the baselines rely on: columns about the same entities land
+// close in cosine space even under partial value overlap, while unrelated
+// columns land far apart.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Dim is the embedding dimensionality.
+const Dim = 64
+
+// Vector is a dense embedding.
+type Vector []float32
+
+// Column embeds the values of one column. Tokens are lowercased words;
+// each token adds hash-signed weight to one dimension (feature hashing
+// with a sign hash reduces collision bias). The result is L2-normalized;
+// an all-null column yields a zero vector (callers should skip it).
+func Column(values []string) Vector {
+	v := make(Vector, Dim)
+	for _, cell := range values {
+		for _, tok := range Tokenize(cell) {
+			d, sign := hashToken(tok)
+			v[d] += sign
+		}
+	}
+	normalize(v)
+	return v
+}
+
+// Table embeds a whole table as the mean of its column embeddings
+// (re-normalized). Starmie scores table pairs from column vectors; the
+// table vector is used for coarse candidate pruning.
+func Table(columns []Vector) Vector {
+	v := make(Vector, Dim)
+	for _, c := range columns {
+		for i := range v {
+			if i < len(c) {
+				v[i] += c[i]
+			}
+		}
+	}
+	normalize(v)
+	return v
+}
+
+// Cosine returns the cosine similarity of two embeddings.
+func Cosine(a, b Vector) float32 {
+	var dot, na, nb float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float32(dot / math.Sqrt(na*nb))
+}
+
+// Tokenize splits a cell into lowercase word tokens (letters and digits;
+// everything else separates).
+func Tokenize(cell string) []string {
+	cell = strings.ToLower(cell)
+	var toks []string
+	start := -1
+	for i := 0; i <= len(cell); i++ {
+		alnum := i < len(cell) && (cell[i] >= 'a' && cell[i] <= 'z' || cell[i] >= '0' && cell[i] <= '9')
+		if alnum {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			toks = append(toks, cell[start:i])
+			start = -1
+		}
+	}
+	return toks
+}
+
+// hashToken maps a token to a dimension and a ±1 sign.
+func hashToken(tok string) (dim int, sign float32) {
+	h := fnv.New64a()
+	h.Write([]byte(tok))
+	s := h.Sum64()
+	dim = int(s % Dim)
+	if (s>>32)&1 == 1 {
+		return dim, 1
+	}
+	return dim, -1
+}
+
+func normalize(v Vector) {
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if norm == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// IsZero reports whether the vector has no signal (e.g. an all-null
+// column).
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

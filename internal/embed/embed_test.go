@@ -1,0 +1,84 @@
+package embed
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("New York-City 42!")
+	want := []string{"new", "york", "city", "42"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if Tokenize("") != nil {
+		t.Fatal("empty cell should yield no tokens")
+	}
+}
+
+func TestColumnDeterministic(t *testing.T) {
+	a := Column([]string{"alpha", "beta", "gamma"})
+	b := Column([]string{"alpha", "beta", "gamma"})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("embedding must be deterministic")
+	}
+}
+
+func TestColumnNormalized(t *testing.T) {
+	v := Column([]string{"some", "tokens", "here"})
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("norm = %v, want 1", norm)
+	}
+}
+
+func TestZeroColumn(t *testing.T) {
+	v := Column([]string{"", "", ""})
+	if !v.IsZero() {
+		t.Fatal("all-null column must embed to zero")
+	}
+	if Cosine(v, Column([]string{"x"})) != 0 {
+		t.Fatal("cosine with zero vector must be 0")
+	}
+}
+
+func TestSimilarColumnsCloser(t *testing.T) {
+	cities1 := Column([]string{"new york", "boston", "chicago", "seattle"})
+	cities2 := Column([]string{"boston", "chicago", "denver", "austin"})
+	numbers := Column([]string{"482", "1093", "77", "2450"})
+	simCities := Cosine(cities1, cities2)
+	simMixed := Cosine(cities1, numbers)
+	if simCities <= simMixed {
+		t.Fatalf("city columns (%v) should be closer than city-number (%v)", simCities, simMixed)
+	}
+	if simCities <= 0 {
+		t.Fatalf("overlapping columns should have positive similarity, got %v", simCities)
+	}
+}
+
+func TestCosineSelf(t *testing.T) {
+	v := Column([]string{"alpha", "beta"})
+	if s := Cosine(v, v); math.Abs(float64(s)-1) > 1e-5 {
+		t.Fatalf("self cosine = %v", s)
+	}
+}
+
+func TestTableEmbedding(t *testing.T) {
+	c1 := Column([]string{"a", "b"})
+	c2 := Column([]string{"c", "d"})
+	tv := Table([]Vector{c1, c2})
+	if tv.IsZero() {
+		t.Fatal("table embedding must not be zero")
+	}
+	var norm float64
+	for _, x := range tv {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("table embedding norm = %v", norm)
+	}
+}

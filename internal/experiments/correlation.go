@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"blend"
+	"blend/internal/baselines/qcrsketch"
+	"blend/internal/datalake"
+	"blend/internal/metrics"
+	"blend/internal/table"
+)
+
+// RunCorrelation regenerates Table VII: correlation discovery on NYC-like
+// benchmarks. NYC (All) allows numeric join keys (which the sketch
+// baseline cannot index); NYC (Cat.) restricts keys to categorical
+// columns. BLEND uses convenience sampling (rowid < h); BLEND (rand)
+// indexes row-shuffled tables, emulating the a-priori shuffle ablation;
+// the baseline is the QCR sketch with h fixed at indexing time. h = 256
+// throughout, as in the paper.
+func RunCorrelation(scale Scale) *Report {
+	r := &Report{ID: "correlation", Title: "Table VII: correlation discovery"}
+	const h = 256
+	r.Printf("%-10s %-14s | %7s %7s | %10s", "Lake", "System", "P@10", "R@10", "Runtime")
+	for _, spec := range []struct {
+		name    string
+		numeric bool
+		seed    int64
+	}{
+		{"NYC (All)", true, 81},
+		{"NYC (Cat.)", false, 82},
+	} {
+		bench := datalake.GenCorrBenchmark(datalake.CorrConfig{
+			Name: spec.name, NumTables: 20 * scale.factor(), Rows: 400,
+			CorrelatedShare: 0.4, NumericKeys: spec.numeric,
+			SortedByMetric: true, Queries: 5, Seed: spec.seed,
+		})
+		d := blend.IndexTables(blend.ColumnStore, bench.Tables)
+		d.SetCorrelationSampleSize(h)
+		dRand := blend.IndexTables(blend.ColumnStore, shuffleRows(bench.Tables, spec.seed+1000))
+		dRand.SetCorrelationSampleSize(h)
+		sketch := qcrsketch.Build(bench.Tables, h)
+
+		var bRuns, rRuns, sRuns []metrics.Run
+		var tB, tR, tS time.Duration
+		for _, q := range bench.Queries {
+			truth := metrics.SetOf(q.TopTables...)
+			seeker := blend.Correlation(q.Keys, q.Targets, 10)
+
+			start := time.Now()
+			hits, err := d.Seek(seeker)
+			if err != nil {
+				panic(err)
+			}
+			tB += time.Since(start)
+			bRuns = append(bRuns, metrics.Run{Retrieved: d.TableNames(hits), Relevant: truth})
+
+			start = time.Now()
+			hits, err = dRand.Seek(seeker)
+			if err != nil {
+				panic(err)
+			}
+			tR += time.Since(start)
+			rRuns = append(rRuns, metrics.Run{Retrieved: dRand.TableNames(hits), Relevant: truth})
+
+			start = time.Now()
+			sh := sketch.Search(q.Keys, q.Targets, 10)
+			tS += time.Since(start)
+			var sNames []string
+			for _, s := range sh {
+				sNames = append(sNames, sketch.TableName(s.TableID))
+			}
+			sRuns = append(sRuns, metrics.Run{Retrieved: sNames, Relevant: truth})
+		}
+		n := time.Duration(len(bench.Queries))
+		row := func(system string, runs []metrics.Run, t time.Duration) {
+			r.Printf("%-10s %-14s | %6.1f%% %6.1f%% | %10s", spec.name, system,
+				100*metrics.MeanPrecisionAtK(runs, 10), 100*metrics.MeanRecallAtK(runs, 10), ms(t/n))
+		}
+		row("BLEND", bRuns, tB)
+		row("BLEND (rand)", rRuns, tR)
+		row("Baseline", sRuns, tS)
+	}
+	return r
+}
+
+// shuffleRows returns deep copies of the tables with rows shuffled — the
+// a-priori shuffled index of the BLEND (rand) ablation.
+func shuffleRows(tables []*table.Table, seed int64) []*table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*table.Table, len(tables))
+	for i, t := range tables {
+		c := t.Clone()
+		rng.Shuffle(len(c.Rows), func(a, b int) { c.Rows[a], c.Rows[b] = c.Rows[b], c.Rows[a] })
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VIII) against the synthetic lakes of internal/datalake. Each
+// experiment returns a Report whose text output mirrors the paper's
+// rows/series; EXPERIMENTS.md records the expected shape versus the
+// paper's absolute numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Scale selects experiment sizes. Small keeps the full suite in seconds
+// for tests and CI; Full enlarges lakes and workloads for benchmarking.
+type Scale int
+
+const (
+	// Small is the test-friendly default.
+	Small Scale = iota
+	// Full enlarges the lakes roughly 8× for more stable runtimes.
+	Full
+)
+
+// factor converts the scale into a workload multiplier.
+func (s Scale) factor() int {
+	if s == Full {
+		return 8
+	}
+	return 1
+}
+
+// Report is the rendered result of one experiment.
+type Report struct {
+	// ID is the experiment key used by the CLI (-exp flag).
+	ID string
+	// Title names the reproduced paper artifact.
+	Title string
+	lines []string
+}
+
+// Printf appends one formatted line to the report.
+func (r *Report) Printf(format string, args ...any) {
+	r.lines = append(r.lines, fmt.Sprintf(format, args...))
+}
+
+// Lines returns the report body.
+func (r *Report) Lines() []string { return r.lines }
+
+// String renders the full report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", r.ID, r.Title)
+	for _, l := range r.lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Experiment is one runnable reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Scale) *Report
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"lakes", "Table II: data lakes used in the experiments", RunLakes},
+		{"complex", "Table III: complex discovery tasks", RunComplexTasks},
+		{"optimizer", "Table IV: optimizer effectiveness", RunOptimizer},
+		{"mcprecision", "Table V: MC precision vs MATE", RunMCPrecision},
+		{"sc_runtime", "Fig. 5: SC seeker runtime vs JOSIE", RunSCRuntime},
+		{"lakebench", "Fig. 6: LakeBench runtime and effectiveness", RunLakeBench},
+		{"unionquality", "Table VI: union search quality vs Starmie", RunUnionQuality},
+		{"union_runtime", "Fig. 7: union search runtime vs Starmie", RunUnionRuntime},
+		{"correlation", "Table VII: correlation discovery", RunCorrelation},
+		{"h_sweep", "Ablation: query-time sample size h (§VIII-G)", RunHSweep},
+		{"indexsize", "Table VIII: index storage", RunIndexSize},
+		{"userstudy", "Table IX: user study", RunUserStudy},
+	}
+}
+
+// ByID finds an experiment, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			exp := e
+			return &exp
+		}
+	}
+	return nil
+}
+
+// timeIt measures fn's wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// ms renders a duration in milliseconds with sensible precision.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}

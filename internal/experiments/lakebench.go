@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"time"
+
+	"blend"
+	"blend/internal/baselines/deepjoin"
+	"blend/internal/baselines/josie"
+	"blend/internal/datalake"
+	"blend/internal/metrics"
+)
+
+// RunLakeBench regenerates Fig. 6: the LakeBench-style join-search
+// comparison on a Webtable-Large-like lake — (a) average runtime of JOSIE,
+// DeepJoin, and BLEND; (b) precision@k and recall@k against exact-overlap
+// ground truth for k ∈ {5, 10, 15, 20}. BLEND and JOSIE return identical
+// result sets (both compute exact overlap); DeepJoin is fastest but
+// diverges because its similarity is semantic.
+func RunLakeBench(scale Scale) *Report {
+	r := &Report{ID: "lakebench", Title: "Fig. 6: LakeBench runtime and effectiveness"}
+	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
+		Name: "webtable", NumTables: 60 * scale.factor(), ColsPerTable: 4,
+		RowsPerTable: 100, VocabSize: 5000, Seed: 61,
+	})
+	d := blend.IndexTables(blend.ColumnStore, lake.Tables)
+	josieIx := josie.Build(lake.Tables)
+	djIx := deepjoin.Build(lake.Tables)
+
+	queries := 8 * scale.factor()
+	ks := []int{5, 10, 15, 20}
+	var tBlend, tJosie, tDJ time.Duration
+	runs := map[string][]metrics.Run{"BLEND": nil, "JOSIE": nil, "DeepJoin": nil}
+	for q := 0; q < queries; q++ {
+		col := lake.QueryColumn(30)
+		truth := metrics.SetOf(lake.BruteForceTopOverlap(col, 20)...)
+
+		start := time.Now()
+		hits, err := d.Seek(blend.SC(col, 20))
+		if err != nil {
+			panic(err)
+		}
+		tBlend += time.Since(start)
+		runs["BLEND"] = append(runs["BLEND"], metrics.Run{Retrieved: d.TableNames(hits), Relevant: truth})
+
+		start = time.Now()
+		jh := josieIx.SearchTables(col, 20)
+		tJosie += time.Since(start)
+		var jNames []string
+		for _, h := range jh {
+			jNames = append(jNames, josieIx.TableName(h.Column.TableID))
+		}
+		runs["JOSIE"] = append(runs["JOSIE"], metrics.Run{Retrieved: jNames, Relevant: truth})
+
+		start = time.Now()
+		dh := djIx.SearchTables(col, 20)
+		tDJ += time.Since(start)
+		var dNames []string
+		for _, h := range dh {
+			dNames = append(dNames, djIx.TableName(h.Column.TableID))
+		}
+		runs["DeepJoin"] = append(runs["DeepJoin"], metrics.Run{Retrieved: dNames, Relevant: truth})
+	}
+	n := time.Duration(queries)
+	r.Printf("a) Runtime (avg per query): JOSIE %s  DeepJoin %s  BLEND %s",
+		ms(tJosie/n), ms(tDJ/n), ms(tBlend/n))
+	r.Printf("b) Effectiveness:")
+	r.Printf("%4s | %8s %8s | %8s %8s | %8s %8s",
+		"k", "P BLEND", "R BLEND", "P JOSIE", "R JOSIE", "P DeepJ", "R DeepJ")
+	for _, k := range ks {
+		r.Printf("%4d | %7.1f%% %7.1f%% | %7.1f%% %7.1f%% | %7.1f%% %7.1f%%",
+			k,
+			100*metrics.MeanPrecisionAtK(runs["BLEND"], k), 100*metrics.MeanRecallAtK(runs["BLEND"], k),
+			100*metrics.MeanPrecisionAtK(runs["JOSIE"], k), 100*metrics.MeanRecallAtK(runs["JOSIE"], k),
+			100*metrics.MeanPrecisionAtK(runs["DeepJoin"], k), 100*metrics.MeanRecallAtK(runs["DeepJoin"], k))
+	}
+	return r
+}

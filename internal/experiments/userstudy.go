@@ -1,0 +1,29 @@
+package experiments
+
+import "blend/internal/userstudy"
+
+// RunUserStudy regenerates Table IX from the embedded per-participant
+// response dataset (see internal/userstudy for the substitution note).
+func RunUserStudy(Scale) *Report {
+	r := &Report{ID: "userstudy", Title: "Table IX: user study"}
+	s := userstudy.Aggregate(userstudy.Responses())
+	for _, line := range splitLines(s.Format()) {
+		r.Printf("%s", line)
+	}
+	return r
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+// Package hnsw implements a Hierarchical Navigable Small World graph for
+// approximate nearest-neighbour search over dense vectors (Malkov &
+// Yashunin), built from scratch on the standard library.
+//
+// BLEND's union- and join-search baselines (Starmie, DeepJoin) owe their
+// speed to an in-memory HNSW over column embeddings; this package provides
+// that substrate for the reproduced baselines. Distances are cosine
+// (vectors are normalized at insert, so distance = 1 − dot product).
+package hnsw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config tunes graph construction and search.
+type Config struct {
+	// M is the maximum number of bidirectional links per node per layer
+	// (layer 0 allows 2M).
+	M int
+	// EfConstruction is the candidate-list width during insertion.
+	EfConstruction int
+	// EfSearch is the default candidate-list width during search.
+	EfSearch int
+	// Seed drives the level generator; fixed seeds give reproducible
+	// graphs.
+	Seed int64
+}
+
+// DefaultConfig mirrors common HNSW settings for small corpora.
+func DefaultConfig() Config {
+	return Config{M: 8, EfConstruction: 64, EfSearch: 32, Seed: 1}
+}
+
+// Index is an HNSW graph. Not safe for concurrent mutation; concurrent
+// Search calls are safe once building is done.
+type Index struct {
+	cfg    Config
+	rng    *rand.Rand
+	levelF float64
+
+	vectors [][]float32
+	ids     []int // external id per node
+	// links[node][layer] lists neighbour node indices.
+	links [][][]int
+	// levels[node] is the node's top layer.
+	levels []int
+
+	entry    int // entry point node, -1 when empty
+	maxLevel int
+}
+
+// New creates an empty index with the given vector dimensionality implied
+// by the first Add.
+func New(cfg Config) *Index {
+	if cfg.M <= 0 {
+		cfg.M = 8
+	}
+	if cfg.EfConstruction < cfg.M {
+		cfg.EfConstruction = 4 * cfg.M
+	}
+	if cfg.EfSearch <= 0 {
+		cfg.EfSearch = 2 * cfg.M
+	}
+	return &Index{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		levelF: 1 / math.Log(float64(cfg.M)),
+		entry:  -1,
+	}
+}
+
+// Len reports the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.vectors) }
+
+// Add inserts a vector under an external id. The vector is copied and
+// L2-normalized; zero vectors are rejected.
+func (ix *Index) Add(id int, vec []float32) error {
+	v, ok := normalize(vec)
+	if !ok {
+		return fmt.Errorf("hnsw: zero vector for id %d", id)
+	}
+	node := len(ix.vectors)
+	level := ix.randomLevel()
+	ix.vectors = append(ix.vectors, v)
+	ix.ids = append(ix.ids, id)
+	ix.levels = append(ix.levels, level)
+	nl := make([][]int, level+1)
+	ix.links = append(ix.links, nl)
+
+	if ix.entry < 0 {
+		ix.entry = node
+		ix.maxLevel = level
+		return nil
+	}
+
+	cur := ix.entry
+	// Greedy descent through layers above the new node's level.
+	for l := ix.maxLevel; l > level; l-- {
+		cur = ix.greedyClosest(v, cur, l)
+	}
+	// Insert with efConstruction candidates on each shared layer.
+	for l := min(level, ix.maxLevel); l >= 0; l-- {
+		cands := ix.searchLayer(v, cur, ix.cfg.EfConstruction, l)
+		m := ix.cfg.M
+		if l == 0 {
+			m = 2 * ix.cfg.M
+		}
+		neighbors := ix.selectNeighbors(cands, m)
+		ix.links[node][l] = neighbors
+		for _, nb := range neighbors {
+			ix.links[nb][l] = append(ix.links[nb][l], node)
+			if len(ix.links[nb][l]) > m {
+				ix.links[nb][l] = ix.shrink(nb, l, m)
+			}
+		}
+		if len(cands) > 0 {
+			cur = cands[0].node
+		}
+	}
+	if level > ix.maxLevel {
+		ix.maxLevel = level
+		ix.entry = node
+	}
+	return nil
+}
+
+// Result is one search hit.
+type Result struct {
+	ID int
+	// Similarity is the cosine similarity in [-1, 1], higher is closer.
+	Similarity float32
+}
+
+// Search returns the k approximate nearest neighbours of vec by cosine
+// similarity, best first.
+func (ix *Index) Search(vec []float32, k int) []Result {
+	if ix.entry < 0 || k <= 0 {
+		return nil
+	}
+	v, ok := normalize(vec)
+	if !ok {
+		return nil
+	}
+	cur := ix.entry
+	for l := ix.maxLevel; l > 0; l-- {
+		cur = ix.greedyClosest(v, cur, l)
+	}
+	ef := ix.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	cands := ix.searchLayer(v, cur, ef, 0)
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: ix.ids[c.node], Similarity: 1 - c.dist}
+	}
+	return out
+}
+
+type scored struct {
+	node int
+	dist float32
+}
+
+// greedyClosest walks layer l from start towards vec until no neighbour is
+// closer.
+func (ix *Index) greedyClosest(vec []float32, start, l int) int {
+	cur := start
+	curDist := ix.distance(vec, cur)
+	for {
+		improved := false
+		if l < len(ix.links[cur]) {
+			for _, nb := range ix.links[cur][l] {
+				if d := ix.distance(vec, nb); d < curDist {
+					cur, curDist = nb, d
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// searchLayer is the ef-bounded best-first search of one layer, returning
+// candidates sorted by distance ascending.
+func (ix *Index) searchLayer(vec []float32, entry, ef, l int) []scored {
+	visited := map[int]bool{entry: true}
+	start := scored{node: entry, dist: ix.distance(vec, entry)}
+	// candidates: min-heap by dist (slice-based); results: kept sorted.
+	cands := []scored{start}
+	results := []scored{start}
+	for len(cands) > 0 {
+		// Pop nearest candidate.
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].dist < cands[best].dist {
+				best = i
+			}
+		}
+		c := cands[best]
+		cands = append(cands[:best], cands[best+1:]...)
+		// Stop when the nearest candidate is farther than the worst
+		// kept result and the result list is full.
+		if len(results) >= ef && c.dist > results[len(results)-1].dist {
+			break
+		}
+		if l < len(ix.links[c.node]) {
+			for _, nb := range ix.links[c.node][l] {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				d := ix.distance(vec, nb)
+				if len(results) < ef || d < results[len(results)-1].dist {
+					sc := scored{node: nb, dist: d}
+					cands = append(cands, sc)
+					results = insertSorted(results, sc)
+					if len(results) > ef {
+						results = results[:ef]
+					}
+				}
+			}
+		}
+	}
+	return results
+}
+
+func insertSorted(rs []scored, s scored) []scored {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i].dist > s.dist })
+	rs = append(rs, scored{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = s
+	return rs
+}
+
+// selectNeighbors keeps the m closest candidates (simple heuristic).
+func (ix *Index) selectNeighbors(cands []scored, m int) []int {
+	if len(cands) > m {
+		cands = cands[:m]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.node
+	}
+	return out
+}
+
+// shrink re-selects the m best links of node nb on layer l.
+func (ix *Index) shrink(nb, l, m int) []int {
+	ls := ix.links[nb][l]
+	ss := make([]scored, len(ls))
+	for i, x := range ls {
+		ss[i] = scored{node: x, dist: dot1(ix.vectors[nb], ix.vectors[x])}
+	}
+	sort.Slice(ss, func(a, b int) bool { return ss[a].dist < ss[b].dist })
+	if len(ss) > m {
+		ss = ss[:m]
+	}
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		out[i] = s.node
+	}
+	return out
+}
+
+func (ix *Index) distance(vec []float32, node int) float32 {
+	return dot1(vec, ix.vectors[node])
+}
+
+// dot1 computes 1 − a·b (cosine distance for unit vectors).
+func dot1(a, b []float32) float32 {
+	var d float32
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d += a[i] * b[i]
+	}
+	return 1 - d
+}
+
+func (ix *Index) randomLevel() int {
+	return int(-math.Log(ix.rng.Float64()+1e-12) * ix.levelF)
+}
+
+func normalize(vec []float32) ([]float32, bool) {
+	var norm float64
+	for _, x := range vec {
+		norm += float64(x) * float64(x)
+	}
+	if norm == 0 {
+		return nil, false
+	}
+	inv := float32(1 / math.Sqrt(norm))
+	out := make([]float32, len(vec))
+	for i, x := range vec {
+		out[i] = x * inv
+	}
+	return out, true
+}
+
+// SizeBytes estimates the resident size of the graph (vectors + links),
+// for the index-storage comparison of Table VIII.
+func (ix *Index) SizeBytes() int64 {
+	var b int64
+	for _, v := range ix.vectors {
+		b += int64(len(v)) * 4
+	}
+	for _, nl := range ix.links {
+		for _, ls := range nl {
+			b += int64(len(ls)) * 8
+		}
+	}
+	b += int64(len(ix.ids)) * 16
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package hnsw
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, dim int) []float32 {
+	v := make([]float32, dim)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := New(DefaultConfig())
+	if got := ix.Search([]float32{1, 0}, 3); got != nil {
+		t.Fatalf("empty index returned %v", got)
+	}
+	if ix.Len() != 0 {
+		t.Fatal("empty index has nonzero length")
+	}
+}
+
+func TestZeroVectorRejected(t *testing.T) {
+	ix := New(DefaultConfig())
+	if err := ix.Add(1, []float32{0, 0, 0}); err == nil {
+		t.Fatal("zero vector must be rejected")
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	ix := New(DefaultConfig())
+	if err := ix.Add(42, []float32{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Search([]float32{1, 0}, 1)
+	if len(got) != 1 || got[0].ID != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Similarity < 0.999 {
+		t.Fatalf("self similarity = %v", got[0].Similarity)
+	}
+}
+
+func TestExactNeighborFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ix := New(DefaultConfig())
+	const n, dim = 300, 16
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		vecs[i] = randVec(rng, dim)
+		if err := ix.Add(i, vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Searching for an indexed vector must return it first.
+	for i := 0; i < 20; i++ {
+		got := ix.Search(vecs[i], 1)
+		if len(got) != 1 || got[0].ID != i {
+			t.Fatalf("query %d returned %v", i, got)
+		}
+	}
+}
+
+// TestRecallAgainstBruteForce measures recall@10 versus exact search; HNSW
+// is approximate, but on 500 points it should rarely miss.
+func TestRecallAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultConfig()
+	cfg.EfSearch = 64
+	ix := New(cfg)
+	const n, dim, k, queries = 500, 12, 10, 30
+	vecs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		vecs[i] = randVec(rng, dim)
+		if err := ix.Add(i, vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	norm := func(v []float32) []float32 {
+		out, _ := normalize(v)
+		return out
+	}
+	hits, total := 0, 0
+	for q := 0; q < queries; q++ {
+		query := randVec(rng, dim)
+		qn := norm(query)
+		type pair struct {
+			id  int
+			sim float32
+		}
+		exact := make([]pair, n)
+		for i := 0; i < n; i++ {
+			exact[i] = pair{id: i, sim: 1 - dot1(qn, norm(vecs[i]))}
+		}
+		sort.Slice(exact, func(a, b int) bool { return exact[a].sim > exact[b].sim })
+		want := make(map[int]bool, k)
+		for _, p := range exact[:k] {
+			want[p.id] = true
+		}
+		for _, r := range ix.Search(query, k) {
+			total++
+			if want[r.ID] {
+				hits++
+			}
+		}
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.8 {
+		t.Fatalf("recall@10 = %.2f, want >= 0.80", recall)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	build := func() *Index {
+		rng := rand.New(rand.NewSource(9))
+		ix := New(DefaultConfig())
+		for i := 0; i < 100; i++ {
+			if err := ix.Add(i, randVec(rng, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+	a, b := build(), build()
+	rng := rand.New(rand.NewSource(10))
+	for q := 0; q < 10; q++ {
+		query := randVec(rng, 8)
+		ra, rb := a.Search(query, 5), b.Search(query, 5)
+		if len(ra) != len(rb) {
+			t.Fatal("nondeterministic result size")
+		}
+		for i := range ra {
+			if ra[i].ID != rb[i].ID {
+				t.Fatal("nondeterministic results for fixed seed")
+			}
+		}
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := New(DefaultConfig())
+	if err := ix.Add(0, randVec(rng, 8)); err != nil {
+		t.Fatal(err)
+	}
+	small := ix.SizeBytes()
+	for i := 1; i < 50; i++ {
+		if err := ix.Add(i, randVec(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.SizeBytes() <= small {
+		t.Fatal("SizeBytes must grow with inserts")
+	}
+}
+
+func TestSearchKLargerThanIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ix := New(DefaultConfig())
+	for i := 0; i < 5; i++ {
+		if err := ix.Add(i, randVec(rng, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ix.Search(randVec(rng, 8), 50)
+	if len(got) != 5 {
+		t.Fatalf("got %d results from 5-element index", len(got))
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics implements the retrieval-quality measures used across
+// the paper's evaluation: precision@k, recall@k, and mean average
+// precision@k, plus small aggregation helpers for runtime series.
+package metrics
+
+// PrecisionAtK returns |retrieved[:k] ∩ relevant| / min(k, len(retrieved[:k])).
+// An empty retrieval yields 0.
+func PrecisionAtK(retrieved []string, relevant map[string]bool, k int) float64 {
+	cut := retrieved
+	if k >= 0 && len(cut) > k {
+		cut = cut[:k]
+	}
+	if len(cut) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, r := range cut {
+		if relevant[r] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(cut))
+}
+
+// RecallAtK returns |retrieved[:k] ∩ relevant| / |relevant|. With no
+// relevant items the recall is 0.
+func RecallAtK(retrieved []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	cut := retrieved
+	if k >= 0 && len(cut) > k {
+		cut = cut[:k]
+	}
+	hits := 0
+	for _, r := range cut {
+		if relevant[r] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// AveragePrecisionAtK returns the average of precision@i over the ranks
+// i ≤ k where a relevant item appears, normalized by min(k, |relevant|) —
+// the AP variant behind the paper's MAP@k.
+func AveragePrecisionAtK(retrieved []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	cut := retrieved
+	if k >= 0 && len(cut) > k {
+		cut = cut[:k]
+	}
+	hits := 0
+	sum := 0.0
+	for i, r := range cut {
+		if relevant[r] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	norm := len(relevant)
+	if k >= 0 && k < norm {
+		norm = k
+	}
+	if norm == 0 {
+		return 0
+	}
+	return sum / float64(norm)
+}
+
+// MeanAveragePrecisionAtK averages AP@k across queries. Each element of
+// runs pairs one query's ranking with its relevant set.
+func MeanAveragePrecisionAtK(runs []Run, k int) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range runs {
+		sum += AveragePrecisionAtK(r.Retrieved, r.Relevant, k)
+	}
+	return sum / float64(len(runs))
+}
+
+// Run pairs a retrieved ranking with its ground-truth relevant set.
+type Run struct {
+	Retrieved []string
+	Relevant  map[string]bool
+}
+
+// MeanPrecisionAtK averages precision@k across runs.
+func MeanPrecisionAtK(runs []Run, k int) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range runs {
+		sum += PrecisionAtK(r.Retrieved, r.Relevant, k)
+	}
+	return sum / float64(len(runs))
+}
+
+// MeanRecallAtK averages recall@k across runs.
+func MeanRecallAtK(runs []Run, k int) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range runs {
+		sum += RecallAtK(r.Retrieved, r.Relevant, k)
+	}
+	return sum / float64(len(runs))
+}
+
+// Mean returns the arithmetic mean of xs, 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SetOf builds a membership set from names.
+func SetOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}

@@ -1,0 +1,327 @@
+package minisql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed SELECT statement.
+type Query struct {
+	// Distinct is true for SELECT DISTINCT: duplicate output rows are
+	// removed after projection.
+	Distinct bool
+	// Star is true for SELECT *.
+	Star    bool
+	Select  []SelectItem
+	From    FromItem
+	Joins   []Join
+	Where   Expr // nil when absent
+	GroupBy []Expr
+	// Having filters groups after aggregation; nil when absent.
+	Having  Expr
+	OrderBy []OrderItem
+	// Limit is the row limit, or -1 when absent.
+	Limit int
+}
+
+// SelectItem is one projection expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// FromItem is a base table or a parenthesized subquery, with an optional
+// alias.
+type FromItem struct {
+	Table string // base relation name; empty when Sub != nil
+	Sub   *Query
+	Alias string
+}
+
+// Join is an INNER JOIN clause.
+type Join struct {
+	Right FromItem
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a SQL expression node.
+type Expr interface {
+	String() string
+}
+
+// ColRef references a column, optionally qualified by a relation alias.
+type ColRef struct {
+	Qual string // "" when unqualified
+	Name string
+}
+
+func (c *ColRef) String() string {
+	if c.Qual != "" {
+		return c.Qual + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal value.
+type Lit struct{ V Value }
+
+func (l *Lit) String() string {
+	switch l.V.K {
+	case KStr:
+		return "'" + strings.ReplaceAll(l.V.S, "'", "''") + "'"
+	case KNull:
+		return "NULL"
+	case KBool:
+		if l.V.B {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KInt:
+		return strconv.FormatInt(l.V.I, 10)
+	default:
+		return strconv.FormatFloat(l.V.F, 'g', -1, 64)
+	}
+}
+
+// Bin is a binary operation: comparison, logical, or arithmetic.
+type Bin struct {
+	Op   string // "OR","AND","=","<>","<","<=",">",">=","+","-","*","/","%"
+	L, R Expr
+}
+
+func (b *Bin) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Un is a unary operation: NOT or numeric negation.
+type Un struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+func (u *Un) String() string {
+	if u.Op == "NOT" {
+		return "(NOT " + u.X.String() + ")"
+	}
+	return "(-" + u.X.String() + ")"
+}
+
+// In is `x [NOT] IN (e1, e2, …)`.
+type In struct {
+	X    Expr
+	List []Expr
+	Neg  bool
+
+	// litSet caches the GroupKeys of an all-literal list so membership is
+	// a hash probe instead of a scan — the engine's hash semi-join.
+	// Computed lazily on first evaluation; nil until then, and left nil
+	// (with litSetInit true) when the list has non-literal elements.
+	litSet     map[string]struct{}
+	litSetInit bool
+	// litSetNumStr records whether the list holds string literals that
+	// parse as numbers; such literals can equal numeric probes under SQL
+	// coercion, so a hash miss must fall back to the scan.
+	litSetNumStr bool
+	// litSetNums records whether the list holds numeric literals, which
+	// can equal numeric-parsable string probes.
+	litSetNums bool
+}
+
+func (in *In) String() string {
+	var sb strings.Builder
+	sb.WriteString(in.X.String())
+	if in.Neg {
+		sb.WriteString(" NOT IN (")
+	} else {
+		sb.WriteString(" IN (")
+	}
+	for i, e := range in.List {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(e.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// IsNull is `x IS [NOT] NULL`.
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+func (n *IsNull) String() string {
+	if n.Neg {
+		return n.X.String() + " IS NOT NULL"
+	}
+	return n.X.String() + " IS NULL"
+}
+
+// Call is an aggregate or scalar function call.
+type Call struct {
+	Fn       string // upper case: COUNT, SUM, MIN, MAX, AVG, ABS
+	Star     bool   // COUNT(*)
+	Distinct bool   // COUNT(DISTINCT x)
+	Args     []Expr
+}
+
+func (c *Call) String() string {
+	var sb strings.Builder
+	sb.WriteString(c.Fn)
+	sb.WriteString("(")
+	if c.Star {
+		sb.WriteString("*")
+	} else {
+		if c.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		for i, a := range c.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Cast is the PostgreSQL-style `expr::type` cast; BLEND uses `::int` to
+// turn booleans into 0/1 inside SUM (Listing 3).
+type Cast struct {
+	X    Expr
+	Type string // "int" or "float"
+}
+
+func (c *Cast) String() string { return c.X.String() + "::" + c.Type }
+
+// aggregateFns lists functions computed over groups.
+var aggregateFns = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// hasAggregate reports whether e contains an aggregate call.
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case *Call:
+		if aggregateFns[x.Fn] {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *Bin:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	case *Un:
+		return hasAggregate(x.X)
+	case *Cast:
+		return hasAggregate(x.X)
+	case *In:
+		if hasAggregate(x.X) {
+			return true
+		}
+		for _, e := range x.List {
+			if hasAggregate(e) {
+				return true
+			}
+		}
+	case *IsNull:
+		return hasAggregate(x.X)
+	}
+	return false
+}
+
+// String renders the query back to SQL. The output re-parses to an
+// equivalent AST (property-tested).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if q.Star {
+		sb.WriteString("*")
+	} else {
+		for i, it := range q.Select {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(it.Alias)
+			}
+		}
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(q.From.sqlString())
+	for _, j := range q.Joins {
+		sb.WriteString(" INNER JOIN ")
+		sb.WriteString(j.Right.sqlString())
+		sb.WriteString(" ON ")
+		sb.WriteString(j.On.String())
+	}
+	if q.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(q.Having.String())
+	}
+	if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			} else {
+				sb.WriteString(" ASC")
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(q.Limit))
+	}
+	return sb.String()
+}
+
+func (f *FromItem) sqlString() string {
+	var sb strings.Builder
+	if f.Sub != nil {
+		sb.WriteString("(")
+		sb.WriteString(f.Sub.String())
+		sb.WriteString(")")
+	} else {
+		sb.WriteString(f.Table)
+	}
+	if f.Alias != "" {
+		sb.WriteString(" AS ")
+		sb.WriteString(f.Alias)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package minisql
+
+import "sort"
+
+// Relation is a readable table the engine can query. Implementations must
+// be safe for concurrent readers.
+type Relation interface {
+	// Columns returns the column names in position order.
+	Columns() []string
+	// NumRows returns the row count.
+	NumRows() int
+	// Cell returns the value at (row, col).
+	Cell(row, col int) Value
+}
+
+// IndexedRelation is a Relation with value-index access paths. The engine
+// uses LookupIn to avoid full scans for `col IN (…)` predicates — this is
+// how the AllTables inverted index and TableId index accelerate seekers.
+type IndexedRelation interface {
+	Relation
+	// LookupIn returns the sorted row positions where column col equals
+	// any of vals, and whether the column has an index at all. When ok is
+	// false the engine falls back to a scan.
+	LookupIn(col int, vals []Value) (rows []int, ok bool)
+}
+
+// Catalog names the relations available to queries.
+type Catalog struct {
+	rels map[string]Relation
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: make(map[string]Relation)}
+}
+
+// Register adds or replaces a named relation.
+func (c *Catalog) Register(name string, r Relation) { c.rels[name] = r }
+
+// Lookup finds a relation by name.
+func (c *Catalog) Lookup(name string) (Relation, bool) {
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// MemRelation is an in-memory Relation useful for tests and small data.
+type MemRelation struct {
+	cols    []string
+	rows    [][]Value
+	indexes map[int]map[string][]int
+}
+
+// NewMemRelation creates a relation with the given columns.
+func NewMemRelation(cols ...string) *MemRelation {
+	return &MemRelation{cols: cols}
+}
+
+// Append adds a row. It panics on width mismatch (test helper semantics).
+func (m *MemRelation) Append(vals ...Value) {
+	if len(vals) != len(m.cols) {
+		panic("minisql: MemRelation row width mismatch")
+	}
+	m.rows = append(m.rows, append([]Value(nil), vals...))
+}
+
+// BuildIndex creates a value index on column col; subsequent LookupIn calls
+// on that column use it.
+func (m *MemRelation) BuildIndex(col int) {
+	if m.indexes == nil {
+		m.indexes = make(map[int]map[string][]int)
+	}
+	idx := make(map[string][]int)
+	for r, row := range m.rows {
+		k := row[col].GroupKey()
+		idx[k] = append(idx[k], r)
+	}
+	m.indexes[col] = idx
+}
+
+// Columns implements Relation.
+func (m *MemRelation) Columns() []string { return m.cols }
+
+// NumRows implements Relation.
+func (m *MemRelation) NumRows() int { return len(m.rows) }
+
+// Cell implements Relation.
+func (m *MemRelation) Cell(row, col int) Value { return m.rows[row][col] }
+
+// LookupIn implements IndexedRelation.
+func (m *MemRelation) LookupIn(col int, vals []Value) ([]int, bool) {
+	idx, ok := m.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	var out []int
+	for _, v := range vals {
+		out = append(out, idx[v.GroupKey()]...)
+	}
+	sort.Ints(out)
+	// Deduplicate (duplicate literals in the IN list).
+	out = dedupSortedInts(out)
+	return out, true
+}
+
+func dedupSortedInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}

@@ -1,0 +1,431 @@
+package minisql
+
+import "math"
+
+// evalCtx carries the row (or group of rows) an expression is evaluated
+// against, plus name resolution.
+type evalCtx struct {
+	res *Result
+	// row is the current row for scalar contexts.
+	row int
+	// group, when non-nil, holds the row positions of the current group;
+	// aggregates range over it and bare column references bind to its
+	// first row.
+	group []int
+	// aliases maps select-list aliases to their expressions, used when
+	// ORDER BY or GROUP BY names an output column.
+	aliases map[string]Expr
+}
+
+func (c *evalCtx) firstRow() int {
+	if c.group != nil {
+		if len(c.group) == 0 {
+			return -1
+		}
+		return c.group[0]
+	}
+	return c.row
+}
+
+// eval evaluates e in ctx.
+func eval(e Expr, ctx *evalCtx) (Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		return x.V, nil
+	case *ColRef:
+		if x.Qual == "" && ctx.aliases != nil {
+			if ae, ok := ctx.aliases[x.Name]; ok {
+				// Alias bodies are evaluated in the same context but must
+				// not recurse through aliases again (SQL aliases cannot be
+				// self-referential in this dialect).
+				sub := *ctx
+				sub.aliases = nil
+				return eval(ae, &sub)
+			}
+		}
+		col, err := ctx.res.resolve(x.Qual, x.Name)
+		if err != nil {
+			return Null, err
+		}
+		r := ctx.firstRow()
+		if r < 0 {
+			return Null, nil
+		}
+		return ctx.res.rows[r][col], nil
+	case *Bin:
+		return evalBin(x, ctx)
+	case *Un:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if x.Op == "NOT" {
+			if v.IsNull() {
+				return Null, nil
+			}
+			return Bool(!v.Truthy()), nil
+		}
+		// Numeric negation.
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.K == KInt {
+			return Int(-v.I), nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return Null, errorf("cannot negate %v", v)
+		}
+		return Float(-f), nil
+	case *In:
+		return evalIn(x, ctx)
+	case *IsNull:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(v.IsNull() != x.Neg), nil
+	case *Cast:
+		v, err := eval(x.X, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			return Null, nil
+		}
+		if x.Type == "int" {
+			i, ok := v.AsInt()
+			if !ok {
+				return Null, errorf("cannot cast %v to int", v)
+			}
+			return Int(i), nil
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return Null, errorf("cannot cast %v to float", v)
+		}
+		return Float(f), nil
+	case *Call:
+		return evalCall(x, ctx)
+	}
+	return Null, errorf("unsupported expression %T", e)
+}
+
+func evalBin(b *Bin, ctx *evalCtx) (Value, error) {
+	switch b.Op {
+	case "AND":
+		l, err := eval(b.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if !l.Truthy() {
+			return Bool(false), nil
+		}
+		r, err := eval(b.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(r.Truthy()), nil
+	case "OR":
+		l, err := eval(b.L, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if l.Truthy() {
+			return Bool(true), nil
+		}
+		r, err := eval(b.R, ctx)
+		if err != nil {
+			return Null, err
+		}
+		return Bool(r.Truthy()), nil
+	}
+	l, err := eval(b.L, ctx)
+	if err != nil {
+		return Null, err
+	}
+	r, err := eval(b.R, ctx)
+	if err != nil {
+		return Null, err
+	}
+	switch b.Op {
+	case "=", "<>":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		eq := l.Equal(r)
+		if b.Op == "<>" {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := l.Compare(r)
+		var ok bool
+		switch b.Op {
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		return Bool(ok), nil
+	case "+", "-", "*", "/", "%":
+		return evalArith(b.Op, l, r)
+	}
+	return Null, errorf("unsupported operator %q", b.Op)
+}
+
+// evalArith implements SQL arithmetic. Unlike PostgreSQL, "/" always
+// divides as float: the paper's QCR formula (2·SUM−COUNT)/COUNT relies on a
+// cast in the original SQL; float division keeps the formula exact without
+// sprinkling casts through generated queries.
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
+	}
+	if op == "%" {
+		a, aok := l.AsInt()
+		b, bok := r.AsInt()
+		if !aok || !bok || b == 0 {
+			return Null, nil
+		}
+		return Int(a % b), nil
+	}
+	bothInt := l.K == KInt && r.K == KInt
+	a, aok := l.AsFloat()
+	b, bok := r.AsFloat()
+	if !aok || !bok {
+		return Null, errorf("non-numeric operand for %q: %v, %v", op, l, r)
+	}
+	switch op {
+	case "+":
+		if bothInt {
+			return Int(l.I + r.I), nil
+		}
+		return Float(a + b), nil
+	case "-":
+		if bothInt {
+			return Int(l.I - r.I), nil
+		}
+		return Float(a - b), nil
+	case "*":
+		if bothInt {
+			return Int(l.I * r.I), nil
+		}
+		return Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return Null, nil
+		}
+		return Float(a / b), nil
+	}
+	return Null, errorf("unsupported arithmetic %q", op)
+}
+
+func evalIn(in *In, ctx *evalCtx) (Value, error) {
+	v, err := eval(in.X, ctx)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() {
+		return Null, nil
+	}
+	if !in.litSetInit {
+		in.litSetInit = true
+		allLit := true
+		for _, le := range in.List {
+			if _, ok := le.(*Lit); !ok {
+				allLit = false
+				break
+			}
+		}
+		if allLit {
+			in.litSet = make(map[string]struct{}, len(in.List))
+			for _, le := range in.List {
+				lv := le.(*Lit).V
+				in.litSet[lv.GroupKey()] = struct{}{}
+				switch {
+				case lv.K == KStr:
+					if _, ok := lv.AsFloat(); ok {
+						in.litSetNumStr = true
+					}
+				case lv.K != KNull:
+					in.litSetNums = true
+				}
+			}
+		}
+	}
+	if in.litSet != nil {
+		// Hash probe. GroupKey canonicalizes all numeric kinds, so the
+		// probe decides membership exactly unless string/number coercion
+		// could still apply — then fall through to the Equal scan.
+		if _, ok := in.litSet[v.GroupKey()]; ok {
+			return Bool(!in.Neg), nil
+		}
+		mixedPossible := false
+		if v.K == KStr {
+			if _, numeric := v.AsFloat(); numeric && in.litSetNums {
+				mixedPossible = true
+			}
+		} else if in.litSetNumStr {
+			mixedPossible = true
+		}
+		if !mixedPossible {
+			return Bool(in.Neg), nil
+		}
+	}
+	found := false
+	for _, le := range in.List {
+		lv, err := eval(le, ctx)
+		if err != nil {
+			return Null, err
+		}
+		if v.Equal(lv) {
+			found = true
+			break
+		}
+	}
+	return Bool(found != in.Neg), nil
+}
+
+func evalCall(c *Call, ctx *evalCtx) (Value, error) {
+	if !aggregateFns[c.Fn] {
+		// Scalar function.
+		v, err := eval(c.Args[0], ctx)
+		if err != nil {
+			return Null, err
+		}
+		switch c.Fn {
+		case "ABS":
+			if v.IsNull() {
+				return Null, nil
+			}
+			if v.K == KInt {
+				if v.I < 0 {
+					return Int(-v.I), nil
+				}
+				return v, nil
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return Null, errorf("ABS of non-numeric %v", v)
+			}
+			return Float(math.Abs(f)), nil
+		}
+		return Null, errorf("unknown function %s", c.Fn)
+	}
+	// Aggregate: needs a group context; outside GROUP BY the whole result
+	// is one implicit group.
+	group := ctx.group
+	if group == nil {
+		group = make([]int, ctx.res.NumRows())
+		for i := range group {
+			group[i] = i
+		}
+	}
+	if c.Fn == "COUNT" && c.Star {
+		return Int(int64(len(group))), nil
+	}
+	arg := c.Args[0]
+	rowCtx := &evalCtx{res: ctx.res, aliases: ctx.aliases}
+	switch c.Fn {
+	case "COUNT":
+		if c.Distinct {
+			seen := make(map[string]struct{})
+			for _, r := range group {
+				rowCtx.row = r
+				v, err := eval(arg, rowCtx)
+				if err != nil {
+					return Null, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				seen[v.GroupKey()] = struct{}{}
+			}
+			return Int(int64(len(seen))), nil
+		}
+		n := int64(0)
+		for _, r := range group {
+			rowCtx.row = r
+			v, err := eval(arg, rowCtx)
+			if err != nil {
+				return Null, err
+			}
+			if !v.IsNull() {
+				n++
+			}
+		}
+		return Int(n), nil
+	case "SUM", "AVG":
+		var sum float64
+		n := 0
+		allInt := true
+		var isum int64
+		for _, r := range group {
+			rowCtx.row = r
+			v, err := eval(arg, rowCtx)
+			if err != nil {
+				return Null, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			f, ok := v.AsFloat()
+			if !ok {
+				return Null, errorf("%s of non-numeric %v", c.Fn, v)
+			}
+			if v.K == KInt || v.K == KBool {
+				iv, _ := v.AsInt()
+				isum += iv
+			} else {
+				allInt = false
+			}
+			sum += f
+			n++
+		}
+		if n == 0 {
+			return Null, nil
+		}
+		if c.Fn == "AVG" {
+			return Float(sum / float64(n)), nil
+		}
+		if allInt {
+			return Int(isum), nil
+		}
+		return Float(sum), nil
+	case "MIN", "MAX":
+		var best Value
+		first := true
+		for _, r := range group {
+			rowCtx.row = r
+			v, err := eval(arg, rowCtx)
+			if err != nil {
+				return Null, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if first {
+				best = v
+				first = false
+				continue
+			}
+			cv := v.Compare(best)
+			if (c.Fn == "MIN" && cv < 0) || (c.Fn == "MAX" && cv > 0) {
+				best = v
+			}
+		}
+		if first {
+			return Null, nil
+		}
+		return best, nil
+	}
+	return Null, errorf("unknown aggregate %s", c.Fn)
+}

@@ -1,0 +1,258 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+)
+
+// evalOne parses `SELECT <expr> FROM t LIMIT 1` over a one-row relation
+// and returns the value.
+func evalOne(t *testing.T, expr string) Value {
+	t.Helper()
+	m := NewMemRelation("a", "b", "s", "n")
+	m.Append(Int(2), Int(3), Str("hello"), Null)
+	cat := catWith("t", m)
+	res, err := ExecSQL(cat, "SELECT "+expr+" FROM t")
+	if err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return res.Cell(0, 0)
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{"1 + 2", Int(3)},
+		{"a + b", Int(5)},
+		{"a - b", Int(-1)},
+		{"a * b", Int(6)},
+		{"7 / 2", Float(3.5)},
+		{"7 % 2", Int(1)},
+		{"1.5 + 1", Float(2.5)},
+		{"-a", Int(-2)},
+		{"-(a + b)", Int(-5)},
+		{"2 * 3 - 1", Int(5)},
+		{"2 + 3 * 4", Int(14)},
+		{"(2 + 3) * 4", Int(20)},
+		{"ABS(a - b)", Int(1)},
+		{"ABS(0 - 1.5)", Float(1.5)},
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.expr)
+		if got.K != c.want.K || !got.Equal(c.want) {
+			t.Errorf("%q = %#v, want %#v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	for _, expr := range []string{"n + 1", "n * 2", "-n", "1 / 0", "n = 1", "n < 1", "ABS(n)", "n::int", "7 % 0"} {
+		if got := evalOne(t, expr); !got.IsNull() {
+			t.Errorf("%q = %v, want NULL", expr, got)
+		}
+	}
+	// IS NULL / IS NOT NULL are the only null-aware predicates.
+	if got := evalOne(t, "n IS NULL"); !got.B {
+		t.Error("n IS NULL should be true")
+	}
+	if got := evalOne(t, "a IS NOT NULL"); !got.B {
+		t.Error("a IS NOT NULL should be true")
+	}
+}
+
+func TestLogic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"TRUE AND TRUE", true},
+		{"TRUE AND FALSE", false},
+		{"FALSE OR TRUE", true},
+		{"NOT FALSE", true},
+		{"a = 2 AND b = 3", true},
+		{"a = 2 OR b = 99", true},
+		{"NOT a = 2", false},
+		{"a <> b", true},
+		{"a <= 2 AND a >= 2", true},
+		{"s = 'hello'", true},
+		{"s < 'world'", true},
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.expr)
+		if got.K != KBool || got.B != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestInSemantics(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a IN (1, 2, 3)", true},
+		{"a IN (4, 5)", false},
+		{"a NOT IN (4, 5)", true},
+		{"s IN ('hello', 'x')", true},
+		{"s NOT IN ('hello')", false},
+		// Cross-kind coercion: the numeric string '2' matches column a=2.
+		{"a IN ('2')", true},
+		{"s IN (1, 2)", false},
+		{"a IN ()", false},
+		{"a NOT IN ()", true},
+	}
+	for _, c := range cases {
+		got := evalOne(t, c.expr)
+		if got.K != KBool || got.B != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+	// NULL probe yields NULL (falsy), for IN and NOT IN alike.
+	if got := evalOne(t, "n IN (1)"); !got.IsNull() {
+		t.Error("NULL IN (…) must be NULL")
+	}
+	if got := evalOne(t, "n NOT IN (1)"); !got.IsNull() {
+		t.Error("NULL NOT IN (…) must be NULL")
+	}
+}
+
+// TestInHashMatchesScan cross-checks the memoized literal-set fast path
+// against fresh scans: the same IN expression evaluated twice (second time
+// using the cached set) must agree, across kind mixes.
+func TestInHashMatchesScan(t *testing.T) {
+	m := NewMemRelation("v")
+	probes := []Value{Int(5), Float(5), Str("5"), Str("5.0"), Str("abc"), Bool(true), Int(1), Null}
+	for _, p := range probes {
+		m.Append(p)
+	}
+	cat := catWith("t", m)
+	for _, list := range []string{"(5)", "('5')", "(5.0)", "(1, 'abc')", "(TRUE)", "('5.0')"} {
+		sql := "SELECT v IN " + list + " FROM t"
+		r1, err := ExecSQL(cat, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ExecSQL(cat, sql) // fresh parse, fresh cache
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < r1.NumRows(); i++ {
+			a, b := r1.Cell(i, 0), r2.Cell(i, 0)
+			if a.K != b.K || a.B != b.B {
+				t.Fatalf("IN %s row %d: %v vs %v", list, i, a, b)
+			}
+			// Reference: brute-force Equal over the literal list.
+			q, _ := Parse(sql)
+			in := q.Select[0].Expr.(*In)
+			want := false
+			probe := probes[i]
+			if !probe.IsNull() {
+				for _, le := range in.List {
+					if probe.Equal(le.(*Lit).V) {
+						want = true
+					}
+				}
+				if a.K != KBool || a.B != want {
+					t.Fatalf("IN %s probe %v: got %v, want %v", list, probe, a, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCastSemantics(t *testing.T) {
+	if got := evalOne(t, "(a = 2)::int"); got.K != KInt || got.I != 1 {
+		t.Fatalf("bool cast = %#v", got)
+	}
+	if got := evalOne(t, "(a = 99)::int"); got.I != 0 {
+		t.Fatalf("false cast = %#v", got)
+	}
+	if got := evalOne(t, "a::float"); got.K != KFloat || got.F != 2 {
+		t.Fatalf("float cast = %#v", got)
+	}
+	if got := evalOne(t, "'3'::int"); got.K != KInt || got.I != 3 {
+		t.Fatalf("string cast = %#v", got)
+	}
+	if _, err := ExecSQL(catWith("t", NewMemRelation("v")), "SELECT 's'::int FROM t"); err != nil {
+		t.Fatal("cast error on empty relation should not fire (no rows)")
+	}
+}
+
+func TestMinMaxOverStrings(t *testing.T) {
+	m := NewMemRelation("v")
+	for _, s := range []string{"pear", "apple", "quince"} {
+		m.Append(Str(s))
+	}
+	res, err := ExecSQL(catWith("t", m), "SELECT MIN(v), MAX(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(0, 0).S != "apple" || res.Cell(0, 1).S != "quince" {
+		t.Fatalf("min/max = %v %v", res.Cell(0, 0), res.Cell(0, 1))
+	}
+}
+
+func TestAvgMixedIntFloat(t *testing.T) {
+	m := NewMemRelation("v")
+	m.Append(Int(1))
+	m.Append(Float(2.5))
+	m.Append(Null) // ignored
+	res, err := ExecSQL(catWith("t", m), "SELECT AVG(v), SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(0, 0).F != 1.75 {
+		t.Fatalf("avg = %v", res.Cell(0, 0))
+	}
+	if res.Cell(0, 1).F != 3.5 {
+		t.Fatalf("sum = %v", res.Cell(0, 1))
+	}
+}
+
+func TestGroupByAlias(t *testing.T) {
+	m := NewMemRelation("v", "n")
+	m.Append(Str("x"), Int(1))
+	m.Append(Str("x"), Int(2))
+	m.Append(Str("y"), Int(3))
+	res, err := ExecSQL(catWith("t", m),
+		"SELECT v AS grp, SUM(n) AS total FROM t GROUP BY grp ORDER BY total DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 || res.Cell(0, 0).S != "x" || res.Cell(0, 1).I != 3 {
+		t.Fatalf("grouped = %v %v", res.Cell(0, 0), res.Cell(0, 1))
+	}
+}
+
+func TestAggregateInsideExpression(t *testing.T) {
+	m := NewMemRelation("q", "v")
+	// Mirror the QCR score shape: (2*SUM(cond::int) - COUNT(*)) / COUNT(*).
+	m.Append(Int(1), Int(1))
+	m.Append(Int(1), Int(1))
+	m.Append(Int(0), Int(1))
+	m.Append(Int(0), Int(1))
+	res, err := ExecSQL(catWith("t", m),
+		"SELECT (2 * SUM((q = 1)::int) - COUNT(*)) / COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell(0, 0).F != 0 { // 2 agree of 4 → QCR 0
+		t.Fatalf("qcr = %v", res.Cell(0, 0))
+	}
+}
+
+func TestErrorMessagesActionable(t *testing.T) {
+	m := NewMemRelation("v")
+	m.Append(Str("x")) // name resolution happens per row; need one
+	cat := catWith("t", m)
+	_, err := ExecSQL(cat, "SELECT missing FROM t")
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = ExecSQL(cat, "SELECT v FROM ghost")
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("err = %v", err)
+	}
+}

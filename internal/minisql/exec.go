@@ -1,0 +1,718 @@
+package minisql
+
+import (
+	"sort"
+	"strings"
+)
+
+// Result is a materialized query result. It implements Relation, so results
+// can feed further queries.
+type Result struct {
+	cols  []string
+	quals []string
+	rows  [][]Value
+}
+
+// Columns implements Relation.
+func (r *Result) Columns() []string { return r.cols }
+
+// NumRows implements Relation.
+func (r *Result) NumRows() int { return len(r.rows) }
+
+// Cell implements Relation.
+func (r *Result) Cell(row, col int) Value { return r.rows[row][col] }
+
+// Row returns the raw values of one result row (shared, do not modify).
+func (r *Result) Row(row int) []Value { return r.rows[row] }
+
+// resolve finds the position of a (possibly qualified) column name,
+// case-insensitively. Unqualified names matching several columns are
+// ambiguous unless all matches share the position.
+func (r *Result) resolve(qual, name string) (int, error) {
+	found := -1
+	for i := range r.cols {
+		if !strings.EqualFold(r.cols[i], name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(r.quals[i], qual) {
+			continue
+		}
+		if found >= 0 {
+			return 0, errorf("ambiguous column reference %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, errorf("unknown column %s.%s", qual, name)
+		}
+		return 0, errorf("unknown column %s", name)
+	}
+	return found, nil
+}
+
+// ExecSQL parses and executes a statement against the catalog.
+func ExecSQL(cat *Catalog, sql string) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(cat, q)
+}
+
+// Exec executes a parsed query against the catalog.
+func Exec(cat *Catalog, q *Query) (*Result, error) {
+	src, err := execSource(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	needsAgg := len(q.GroupBy) > 0
+	if !needsAgg {
+		for _, it := range q.Select {
+			if hasAggregate(it.Expr) {
+				needsAgg = true
+				break
+			}
+		}
+	}
+	var out *Result
+	if needsAgg {
+		out, err = execAggregate(q, src)
+	} else {
+		out, err = execProject(q, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		out.rows = dedupeRows(out.rows)
+	}
+	if q.Limit >= 0 && len(out.rows) > q.Limit {
+		out.rows = out.rows[:q.Limit]
+	}
+	return out, nil
+}
+
+// dedupeRows removes duplicate output rows (SELECT DISTINCT), keeping the
+// first occurrence so ORDER BY ranking is preserved.
+func dedupeRows(rows [][]Value) [][]Value {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		var kb strings.Builder
+		for _, v := range row {
+			kb.WriteString(v.GroupKey())
+			kb.WriteByte(0x1f)
+		}
+		k := kb.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+// execSource evaluates FROM, JOINs, and WHERE, returning the filtered
+// source relation with qualified columns.
+func execSource(cat *Catalog, q *Query) (*Result, error) {
+	if len(q.Joins) == 0 {
+		// Projection pushdown: a single-source query only touches the
+		// columns it references, so the scan can skip materializing the
+		// rest — the physical advantage of the column layout.
+		return execFromItem(cat, q.From, q.Where, collectNeeded(q))
+	}
+	left, err := execFromItem(cat, q.From, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range q.Joins {
+		right, err := execFromItem(cat, j.Right, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		left, err = hashJoin(left, right, j.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Where == nil {
+		return left, nil
+	}
+	return filterResult(left, q.Where)
+}
+
+// neededCols names the columns a query references; nil means "all".
+type neededCols map[string]struct{}
+
+// collectNeeded gathers every column name referenced anywhere in q, or nil
+// when SELECT * forces full materialization. Qualifiers are dropped: a
+// single-source query has one qualifier, so names suffice.
+func collectNeeded(q *Query) neededCols {
+	if q.Star {
+		return nil
+	}
+	need := make(neededCols)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case nil:
+		case *ColRef:
+			need[strings.ToLower(x.Name)] = struct{}{}
+		case *Bin:
+			walk(x.L)
+			walk(x.R)
+		case *Un:
+			walk(x.X)
+		case *Cast:
+			walk(x.X)
+		case *IsNull:
+			walk(x.X)
+		case *In:
+			walk(x.X)
+			for _, le := range x.List {
+				walk(le)
+			}
+		case *Call:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, it := range q.Select {
+		walk(it.Expr)
+	}
+	walk(q.Where)
+	walk(q.Having)
+	for _, g := range q.GroupBy {
+		walk(g)
+	}
+	for _, o := range q.OrderBy {
+		walk(o.Expr)
+	}
+	return need
+}
+
+func execFromItem(cat *Catalog, f FromItem, where Expr, need neededCols) (*Result, error) {
+	if f.Sub != nil {
+		res, err := Exec(cat, f.Sub)
+		if err != nil {
+			return nil, err
+		}
+		// Requalify all output columns with the subquery alias.
+		quals := make([]string, len(res.cols))
+		for i := range quals {
+			quals[i] = f.Alias
+		}
+		res = &Result{cols: res.cols, quals: quals, rows: res.rows}
+		if where == nil {
+			return res, nil
+		}
+		return filterResult(res, where)
+	}
+	rel, ok := cat.Lookup(f.Table)
+	if !ok {
+		return nil, errorf("unknown relation %q", f.Table)
+	}
+	qual := f.Alias
+	if qual == "" {
+		qual = f.Table
+	}
+	return scanBase(rel, qual, where, need)
+}
+
+// scanBase materializes the rows of a base relation that satisfy where,
+// using an index access path for `col IN (literals)` conjuncts when the
+// relation supports one. When need is non-nil, only the named columns are
+// materialized; unreferenced positions stay NULL and are never read from
+// the relation (projection pushdown).
+func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, error) {
+	cols := rel.Columns()
+	quals := make([]string, len(cols))
+	for i := range quals {
+		quals[i] = qual
+	}
+	out := &Result{cols: append([]string(nil), cols...), quals: quals}
+	wanted := make([]bool, len(cols))
+	for i, c := range cols {
+		if need == nil {
+			wanted[i] = true
+			continue
+		}
+		_, wanted[i] = need[strings.ToLower(c)]
+	}
+
+	var candidates []int
+	fullScan := true
+	if where != nil {
+		if ix, ok := rel.(IndexedRelation); ok {
+			if rows, ok := bestIndexPath(ix, cols, qual, where); ok {
+				candidates = rows
+				fullScan = false
+			}
+		}
+	}
+
+	buf := make([]Value, len(cols))
+	scratch := &Result{cols: out.cols, quals: out.quals, rows: [][]Value{buf}}
+	ctx := &evalCtx{res: scratch}
+	emit := func(r int) error {
+		for c := range cols {
+			if wanted[c] {
+				buf[c] = rel.Cell(r, c)
+			} else {
+				buf[c] = Null
+			}
+		}
+		if where != nil {
+			v, err := eval(where, ctx)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+		}
+		out.rows = append(out.rows, append([]Value(nil), buf...))
+		return nil
+	}
+	if fullScan {
+		n := rel.NumRows()
+		for r := 0; r < n; r++ {
+			if err := emit(r); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, r := range candidates {
+			if err := emit(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// bestIndexPath inspects the conjuncts of where for `col IN (lit,…)`
+// predicates on indexed columns of rel and returns the smallest candidate
+// row set among them.
+func bestIndexPath(rel IndexedRelation, cols []string, qual string, where Expr) ([]int, bool) {
+	var best []int
+	found := false
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Bin:
+			if x.Op == "AND" {
+				walk(x.L)
+				walk(x.R)
+				return
+			}
+			if x.Op != "=" {
+				return
+			}
+			// col = literal is a one-element IN.
+			cr, okc := x.L.(*ColRef)
+			lit, okl := x.R.(*Lit)
+			if !okc || !okl {
+				cr, okc = x.R.(*ColRef)
+				lit, okl = x.L.(*Lit)
+			}
+			if !okc || !okl {
+				return
+			}
+			tryIndex(rel, cols, qual, cr, []Value{lit.V}, &best, &found)
+		case *In:
+			if x.Neg {
+				return
+			}
+			cr, ok := x.X.(*ColRef)
+			if !ok {
+				return
+			}
+			vals := make([]Value, 0, len(x.List))
+			for _, le := range x.List {
+				l, ok := le.(*Lit)
+				if !ok {
+					return
+				}
+				vals = append(vals, l.V)
+			}
+			tryIndex(rel, cols, qual, cr, vals, &best, &found)
+		}
+	}
+	walk(where)
+	return best, found
+}
+
+func tryIndex(rel IndexedRelation, cols []string, qual string, cr *ColRef, vals []Value, best *[]int, found *bool) {
+	if cr.Qual != "" && !strings.EqualFold(cr.Qual, qual) {
+		return
+	}
+	col := -1
+	for i, c := range cols {
+		if strings.EqualFold(c, cr.Name) {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return
+	}
+	rows, ok := rel.LookupIn(col, vals)
+	if !ok {
+		return
+	}
+	if !*found || len(rows) < len(*best) {
+		*best = rows
+		*found = true
+	}
+}
+
+func filterResult(src *Result, where Expr) (*Result, error) {
+	out := &Result{cols: src.cols, quals: src.quals}
+	ctx := &evalCtx{res: src}
+	for r := range src.rows {
+		ctx.row = r
+		v, err := eval(where, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			out.rows = append(out.rows, src.rows[r])
+		}
+	}
+	return out, nil
+}
+
+// hashJoin executes an inner join. Equality conjuncts between the two
+// sides become the hash key; remaining conjuncts are evaluated as a
+// residual filter on each joined row.
+func hashJoin(left, right *Result, on Expr) (*Result, error) {
+	type eqPair struct{ l, r int }
+	var eqs []eqPair
+	var residual []Expr
+	var collect func(e Expr) error
+	collect = func(e Expr) error {
+		if b, ok := e.(*Bin); ok {
+			if b.Op == "AND" {
+				if err := collect(b.L); err != nil {
+					return err
+				}
+				return collect(b.R)
+			}
+			if b.Op == "=" {
+				lc, lok := b.L.(*ColRef)
+				rc, rok := b.R.(*ColRef)
+				if lok && rok {
+					li, lerr := left.resolve(lc.Qual, lc.Name)
+					ri, rerr := right.resolve(rc.Qual, rc.Name)
+					if lerr == nil && rerr == nil {
+						eqs = append(eqs, eqPair{li, ri})
+						return nil
+					}
+					// Maybe the sides are swapped.
+					li2, lerr2 := left.resolve(rc.Qual, rc.Name)
+					ri2, rerr2 := right.resolve(lc.Qual, lc.Name)
+					if lerr2 == nil && rerr2 == nil {
+						eqs = append(eqs, eqPair{li2, ri2})
+						return nil
+					}
+				}
+			}
+		}
+		residual = append(residual, e)
+		return nil
+	}
+	if err := collect(on); err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		cols:  append(append([]string(nil), left.cols...), right.cols...),
+		quals: append(append([]string(nil), left.quals...), right.quals...),
+	}
+	var resid Expr
+	for _, e := range residual {
+		if resid == nil {
+			resid = e
+		} else {
+			resid = &Bin{Op: "AND", L: resid, R: e}
+		}
+	}
+	ctx := &evalCtx{res: out}
+	emit := func(lr, rr []Value) error {
+		row := make([]Value, 0, len(lr)+len(rr))
+		row = append(row, lr...)
+		row = append(row, rr...)
+		if resid != nil {
+			out.rows = append(out.rows, row) // temporarily visible to ctx
+			ctx.row = len(out.rows) - 1
+			v, err := eval(resid, ctx)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				out.rows = out.rows[:len(out.rows)-1]
+			}
+			return nil
+		}
+		out.rows = append(out.rows, row)
+		return nil
+	}
+
+	if len(eqs) == 0 {
+		// Nested loop for pure residual joins (rare in our dialect).
+		for lr := range left.rows {
+			for rr := range right.rows {
+				if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Build on the smaller side, probe with the larger.
+	buildLeft := len(left.rows) < len(right.rows)
+	build, probe := right, left
+	if buildLeft {
+		build, probe = left, right
+	}
+	key := func(res *Result, r int) (string, bool) {
+		var sb strings.Builder
+		for _, eq := range eqs {
+			col := eq.r
+			if res == left {
+				col = eq.l
+			}
+			v := res.rows[r][col]
+			if v.IsNull() {
+				return "", false // NULL never joins
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0x1f)
+		}
+		return sb.String(), true
+	}
+	ht := make(map[string][]int, len(build.rows))
+	for r := range build.rows {
+		if k, ok := key(build, r); ok {
+			ht[k] = append(ht[k], r)
+		}
+	}
+	for pr := range probe.rows {
+		k, ok := key(probe, pr)
+		if !ok {
+			continue
+		}
+		for _, br := range ht[k] {
+			lr, rr := pr, br
+			if buildLeft {
+				lr, rr = br, pr
+			}
+			if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// execProject evaluates the select list per source row, applies ORDER BY
+// (which may reference source columns or select aliases), and returns the
+// projected rows.
+func execProject(q *Query, src *Result) (*Result, error) {
+	aliases := aliasMap(q)
+	if q.Star {
+		ordered, err := orderRows(q, src, len(src.rows), nil, aliases)
+		if err != nil {
+			return nil, err
+		}
+		out := &Result{cols: src.cols, quals: src.quals}
+		for _, r := range ordered {
+			out.rows = append(out.rows, src.rows[r])
+		}
+		return out, nil
+	}
+	cols, quals := outputColumns(q)
+	proj := make([][]Value, len(src.rows))
+	ctx := &evalCtx{res: src}
+	for r := range src.rows {
+		ctx.row = r
+		row := make([]Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := eval(it.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		proj[r] = row
+	}
+	ordered, err := orderRows(q, src, len(src.rows), nil, aliases)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{cols: cols, quals: quals}
+	for _, r := range ordered {
+		out.rows = append(out.rows, proj[r])
+	}
+	return out, nil
+}
+
+// execAggregate groups source rows by the GROUP BY keys (or one implicit
+// group) and evaluates select and order expressions per group.
+func execAggregate(q *Query, src *Result) (*Result, error) {
+	if q.Star {
+		return nil, errorf("SELECT * cannot be combined with aggregation")
+	}
+	aliases := aliasMap(q)
+	ctx := &evalCtx{res: src, aliases: aliases}
+
+	// Form groups preserving first-seen order for determinism.
+	var groups [][]int
+	if len(q.GroupBy) == 0 {
+		groups = [][]int{identityIndices(len(src.rows))}
+	} else {
+		index := make(map[string]int)
+		for r := range src.rows {
+			ctx.row = r
+			var kb strings.Builder
+			for _, ge := range q.GroupBy {
+				v, err := eval(ge, ctx)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.GroupKey())
+				kb.WriteByte(0x1f)
+			}
+			k := kb.String()
+			gi, ok := index[k]
+			if !ok {
+				gi = len(groups)
+				index[k] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], r)
+		}
+	}
+
+	// HAVING: drop groups whose predicate is not satisfied before
+	// projecting and ordering.
+	if q.Having != nil {
+		kept := groups[:0]
+		for _, g := range groups {
+			gctx := &evalCtx{res: src, group: g, aliases: aliases}
+			v, err := eval(q.Having, gctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+
+	cols, quals := outputColumns(q)
+	out := &Result{cols: cols, quals: quals}
+	rows := make([][]Value, len(groups))
+	for gi, g := range groups {
+		gctx := &evalCtx{res: src, group: g, aliases: aliases}
+		row := make([]Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := eval(it.Expr, gctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows[gi] = row
+	}
+	order, err := orderRows(q, src, len(groups), groups, aliases)
+	if err != nil {
+		return nil, err
+	}
+	for _, gi := range order {
+		out.rows = append(out.rows, rows[gi])
+	}
+	return out, nil
+}
+
+// orderRows returns the permutation of unit indices 0..n-1 sorted by the
+// query's ORDER BY keys. In grouped mode groups[i] gives the member rows of
+// unit i; otherwise each unit is the source row with the same index.
+func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]Expr) ([]int, error) {
+	if len(q.OrderBy) == 0 {
+		return identityIndices(n), nil
+	}
+	keys := make([][]Value, n)
+	for unit := 0; unit < n; unit++ {
+		ctx := &evalCtx{res: src, aliases: aliases}
+		if groups != nil {
+			ctx.group = groups[unit]
+		} else {
+			ctx.row = unit
+		}
+		ks := make([]Value, len(q.OrderBy))
+		for j, ob := range q.OrderBy {
+			v, err := eval(ob.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			ks[j] = v
+		}
+		keys[unit] = ks
+	}
+	perm := identityIndices(n)
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka, kb := keys[perm[a]], keys[perm[b]]
+		for j, ob := range q.OrderBy {
+			c := ka[j].Compare(kb[j])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return perm, nil
+}
+
+func aliasMap(q *Query) map[string]Expr {
+	m := make(map[string]Expr)
+	for _, it := range q.Select {
+		if it.Alias != "" {
+			m[it.Alias] = it.Expr
+		}
+	}
+	return m
+}
+
+func outputColumns(q *Query) (cols, quals []string) {
+	cols = make([]string, len(q.Select))
+	quals = make([]string, len(q.Select))
+	for i, it := range q.Select {
+		if it.Alias != "" {
+			cols[i] = it.Alias
+		} else if cr, ok := it.Expr.(*ColRef); ok {
+			cols[i] = cr.Name
+		} else {
+			cols[i] = it.Expr.String()
+		}
+	}
+	return cols, quals
+}
+
+func identityIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

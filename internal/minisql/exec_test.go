@@ -1,0 +1,395 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// deptRelation builds a small indexed relation mimicking an AllTables-ish
+// schema for executor tests.
+func deptRelation() *MemRelation {
+	m := NewMemRelation("dep", "head", "size", "tid")
+	rows := []struct {
+		dep, head string
+		size      int64
+		tid       int64
+	}{
+		{"HR", "Firenze", 33, 1},
+		{"Marketing", "Draco", 28, 1},
+		{"Finance", "Harry", 31, 1},
+		{"IT", "Tom", 92, 2},
+		{"HR", "Firenze", 35, 2},
+		{"Sales", "Luna", 80, 3},
+		{"HR", "", 0, 3},
+	}
+	for _, r := range rows {
+		head := Str(r.head)
+		if r.head == "" {
+			head = Null
+		}
+		m.Append(Str(r.dep), head, Int(r.size), Int(r.tid))
+	}
+	m.BuildIndex(0)
+	return m
+}
+
+func exec(t *testing.T, cat *Catalog, sql string) *Result {
+	t.Helper()
+	res, err := ExecSQL(cat, sql)
+	if err != nil {
+		t.Fatalf("ExecSQL(%q): %v", sql, err)
+	}
+	return res
+}
+
+func catWith(name string, r Relation) *Catalog {
+	cat := NewCatalog()
+	cat.Register(name, r)
+	return cat
+}
+
+func col0Strings(res *Result) []string {
+	out := make([]string, res.NumRows())
+	for i := range out {
+		out[i] = res.Cell(i, 0).String()
+	}
+	return out
+}
+
+func TestSelectStar(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT * FROM d")
+	if res.NumRows() != 7 || len(res.Columns()) != 4 {
+		t.Fatalf("got %dx%d", res.NumRows(), len(res.Columns()))
+	}
+}
+
+func TestWhereIn(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep, tid FROM d WHERE dep IN ('HR', 'Sales')")
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+}
+
+func TestWhereNotIn(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep FROM d WHERE dep NOT IN ('HR')")
+	for i := 0; i < res.NumRows(); i++ {
+		if res.Cell(i, 0).S == "HR" {
+			t.Fatal("NOT IN leaked HR")
+		}
+	}
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+}
+
+func TestWhereComparisonsAndNull(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep FROM d WHERE size >= 33 AND head IS NOT NULL")
+	got := col0Strings(res)
+	want := []string{"HR", "IT", "HR", "Sales"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// NULL comparisons are falsy: head = NULL matches nothing.
+	res = exec(t, cat, "SELECT dep FROM d WHERE head = NULL")
+	if res.NumRows() != 0 {
+		t.Fatal("= NULL must match nothing")
+	}
+	res = exec(t, cat, "SELECT dep FROM d WHERE head IS NULL")
+	if res.NumRows() != 1 {
+		t.Fatal("IS NULL should match the one null head")
+	}
+}
+
+func TestGroupByCountOrder(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, `SELECT tid, COUNT(*) AS n FROM d GROUP BY tid ORDER BY n DESC, tid ASC`)
+	if res.NumRows() != 3 {
+		t.Fatalf("groups = %d", res.NumRows())
+	}
+	// tid 1 has 3 rows; tids 2 and 3 have 2 each, tie broken by tid.
+	if res.Cell(0, 0).I != 1 || res.Cell(0, 1).I != 3 {
+		t.Fatalf("first group = %v %v", res.Cell(0, 0), res.Cell(0, 1))
+	}
+	if res.Cell(1, 0).I != 2 || res.Cell(2, 0).I != 3 {
+		t.Fatal("tie break by tid failed")
+	}
+}
+
+func TestCountDistinctAndNulls(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT COUNT(DISTINCT dep), COUNT(head), COUNT(*) FROM d")
+	if res.Cell(0, 0).I != 5 {
+		t.Fatalf("distinct deps = %v", res.Cell(0, 0))
+	}
+	if res.Cell(0, 1).I != 6 {
+		t.Fatalf("COUNT(head) should skip the null, got %v", res.Cell(0, 1))
+	}
+	if res.Cell(0, 2).I != 7 {
+		t.Fatalf("COUNT(*) = %v", res.Cell(0, 2))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT SUM(size), MIN(size), MAX(size), AVG(size) FROM d WHERE tid = 1")
+	if res.Cell(0, 0).I != 92 || res.Cell(0, 1).I != 28 || res.Cell(0, 2).I != 33 {
+		t.Fatalf("sum/min/max wrong: %v %v %v", res.Cell(0, 0), res.Cell(0, 1), res.Cell(0, 2))
+	}
+	avg := res.Cell(0, 3).F
+	if avg < 30.6 || avg > 30.7 {
+		t.Fatalf("avg = %v", avg)
+	}
+}
+
+func TestSumOverEmptyGroupIsNull(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT SUM(size) FROM d WHERE dep IN ('nope')")
+	if !res.Cell(0, 0).IsNull() {
+		t.Fatalf("SUM over empty = %v, want NULL", res.Cell(0, 0))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep FROM d ORDER BY size DESC LIMIT 2")
+	got := col0Strings(res)
+	if !reflect.DeepEqual(got, []string{"IT", "Sales"}) {
+		t.Fatalf("got %v", got)
+	}
+	res = exec(t, cat, "SELECT dep FROM d LIMIT 0")
+	if res.NumRows() != 0 {
+		t.Fatal("LIMIT 0 should return nothing")
+	}
+}
+
+func TestOrderBySourceColumnNotProjected(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep FROM d WHERE tid = 1 ORDER BY size ASC")
+	got := col0Strings(res)
+	if !reflect.DeepEqual(got, []string{"Marketing", "Finance", "HR"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSubqueryAndAlias(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, `SELECT s.dep FROM (SELECT dep, size FROM d WHERE size > 30) AS s WHERE s.size < 40 ORDER BY s.size`)
+	got := col0Strings(res)
+	if !reflect.DeepEqual(got, []string{"Finance", "HR", "HR"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	people := NewMemRelation("name", "dept")
+	people.Append(Str("ann"), Str("HR"))
+	people.Append(Str("bob"), Str("IT"))
+	people.Append(Str("cat"), Str("Legal")) // no match
+	cat := NewCatalog()
+	cat.Register("d", deptRelation())
+	cat.Register("p", people)
+	res := exec(t, cat, `SELECT p.name, d.tid FROM p INNER JOIN d ON p.dept = d.dep ORDER BY p.name, d.tid`)
+	// ann joins 3 HR rows; bob joins 1 IT row; cat joins none.
+	if res.NumRows() != 4 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Cell(3, 0).S != "bob" || res.Cell(3, 1).I != 2 {
+		t.Fatalf("last row = %v %v", res.Cell(3, 0), res.Cell(3, 1))
+	}
+}
+
+func TestJoinWithResidual(t *testing.T) {
+	cat := NewCatalog()
+	cat.Register("d", deptRelation())
+	res := exec(t, cat, `SELECT a.dep FROM d AS a INNER JOIN d AS b
+		ON a.dep = b.dep AND a.size < b.size ORDER BY a.dep, a.size`)
+	// HR sizes 33,35,0: pairs (33<35), (0<33), (0<35) → three rows.
+	if res.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+}
+
+func TestJoinOnSubqueries(t *testing.T) {
+	cat := catWith("AllTables", deptRelation())
+	res := exec(t, cat, `SELECT q1.tid FROM
+		(SELECT * FROM AllTables WHERE dep IN ('HR')) AS q1
+		INNER JOIN
+		(SELECT * FROM AllTables WHERE dep IN ('IT')) AS q2
+		ON q1.tid = q2.tid`)
+	// Only tid 2 has both HR and IT.
+	got := col0Strings(res)
+	if !reflect.DeepEqual(got, []string{"2"}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := NewCatalog()
+	cat.Register("d", deptRelation())
+	_, err := ExecSQL(cat, "SELECT dep FROM d AS a INNER JOIN d AS b ON a.tid = b.tid")
+	if err == nil {
+		t.Fatal("want ambiguity error")
+	}
+}
+
+func TestUnknownRelationAndColumn(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	if _, err := ExecSQL(cat, "SELECT * FROM nope"); err == nil {
+		t.Fatal("want unknown relation error")
+	}
+	if _, err := ExecSQL(cat, "SELECT nope FROM d"); err == nil {
+		t.Fatal("want unknown column error")
+	}
+	if _, err := ExecSQL(cat, "SELECT x.dep FROM d"); err == nil {
+		t.Fatal("want unknown qualifier error")
+	}
+}
+
+func TestCastInSum(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	// The QCR pattern: SUM of a boolean cast to int.
+	res := exec(t, cat, "SELECT SUM((dep = 'HR')::int) FROM d")
+	if res.Cell(0, 0).I != 3 {
+		t.Fatalf("sum of casts = %v", res.Cell(0, 0))
+	}
+}
+
+func TestDivisionIsFloat(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT (2 * 3 - 7) / 2 FROM d LIMIT 1")
+	if res.Cell(0, 0).F != -0.5 {
+		t.Fatalf("division = %v, want -0.5", res.Cell(0, 0))
+	}
+	res = exec(t, cat, "SELECT 1 / 0 FROM d LIMIT 1")
+	if !res.Cell(0, 0).IsNull() {
+		t.Fatal("divide by zero should be NULL")
+	}
+}
+
+func TestAbs(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT ABS(-4), ABS(4), ABS(-1.5) FROM d LIMIT 1")
+	if res.Cell(0, 0).I != 4 || res.Cell(0, 1).I != 4 || res.Cell(0, 2).F != 1.5 {
+		t.Fatal("ABS wrong")
+	}
+}
+
+func TestSelectStarWithGroupByFails(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	if _, err := ExecSQL(cat, "SELECT * FROM d GROUP BY dep"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestModulo(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT 7 % 3 FROM d LIMIT 1")
+	if res.Cell(0, 0).I != 1 {
+		t.Fatalf("modulo = %v", res.Cell(0, 0))
+	}
+}
+
+// TestIndexPathMatchesScan is the key access-path property: using the value
+// index must return exactly the same rows as a full scan, for random IN
+// predicates over random data.
+func TestIndexPathMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 30; trial++ {
+		indexed := NewMemRelation("v", "n")
+		plain := NewMemRelation("v", "n")
+		rows := 20 + rng.Intn(80)
+		for i := 0; i < rows; i++ {
+			v := Str(vocab[rng.Intn(len(vocab))])
+			num := Int(int64(rng.Intn(10)))
+			indexed.Append(v, num)
+			plain.Append(v, num)
+		}
+		indexed.BuildIndex(0)
+		inSize := 1 + rng.Intn(4)
+		list := ""
+		for i := 0; i < inSize; i++ {
+			if i > 0 {
+				list += ", "
+			}
+			list += "'" + vocab[rng.Intn(len(vocab))] + "'"
+		}
+		sql := fmt.Sprintf("SELECT v, n FROM r WHERE v IN (%s) AND n < 7 ORDER BY v, n", list)
+		r1 := exec(t, catWith("r", indexed), sql)
+		r2 := exec(t, catWith("r", plain), sql)
+		if r1.NumRows() != r2.NumRows() {
+			t.Fatalf("index path returned %d rows, scan %d (query %s)", r1.NumRows(), r2.NumRows(), sql)
+		}
+		for i := 0; i < r1.NumRows(); i++ {
+			if r1.Cell(i, 0).S != r2.Cell(i, 0).S || r1.Cell(i, 1).I != r2.Cell(i, 1).I {
+				t.Fatalf("row %d differs", i)
+			}
+		}
+	}
+}
+
+func TestResultImplementsRelation(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	res := exec(t, cat, "SELECT dep, size FROM d WHERE tid = 1")
+	cat.Register("sub", res)
+	res2 := exec(t, cat, "SELECT COUNT(*) FROM sub")
+	if res2.Cell(0, 0).I != 3 {
+		t.Fatal("result-as-relation failed")
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	m := NewMemRelation("v", "n")
+	m.Append(Str("x"), Int(1))
+	m.Append(Str("x"), Int(1))
+	m.Append(Str("x"), Int(2))
+	m.Append(Str("y"), Int(1))
+	cat := catWith("d", m)
+	res := exec(t, cat, "SELECT DISTINCT v FROM d ORDER BY v")
+	if got := col0Strings(res); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("distinct v = %v", got)
+	}
+	res = exec(t, cat, "SELECT DISTINCT v, n FROM d")
+	if res.NumRows() != 3 {
+		t.Fatalf("distinct pairs = %d, want 3", res.NumRows())
+	}
+	// DISTINCT respects LIMIT after deduplication.
+	res = exec(t, cat, "SELECT DISTINCT v, n FROM d LIMIT 2")
+	if res.NumRows() != 2 {
+		t.Fatalf("limit after distinct = %d", res.NumRows())
+	}
+	// Round trip through the printer.
+	q := mustParse(t, "SELECT DISTINCT v FROM d")
+	if q2 := mustParse(t, q.String()); !q2.Distinct {
+		t.Fatal("DISTINCT lost in round trip")
+	}
+}
+
+func TestHaving(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	// Only tid 1 has three rows.
+	res := exec(t, cat, "SELECT tid FROM d GROUP BY tid HAVING COUNT(*) >= 3")
+	if res.NumRows() != 1 || res.Cell(0, 0).I != 1 {
+		t.Fatalf("having = %v", col0Strings(res))
+	}
+	// HAVING may reference aggregates absent from the select list.
+	res = exec(t, cat, "SELECT tid FROM d GROUP BY tid HAVING SUM(size) > 100 ORDER BY tid")
+	if res.NumRows() != 1 || res.Cell(0, 0).I != 2 { // tid 2: 92+35
+		t.Fatalf("having sum = %v", col0Strings(res))
+	}
+	// HAVING without GROUP BY is rejected.
+	if _, err := ExecSQL(cat, "SELECT COUNT(*) FROM d HAVING COUNT(*) > 1"); err == nil {
+		t.Fatal("HAVING without GROUP BY must fail")
+	}
+	// Round trip.
+	q := mustParse(t, "SELECT tid FROM d GROUP BY tid HAVING COUNT(*) >= 3")
+	if q2 := mustParse(t, q.String()); q2.Having == nil {
+		t.Fatal("HAVING lost in round trip")
+	}
+}

@@ -1,0 +1,141 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain describes how the engine would execute q against the catalog:
+// the access path of every base scan (index probe with its candidate count
+// versus full scan), join strategy, aggregation, ordering, and limits.
+// It inspects the same decision logic the executor uses — including live
+// index lookups for candidate counts — without materializing results.
+func Explain(cat *Catalog, q *Query) (string, error) {
+	var sb strings.Builder
+	if err := explainQuery(cat, q, &sb, 0); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// ExplainSQL parses and explains a statement.
+func ExplainSQL(cat *Catalog, sql string) (string, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return Explain(cat, q)
+}
+
+func explainQuery(cat *Catalog, q *Query, sb *strings.Builder, depth int) error {
+	pad := strings.Repeat("  ", depth)
+	write := func(format string, args ...any) {
+		sb.WriteString(pad)
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+
+	// FROM and joins.
+	if err := explainFrom(cat, q.From, q, len(q.Joins) == 0, sb, depth); err != nil {
+		return err
+	}
+	for _, j := range q.Joins {
+		write("hash join ON %s", j.On.String())
+		if err := explainFrom(cat, j.Right, q, false, sb, depth+1); err != nil {
+			return err
+		}
+	}
+	if q.Where != nil && len(q.Joins) > 0 {
+		write("filter: %s", q.Where.String())
+	}
+
+	// Aggregation / projection.
+	needsAgg := len(q.GroupBy) > 0
+	for _, it := range q.Select {
+		if hasAggregate(it.Expr) {
+			needsAgg = true
+		}
+	}
+	if needsAgg {
+		if len(q.GroupBy) > 0 {
+			keys := make([]string, len(q.GroupBy))
+			for i, g := range q.GroupBy {
+				keys[i] = g.String()
+			}
+			write("group by [%s]", strings.Join(keys, ", "))
+			if q.Having != nil {
+				write("having: %s", q.Having.String())
+			}
+		} else {
+			write("aggregate over all rows")
+		}
+	}
+	if q.Star {
+		write("project *")
+	} else {
+		items := make([]string, len(q.Select))
+		for i, it := range q.Select {
+			items[i] = it.Expr.String()
+			if it.Alias != "" {
+				items[i] += " AS " + it.Alias
+			}
+		}
+		write("project [%s]", strings.Join(items, ", "))
+	}
+	if q.Distinct {
+		write("distinct")
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]string, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			dir := "ASC"
+			if o.Desc {
+				dir = "DESC"
+			}
+			keys[i] = o.Expr.String() + " " + dir
+		}
+		write("order by [%s]", strings.Join(keys, ", "))
+	}
+	if q.Limit >= 0 {
+		write("limit %d", q.Limit)
+	}
+	return nil
+}
+
+func explainFrom(cat *Catalog, f FromItem, q *Query, whereApplies bool, sb *strings.Builder, depth int) error {
+	pad := strings.Repeat("  ", depth)
+	write := func(format string, args ...any) {
+		sb.WriteString(pad)
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	if f.Sub != nil {
+		write("subquery %s:", f.Alias)
+		return explainQuery(cat, f.Sub, sb, depth+1)
+	}
+	rel, ok := cat.Lookup(f.Table)
+	if !ok {
+		return errorf("unknown relation %q", f.Table)
+	}
+	qual := f.Alias
+	if qual == "" {
+		qual = f.Table
+	}
+	var where Expr
+	if whereApplies {
+		where = q.Where
+	}
+	if where != nil {
+		if ix, isIx := rel.(IndexedRelation); isIx {
+			if rows, usable := bestIndexPath(ix, rel.Columns(), qual, where); usable {
+				write("index scan %s (%d candidate rows of %d) filter: %s",
+					f.Table, len(rows), rel.NumRows(), where.String())
+				return nil
+			}
+		}
+		write("full scan %s (%d rows) filter: %s", f.Table, rel.NumRows(), where.String())
+		return nil
+	}
+	write("full scan %s (%d rows)", f.Table, rel.NumRows())
+	return nil
+}

@@ -1,0 +1,87 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainIndexScan(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	out, err := ExplainSQL(cat, "SELECT dep FROM d WHERE dep IN ('HR', 'Sales') ORDER BY dep LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"index scan d (4 candidate rows of 7)",
+		"project [dep]",
+		"order by [dep ASC]",
+		"limit 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainFullScan(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	out, err := ExplainSQL(cat, "SELECT dep FROM d WHERE size > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "full scan d (7 rows)") {
+		t.Fatalf("explain missing full scan:\n%s", out)
+	}
+}
+
+func TestExplainJoinAndAgg(t *testing.T) {
+	cat := catWith("AllTables", deptRelation())
+	out, err := ExplainSQL(cat, `SELECT q1.tid, COUNT(*) FROM
+		(SELECT * FROM AllTables WHERE dep IN ('HR')) AS q1
+		INNER JOIN
+		(SELECT * FROM AllTables WHERE dep IN ('IT')) AS q2
+		ON q1.tid = q2.tid
+		GROUP BY q1.tid ORDER BY COUNT(*) DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"subquery q1:",
+		"hash join ON",
+		"index scan AllTables",
+		"group by [q1.tid]",
+		"order by [COUNT(*) DESC]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainDistinctAndStar(t *testing.T) {
+	cat := catWith("d", deptRelation())
+	out, err := ExplainSQL(cat, "SELECT DISTINCT dep FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distinct") {
+		t.Fatalf("missing distinct:\n%s", out)
+	}
+	out, err = ExplainSQL(cat, "SELECT * FROM d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "project *") {
+		t.Fatalf("missing star projection:\n%s", out)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	cat := NewCatalog()
+	if _, err := ExplainSQL(cat, "SELECT * FROM ghost"); err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if _, err := ExplainSQL(cat, "not sql"); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}

@@ -1,0 +1,189 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenType enumerates lexical token classes.
+type tokenType int
+
+const (
+	tokEOF tokenType = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	typ tokenType
+	// text is the token's canonical text: upper-case for keywords,
+	// verbatim for identifiers/symbols, unquoted for strings.
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "HAVING": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "IS": true, "NULL": true, "INNER": true,
+	"JOIN": true, "ON": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"TRUE": true, "FALSE": true, "COUNT": true, "SUM": true, "ABS": true,
+	"MIN": true, "MAX": true, "AVG": true,
+}
+
+// lexer splits a SQL string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.lexWord(start)
+		case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			if err := l.lexNumber(start); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(typ tokenType, text string, pos int) {
+	l.toks = append(l.toks, token{typ: typ, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+	} else {
+		l.emit(tokIdent, word, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) error {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if seenDot {
+				break
+			}
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			// Exponent: e[+/-]digits
+			if l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+			break
+		}
+		if !isDigit(c) {
+			break
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+	return nil
+}
+
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, sb.String(), start)
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("minisql: unterminated string literal at offset %d", start)
+}
+
+// twoCharSymbols lists multi-byte operators, longest-match-first.
+var twoCharSymbols = []string{"::", "<=", ">=", "<>", "!="}
+
+func (l *lexer) lexSymbol(start int) error {
+	rest := l.src[l.pos:]
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(rest, s) {
+			l.pos += len(s)
+			l.emit(tokSymbol, s, start)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.':
+		l.pos++
+		l.emit(tokSymbol, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("minisql: unexpected character %q at offset %d", c, l.pos)
+}

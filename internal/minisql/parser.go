@@ -1,0 +1,527 @@
+package minisql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errorf("trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool   { return p.peek().typ == tokEOF }
+func (p *parser) save() int     { return p.i }
+func (p *parser) restore(m int) { p.i = m }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.typ == tokKeyword && t.text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errorf("expected %s at offset %d, got %q", kw, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.typ == tokSymbol && t.text == sym {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return errorf("expected %q at offset %d, got %q", sym, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	q.Distinct = p.acceptKeyword("DISTINCT")
+	if p.acceptSymbol("*") {
+		q.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				t := p.next()
+				if t.typ != tokIdent && t.typ != tokKeyword {
+					return nil, errorf("expected alias at offset %d", t.pos)
+				}
+				item.Alias = t.text
+			} else if t := p.peek(); t.typ == tokIdent {
+				item.Alias = t.text
+				p.i++
+			}
+			q.Select = append(q.Select, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFromItem()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		right, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Joins = append(q.Joins, Join{Right: right, On: cond})
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if len(q.GroupBy) == 0 {
+			return nil, errorf("HAVING requires GROUP BY")
+		}
+		q.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.typ != tokNumber {
+			return nil, errorf("expected LIMIT count at offset %d", t.pos)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errorf("bad LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseFromItem() (FromItem, error) {
+	var f FromItem
+	if p.acceptSymbol("(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return f, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return f, err
+		}
+		f.Sub = sub
+	} else {
+		t := p.next()
+		if t.typ != tokIdent {
+			return f, errorf("expected table name at offset %d, got %q", t.pos, t.text)
+		}
+		f.Table = t.text
+	}
+	if p.acceptKeyword("AS") {
+		t := p.next()
+		if t.typ != tokIdent {
+			return f, errorf("expected alias at offset %d", t.pos)
+		}
+		f.Alias = t.text
+	} else if t := p.peek(); t.typ == tokIdent {
+		f.Alias = t.text
+		p.i++
+	}
+	if f.Sub != nil && f.Alias == "" {
+		return f, errorf("subquery in FROM requires an alias")
+	}
+	return f, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	or     := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add (( = | <> | != | < | <= | > | >= ) add
+//	               | [NOT] IN ( expr, … )
+//	               | IS [NOT] NULL)?
+//	add    := mul (( + | - ) mul)*
+//	mul    := unary (( * | / | % ) unary)*
+//	unary  := - unary | postfix
+//	postfix:= primary ( :: ident )*
+//	primary:= literal | call | colref | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: "NOT", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// [NOT] IN
+	neg := false
+	m := p.save()
+	if p.acceptKeyword("NOT") {
+		if p.peek().typ == tokKeyword && p.peek().text == "IN" {
+			neg = true
+		} else {
+			p.restore(m)
+		}
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		if !p.acceptSymbol(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		return &In{X: l, List: list, Neg: neg}, nil
+	}
+	if p.acceptKeyword("IS") {
+		negNull := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Neg: negNull}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.acceptSymbol(op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Bin{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSymbol("+"):
+			op = "+"
+		case p.acceptSymbol("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptSymbol("*"):
+			op = "*"
+		case p.acceptSymbol("/"):
+			op = "/"
+		case p.acceptSymbol("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("::") {
+		t := p.next()
+		if t.typ != tokIdent && t.typ != tokKeyword {
+			return nil, errorf("expected cast type at offset %d", t.pos)
+		}
+		typ := strings.ToLower(t.text)
+		if typ != "int" && typ != "float" && typ != "integer" {
+			return nil, errorf("unsupported cast ::%s", t.text)
+		}
+		if typ == "integer" {
+			typ = "int"
+		}
+		x = &Cast{X: x, Type: typ}
+	}
+	return x, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.typ {
+	case tokNumber:
+		p.i++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errorf("bad number %q", t.text)
+			}
+			return &Lit{V: Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errorf("bad number %q", t.text)
+		}
+		return &Lit{V: Int(n)}, nil
+	case tokString:
+		p.i++
+		return &Lit{V: Str(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.i++
+			return &Lit{V: Null}, nil
+		case "TRUE":
+			p.i++
+			return &Lit{V: Bool(true)}, nil
+		case "FALSE":
+			p.i++
+			return &Lit{V: Bool(false)}, nil
+		case "COUNT", "SUM", "MIN", "MAX", "AVG", "ABS":
+			p.i++
+			return p.parseCall(t.text)
+		}
+		return nil, errorf("unexpected keyword %q at offset %d", t.text, t.pos)
+	case tokIdent:
+		p.i++
+		name := t.text
+		if p.acceptSymbol(".") {
+			t2 := p.next()
+			if t2.typ != tokIdent && t2.typ != tokKeyword {
+				return nil, errorf("expected column after %q. at offset %d", name, t2.pos)
+			}
+			return &ColRef{Qual: name, Name: t2.text}, nil
+		}
+		if p.peek().typ == tokSymbol && p.peek().text == "(" {
+			// Function-call syntax on a plain identifier is unsupported:
+			// all functions in the dialect are keywords.
+			return nil, errorf("unknown function %q at offset %d", name, t.pos)
+		}
+		return &ColRef{Name: name}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.i++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errorf("unexpected token %q at offset %d", t.text, t.pos)
+}
+
+func (p *parser) parseCall(fn string) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	c := &Call{Fn: fn}
+	if p.acceptSymbol("*") {
+		if fn != "COUNT" {
+			return nil, errorf("%s(*) is not valid", fn)
+		}
+		c.Star = true
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		c.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, e)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(c.Args) != 1 {
+		return nil, errorf("%s takes exactly one argument", fn)
+	}
+	return c, nil
+}

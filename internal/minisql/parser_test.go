@@ -1,0 +1,220 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT a.b, 'it''s', 1.5e3 FROM t -- comment\nWHERE x <= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.typ == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"SELECT", "a", ".", "b", ",", "it's", ",", "1.5e3", "FROM", "t", "WHERE", "x", "<=", "2"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'unterminated"); err == nil {
+		t.Fatal("want unterminated string error")
+	}
+	if _, err := lex("SELECT @"); err == nil {
+		t.Fatal("want unexpected character error")
+	}
+}
+
+func TestParseListing1(t *testing.T) {
+	// The SC seeker of the paper (Listing 1).
+	q := mustParse(t, `SELECT TableId FROM AllTables
+		WHERE CellValue IN ('HR', 'Marketing', 'Finance')
+		GROUP BY TableId, ColumnId
+		ORDER BY COUNT(DISTINCT CellValue) DESC
+		LIMIT 10`)
+	if len(q.Select) != 1 || q.Select[0].Expr.String() != "TableId" {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if q.From.Table != "AllTables" {
+		t.Fatal("from wrong")
+	}
+	in, ok := q.Where.(*In)
+	if !ok || len(in.List) != 3 || in.Neg {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatal("group by wrong")
+	}
+	ob := q.OrderBy[0]
+	if !ob.Desc {
+		t.Fatal("order should be DESC")
+	}
+	call, ok := ob.Expr.(*Call)
+	if !ok || call.Fn != "COUNT" || !call.Distinct {
+		t.Fatalf("order expr = %#v", ob.Expr)
+	}
+	if q.Limit != 10 {
+		t.Fatal("limit wrong")
+	}
+}
+
+func TestParseListing2(t *testing.T) {
+	// The MC seeker's first phase (Listing 2): join of two subqueries.
+	q := mustParse(t, `SELECT * FROM
+		(SELECT * FROM AllTables WHERE CellValue IN ('HR')) AS Q1_index_hits
+		INNER JOIN
+		(SELECT * FROM AllTables WHERE CellValue IN ('Firenze')) AS Q2_index_hits
+		ON Q1_index_hits.TableId = Q2_index_hits.TableId
+		AND Q1_index_hits.RowId = Q2_index_hits.RowId`)
+	if !q.Star {
+		t.Fatal("want SELECT *")
+	}
+	if q.From.Sub == nil || q.From.Alias != "Q1_index_hits" {
+		t.Fatal("left subquery wrong")
+	}
+	if len(q.Joins) != 1 || q.Joins[0].Right.Alias != "Q2_index_hits" {
+		t.Fatal("join wrong")
+	}
+}
+
+func TestParseListing3Score(t *testing.T) {
+	// The correlation seeker's QCR score expression (§VI).
+	q := mustParse(t, `SELECT keys.TableId FROM
+		(SELECT * FROM AllTables WHERE RowId < 256 AND CellValue IN ('a','b')) keys
+		INNER JOIN
+		(SELECT * FROM AllTables WHERE RowId < 256 AND Quadrant IS NOT NULL) nums
+		ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId
+		GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId
+		ORDER BY ABS((2 * SUM(((keys.CellValue IN ('a') AND nums.Quadrant = 0)
+			OR (keys.CellValue IN ('b') AND nums.Quadrant = 1))::int) - COUNT(*)) / COUNT(*)) DESC
+		LIMIT 10`)
+	if len(q.GroupBy) != 3 {
+		t.Fatal("group by wrong")
+	}
+	if !hasAggregate(q.OrderBy[0].Expr) {
+		t.Fatal("order expr must contain aggregates")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM (SELECT * FROM t)", // subquery needs alias
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t trailing garbage (",
+		"SELECT x() FROM t",
+		"SELECT COUNT(a, b) FROM t",
+		"SELECT SUM(*) FROM t",
+		"SELECT a::text FROM t",
+		"SELECT * FROM t WHERE a IN (1,",
+		"SELECT * FROM t ORDER",
+		"SELECT * FROM t GROUP x",
+		"SELECT * FROM t INNER t2 ON a = b",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	q := mustParse(t, "SELECT a + b * c FROM t")
+	want := "(a + (b * c))"
+	if got := q.Select[0].Expr.String(); got != want {
+		t.Fatalf("precedence: got %s, want %s", got, want)
+	}
+	q = mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	wantW := "((a = 1) OR ((b = 2) AND (c = 3)))"
+	if got := q.Where.String(); got != wantW {
+		t.Fatalf("precedence: got %s, want %s", got, wantW)
+	}
+}
+
+func TestParseNotIn(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM t WHERE a NOT IN (1, 2)")
+	in, ok := q.Where.(*In)
+	if !ok || !in.Neg {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	// NOT followed by something other than IN is a plain negation.
+	q = mustParse(t, "SELECT * FROM t WHERE NOT a = 1")
+	if _, ok := q.Where.(*Un); !ok {
+		t.Fatalf("where = %#v", q.Where)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	q := mustParse(t, "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+	b := q.Where.(*Bin)
+	l := b.L.(*IsNull)
+	r := b.R.(*IsNull)
+	if l.Neg || !r.Neg {
+		t.Fatal("IS NULL parse wrong")
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	q := mustParse(t, "SELECT (a = 1)::int FROM t")
+	c, ok := q.Select[0].Expr.(*Cast)
+	if !ok || c.Type != "int" {
+		t.Fatalf("cast = %#v", q.Select[0].Expr)
+	}
+	// ::integer is normalized to ::int.
+	q = mustParse(t, "SELECT a::integer FROM t")
+	if q.Select[0].Expr.(*Cast).Type != "int" {
+		t.Fatal("integer alias not normalized")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	q := mustParse(t, "SELECT -3, -x, 2 - -1 FROM t")
+	if q.Select[0].Expr.String() != "(-3)" {
+		t.Fatalf("got %s", q.Select[0].Expr)
+	}
+}
+
+// TestPrinterRoundTrip ensures every parsed query prints back to SQL that
+// re-parses to the identical printed form (fixed point after one cycle).
+func TestPrinterRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT TableId FROM AllTables WHERE CellValue IN ('a', 'b') GROUP BY TableId, ColumnId ORDER BY COUNT(DISTINCT CellValue) DESC LIMIT 10",
+		"SELECT * FROM (SELECT * FROM T WHERE x = 1) AS s INNER JOIN u AS v ON s.a = v.b WHERE s.c <> 2",
+		"SELECT a AS x, SUM(b) AS total FROM t GROUP BY a ORDER BY total DESC, x ASC LIMIT 5",
+		"SELECT ABS(a - b) FROM t WHERE a IS NOT NULL AND b NOT IN (1, 2, 3)",
+		"SELECT (a = 1)::int FROM t WHERE NOT (a OR b)",
+		"SELECT COUNT(*) FROM t",
+		"SELECT a FROM t WHERE a IN ()",
+	}
+	for _, sql := range queries {
+		q1 := mustParse(t, sql)
+		printed := q1.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if q2.String() != printed {
+			t.Fatalf("round trip not stable:\n  1: %s\n  2: %s", printed, q2.String())
+		}
+	}
+}

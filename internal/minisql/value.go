@@ -1,0 +1,230 @@
+// Package minisql is an embedded SQL engine covering exactly the dialect
+// BLEND's seekers emit against the AllTables index (Listings 1–3 of the
+// paper plus the optimizer's rewritten predicates): SELECT with expressions
+// and aggregates, FROM over base relations, subqueries and INNER JOINs,
+// WHERE with IN / NOT IN / comparisons / IS NULL, GROUP BY, ORDER BY with
+// ASC/DESC, LIMIT, and boolean-to-int casts. Queries are parsed to an AST,
+// lightly planned (index access paths, hash joins), and executed against
+// relations registered in a Catalog.
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind tags the runtime type of a Value.
+type Kind int
+
+const (
+	// KNull is the SQL NULL.
+	KNull Kind = iota
+	// KStr is a string value.
+	KStr
+	// KInt is a 64-bit integer.
+	KInt
+	// KFloat is a 64-bit float.
+	KFloat
+	// KBool is a boolean.
+	KBool
+)
+
+// Value is a runtime SQL value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	S string
+	I int64
+	F float64
+	B bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{K: KNull}
+
+// Str makes a string value.
+func Str(s string) Value { return Value{K: KStr, S: s} }
+
+// Int makes an integer value.
+func Int(i int64) Value { return Value{K: KInt, I: i} }
+
+// Float makes a float value.
+func Float(f float64) Value { return Value{K: KFloat, F: f} }
+
+// Bool makes a boolean value.
+func Bool(b bool) Value { return Value{K: KBool, B: b} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KNull }
+
+// AsFloat coerces v to a float64; booleans become 0/1, strings are parsed.
+// The second result is false when coercion is impossible (including NULL).
+func (v Value) AsFloat() (float64, bool) {
+	switch v.K {
+	case KInt:
+		return float64(v.I), true
+	case KFloat:
+		return v.F, true
+	case KBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case KStr:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces v to an int64, truncating floats.
+func (v Value) AsInt() (int64, bool) {
+	switch v.K {
+	case KInt:
+		return v.I, true
+	case KFloat:
+		return int64(v.F), true
+	case KBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	case KStr:
+		i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+		return i, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether v counts as true in a WHERE clause. NULL is falsy.
+func (v Value) Truthy() bool {
+	switch v.K {
+	case KBool:
+		return v.B
+	case KInt:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	case KStr:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Equal reports SQL equality. NULL never equals anything (NULL = NULL is
+// not true). Numeric kinds compare numerically across int/float.
+func (v Value) Equal(o Value) bool {
+	if v.K == KNull || o.K == KNull {
+		return false
+	}
+	if v.numericKind() && o.numericKind() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	if v.K == KStr && o.K == KStr {
+		return v.S == o.S
+	}
+	if v.K == KBool && o.K == KBool {
+		return v.B == o.B
+	}
+	// Mixed string/number: compare as strings if numeric parse fails.
+	a, aok := v.AsFloat()
+	b, bok := o.AsFloat()
+	if aok && bok {
+		return a == b
+	}
+	return v.text() == o.text()
+}
+
+// Compare orders two non-null values: -1, 0, or 1. NULLs sort first.
+func (v Value) Compare(o Value) int {
+	if v.K == KNull && o.K == KNull {
+		return 0
+	}
+	if v.K == KNull {
+		return -1
+	}
+	if o.K == KNull {
+		return 1
+	}
+	if v.numericKind() && o.numericKind() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(v.text(), o.text())
+}
+
+func (v Value) numericKind() bool { return v.K == KInt || v.K == KFloat || v.K == KBool }
+
+func (v Value) text() string {
+	switch v.K {
+	case KStr:
+		return v.S
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// String renders v for diagnostics and result printing.
+func (v Value) String() string {
+	if v.K == KNull {
+		return "NULL"
+	}
+	if v.K == KStr {
+		return v.S
+	}
+	return v.text()
+}
+
+// GroupKey renders v into a canonical string usable as a map key for
+// GROUP BY, DISTINCT, and hashed IN probes. Numeric kinds (including
+// booleans, which compare as 0/1 under Equal) share one canonical form so
+// grouping matches Equal's cross-kind numeric semantics.
+func (v Value) GroupKey() string {
+	switch v.K {
+	case KNull:
+		return "\x00N"
+	case KStr:
+		return "\x00S" + v.S
+	case KInt:
+		// FormatInt matches FormatFloat(…, 'g') for integral values, so
+		// Int(5) and Float(5) share a key without the float formatter.
+		return "\x00F" + strconv.FormatInt(v.I, 10)
+	case KBool:
+		if v.B {
+			return "\x00F1"
+		}
+		return "\x00F0"
+	default:
+		if v.F == float64(int64(v.F)) {
+			return "\x00F" + strconv.FormatInt(int64(v.F), 10)
+		}
+		return "\x00F" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	}
+}
+
+// errorf builds engine errors with a consistent prefix.
+func errorf(format string, args ...any) error {
+	return fmt.Errorf("minisql: "+format, args...)
+}

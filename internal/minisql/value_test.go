@@ -1,0 +1,145 @@
+package minisql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	if !Null.IsNull() || Str("x").IsNull() || Int(0).IsNull() {
+		t.Fatal("IsNull wrong")
+	}
+	if Str("a").S != "a" || Int(7).I != 7 || Float(1.5).F != 1.5 || !Bool(true).B {
+		t.Fatal("constructors wrong")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{Int(3), 3, true},
+		{Float(2.5), 2.5, true},
+		{Bool(true), 1, true},
+		{Bool(false), 0, true},
+		{Str("4.5"), 4.5, true},
+		{Str(" 7 "), 7, true},
+		{Str("abc"), 0, false},
+		{Null, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.v.AsFloat()
+		if ok != c.ok || (ok && got != c.want) {
+			t.Fatalf("AsFloat(%v) = %v,%v want %v,%v", c.v, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestAsInt(t *testing.T) {
+	if got, ok := Float(3.9).AsInt(); !ok || got != 3 {
+		t.Fatal("float truncation wrong")
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Fatal("non-numeric string should fail")
+	}
+	if got, ok := Str("12").AsInt(); !ok || got != 12 {
+		t.Fatal("numeric string should parse")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	for _, v := range []Value{Bool(true), Int(1), Float(0.5), Str("x")} {
+		if !v.Truthy() {
+			t.Fatalf("%v should be truthy", v)
+		}
+	}
+	for _, v := range []Value{Bool(false), Int(0), Float(0), Str(""), Null} {
+		if v.Truthy() {
+			t.Fatalf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if Null.Equal(Null) {
+		t.Fatal("NULL = NULL must not be true")
+	}
+	if !Int(5).Equal(Float(5.0)) {
+		t.Fatal("cross-kind numeric equality")
+	}
+	if !Str("5").Equal(Int(5)) {
+		t.Fatal("numeric string equals number")
+	}
+	if Str("5.0").Equal(Str("5")) {
+		t.Fatal("two strings compare as text")
+	}
+	if !Bool(true).Equal(Int(1)) {
+		t.Fatal("bool compares as 0/1 against numbers")
+	}
+	if Str("abc").Equal(Int(5)) {
+		t.Fatal("non-numeric string never equals a number")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(2).Compare(Float(2)) != 0 {
+		t.Fatal("numeric compare wrong")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Fatal("string compare wrong")
+	}
+	// NULLs sort first.
+	if Null.Compare(Int(0)) != -1 || Int(0).Compare(Null) != 1 || Null.Compare(Null) != 0 {
+		t.Fatal("null ordering wrong")
+	}
+}
+
+// TestGroupKeyConsistentWithEqual: equal values must share a group key for
+// every kind combination GroupKey canonicalizes (numeric cross-kind).
+func TestGroupKeyConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(5), Float(5)},
+		{Bool(true), Int(1)},
+		{Bool(false), Float(0)},
+		{Int(-3), Float(-3)},
+	}
+	for _, p := range pairs {
+		if p[0].GroupKey() != p[1].GroupKey() {
+			t.Fatalf("GroupKey(%v) != GroupKey(%v)", p[0], p[1])
+		}
+	}
+	// Distinct values must (very likely) have distinct keys.
+	if Int(1).GroupKey() == Int(2).GroupKey() || Str("a").GroupKey() == Str("b").GroupKey() {
+		t.Fatal("distinct values collide")
+	}
+	// Strings and numbers never share keys even when numerically equal —
+	// the IN evaluator handles that coercion case by scan.
+	if Str("5").GroupKey() == Int(5).GroupKey() {
+		t.Fatal("string and number must not share a group key")
+	}
+}
+
+func TestGroupKeyQuickProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := Int(a).GroupKey(), Int(b).GroupKey()
+		return (a == b) == (ka == kb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	g := func(a, b string) bool {
+		return (a == b) == (Str(a).GroupKey() == Str(b).GroupKey())
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Null.String() != "NULL" || Str("x").String() != "x" ||
+		Int(3).String() != "3" || Bool(true).String() != "true" {
+		t.Fatal("String rendering wrong")
+	}
+}

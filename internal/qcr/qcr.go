@@ -1,0 +1,108 @@
+// Package qcr implements the Quadrant Count Ratio statistic (Holmes 2001)
+// used by BLEND's correlation seeker to approximate Pearson correlation
+// inside the database (§V of the paper, adapting the QCR index of Santos et
+// al., ICDE 2022).
+//
+// Given paired observations (x_i, y_i), each pair is assigned to a quadrant
+// by comparing x_i and y_i to their respective means. The QCR is
+//
+//	QCR = (n_I + n_III − n_II − n_IV) / N
+//
+// which, since n_II + n_IV = N − (n_I + n_III), BLEND computes in one pass as
+// (2·(n_I + n_III) − N) / N.
+//
+// BLEND's index stores a single Quadrant bit per numeric cell: 1 when the
+// cell is ≥ its column mean, 0 otherwise, and null for non-numeric cells
+// (Fig. 3). Pairing a query-side bit with an indexed bit reduces quadrant
+// counting to bit agreement: a pair is in Quadrant I or III exactly when the
+// two bits are equal.
+package qcr
+
+import "math"
+
+// QuadrantBit reports whether v falls in the upper half-plane relative to
+// mean: 1 when v >= mean, 0 otherwise.
+func QuadrantBit(v, mean float64) int8 {
+	if v >= mean {
+		return 1
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Bits computes the quadrant bit of every value against the slice mean.
+func Bits(xs []float64) []int8 {
+	m := Mean(xs)
+	out := make([]int8, len(xs))
+	for i, x := range xs {
+		out[i] = QuadrantBit(x, m)
+	}
+	return out
+}
+
+// FromAgreement computes QCR from the number of agreeing pairs (both bits
+// equal: quadrants I and III) out of n total pairs, using the one-pass
+// formula (2·agree − n)/n. It returns 0 when n == 0.
+func FromAgreement(agree, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(2*agree-n) / float64(n)
+}
+
+// Score computes the QCR of two paired bit vectors. Vectors must have equal
+// length; extra elements of the longer one are ignored.
+func Score(a, b []int8) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			agree++
+		}
+	}
+	return FromAgreement(agree, n)
+}
+
+// Pearson computes the exact Pearson correlation coefficient of paired
+// observations. It returns 0 when either side has zero variance or fewer
+// than two pairs are given. It is used to build experiment ground truth.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,134 @@
+package qcr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuadrantBit(t *testing.T) {
+	if QuadrantBit(5, 3) != 1 || QuadrantBit(3, 3) != 1 || QuadrantBit(2, 3) != 0 {
+		t.Fatal("quadrant bit wrong")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestBits(t *testing.T) {
+	bits := Bits([]float64{1, 2, 3, 4})
+	want := []int8{0, 0, 1, 1}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", bits, want)
+		}
+	}
+}
+
+func TestFromAgreement(t *testing.T) {
+	if FromAgreement(0, 0) != 0 {
+		t.Fatal("empty should be 0")
+	}
+	if FromAgreement(10, 10) != 1 {
+		t.Fatal("all agree should be 1")
+	}
+	if FromAgreement(0, 10) != -1 {
+		t.Fatal("none agree should be -1")
+	}
+	if FromAgreement(5, 10) != 0 {
+		t.Fatal("half agree should be 0")
+	}
+}
+
+func TestScorePerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{10, 20, 30, 40, 50, 60}
+	if got := Score(Bits(xs), Bits(ys)); got != 1 {
+		t.Fatalf("QCR of perfectly correlated = %v, want 1", got)
+	}
+	// Anti-correlation.
+	zs := []float64{60, 50, 40, 30, 20, 10}
+	if got := Score(Bits(xs), Bits(zs)); got != -1 {
+		t.Fatalf("QCR of anti-correlated = %v, want -1", got)
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	f := func(raw []float64, raw2 []float64) bool {
+		n := len(raw)
+		if len(raw2) < n {
+			n = len(raw2)
+		}
+		s := Score(Bits(raw[:n]), Bits(raw2[:n]))
+		return s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearsonExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Fatal("single pair should be 0")
+	}
+	if Pearson([]float64{3, 3, 3}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("zero variance should be 0")
+	}
+}
+
+// TestQCRApproximatesPearson checks the statistical claim behind the index:
+// on linearly related data with noise, QCR tracks the sign and rough
+// magnitude of Pearson.
+func TestQCRApproximatesPearson(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = 0.8*xs[i] + 0.4*rng.NormFloat64()
+	}
+	p := Pearson(xs, ys)
+	q := Score(Bits(xs), Bits(ys))
+	if p < 0.7 {
+		t.Fatalf("test setup wrong, Pearson = %v", p)
+	}
+	if q < 0.4 {
+		t.Fatalf("QCR = %v does not track strong positive Pearson %v", q, p)
+	}
+	// Uncorrelated data should give small QCR.
+	zs := make([]float64, n)
+	for i := range zs {
+		zs[i] = rng.NormFloat64()
+	}
+	if q := Score(Bits(xs), Bits(zs)); math.Abs(q) > 0.15 {
+		t.Fatalf("QCR of independent data = %v, want near 0", q)
+	}
+}
+
+func TestScoreUnequalLengths(t *testing.T) {
+	a := []int8{1, 1, 0}
+	b := []int8{1, 1, 0, 0, 1}
+	if Score(a, b) != Score(b, a) {
+		t.Fatal("Score must truncate to the shorter vector symmetrically")
+	}
+}

@@ -1,0 +1,66 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestLoadTruncatedNeverPanics injects failure by truncating a valid index
+// file at every prefix length: Load must return an error (or, never, a
+// silently wrong store) without panicking.
+func TestLoadTruncatedNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	orig := Build(ColumnStore, lakeFixture())
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	step := 1
+	if len(full) > 2048 {
+		step = len(full) / 2048 // cap the loop for big fixtures
+	}
+	for n := 0; n < len(full); n += step {
+		func(n int) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on %d-byte prefix: %v", n, r)
+				}
+			}()
+			if _, err := Load(bytes.NewReader(full[:n])); err == nil {
+				t.Fatalf("Load accepted a %d-byte truncation of a %d-byte file", n, len(full))
+			}
+		}(n)
+	}
+	// The untruncated file still loads.
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full file failed to load: %v", err)
+	}
+}
+
+// TestLoadBitFlips flips single bytes across the header region; Load must
+// never panic (it may succeed when the flip lands in benign payload bytes,
+// e.g. inside a value string).
+func TestLoadBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	orig := Build(RowStore, lakeFixture())
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	limit := len(full)
+	if limit > 512 {
+		limit = 512
+	}
+	for i := 0; i < limit; i++ {
+		mutated := append([]byte(nil), full...)
+		mutated[i] ^= 0xFF
+		func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked with byte %d flipped: %v", i, r)
+				}
+			}()
+			_, _ = Load(bytes.NewReader(mutated))
+		}(i)
+	}
+}

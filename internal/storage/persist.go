@@ -1,0 +1,366 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"blend/internal/table"
+)
+
+// Binary persistence for the AllTables index. The format is a simple
+// little-endian stream:
+//
+//	magic "BLND" | version u32 | layout u32
+//	numTables u32 | per table: name, numRows u32, numCols u32, per col: name, kind u8
+//	dict: numValues u32 | per value: string
+//	numEntries u32 | arrays: valIdx, tableIDs, columnIDs, rowIDs (i32),
+//	                 superLo, superHi (u64), quadrant (i8)
+//
+// Postings and table ranges are rebuilt on load (they are derivable), which
+// keeps the on-disk footprint lean — part of what Table VIII measures.
+
+const (
+	persistMagic   = "BLND"
+	persistVersion = 1
+)
+
+// Save writes the store to w.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeStr := func(v string) error {
+		if err := writeU32(uint32(len(v))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v)
+		return err
+	}
+	if err := writeU32(persistVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(s.layout)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(s.tables))); err != nil {
+		return err
+	}
+	for _, m := range s.tables {
+		if err := writeStr(m.Name); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(m.NumRows)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(m.ColNames))); err != nil {
+			return err
+		}
+		for c := range m.ColNames {
+			if err := writeStr(m.ColNames[c]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(m.ColKinds[c])); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeU32(uint32(len(s.dict))); err != nil {
+		return err
+	}
+	for _, v := range s.dict {
+		if err := writeStr(v); err != nil {
+			return err
+		}
+	}
+	if err := writeU32(uint32(len(s.valIdx))); err != nil {
+		return err
+	}
+	for _, arr := range [][]int32{s.valIdx, s.tableIDs, s.columnIDs, s.rowIDs} {
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.superLo); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.superHi); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.quadrant); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to a file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a store previously written by Save and rebuilds its in-memory
+// indexes.
+func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("read index magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("bad index magic %q", magic)
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	// All length- and count-prefixed reads allocate in bounded chunks:
+	// corrupted or truncated files then fail with an I/O error instead of
+	// attempting a multi-gigabyte allocation from an untrusted count.
+	const chunk = 1 << 16
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		var sb []byte
+		for remaining := int(n); remaining > 0; {
+			c := remaining
+			if c > chunk {
+				c = chunk
+			}
+			buf := make([]byte, c)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return "", fmt.Errorf("read string payload: %w", err)
+			}
+			sb = append(sb, buf...)
+			remaining -= c
+		}
+		return string(sb), nil
+	}
+	readI32s := func(n int) ([]int32, error) {
+		var out []int32
+		for remaining := n; remaining > 0; {
+			c := remaining
+			if c > chunk {
+				c = chunk
+			}
+			part := make([]int32, c)
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+			remaining -= c
+		}
+		return out, nil
+	}
+	readU64s := func(n int) ([]uint64, error) {
+		var out []uint64
+		for remaining := n; remaining > 0; {
+			c := remaining
+			if c > chunk {
+				c = chunk
+			}
+			part := make([]uint64, c)
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+			remaining -= c
+		}
+		return out, nil
+	}
+	readI8s := func(n int) ([]int8, error) {
+		var out []int8
+		for remaining := n; remaining > 0; {
+			c := remaining
+			if c > chunk {
+				c = chunk
+			}
+			part := make([]int8, c)
+			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+			remaining -= c
+		}
+		return out, nil
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("unsupported index version %d", version)
+	}
+	layoutRaw, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{layout: Layout(layoutRaw), dictIdx: make(map[string]int32)}
+
+	numTables, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	s.tables = make([]TableMeta, 0, minInt(int(numTables), 1<<16))
+	for i := 0; i < int(numTables); i++ {
+		var m TableMeta
+		if m.Name, err = readStr(); err != nil {
+			return nil, err
+		}
+		nr, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		m.NumRows = int32(nr)
+		nc, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < int(nc); c++ {
+			name, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			kb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			m.ColNames = append(m.ColNames, name)
+			m.ColKinds = append(m.ColKinds, table.Kind(kb))
+		}
+		s.tables = append(s.tables, m)
+	}
+
+	numValues, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	dict := make([]string, 0, minInt(int(numValues), 1<<16))
+	for i := 0; i < int(numValues); i++ {
+		v, err := readStr()
+		if err != nil {
+			return nil, err
+		}
+		dict = append(dict, v)
+		s.dictIdx[v] = int32(i)
+	}
+	s.dict = dict
+
+	numEntries, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	n := int(numEntries)
+	if s.valIdx, err = readI32s(n); err != nil {
+		return nil, err
+	}
+	if s.tableIDs, err = readI32s(n); err != nil {
+		return nil, err
+	}
+	if s.columnIDs, err = readI32s(n); err != nil {
+		return nil, err
+	}
+	if s.rowIDs, err = readI32s(n); err != nil {
+		return nil, err
+	}
+	if s.superLo, err = readU64s(n); err != nil {
+		return nil, err
+	}
+	if s.superHi, err = readU64s(n); err != nil {
+		return nil, err
+	}
+	if s.quadrant, err = readI8s(n); err != nil {
+		return nil, err
+	}
+	// Referential integrity: every entry must point into the dictionary
+	// and a known table; a corrupt file must not produce a store that
+	// panics later.
+	for i := 0; i < n; i++ {
+		if s.valIdx[i] < 0 || int(s.valIdx[i]) >= len(s.dict) {
+			return nil, fmt.Errorf("entry %d references value %d outside dictionary", i, s.valIdx[i])
+		}
+		tid := s.tableIDs[i]
+		if tid < 0 || int(tid) >= len(s.tables) {
+			return nil, fmt.Errorf("entry %d references table %d outside catalog", i, tid)
+		}
+		meta := &s.tables[tid]
+		if s.columnIDs[i] < 0 || int(s.columnIDs[i]) >= len(meta.ColNames) {
+			return nil, fmt.Errorf("entry %d references column %d outside table %q", i, s.columnIDs[i], meta.Name)
+		}
+		if s.rowIDs[i] < 0 || s.rowIDs[i] >= meta.NumRows {
+			return nil, fmt.Errorf("entry %d references row %d outside table %q", i, s.rowIDs[i], meta.Name)
+		}
+	}
+
+	s.rebuildIndexes()
+	if s.layout == RowStore {
+		s.packRows()
+	}
+	return s, nil
+}
+
+// LoadFile reads a store from a file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// rebuildIndexes reconstructs the inverted index and the TableId ranges
+// from the attribute arrays.
+func (s *Store) rebuildIndexes() {
+	s.postings = make([][]int32, len(s.dict))
+	counts := make([]int32, len(s.dict))
+	for _, vi := range s.valIdx {
+		counts[vi]++
+	}
+	for vi, c := range counts {
+		s.postings[vi] = make([]int32, 0, c)
+	}
+	for i, vi := range s.valIdx {
+		s.postings[vi] = append(s.postings[vi], int32(i))
+	}
+	s.tableRange = make([][2]int32, len(s.tables))
+	for i := range s.tableRange {
+		s.tableRange[i] = [2]int32{int32(len(s.valIdx)), 0}
+	}
+	for i, tid := range s.tableIDs {
+		r := &s.tableRange[tid]
+		if int32(i) < r[0] {
+			r[0] = int32(i)
+		}
+		if int32(i)+1 > r[1] {
+			r[1] = int32(i) + 1
+		}
+	}
+	// Tables with no entries get an empty range at 0.
+	for i := range s.tableRange {
+		if s.tableRange[i][0] > s.tableRange[i][1] {
+			s.tableRange[i] = [2]int32{0, 0}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

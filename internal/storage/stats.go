@@ -1,0 +1,57 @@
+package storage
+
+// Stats summarizes an index for operators and the CLI's stats subcommand:
+// the shape of the lake, dictionary compression, posting-list skew (the
+// quantity seeker runtimes scale with), and quadrant coverage.
+type Stats struct {
+	Layout           Layout
+	Tables           int
+	Entries          int
+	DistinctValues   int
+	NumericCells     int // cells carrying a quadrant bit
+	AvgPostingLength float64
+	MaxPostingLength int
+	DictBytes        int64
+	EstimatedBytes   int64
+	AvgColumnsPerTbl float64
+	AvgRowsPerTable  float64
+}
+
+// ComputeStats scans the index once and returns its summary.
+func (s *Store) ComputeStats() Stats {
+	st := Stats{
+		Layout:         s.layout,
+		Tables:         s.NumTables(),
+		Entries:        s.NumEntries(),
+		DistinctValues: s.NumDistinctValues(),
+		EstimatedBytes: s.SizeBytes(),
+	}
+	for _, v := range s.dict {
+		st.DictBytes += int64(len(v))
+	}
+	totalPost := 0
+	for _, p := range s.postings {
+		totalPost += len(p)
+		if len(p) > st.MaxPostingLength {
+			st.MaxPostingLength = len(p)
+		}
+	}
+	if len(s.postings) > 0 {
+		st.AvgPostingLength = float64(totalPost) / float64(len(s.postings))
+	}
+	for _, q := range s.quadrant {
+		if q != QuadrantNull {
+			st.NumericCells++
+		}
+	}
+	var cols, rows int
+	for _, m := range s.tables {
+		cols += len(m.ColNames)
+		rows += int(m.NumRows)
+	}
+	if st.Tables > 0 {
+		st.AvgColumnsPerTbl = float64(cols) / float64(st.Tables)
+		st.AvgRowsPerTable = float64(rows) / float64(st.Tables)
+	}
+	return st
+}

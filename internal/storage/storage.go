@@ -1,0 +1,454 @@
+// Package storage implements the database substrate that hosts BLEND's
+// unified index: the AllTables fact table of Fig. 3 in the paper
+// (CellValue, TableId, ColumnId, RowId, SuperKey, Quadrant), together with
+// the two in-database indexes the paper creates on it (an inverted index on
+// CellValue and a clustered range index on TableId), value-frequency
+// statistics for the cost model, and binary persistence.
+//
+// The paper deploys AllTables on PostgreSQL (row store) and on a commercial
+// column store and compares the two; this package therefore implements both
+// physical layouts behind one API. The column layout stores each attribute
+// in a dense parallel array (scans touch only the attributes they need);
+// the row layout stores one struct per index entry (scans drag the whole
+// tuple through the cache), reproducing the row-vs-column runtime gap the
+// paper's figures report.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"blend/internal/qcr"
+	"blend/internal/table"
+	"blend/internal/xash"
+)
+
+// Layout selects the physical representation of the AllTables relation.
+type Layout int
+
+const (
+	// ColumnStore stores AllTables as parallel per-attribute arrays.
+	ColumnStore Layout = iota
+	// RowStore stores AllTables as a slice of entry structs.
+	RowStore
+)
+
+// String returns the layout name as used in the paper's figures.
+func (l Layout) String() string {
+	switch l {
+	case ColumnStore:
+		return "Column"
+	case RowStore:
+		return "Row"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// QuadrantNull marks a non-numeric cell in the Quadrant attribute.
+const QuadrantNull int8 = -1
+
+// Row-layout record framing: each AllTables tuple is one variable-length
+// packed record (heap-tuple style): fixed header then the inline cell
+// value bytes. Reading any attribute decodes the record, and reading the
+// value copies its bytes out — the per-tuple deforming cost that makes row
+// stores slower on scan-heavy discovery queries, which the paper's
+// row-vs-column figures measure.
+const (
+	rowOffTableID  = 0
+	rowOffColumnID = 4
+	rowOffRowID    = 8
+	rowOffSuperLo  = 12
+	rowOffSuperHi  = 20
+	rowOffQuadrant = 28
+	rowHeaderSize  = 29
+)
+
+// TableMeta records per-table catalog information kept alongside the index.
+type TableMeta struct {
+	Name     string
+	ColNames []string
+	ColKinds []table.Kind
+	NumRows  int32
+}
+
+// Store is the AllTables relation plus its indexes and catalog. Build one
+// with a Builder (offline phase, Fig. 2e) or Load one from disk.
+type Store struct {
+	layout Layout
+
+	// Dictionary-encoded cell values.
+	dict    []string
+	dictIdx map[string]int32
+
+	// Column layout: parallel arrays, sorted by (TableID, RowID, ColumnID).
+	valIdx    []int32
+	tableIDs  []int32
+	columnIDs []int32
+	rowIDs    []int32
+	superLo   []uint64
+	superHi   []uint64
+	quadrant  []int8
+
+	// Row layout (populated only when layout == RowStore): packed
+	// variable-length records and their start offsets.
+	rowData []byte
+	rowOff  []int64
+
+	// In-DB index on CellValue: dictionary id -> sorted entry positions.
+	postings [][]int32
+	// In-DB index on TableId: table id -> [start, end) entry positions.
+	tableRange [][2]int32
+
+	tables []TableMeta
+}
+
+// NewBuilder starts an offline indexing run producing a store with the given
+// layout.
+func NewBuilder(layout Layout) *Builder {
+	return &Builder{
+		store: &Store{
+			layout:  layout,
+			dictIdx: make(map[string]int32),
+		},
+	}
+}
+
+// Builder accumulates tables into a Store. Not safe for concurrent use.
+type Builder struct {
+	store *Store
+}
+
+// Add indexes one table, assigning it the next table id, and returns that
+// id. It computes, per row, the XASH super key over all cells and, per
+// numeric cell, the quadrant bit against the column mean — the three
+// unified structures of §V.
+func (b *Builder) Add(t *table.Table) int32 {
+	return b.store.addTable(t)
+}
+
+// AddTable appends one table to an already-finished store — the
+// incremental index maintenance that a single unified relation makes
+// cheap (§I contrasts this with maintaining an ensemble of incompatible
+// index structures). The new table is immediately visible to queries.
+// Not safe for use concurrent with readers.
+func (s *Store) AddTable(t *table.Table) int32 {
+	tid := s.addTable(t)
+	if s.layout == RowStore {
+		s.packRows()
+	}
+	return tid
+}
+
+func (s *Store) addTable(t *table.Table) int32 {
+	tid := int32(len(s.tables))
+	meta := TableMeta{Name: t.Name, NumRows: int32(len(t.Rows))}
+	meta.ColNames = make([]string, len(t.Columns))
+	meta.ColKinds = make([]table.Kind, len(t.Columns))
+	for i, c := range t.Columns {
+		meta.ColNames[i] = c.Name
+		meta.ColKinds[i] = c.Kind
+	}
+	s.tables = append(s.tables, meta)
+
+	// Column means for quadrant bits.
+	means := make([]float64, len(t.Columns))
+	numeric := make([]bool, len(t.Columns))
+	for c, col := range t.Columns {
+		if col.Kind != table.KindNumeric {
+			continue
+		}
+		vals, _ := t.NumericColumnValues(c)
+		if len(vals) == 0 {
+			continue
+		}
+		numeric[c] = true
+		means[c] = qcr.Mean(vals)
+	}
+
+	start := int32(len(s.valIdx))
+	for r, row := range t.Rows {
+		key := xash.HashRow(row)
+		for c, v := range row {
+			if v == table.Null {
+				continue
+			}
+			q := QuadrantNull
+			if numeric[c] {
+				if f, ok := parseFloat(v); ok {
+					q = qcr.QuadrantBit(f, means[c])
+				}
+			}
+			s.appendEntry(v, tid, int32(c), int32(r), key, q)
+		}
+	}
+	s.tableRange = append(s.tableRange, [2]int32{start, int32(len(s.valIdx))})
+	return tid
+}
+
+func (s *Store) appendEntry(v string, tid, cid, rid int32, key xash.Key, q int8) {
+	vi, ok := s.dictIdx[v]
+	if !ok {
+		vi = int32(len(s.dict))
+		s.dict = append(s.dict, v)
+		s.dictIdx[v] = vi
+		s.postings = append(s.postings, nil)
+	}
+	pos := int32(len(s.valIdx))
+	s.valIdx = append(s.valIdx, vi)
+	s.tableIDs = append(s.tableIDs, tid)
+	s.columnIDs = append(s.columnIDs, cid)
+	s.rowIDs = append(s.rowIDs, rid)
+	s.superLo = append(s.superLo, key.Lo)
+	s.superHi = append(s.superHi, key.Hi)
+	s.quadrant = append(s.quadrant, q)
+	s.postings[vi] = append(s.postings[vi], pos)
+}
+
+// Finish completes the offline phase and returns the immutable store.
+func (b *Builder) Finish() *Store {
+	s := b.store
+	if s.layout == RowStore {
+		s.packRows()
+	}
+	return s
+}
+
+// packRows materializes the row layout: one packed record per tuple. It is
+// incremental — already-packed records are kept and only new entries are
+// appended, so AddTable pays for its own tuples only.
+func (s *Store) packRows() {
+	n := len(s.valIdx)
+	packed := 0
+	if len(s.rowOff) > 0 {
+		packed = len(s.rowOff) - 1
+	}
+	if packed == n {
+		return
+	}
+	extra := 0
+	for i := packed; i < n; i++ {
+		extra += rowHeaderSize + len(s.dict[s.valIdx[i]])
+	}
+	off := int64(0)
+	if packed > 0 {
+		off = s.rowOff[packed]
+		s.rowOff = s.rowOff[:packed]
+	} else {
+		s.rowOff = make([]int64, 0, n+1)
+	}
+	grown := make([]byte, int(off)+extra)
+	copy(grown, s.rowData[:off])
+	s.rowData = grown
+	for i := packed; i < n; i++ {
+		s.rowOff = append(s.rowOff, off)
+		rec := s.rowData[off:]
+		putU32(rec[rowOffTableID:], uint32(s.tableIDs[i]))
+		putU32(rec[rowOffColumnID:], uint32(s.columnIDs[i]))
+		putU32(rec[rowOffRowID:], uint32(s.rowIDs[i]))
+		putU64(rec[rowOffSuperLo:], s.superLo[i])
+		putU64(rec[rowOffSuperHi:], s.superHi[i])
+		rec[rowOffQuadrant] = byte(s.quadrant[i])
+		v := s.dict[s.valIdx[i]]
+		copy(rec[rowHeaderSize:], v)
+		off += int64(rowHeaderSize + len(v))
+	}
+	s.rowOff = append(s.rowOff, off)
+}
+
+// Build indexes all tables in order and returns the finished store.
+func Build(layout Layout, tables []*table.Table) *Store {
+	b := NewBuilder(layout)
+	for _, t := range tables {
+		b.Add(t)
+	}
+	return b.Finish()
+}
+
+func parseFloat(s string) (float64, bool) {
+	// Inline fast path: strconv via package table semantics.
+	var f float64
+	var err error
+	f, err = strconvParseFloat(s)
+	return f, err == nil
+}
+
+// Layout reports the store's physical layout.
+func (s *Store) Layout() Layout { return s.layout }
+
+// NumEntries reports the number of AllTables tuples.
+func (s *Store) NumEntries() int { return len(s.valIdx) }
+
+// NumTables reports the number of indexed tables.
+func (s *Store) NumTables() int { return len(s.tables) }
+
+// NumDistinctValues reports the dictionary size.
+func (s *Store) NumDistinctValues() int { return len(s.dict) }
+
+// TableMeta returns catalog information for a table id.
+func (s *Store) TableMeta(tid int32) TableMeta { return s.tables[tid] }
+
+// TableName returns the name of a table id, or "" if out of range.
+func (s *Store) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(s.tables) {
+		return ""
+	}
+	return s.tables[tid].Name
+}
+
+// TableIDByName returns the id of the named table, or -1.
+func (s *Store) TableIDByName(name string) int32 {
+	for i, m := range s.tables {
+		if m.Name == name {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// record returns the packed row-layout record of entry i.
+func (s *Store) record(i int32) []byte {
+	return s.rowData[s.rowOff[i]:s.rowOff[i+1]]
+}
+
+// Value returns the CellValue of entry i, honouring the physical layout.
+// In the row layout this copies the value bytes out of the packed record,
+// as a row store must when projecting a tuple attribute.
+func (s *Store) Value(i int32) string {
+	if s.layout == RowStore {
+		return string(s.record(i)[rowHeaderSize:])
+	}
+	return s.dict[s.valIdx[i]]
+}
+
+// TableID returns the TableId of entry i.
+func (s *Store) TableID(i int32) int32 {
+	if s.layout == RowStore {
+		return int32(getU32(s.record(i)[rowOffTableID:]))
+	}
+	return s.tableIDs[i]
+}
+
+// ColumnID returns the ColumnId of entry i.
+func (s *Store) ColumnID(i int32) int32 {
+	if s.layout == RowStore {
+		return int32(getU32(s.record(i)[rowOffColumnID:]))
+	}
+	return s.columnIDs[i]
+}
+
+// RowID returns the RowId of entry i.
+func (s *Store) RowID(i int32) int32 {
+	if s.layout == RowStore {
+		return int32(getU32(s.record(i)[rowOffRowID:]))
+	}
+	return s.rowIDs[i]
+}
+
+// SuperKey returns the XASH super key of entry i's row.
+func (s *Store) SuperKey(i int32) xash.Key {
+	if s.layout == RowStore {
+		rec := s.record(i)
+		return xash.Key{Lo: getU64(rec[rowOffSuperLo:]), Hi: getU64(rec[rowOffSuperHi:])}
+	}
+	return xash.Key{Lo: s.superLo[i], Hi: s.superHi[i]}
+}
+
+// Quadrant returns the quadrant bit of entry i, or QuadrantNull for
+// non-numeric cells.
+func (s *Store) Quadrant(i int32) int8 {
+	if s.layout == RowStore {
+		return int8(s.record(i)[rowOffQuadrant])
+	}
+	return s.quadrant[i]
+}
+
+// Postings returns the sorted entry positions whose CellValue equals v
+// (the in-DB inverted index lookup). The returned slice is shared; callers
+// must not modify it.
+func (s *Store) Postings(v string) []int32 {
+	vi, ok := s.dictIdx[v]
+	if !ok {
+		return nil
+	}
+	return s.postings[vi]
+}
+
+// Frequency returns the number of index entries holding value v.
+func (s *Store) Frequency(v string) int { return len(s.Postings(v)) }
+
+// AvgFrequency returns the mean index frequency of the given values — the
+// statistic BLEND's learned cost model uses as a feature (§VII-B).
+func (s *Store) AvgFrequency(values []string) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range values {
+		total += s.Frequency(v)
+	}
+	return float64(total) / float64(len(values))
+}
+
+// TableEntries returns the [start, end) entry range of a table id (the
+// in-DB index on TableId used for fast table loading).
+func (s *Store) TableEntries(tid int32) (start, end int32) {
+	r := s.tableRange[tid]
+	return r[0], r[1]
+}
+
+// ReconstructRow materializes row rid of table tid from the index, with
+// nulls for absent cells — how BLEND validates candidate rows without
+// loading source files.
+func (s *Store) ReconstructRow(tid, rid int32) []string {
+	meta := s.tables[tid]
+	row := make([]string, len(meta.ColNames))
+	start, end := s.TableEntries(tid)
+	// Entries are sorted by (TableID, RowID, ColumnID): binary search the
+	// row's first entry.
+	lo := start + int32(sort.Search(int(end-start), func(k int) bool {
+		return s.RowID(start+int32(k)) >= rid
+	}))
+	for i := lo; i < end && s.RowID(i) == rid; i++ {
+		row[s.ColumnID(i)] = s.Value(i)
+	}
+	return row
+}
+
+// ReconstructTable materializes a full table from the index.
+func (s *Store) ReconstructTable(tid int32) *table.Table {
+	meta := s.tables[tid]
+	t := table.New(meta.Name, meta.ColNames...)
+	for c, k := range meta.ColKinds {
+		t.Columns[c].Kind = k
+	}
+	t.Rows = make([][]string, meta.NumRows)
+	for r := range t.Rows {
+		t.Rows[r] = make([]string, len(meta.ColNames))
+	}
+	start, end := s.TableEntries(tid)
+	for i := start; i < end; i++ {
+		t.Rows[s.RowID(i)][s.ColumnID(i)] = s.Value(i)
+	}
+	return t
+}
+
+// SizeBytes estimates the resident size of the index in bytes: dictionary
+// strings plus fixed-width attribute arrays plus postings. Used to
+// reproduce the storage comparison of Table VIII.
+func (s *Store) SizeBytes() int64 {
+	var b int64
+	for _, v := range s.dict {
+		b += int64(len(v)) + 16 // string header
+	}
+	n := int64(len(s.valIdx))
+	b += n * (4 + 4 + 4 + 4 + 8 + 8 + 1) // attribute arrays
+	for _, p := range s.postings {
+		b += int64(len(p)) * 4
+	}
+	b += int64(len(s.tableRange)) * 8
+	if s.layout == RowStore {
+		b += int64(len(s.rowData)) + int64(len(s.rowOff))*8
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package table
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format writes the table as an aligned text grid, truncating to maxRows
+// data rows (negative means all). Used by the CLI's preview mode and by
+// examples; wide cells are clipped to keep the grid readable.
+func (t *Table) Format(w io.Writer, maxRows int) error {
+	const cellCap = 24
+	clip := func(s string) string {
+		if len(s) > cellCap {
+			return s[:cellCap-1] + "…"
+		}
+		if s == Null {
+			return "∅"
+		}
+		return s
+	}
+	widths := make([]int, len(t.Columns))
+	for c, col := range t.Columns {
+		widths[c] = len(clip(col.Name))
+	}
+	rows := t.Rows
+	if maxRows >= 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	for _, row := range rows {
+		for c, v := range row {
+			if l := len(clip(v)); l > widths[c] {
+				widths[c] = l
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Name)
+	writeRow := func(cells []string) {
+		for c, v := range cells {
+			if c > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[c], clip(v))
+		}
+		sb.WriteByte('\n')
+	}
+	header := make([]string, len(t.Columns))
+	for c, col := range t.Columns {
+		header[c] = col.Name
+	}
+	writeRow(header)
+	for c := range t.Columns {
+		if c > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[c]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	if maxRows >= 0 && len(t.Rows) > maxRows {
+		fmt.Fprintf(&sb, "… %d more rows\n", len(t.Rows)-maxRows)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,238 @@
+// Package table defines the relational table model used throughout BLEND:
+// named tables with typed columns and string-encoded cells, plus CSV
+// import/export and column type inference.
+//
+// Cells are stored as strings because BLEND's unified index (the AllTables
+// fact table, Fig. 3 of the paper) stores every cell value as nvarchar;
+// numeric interpretation happens lazily where needed (e.g. quadrant
+// computation for the correlation seeker).
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a column's dominant data type.
+type Kind int
+
+const (
+	// KindString marks a categorical / free-text column.
+	KindString Kind = iota
+	// KindNumeric marks a column whose non-null cells parse as numbers.
+	KindNumeric
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindNumeric:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Null is the in-band representation of a missing value. Empty cells read
+// from CSV are nulls.
+const Null = ""
+
+// Column describes one attribute of a table.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Table is an in-memory relational table. The zero value is an empty,
+// unnamed table ready for use.
+type Table struct {
+	// Name identifies the table inside a data lake. Lake loaders keep
+	// names unique.
+	Name string
+	// Columns holds per-column metadata, in attribute order.
+	Columns []Column
+	// Rows holds the cell values; Rows[r][c] is the value of column c in
+	// row r. len(Rows[r]) == len(Columns) for every r.
+	Rows [][]string
+}
+
+// New creates a table with the given name and column names. Column kinds
+// default to KindString until InferKinds is called or cells are appended and
+// inference is re-run.
+func New(name string, columnNames ...string) *Table {
+	cols := make([]Column, len(columnNames))
+	for i, cn := range columnNames {
+		cols[i] = Column{Name: cn, Kind: KindString}
+	}
+	return &Table{Name: name, Columns: cols}
+}
+
+// NumRows reports the number of rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols reports the number of columns.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// Cell returns the value at (row, col). It panics if out of range, matching
+// slice semantics.
+func (t *Table) Cell(row, col int) string { return t.Rows[row][col] }
+
+// IsNull reports whether the cell at (row, col) is missing.
+func (t *Table) IsNull(row, col int) bool { return t.Rows[row][col] == Null }
+
+// AppendRow adds a row to the table. It returns an error if the row width
+// does not match the number of columns.
+func (t *Table) AppendRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("table %q: row has %d cells, want %d", t.Name, len(cells), len(t.Columns))
+	}
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on width mismatch. It is intended
+// for tests and generators where the width is statically known.
+func (t *Table) MustAppendRow(cells ...string) {
+	if err := t.AppendRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// ColumnIndex returns the index of the named column, or -1 if absent.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnValues returns a copy of the non-null values of column col, in row
+// order.
+func (t *Table) ColumnValues(col int) []string {
+	out := make([]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		if row[col] != Null {
+			out = append(out, row[col])
+		}
+	}
+	return out
+}
+
+// DistinctColumnValues returns the set of distinct non-null values of column
+// col, in first-appearance order.
+func (t *Table) DistinctColumnValues(col int) []string {
+	seen := make(map[string]struct{}, len(t.Rows))
+	out := make([]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		v := row[col]
+		if v == Null {
+			continue
+		}
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// NumericColumnValues parses column col as float64s, skipping nulls and
+// unparsable cells. The second return value gives, for each returned number,
+// the row it came from.
+func (t *Table) NumericColumnValues(col int) ([]float64, []int) {
+	vals := make([]float64, 0, len(t.Rows))
+	rows := make([]int, 0, len(t.Rows))
+	for r, row := range t.Rows {
+		v := row[col]
+		if v == Null {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, f)
+		rows = append(rows, r)
+	}
+	return vals, rows
+}
+
+// numericThreshold is the fraction of non-null cells that must parse as
+// numbers for a column to be inferred as numeric.
+const numericThreshold = 0.9
+
+// InferKinds re-derives every column's Kind from its current cells. A column
+// with no non-null cells stays KindString.
+func (t *Table) InferKinds() {
+	for c := range t.Columns {
+		nonNull, numeric := 0, 0
+		for _, row := range t.Rows {
+			v := row[c]
+			if v == Null {
+				continue
+			}
+			nonNull++
+			if _, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				numeric++
+			}
+		}
+		if nonNull > 0 && float64(numeric) >= numericThreshold*float64(nonNull) {
+			t.Columns[c].Kind = KindNumeric
+		} else {
+			t.Columns[c].Kind = KindString
+		}
+	}
+}
+
+// Project returns a new table containing only the given columns, preserving
+// row order. Unknown names are an error.
+func (t *Table) Project(columnNames ...string) (*Table, error) {
+	idx := make([]int, len(columnNames))
+	for i, name := range columnNames {
+		ci := t.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("table %q: no column %q", t.Name, name)
+		}
+		idx[i] = ci
+	}
+	out := &Table{Name: t.Name, Columns: make([]Column, len(idx))}
+	for i, ci := range idx {
+		out.Columns[i] = t.Columns[ci]
+	}
+	out.Rows = make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		nr := make([]string, len(idx))
+		for i, ci := range idx {
+			nr[i] = row[ci]
+		}
+		out.Rows[r] = nr
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name, Columns: append([]Column(nil), t.Columns...)}
+	out.Rows = make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		out.Rows[r] = append([]string(nil), row...)
+	}
+	return out
+}
+
+// String renders a compact summary, not the full contents.
+func (t *Table) String() string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return fmt.Sprintf("%s(%s) [%d rows]", t.Name, strings.Join(names, ", "), len(t.Rows))
+}

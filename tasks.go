@@ -1,0 +1,104 @@
+package blend
+
+import "fmt"
+
+// Prebuilt discovery plans for the higher-level tasks of §VII-A and §VIII-B
+// of the paper. Each helper returns an ordinary Plan that can be extended
+// further before running.
+
+// UnionSearchPlan builds the union-search plan of §VII-A: one SC seeker per
+// query-table column with a generous per-seeker limit, aggregated by a
+// Counter combiner. Tables matching many columns rank first. perColumnK
+// should exceed k so tables that only become relevant in combination
+// survive the per-seeker cut (the paper uses 100 vs 10).
+func UnionSearchPlan(query *Table, perColumnK, k int) *Plan {
+	p := NewPlan()
+	cols := make([]string, 0, query.NumCols())
+	for c := 0; c < query.NumCols(); c++ {
+		id := fmt.Sprintf("col_%s_%d", query.Columns[c].Name, c)
+		p.MustAddSeeker(id, SC(query.DistinctColumnValues(c), perColumnK))
+		cols = append(cols, id)
+	}
+	p.MustAddCombiner("counter", Counter(k), cols...)
+	return p
+}
+
+// NegativeExamplesPlan builds the data-discovery-with-negative-examples
+// task of §VIII-B2: tables containing the positive example tuples but none
+// of the negative ones. Two MC seekers and a Difference combiner — 5 lines
+// in the paper's API, three nodes here.
+func NegativeExamplesPlan(positives, negatives [][]string, k int) *Plan {
+	p := NewPlan()
+	p.MustAddSeeker("P_examples", MC(positives, k))
+	p.MustAddSeeker("N_examples", MC(negatives, k))
+	p.MustAddCombiner("exclude", Difference(k), "P_examples", "N_examples")
+	return p
+}
+
+// ImputationPlan builds the example-based data imputation task of
+// §VIII-B3: tables containing the complete example rows (MC) intersected
+// with tables containing the incomplete rows' known values (SC), following
+// the data-imputation sub-plan of Fig. 4.
+func ImputationPlan(examples [][]string, queries []string, k int) *Plan {
+	p := NewPlan()
+	p.MustAddSeeker("examples", MC(examples, k))
+	p.MustAddSeeker("query", SC(queries, k))
+	p.MustAddCombiner("intersection", Intersect(k), "examples", "query")
+	return p
+}
+
+// FeatureDiscoveryPlan builds the multicollinearity-aware feature discovery
+// task of §VIII-B4: tables with a column correlating with the target,
+// excluding tables that correlate with any existing feature (one Difference
+// per feature), intersected with tables joinable on the composite key.
+//
+// keys pairs positionally with target and with each existing feature
+// column. joinTuples holds the join-key rows for the MC joinability check.
+func FeatureDiscoveryPlan(keys []string, target []float64, features [][]float64, joinTuples [][]string, k int) *Plan {
+	p := NewPlan()
+	p.MustAddSeeker("target_corr", Correlation(keys, target, k))
+	last := "target_corr"
+	for i, feat := range features {
+		fid := fmt.Sprintf("feature_corr_%d", i)
+		did := fmt.Sprintf("collinearity_%d", i)
+		p.MustAddSeeker(fid, Correlation(keys, feat, k))
+		p.MustAddCombiner(did, Difference(k), last, fid)
+		last = did
+	}
+	p.MustAddSeeker("joinable", MC(joinTuples, k))
+	p.MustAddCombiner("result", Intersect(k), last, "joinable")
+	return p
+}
+
+// MultiObjectivePlan builds the multi-objective discovery task of Listing 4
+// (without the imputation sub-plan, as evaluated in §VIII-B5): keyword
+// search, union search, and correlation search, aggregated with a Union
+// combiner.
+func MultiObjectivePlan(keywords []string, examples *Table, joinKeyColumn, targetColumn string, k int) (*Plan, error) {
+	p := NewPlan()
+	// Keyword search.
+	p.MustAddSeeker("kw", KW(keywords, k))
+	// Union search: one SC per column plus a Counter.
+	colIDs := make([]string, 0, examples.NumCols())
+	for c := 0; c < examples.NumCols(); c++ {
+		id := fmt.Sprintf("union_col_%d", c)
+		p.MustAddSeeker(id, SC(examples.DistinctColumnValues(c), 10*k))
+		colIDs = append(colIDs, id)
+	}
+	p.MustAddCombiner("counter", Counter(k), colIDs...)
+	// Correlation search on (join key, target).
+	kc := examples.ColumnIndex(joinKeyColumn)
+	tc := examples.ColumnIndex(targetColumn)
+	if kc < 0 || tc < 0 {
+		return nil, fmt.Errorf("blend: examples table lacks column %q or %q", joinKeyColumn, targetColumn)
+	}
+	targets, rows := examples.NumericColumnValues(tc)
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = examples.Cell(r, kc)
+	}
+	p.MustAddSeeker("correlation", Correlation(keys, targets, k))
+	// Aggregate all sub-plans.
+	p.MustAddCombiner("union", Union(4*k), "kw", "counter", "correlation")
+	return p, nil
+}
