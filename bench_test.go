@@ -41,6 +41,7 @@ var benchLake = struct {
 	corr    *datalake.CorrBenchmark
 	col     *Discovery
 	row     *Discovery
+	sharded *Discovery
 	josie   *josie.Index
 	mate    *mate.Index
 	starmie *starmie.Index
@@ -63,6 +64,7 @@ func benchSetup(b *testing.B) {
 		}
 		benchLake.col = IndexTables(ColumnStore, benchLake.join.Tables)
 		benchLake.row = IndexTables(RowStore, benchLake.join.Tables)
+		benchLake.sharded = IndexTables(ColumnStore, benchLake.join.Tables, WithShards(4))
 		benchLake.josie = josie.Build(benchLake.join.Tables)
 		benchLake.mate = mate.Build(benchLake.join.Tables)
 		benchLake.starmie = starmie.Build(benchLake.join.Tables)
@@ -307,6 +309,88 @@ func BenchmarkUserStudyAggregate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if userstudy.Aggregate(rs) == nil {
 			b.Fatal("nil summary")
+		}
+	}
+}
+
+// BenchmarkSCSeekerSharded contrasts BenchmarkSCSeekerColumn with the same
+// workload on a 4-shard index scanned concurrently.
+func BenchmarkSCSeekerSharded(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := benchLake.queries[i%len(benchLake.queries)]
+		if _, err := benchLake.sharded.Seek(SC(q, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCSeekerSharded is the sharded counterpart of BenchmarkMCSeeker.
+func BenchmarkMCSeekerSharded(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := benchLake.tuples[i%len(benchLake.tuples)]
+		if _, err := benchLake.sharded.Seek(MC(t, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexBuildSharded measures the offline phase into 4 shards.
+func BenchmarkIndexBuildSharded(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := IndexTables(ColumnStore, benchLake.join.Tables, WithShards(4))
+		if d.NumTables() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// benchFanOutPlan builds a 4-independent-seeker Union plan, the shape the
+// DAG scheduler parallelizes fully.
+func benchFanOutPlan(i int) *Plan {
+	p := NewPlan()
+	for j := 0; j < 4; j++ {
+		q := benchLake.queries[(i+j)%len(benchLake.queries)]
+		p.MustAddSeeker(seekerName(j), SC(q, 10))
+	}
+	p.MustAddCombiner("any", Union(10), seekerName(0), seekerName(1), seekerName(2), seekerName(3))
+	return p
+}
+
+func seekerName(j int) string { return string(rune('a' + j)) }
+
+// benchmarkPlanWorkers measures the scheduler at a fixed pool size —
+// worker-scaling for the concurrent plan scheduler (sequential engine as
+// the w=0 baseline).
+func benchmarkPlanWorkers(b *testing.B, workers int, parallel bool) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := RunOptions{Optimize: true, Parallel: parallel, MaxWorkers: workers}
+		if _, err := benchLake.sharded.RunWithOptions(benchFanOutPlan(i), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanSequential(b *testing.B)        { benchmarkPlanWorkers(b, 0, false) }
+func BenchmarkPlanSchedulerWorkers1(b *testing.B) { benchmarkPlanWorkers(b, 1, true) }
+func BenchmarkPlanSchedulerWorkers2(b *testing.B) { benchmarkPlanWorkers(b, 2, true) }
+func BenchmarkPlanSchedulerWorkers4(b *testing.B) { benchmarkPlanWorkers(b, 4, true) }
+
+// BenchmarkIndexPersistSharded measures v2 serialization.
+func BenchmarkIndexPersistSharded(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := benchLake.sharded.Engine().Store().Save(&buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

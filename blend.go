@@ -134,16 +134,43 @@ type Discovery struct {
 	engine *core.Engine
 }
 
+// IndexOption configures IndexTables / IndexCSVDir.
+type IndexOption func(*indexConfig)
+
+type indexConfig struct {
+	shards int
+}
+
+// WithShards hash-partitions the index's tables across n shards, each with
+// its own dictionary, inverted index, and table-range index. Seekers then
+// scan every shard concurrently and merge top-k results, while the global
+// view (table ids, raw SQL, persistence) stays identical to a monolithic
+// index. n <= 1 keeps the monolithic store.
+func WithShards(n int) IndexOption {
+	return func(c *indexConfig) { c.shards = n }
+}
+
 // IndexTables builds the unified index over the given tables (the offline
 // phase, Fig. 2e) and returns a ready-to-query Discovery. Call
 // Table.InferKinds (or load via CSV, which infers automatically) before
-// indexing so numeric columns gain quadrant bits.
-func IndexTables(layout Layout, tables []*Table) *Discovery {
-	return &Discovery{engine: core.NewEngine(storage.Build(layout, tables))}
+// indexing so numeric columns gain quadrant bits. Options select the
+// physical organisation, e.g. WithShards(8) for a hash-partitioned index.
+func IndexTables(layout Layout, tables []*Table, opts ...IndexOption) *Discovery {
+	var cfg indexConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var idx storage.Index
+	if cfg.shards > 1 {
+		idx = storage.BuildSharded(layout, tables, cfg.shards)
+	} else {
+		idx = storage.Build(layout, tables)
+	}
+	return &Discovery{engine: core.NewEngine(idx)}
 }
 
 // IndexCSVDir loads every CSV file in dir and indexes the resulting lake.
-func IndexCSVDir(layout Layout, dir string) (*Discovery, error) {
+func IndexCSVDir(layout Layout, dir string, opts ...IndexOption) (*Discovery, error) {
 	tables, err := table.ReadCSVDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("blend: load lake from %s: %w", dir, err)
@@ -151,7 +178,7 @@ func IndexCSVDir(layout Layout, dir string) (*Discovery, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("blend: no CSV tables found in %s", dir)
 	}
-	return IndexTables(layout, tables), nil
+	return IndexTables(layout, tables, opts...), nil
 }
 
 // OpenIndex loads a previously saved index file.
@@ -249,6 +276,10 @@ func (d *Discovery) AddTable(t *Table) { d.engine.Store().AddTable(t) }
 
 // NumTables reports the number of indexed tables.
 func (d *Discovery) NumTables() int { return d.engine.Store().NumTables() }
+
+// NumShards reports how many partitions back the index (1 when
+// monolithic).
+func (d *Discovery) NumShards() int { return d.engine.Store().NumShards() }
 
 // Stats summarizes the index (shape, dictionary, posting-list skew).
 func (d *Discovery) Stats() storage.Stats { return d.engine.Store().ComputeStats() }

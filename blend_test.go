@@ -2,6 +2,8 @@ package blend
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -430,5 +432,111 @@ func TestCustomCombinerThroughPublicAPI(t *testing.T) {
 	// break — so the vote ties at 1.5 and T2 (lower id) wins.
 	if !reflect.DeepEqual(res.Tables, []string{"T2", "T3"}) {
 		t.Fatalf("vote ranking = %v", res.Tables)
+	}
+}
+
+func TestShardedIndexPublicAPI(t *testing.T) {
+	mono := IndexTables(ColumnStore, fig1Tables())
+	shard := IndexTables(ColumnStore, fig1Tables(), WithShards(4))
+	if mono.NumShards() != 1 || shard.NumShards() != 4 {
+		t.Fatalf("shard counts: mono=%d shard=%d", mono.NumShards(), shard.NumShards())
+	}
+	p := NegativeExamplesPlan(
+		[][]string{{"HR", "Firenze"}},
+		[][]string{{"IT", "Tom Riddle"}},
+		10,
+	)
+	p.MustAddSeeker("dep", SC(deps, 10))
+	p.MustAddCombiner("intersect", Intersect(10), "exclude", "dep")
+	ref, err := mono.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shard.RunWithOptions(p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Tables, got.Tables) {
+		t.Fatalf("sharded parallel run %v != monolithic %v", got.Tables, ref.Tables)
+	}
+	if !reflect.DeepEqual(ref.NodeHits, got.NodeHits) {
+		t.Fatal("sharded parallel NodeHits differ from monolithic sequential")
+	}
+}
+
+// TestPersistenceRegressionBothFormats round-trips SaveIndex/OpenIndex for
+// both physical layouts and both file formats (v1 monolithic, v2 sharded),
+// including incremental AddTable after load.
+func TestPersistenceRegressionBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, layout := range []Layout{ColumnStore, RowStore} {
+		for _, shards := range []int{1, 3} {
+			name := fmt.Sprintf("l%d-s%d.blend", layout, shards)
+			d := IndexTables(layout, fig1Tables(), WithShards(shards))
+			path := filepath.Join(dir, name)
+			if err := d.SaveIndex(path); err != nil {
+				t.Fatal(err)
+			}
+			back, err := OpenIndex(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.NumShards() != shards {
+				t.Fatalf("%s: shards = %d after reload", name, back.NumShards())
+			}
+			h1, err := d.Seek(KW([]string{"Firenze", "IT"}, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := back.Seek(KW([]string{"Firenze", "IT"}, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(h1, h2) {
+				t.Fatalf("%s: reloaded index answers differently", name)
+			}
+			// Incremental maintenance must keep working on the loaded
+			// index, whichever format it came from.
+			nt := NewTable("T9", "Team", "Head")
+			nt.MustAppendRow("Astronomy", "Aurora Sinistra")
+			back.AddTable(nt)
+			hits, err := back.Seek(KW([]string{"Astronomy"}, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hits) != 1 || back.TableNames(hits)[0] != "T9" {
+				t.Fatalf("%s: AddTable after load not discoverable: %v", name, hits)
+			}
+			// And the grown index must round-trip again.
+			if err := back.SaveIndex(path); err != nil {
+				t.Fatal(err)
+			}
+			again, err := OpenIndex(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.NumTables() != back.NumTables() {
+				t.Fatalf("%s: second round trip lost tables", name)
+			}
+		}
+	}
+}
+
+// TestRunWithContextPublicAPI exercises RunOptions.Context end to end.
+func TestRunWithContextPublicAPI(t *testing.T) {
+	d := IndexTables(ColumnStore, fig1Tables(), WithShards(2))
+	p := NewPlan()
+	p.MustAddSeeker("kw", KW(deps, 5))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: ctx}); err == nil {
+		t.Fatal("pre-cancelled context must abort the plan")
+	}
+	res, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("live context run found nothing")
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -57,11 +58,13 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  blend index -lake DIR -out FILE [-layout column|row]   build the unified index
+  blend index -lake DIR -out FILE [-layout column|row] [-shards N]
+                                                         build the unified index
   blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
   blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
   blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
-  blend plan  -index FILE -file plan.json [-no-opt]      run a JSON discovery plan
+  blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N]
+                                                         run a JSON discovery plan
   blend stats -index FILE                                index statistics
   blend demo                                             run the paper's Example 1`)
 }
@@ -81,6 +84,7 @@ func cmdStats(args []string) error {
 	}
 	st := d.Stats()
 	fmt.Printf("layout:               %v\n", st.Layout)
+	fmt.Printf("shards:               %d\n", st.Shards)
 	fmt.Printf("tables:               %d (avg %.1f cols × %.1f rows)\n",
 		st.Tables, st.AvgColumnsPerTbl, st.AvgRowsPerTable)
 	fmt.Printf("index entries:        %d\n", st.Entries)
@@ -96,7 +100,9 @@ func cmdPlan(args []string) error {
 	index := fs.String("index", "", "index file built by `blend index`")
 	file := fs.String("file", "", "JSON plan document")
 	noOpt := fs.Bool("no-opt", false, "disable the optimizer (B-NO)")
-	parallel := fs.Bool("parallel", false, "run independent seekers concurrently")
+	parallel := fs.Bool("parallel", false, "execute the plan on the concurrent DAG scheduler")
+	workers := fs.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "abort the plan after this duration (0 = none)")
 	profile := fs.Bool("profile", false, "print a per-node execution profile")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,7 +123,13 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := d.RunWithOptions(p, blend.RunOptions{Optimize: !*noOpt, Parallel: *parallel})
+	opts := blend.RunOptions{Optimize: !*noOpt, Parallel: *parallel, MaxWorkers: *workers}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+	res, err := d.RunWithOptions(p, opts)
 	if err != nil {
 		return err
 	}
@@ -139,6 +151,7 @@ func cmdIndex(args []string) error {
 	lakeDir := fs.String("lake", "", "directory of CSV tables")
 	out := fs.String("out", "lake.blend", "output index file")
 	layout := fs.String("layout", "column", "physical layout: column or row")
+	shards := fs.Int("shards", 1, "hash-partition the index across N shards")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -149,14 +162,15 @@ func cmdIndex(args []string) error {
 	if *layout == "row" {
 		l = blend.RowStore
 	}
-	d, err := blend.IndexCSVDir(l, *lakeDir)
+	d, err := blend.IndexCSVDir(l, *lakeDir, blend.WithShards(*shards))
 	if err != nil {
 		return err
 	}
 	if err := d.SaveIndex(*out); err != nil {
 		return err
 	}
-	fmt.Printf("indexed %d tables (%d bytes) -> %s\n", d.NumTables(), d.IndexSizeBytes(), *out)
+	fmt.Printf("indexed %d tables into %d shard(s) (%d bytes) -> %s\n",
+		d.NumTables(), d.NumShards(), d.IndexSizeBytes(), *out)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module blend
+
+go 1.22

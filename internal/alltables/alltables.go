@@ -31,16 +31,19 @@ var columns = []string{
 	"CellValue", "TableId", "ColumnId", "RowId", "SuperKeyLo", "SuperKeyHi", "Quadrant",
 }
 
-// Relation adapts a storage.Store to minisql.IndexedRelation.
+// Relation adapts a storage.Reader to minisql.IndexedRelation. The reader
+// may be a monolithic store, a full sharded store (the unified global view
+// used for raw SQL), or a single shard view (the partition-local relations
+// the engine fans seeker SQL out across).
 type Relation struct {
-	store *storage.Store
+	store storage.Reader
 }
 
-// New wraps a store.
-func New(s *storage.Store) *Relation { return &Relation{store: s} }
+// New wraps an index reader.
+func New(s storage.Reader) *Relation { return &Relation{store: s} }
 
-// Store returns the wrapped store.
-func (r *Relation) Store() *storage.Store { return r.store }
+// Store returns the wrapped reader.
+func (r *Relation) Store() storage.Reader { return r.store }
 
 // Columns implements minisql.Relation.
 func (r *Relation) Columns() []string { return columns }

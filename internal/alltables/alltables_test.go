@@ -188,3 +188,54 @@ func TestListing3CorrelationSQL(t *testing.T) {
 		t.Fatalf("QCR = %v, want 1 (perfect correlation)", qcr)
 	}
 }
+
+// TestShardedGlobalViewMatchesMonolithicSQL runs seeker-shaped SQL against
+// a catalog over the sharded store's unified global view and over the
+// monolithic store, requiring identical result sets — the property that
+// keeps the raw SQL mode partition-agnostic.
+func TestShardedGlobalViewMatchesMonolithicSQL(t *testing.T) {
+	t1 := table.New("A1", "Team", "Size")
+	t1.MustAppendRow("HR", "33")
+	t1.MustAppendRow("IT", "92")
+	t2 := table.New("A2", "Team", "Lead")
+	t2.MustAppendRow("HR", "Firenze")
+	t2.MustAppendRow("Sales", "Luna")
+	t3 := table.New("A3", "Team", "Lead")
+	t3.MustAppendRow("IT", "Tom")
+	t3.MustAppendRow("HR", "Minerva")
+	for _, tb := range []*table.Table{t1, t2, t3} {
+		tb.InferKinds()
+	}
+	tables := []*table.Table{t1, t2, t3}
+	mono := storage.Build(storage.ColumnStore, tables)
+	shard := storage.BuildSharded(storage.ColumnStore, tables, 3)
+	queries := []string{
+		"SELECT TableId, COUNT(DISTINCT CellValue) AS overlap FROM AllTables" +
+			" WHERE CellValue IN ('HR', 'IT') GROUP BY TableId ORDER BY overlap DESC, TableId ASC",
+		"SELECT TableId, RowId FROM AllTables WHERE CellValue IN ('Firenze') ORDER BY TableId, RowId",
+		"SELECT COUNT(*) AS n FROM AllTables WHERE TableId IN (0, 2)",
+	}
+	for _, q := range queries {
+		r1, err := minisql.ExecSQL(catalogFor(mono), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardCat := minisql.NewCatalog()
+		shardCat.Register(Name, New(shard))
+		r2, err := minisql.ExecSQL(shardCat, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.NumRows() != r2.NumRows() {
+			t.Fatalf("query %q: %d rows vs %d", q, r1.NumRows(), r2.NumRows())
+		}
+		for r := 0; r < r1.NumRows(); r++ {
+			for c := range r1.Columns() {
+				if r1.Cell(r, c).String() != r2.Cell(r, c).String() {
+					t.Fatalf("query %q: cell (%d,%d) %q != %q",
+						q, r, c, r1.Cell(r, c).String(), r2.Cell(r, c).String())
+				}
+			}
+		}
+	}
+}

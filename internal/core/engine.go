@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"time"
 
@@ -17,9 +19,23 @@ const DefaultSampleH = 256
 // Engine executes discovery plans against one indexed data lake. It owns
 // the SQL catalog exposing the AllTables relation and, optionally, the
 // trained per-seeker cost models used by the optimizer.
+//
+// When the index is sharded, the engine additionally keeps one catalog per
+// shard and executes every seeker's SQL against all shards concurrently,
+// merging the partial results; tables are partitioned whole, so every
+// per-table aggregate in the generated SQL is shard-local and the merge is
+// exact. The unified catalog remains available for raw SQL.
 type Engine struct {
-	store *storage.Store
+	store storage.Index
 	cat   *minisql.Catalog
+
+	// shardCats holds one catalog per shard when the index is sharded
+	// (nil for monolithic stores).
+	shardCats []*minisql.Catalog
+	// shardSem bounds how many per-shard SQL executions run at once
+	// engine-wide, so plan-level and shard-level parallelism compose
+	// without oversubscribing the machine.
+	shardSem chan struct{}
 
 	// SampleH is the number of leading row ids sampled by the correlation
 	// seeker (the `rowid < h` predicate of Listing 3).
@@ -34,25 +50,78 @@ type Engine struct {
 	semIdx  *semanticIdx
 }
 
-// NewEngine wraps an AllTables store for plan execution.
-func NewEngine(store *storage.Store) *Engine {
+// NewEngine wraps an AllTables index for plan execution.
+func NewEngine(store storage.Index) *Engine {
 	cat := minisql.NewCatalog()
 	cat.Register(alltables.Name, alltables.New(store))
-	return &Engine{store: store, cat: cat, SampleH: DefaultSampleH}
+	e := &Engine{store: store, cat: cat, SampleH: DefaultSampleH}
+	if sh, ok := store.(storage.Sharded); ok {
+		if views := sh.ShardReaders(); len(views) > 1 {
+			e.shardCats = make([]*minisql.Catalog, len(views))
+			for i, v := range views {
+				c := minisql.NewCatalog()
+				c.Register(alltables.Name, alltables.New(v))
+				e.shardCats[i] = c
+			}
+			e.shardSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+		}
+	}
+	return e
 }
 
 // Store returns the engine's index.
-func (e *Engine) Store() *storage.Store { return e.store }
+func (e *Engine) Store() storage.Index { return e.store }
 
-// Catalog returns the SQL catalog (exposed for tests and the CLI's raw SQL
-// mode).
+// Catalog returns the unified SQL catalog (exposed for tests and the CLI's
+// raw SQL mode). For sharded indexes it serves the global single-relation
+// view; seekers use the concurrent per-shard path instead.
 func (e *Engine) Catalog() *minisql.Catalog { return e.cat }
 
-// execSQL runs a seeker's SQL and times it.
-func (e *Engine) execSQL(sql string) (*minisql.Result, time.Duration, error) {
+// NumShards reports how many partitions the engine scans per seeker.
+func (e *Engine) NumShards() int { return e.store.NumShards() }
+
+// execSQL runs a seeker's SQL and times it. On a sharded index the
+// statement executes against every shard concurrently and the partial
+// results are merged; tables never span shards, so the merged rows equal a
+// run against the unified relation. The context cancels the fan-out
+// between shard scans.
+func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time.Duration, error) {
 	start := time.Now()
-	res, err := minisql.ExecSQL(e.cat, sql)
-	return res, time.Since(start), err
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(e.shardCats) == 0 {
+		res, err := minisql.ExecSQL(e.cat, sql)
+		return res, time.Since(start), err
+	}
+	parts := make([]*minisql.Result, len(e.shardCats))
+	errs := make([]error, len(e.shardCats))
+	var wg sync.WaitGroup
+	for i, cat := range e.shardCats {
+		wg.Add(1)
+		go func(i int, cat *minisql.Catalog) {
+			defer wg.Done()
+			select {
+			case e.shardSem <- struct{}{}:
+				defer func() { <-e.shardSem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			parts[i], errs[i] = minisql.ExecSQL(cat, sql)
+		}(i, cat)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, time.Since(start), err
+		}
+	}
+	return minisql.MergeResults(parts...), time.Since(start), nil
 }
 
 // TableNames maps hits to table names, preserving order.

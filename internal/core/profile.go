@@ -13,6 +13,9 @@ import (
 func (r *PlanResult) Profile() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "total %v across %d nodes\n", r.Duration, len(r.NodeHits))
+	if r.PeakConcurrency > 1 {
+		fmt.Fprintf(&sb, "peak concurrent seekers: %d\n", r.PeakConcurrency)
+	}
 	if len(r.SeekerOrder) > 0 {
 		fmt.Fprintf(&sb, "seeker order: %s\n", strings.Join(r.SeekerOrder, " → "))
 	}

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 )
 
@@ -17,13 +17,24 @@ type RunOptions struct {
 	// to run random and oracle orders). Ids absent from the slice keep
 	// their ranked position.
 	ForcedOrder []string
-	// Parallel executes independent seekers — those outside every
-	// execution group and not awaiting a Difference rewrite — on
-	// concurrent goroutines. Results are identical to sequential
-	// execution (seekers are pure reads); only SeekerOrder becomes
-	// nondeterministic. Sub-plans joined by Union or Counter combiners,
-	// like the multi-objective plan of Listing 4, gain the most.
+	// Parallel executes the plan on the concurrent DAG scheduler: every
+	// node — free seekers, execution groups, Difference-rewrite chains,
+	// and combiners — becomes a task dispatched to a bounded worker pool
+	// as soon as its dependencies resolve. Seekers are pure reads, so
+	// NodeHits are identical to sequential execution; only the wall-clock
+	// completion order varies (SeekerOrder stays deterministic, see
+	// PlanResult). Sub-plans joined by Union or Counter combiners, like
+	// the multi-objective plan of Listing 4, gain the most.
 	Parallel bool
+	// MaxWorkers bounds the scheduler's worker pool (and therefore how
+	// many seekers run concurrently). Zero or negative means GOMAXPROCS.
+	// Ignored without Parallel.
+	MaxWorkers int
+	// Context cancels plan execution: between scheduler tasks, between
+	// execution-group members, and between per-shard index scans. A nil
+	// Context means context.Background(). On cancellation Run returns
+	// the context's error; partial results are discarded.
+	Context context.Context
 }
 
 // PlanResult is the outcome of executing a discovery plan.
@@ -36,8 +47,22 @@ type PlanResult struct {
 	NodeHits map[string]Hits
 	// Stats maps seeker node ids to execution diagnostics.
 	Stats map[string]RunStats
-	// SeekerOrder is the order in which seekers actually executed.
+	// SeekerOrder is the deterministic seeker execution order: the order
+	// the sequential engine executes (topological order with execution
+	// groups expanded at their ranked positions and Difference
+	// subtrahends hoisted before their rewritten minuends). Under
+	// Parallel the same order is reported even though seekers complete
+	// concurrently; see CompletionOrder for what actually happened.
 	SeekerOrder []string
+	// CompletionOrder records the order seekers actually finished in.
+	// Sequential runs match SeekerOrder; Parallel runs are
+	// timing-dependent and nondeterministic.
+	CompletionOrder []string
+	// PeakConcurrency is the maximum number of seekers observed running
+	// simultaneously — worker-pool instrumentation for verifying that a
+	// parallel plan actually overlapped its independent seekers (1 for
+	// sequential runs).
+	PeakConcurrency int
 	// Duration is the total wall-clock execution time, including
 	// optimization overhead (the paper reports optimizer time as part of
 	// BLEND's runtime).
@@ -58,6 +83,13 @@ func (e *Engine) RunPlanNoOpt(p *Plan) (*PlanResult, error) {
 // Run executes the plan with explicit options.
 func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
 	start := time.Now()
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("plan cancelled before execution: %w", err)
+	}
 	topo, err := p.validate()
 	if err != nil {
 		return nil, err
@@ -94,92 +126,41 @@ func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
 		}
 	}
 
-	ranOrder := make([]string, 0, len(p.nodes))
-	var resolve func(id string) error
-	runSeeker := func(id string, rw Rewrite) error {
-		n := p.nodes[id]
-		hits, stats, err := n.seeker.run(e, rw)
-		if err != nil {
-			return fmt.Errorf("plan node %q: %w", id, err)
-		}
-		res.NodeHits[id] = hits
-		res.Stats[id] = stats
-		ranOrder = append(ranOrder, id)
-		return nil
-	}
-	runGroup := func(g *executionGroup) error {
-		order := e.rankSeekers(p, g.members)
+	// Rank execution-group members up front: ranking needs only index
+	// statistics, never intermediate results, so both execution modes
+	// (and the deterministic SeekerOrder) share one ranking.
+	rankedOf := make(map[string][]string, len(groups))
+	for gi := range groups {
+		order := e.rankSeekers(p, groups[gi].members)
 		if len(opts.ForcedOrder) > 0 {
 			order = applyForcedOrder(order, opts.ForcedOrder)
 		}
-		var prior []int32
-		for i, id := range order {
-			rw := NoRewrite
-			if i > 0 {
-				rw = IncludeTables(prior)
-			}
-			if err := runSeeker(id, rw); err != nil {
-				return err
-			}
-			// The next seeker searches only within the tables found so
-			// far (the Intersection rewrite rule).
-			prior = res.NodeHits[id].TableIDs()
-		}
-		return nil
-	}
-	resolve = func(id string) error {
-		if _, done := res.NodeHits[id]; done {
-			return nil
-		}
-		n := p.nodes[id]
-		if n.isSeeker() {
-			if g := groupOf[id]; g != nil {
-				return runGroup(g)
-			}
-			if sub, ok := excludeFrom[id]; ok {
-				if err := resolve(sub); err != nil {
-					return err
-				}
-				return runSeeker(id, ExcludeTables(res.NodeHits[sub].TableIDs()))
-			}
-			return runSeeker(id, NoRewrite)
-		}
-		// Combiner: resolve inputs first. For Difference the subtrahend
-		// resolves before the minuend so its result can rewrite the
-		// minuend's SQL.
-		inputs := n.inputs
-		if opts.Optimize && n.combiner.Kind() == Difference && len(inputs) == 2 {
-			if err := resolve(inputs[1]); err != nil {
-				return err
-			}
-		}
-		for _, in := range inputs {
-			if err := resolve(in); err != nil {
-				return err
-			}
-		}
-		collected := make([]Hits, len(inputs))
-		for i, in := range inputs {
-			collected[i] = res.NodeHits[in]
-		}
-		res.NodeHits[id] = n.combiner.Combine(collected)
-		return nil
+		rankedOf[groups[gi].combiner] = order
 	}
 
+	ex := &planExec{
+		e:           e,
+		p:           p,
+		res:         res,
+		ctx:         ctx,
+		optimize:    opts.Optimize,
+		groupOf:     groupOf,
+		excludeFrom: excludeFrom,
+		rankedOf:    rankedOf,
+	}
 	if opts.Parallel {
-		if err := runFreeSeekersParallel(e, p, topo, groupOf, excludeFrom, res, &ranOrder); err != nil {
-			return nil, err
-		}
+		err = ex.runScheduled(topo, opts.MaxWorkers)
+	} else {
+		err = ex.runSequential(topo)
 	}
-
-	for _, id := range topo {
-		if err := resolve(id); err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
+	res.SeekerOrder = ex.emissionOrder(topo)
+	res.CompletionOrder = ex.completion
+	res.PeakConcurrency = int(ex.peak)
 	res.Output = res.NodeHits[p.output]
 	res.Tables = e.TableNames(res.Output)
-	res.SeekerOrder = ranOrder
 	res.Duration = time.Since(start)
 	return res, nil
 }
@@ -187,45 +168,15 @@ func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
 // RunSeeker executes a single seeker outside any plan (the "simple task"
 // mode of §VII-A).
 func (e *Engine) RunSeeker(s Seeker) (Hits, RunStats, error) {
-	return s.run(e, NoRewrite)
+	return s.run(context.Background(), e, NoRewrite)
 }
 
-// runFreeSeekersParallel executes every seeker with no execution-group or
-// rewrite dependency concurrently, filling res before the sequential
-// resolve pass picks up the remaining nodes. Seekers only read the
-// immutable index, so concurrent execution returns exactly the sequential
-// results.
-func runFreeSeekersParallel(e *Engine, p *Plan, topo []string, groupOf map[string]*executionGroup, excludeFrom map[string]string, res *PlanResult, ranOrder *[]string) error {
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, id := range topo {
-		n := p.nodes[id]
-		if !n.isSeeker() || groupOf[id] != nil {
-			continue
-		}
-		if _, waits := excludeFrom[id]; waits {
-			continue
-		}
-		wg.Add(1)
-		go func(id string, s Seeker) {
-			defer wg.Done()
-			hits, stats, err := s.run(e, NoRewrite)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("plan node %q: %w", id, err)
-				}
-				return
-			}
-			res.NodeHits[id] = hits
-			res.Stats[id] = stats
-			*ranOrder = append(*ranOrder, id)
-		}(id, n.seeker)
+// RunSeekerContext executes a single seeker under a cancellable context.
+func (e *Engine) RunSeekerContext(ctx context.Context, s Seeker) (Hits, RunStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	wg.Wait()
-	return firstErr
+	return s.run(ctx, e, NoRewrite)
 }
 
 // applyForcedOrder reorders ranked ids so that ids listed in forced appear

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// planExec carries the shared state of one plan execution. Both execution
+// modes — the sequential resolver and the concurrent DAG scheduler — run
+// through the same node helpers, so their NodeHits are computed by
+// identical code and differ only in dispatch order.
+type planExec struct {
+	e   *Engine
+	p   *Plan
+	res *PlanResult
+	ctx context.Context
+
+	optimize    bool
+	groupOf     map[string]*executionGroup
+	excludeFrom map[string]string
+	rankedOf    map[string][]string // Intersect combiner id -> ranked members
+
+	mu         sync.Mutex // guards res maps and completion
+	completion []string
+
+	inFlight int32
+	peak     int32
+}
+
+// runSeeker executes one seeker node and records its result.
+func (x *planExec) runSeeker(id string, rw Rewrite) error {
+	if err := x.ctx.Err(); err != nil {
+		return err
+	}
+	n := x.p.nodes[id]
+	cur := atomic.AddInt32(&x.inFlight, 1)
+	for {
+		peak := atomic.LoadInt32(&x.peak)
+		if cur <= peak || atomic.CompareAndSwapInt32(&x.peak, peak, cur) {
+			break
+		}
+	}
+	hits, stats, err := n.seeker.run(x.ctx, x.e, rw)
+	atomic.AddInt32(&x.inFlight, -1)
+	if err != nil {
+		return fmt.Errorf("plan node %q: %w", id, err)
+	}
+	x.mu.Lock()
+	x.res.NodeHits[id] = hits
+	x.res.Stats[id] = stats
+	x.completion = append(x.completion, id)
+	x.mu.Unlock()
+	return nil
+}
+
+// hitsOf reads a finished node's result.
+func (x *planExec) hitsOf(id string) Hits {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.res.NodeHits[id]
+}
+
+// done reports whether a node already has a result.
+func (x *planExec) done(id string) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	_, ok := x.res.NodeHits[id]
+	return ok
+}
+
+// runGroup executes an execution group's members in ranked order, each
+// seeker after the first restricted to the tables found so far (the
+// Intersection rewrite rule). The chain is inherently sequential — every
+// member's SQL depends on its predecessor's result — so a group forms a
+// single scheduler task.
+func (x *planExec) runGroup(g *executionGroup) error {
+	var prior []int32
+	for i, id := range x.rankedOf[g.combiner] {
+		rw := NoRewrite
+		if i > 0 {
+			rw = IncludeTables(prior)
+		}
+		if err := x.runSeeker(id, rw); err != nil {
+			return err
+		}
+		prior = x.hitsOf(id).TableIDs()
+	}
+	return nil
+}
+
+// runCombiner merges the (already resolved) inputs of a combiner node.
+func (x *planExec) runCombiner(id string) error {
+	if err := x.ctx.Err(); err != nil {
+		return err
+	}
+	n := x.p.nodes[id]
+	x.mu.Lock()
+	collected := make([]Hits, len(n.inputs))
+	for i, in := range n.inputs {
+		collected[i] = x.res.NodeHits[in]
+	}
+	x.mu.Unlock()
+	out := n.combiner.Combine(collected)
+	x.mu.Lock()
+	x.res.NodeHits[id] = out
+	x.mu.Unlock()
+	return nil
+}
+
+// runSequential resolves nodes depth-first in topological order — the
+// reference execution whose results the scheduler must reproduce bit for
+// bit.
+func (x *planExec) runSequential(topo []string) error {
+	var resolve func(id string) error
+	resolve = func(id string) error {
+		if x.done(id) {
+			return nil
+		}
+		n := x.p.nodes[id]
+		if n.isSeeker() {
+			if g := x.groupOf[id]; g != nil {
+				return x.runGroup(g)
+			}
+			if sub, ok := x.excludeFrom[id]; ok {
+				if err := resolve(sub); err != nil {
+					return err
+				}
+				return x.runSeeker(id, ExcludeTables(x.hitsOf(sub).TableIDs()))
+			}
+			return x.runSeeker(id, NoRewrite)
+		}
+		// Combiner: resolve inputs first. For Difference the subtrahend
+		// resolves before the minuend so its result can rewrite the
+		// minuend's SQL.
+		if x.optimize && n.combiner.Kind() == Difference && len(n.inputs) == 2 {
+			if err := resolve(n.inputs[1]); err != nil {
+				return err
+			}
+		}
+		for _, in := range n.inputs {
+			if err := resolve(in); err != nil {
+				return err
+			}
+		}
+		return x.runCombiner(id)
+	}
+	for _, id := range topo {
+		if err := resolve(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// schedTask is one node of the execution DAG handed to the worker pool.
+type schedTask struct {
+	run        func() error
+	deps       int32 // remaining unfinished dependencies
+	dependents []*schedTask
+}
+
+// runScheduled executes the plan as a task DAG on a bounded worker pool:
+// free seekers, execution groups, Difference-rewrite chains, and combiners
+// each become one task, dispatched the moment their dependencies resolve.
+func (x *planExec) runScheduled(topo []string, maxWorkers int) error {
+	taskOf := make(map[string]*schedTask, len(topo))
+	var tasks []*schedTask
+	newTask := func(run func() error) *schedTask {
+		t := &schedTask{run: run}
+		tasks = append(tasks, t)
+		return t
+	}
+	groupTask := make(map[string]*schedTask)
+	for _, id := range topo {
+		id := id
+		n := x.p.nodes[id]
+		switch {
+		case n.isSeeker() && x.groupOf[id] != nil:
+			// All members of a group share one task (their rewrite
+			// chain is sequential by construction).
+			g := x.groupOf[id]
+			t, ok := groupTask[g.combiner]
+			if !ok {
+				t = newTask(func() error { return x.runGroup(g) })
+				groupTask[g.combiner] = t
+			}
+			taskOf[id] = t
+		case n.isSeeker():
+			if sub, ok := x.excludeFrom[id]; ok {
+				taskOf[id] = newTask(func() error {
+					return x.runSeeker(id, ExcludeTables(x.hitsOf(sub).TableIDs()))
+				})
+			} else {
+				taskOf[id] = newTask(func() error { return x.runSeeker(id, NoRewrite) })
+			}
+		default:
+			taskOf[id] = newTask(func() error { return x.runCombiner(id) })
+		}
+	}
+	// Wire dependencies in a second pass: a Difference subtrahend may sit
+	// anywhere in the topological order relative to its minuend.
+	type edge struct{ from, to *schedTask }
+	wired := make(map[edge]bool)
+	dep := func(from, to *schedTask) {
+		if from == nil || to == nil || from == to || wired[edge{from, to}] {
+			return
+		}
+		wired[edge{from, to}] = true
+		from.dependents = append(from.dependents, to)
+		to.deps++
+	}
+	for _, id := range topo {
+		n := x.p.nodes[id]
+		if n.isSeeker() {
+			if sub, ok := x.excludeFrom[id]; ok {
+				dep(taskOf[sub], taskOf[id])
+			}
+			continue
+		}
+		for _, in := range n.inputs {
+			dep(taskOf[in], taskOf[id])
+		}
+	}
+	return runTaskPool(x.ctx, tasks, maxWorkers)
+}
+
+// runTaskPool drains a task DAG with a bounded number of workers. On the
+// first task error (or context cancellation) remaining tasks are skipped
+// but still drained, so the pool always terminates; the first error wins.
+func runTaskPool(ctx context.Context, tasks []*schedTask, maxWorkers int) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if maxWorkers > len(tasks) {
+		maxWorkers = len(tasks)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Every task is sent to ready exactly once, so the buffer makes all
+	// sends non-blocking and completion can safely close the channel.
+	ready := make(chan *schedTask, len(tasks))
+	pending := int32(len(tasks))
+	var errOnce sync.Once
+	var firstErr error
+	complete := func(t *schedTask) {
+		for _, d := range t.dependents {
+			if atomic.AddInt32(&d.deps, -1) == 0 {
+				ready <- d
+			}
+		}
+		if atomic.AddInt32(&pending, -1) == 0 {
+			close(ready)
+		}
+	}
+	// Seed the initially-ready tasks before any worker starts: once
+	// workers run, complete() also enqueues tasks whose deps reach zero,
+	// and seeding concurrently could observe such a task and enqueue it
+	// twice. The buffer holds every task, so seeding cannot block.
+	for _, t := range tasks {
+		if t.deps == 0 {
+			ready <- t
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < maxWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ready {
+				if cctx.Err() == nil {
+					if err := t.run(); err != nil {
+						errOnce.Do(func() {
+							firstErr = err
+							cancel()
+						})
+					}
+				}
+				complete(t)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// emissionOrder computes the deterministic SeekerOrder: a dry run of the
+// sequential resolver that records which seeker would execute when, without
+// touching the index. Both execution modes report this order, so plan
+// diagnostics are stable under concurrency.
+func (x *planExec) emissionOrder(topo []string) []string {
+	done := make(map[string]bool, len(x.p.nodes))
+	order := make([]string, 0, len(x.p.nodes))
+	var visit func(id string)
+	visit = func(id string) {
+		if done[id] {
+			return
+		}
+		n := x.p.nodes[id]
+		if n.isSeeker() {
+			if g := x.groupOf[id]; g != nil {
+				for _, m := range x.rankedOf[g.combiner] {
+					done[m] = true
+					order = append(order, m)
+				}
+				return
+			}
+			if sub, ok := x.excludeFrom[id]; ok {
+				visit(sub)
+			}
+			done[id] = true
+			order = append(order, id)
+			return
+		}
+		done[id] = true
+		if x.optimize && n.combiner.Kind() == Difference && len(n.inputs) == 2 {
+			visit(n.inputs[1])
+		}
+		for _, in := range n.inputs {
+			visit(in)
+		}
+	}
+	for _, id := range topo {
+		visit(id)
+	}
+	return order
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -43,12 +44,14 @@ type Seeker interface {
 	TopK() int
 	// Features extracts the cost-model features of this seeker's input
 	// against the given index.
-	Features(store *storage.Store) costmodel.Features
+	Features(store storage.Reader) costmodel.Features
 	// SQL renders the seeker's (first-phase) SQL statement with the given
 	// rewrite predicate injected, as the optimizer would execute it.
 	SQL(rw Rewrite) string
-	// run executes the seeker on the engine.
-	run(e *Engine, rw Rewrite) (Hits, RunStats, error)
+	// run executes the seeker on the engine. The context cancels index
+	// scans between shards; implementations must return promptly once it
+	// is done.
+	run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error)
 }
 
 // Rewrite is the combiner-dependent predicate the optimizer injects into a
@@ -154,7 +157,7 @@ func (s *SCSeeker) Kind() SeekerKind { return SC }
 func (s *SCSeeker) TopK() int { return s.K }
 
 // Features implements Seeker.
-func (s *SCSeeker) Features(store *storage.Store) costmodel.Features {
+func (s *SCSeeker) Features(store storage.Reader) costmodel.Features {
 	return costmodel.Features{
 		Card:    float64(len(s.Values)),
 		Cols:    1,
@@ -176,12 +179,12 @@ func (s *SCSeeker) SQL(rw Rewrite) string {
 	return sql + " ORDER BY overlap DESC, TableId ASC"
 }
 
-func (s *SCSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *SCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: SC, Rewritten: rw.active()}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
 	}
-	res, dur, err := e.execSQL(s.SQL(rw))
+	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -218,7 +221,7 @@ func (s *KWSeeker) Kind() SeekerKind { return KW }
 func (s *KWSeeker) TopK() int { return s.K }
 
 // Features implements Seeker.
-func (s *KWSeeker) Features(store *storage.Store) costmodel.Features {
+func (s *KWSeeker) Features(store storage.Reader) costmodel.Features {
 	return costmodel.Features{
 		Card:    float64(len(s.Keywords)),
 		Cols:    1,
@@ -241,12 +244,12 @@ func (s *KWSeeker) SQL(rw Rewrite) string {
 	return sql
 }
 
-func (s *KWSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *KWSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: KW, Rewritten: rw.active()}
 	if len(s.Keywords) == 0 {
 		return nil, stats, nil
 	}
-	res, dur, err := e.execSQL(s.SQL(rw))
+	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -258,7 +261,10 @@ func (s *KWSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
 		overlap, _ := res.Cell(i, 1).AsFloat()
 		hits = append(hits, TableHit{TableID: int32(tid), Score: overlap})
 	}
-	return hits, stats, nil // already grouped per table and LIMITed in SQL
+	// The SQL already groups per table, but each shard contributes its own
+	// top-k; re-rank across the merged partials (a no-op re-sort on a
+	// single shard, whose SQL ordered identically).
+	return topK(hits, s.K), stats, nil
 }
 
 // ---------------------------------------------------------------- MC
@@ -310,7 +316,7 @@ func (s *MCSeeker) columnValues(i int) []string {
 // Features implements Seeker. The MC frequency feature multiplies the
 // per-column averages because the SQL joins the per-column index hits
 // (§VII-B).
-func (s *MCSeeker) Features(store *storage.Store) costmodel.Features {
+func (s *MCSeeker) Features(store storage.Reader) costmodel.Features {
 	x := s.width()
 	freq := 1.0
 	card := 0
@@ -349,12 +355,12 @@ func (s *MCSeeker) SQL(rw Rewrite) string {
 	return sb.String()
 }
 
-func (s *MCSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: MC, Rewritten: rw.active()}
 	if s.width() == 0 || len(s.Tuples) == 0 {
 		return nil, stats, nil
 	}
-	res, dur, err := e.execSQL(s.SQL(rw))
+	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -470,7 +476,7 @@ func (s *CorrelationSeeker) Kind() SeekerKind { return C }
 func (s *CorrelationSeeker) TopK() int { return s.K }
 
 // Features implements Seeker.
-func (s *CorrelationSeeker) Features(store *storage.Store) costmodel.Features {
+func (s *CorrelationSeeker) Features(store storage.Reader) costmodel.Features {
 	return costmodel.Features{
 		Card:    float64(len(s.Keys)),
 		Cols:    2,
@@ -527,7 +533,7 @@ func (s *CorrelationSeeker) sqlWithH(rw Rewrite, h int) string {
 		cond, h, quoteList(all), rw.predicate("TableId"), h)
 }
 
-func (s *CorrelationSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *CorrelationSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: C, Rewritten: rw.active()}
 	if len(s.Keys) == 0 {
 		return nil, stats, nil
@@ -536,7 +542,7 @@ func (s *CorrelationSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	if h <= 0 {
 		h = DefaultSampleH
 	}
-	res, dur, err := e.execSQL(s.sqlWithH(rw, h))
+	res, dur, err := e.execSQL(ctx, s.sqlWithH(rw, h))
 	if err != nil {
 		return nil, stats, err
 	}

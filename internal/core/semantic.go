@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"blend/internal/costmodel"
@@ -45,7 +46,7 @@ func (s *SemanticSeeker) TopK() int { return s.K }
 
 // Features implements Seeker. ANN cost scales with the probe width, not
 // the lake, so the features describe the query only.
-func (s *SemanticSeeker) Features(store *storage.Store) costmodel.Features {
+func (s *SemanticSeeker) Features(store storage.Reader) costmodel.Features {
 	return costmodel.Features{Card: float64(len(s.Values)), Cols: 1, AvgFreq: 1}
 }
 
@@ -53,10 +54,13 @@ func (s *SemanticSeeker) Features(store *storage.Store) costmodel.Features {
 // side-index, not the relational one; it has no SQL form.
 func (s *SemanticSeeker) SQL(Rewrite) string { return "" }
 
-func (s *SemanticSeeker) run(e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: Semantic, Rewritten: rw.active()}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	start := time.Now()
 	idx := e.semanticIndex()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"blend/internal/storage"
@@ -80,7 +81,7 @@ func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
 		t.Fatal("no hits")
 	}
 	// Excluding the best table must remove it without erroring.
-	filtered, _, err := s.run(e, ExcludeTables([]int32{all[0].TableID}))
+	filtered, _, err := s.run(context.Background(), e, ExcludeTables([]int32{all[0].TableID}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
 		t.Fatal("exclude rewrite ignored")
 	}
 	// Including only the best table must keep exactly it.
-	only, _, err := s.run(e, IncludeTables([]int32{all[0].TableID}))
+	only, _, err := s.run(context.Background(), e, IncludeTables([]int32{all[0].TableID}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"h_sweep", "Ablation: query-time sample size h (§VIII-G)", RunHSweep},
 		{"indexsize", "Table VIII: index storage", RunIndexSize},
 		{"userstudy", "Table IX: user study", RunUserStudy},
+		{"sharding", "Extension: sharded index + concurrent scheduler", RunSharding},
 	}
 }
 

@@ -21,7 +21,7 @@ func lines(t *testing.T, r *Report) []string {
 func TestRegistryMatchesPaperOrder(t *testing.T) {
 	ids := []string{"lakes", "complex", "optimizer", "mcprecision", "sc_runtime",
 		"lakebench", "unionquality", "union_runtime", "correlation", "h_sweep",
-		"indexsize", "userstudy"}
+		"indexsize", "userstudy", "sharding"}
 	all := All()
 	if len(all) != len(ids) {
 		t.Fatalf("got %d experiments, want %d", len(all), len(ids))
@@ -265,6 +265,18 @@ func TestHSweepShape(t *testing.T) {
 	for _, l := range ls[1:6] {
 		if !strings.Contains(l, "0ms") {
 			t.Fatalf("BLEND should never re-index: %q", l)
+		}
+	}
+}
+
+func TestShardingExperimentShape(t *testing.T) {
+	body := strings.Join(lines(t, RunSharding(Small)), "\n")
+	if strings.Contains(body, "identical results: false") {
+		t.Fatalf("sharded or scheduled execution diverged:\n%s", body)
+	}
+	for _, want := range []string{"identical results: true", "peak concurrency"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("sharding report missing %q:\n%s", want, body)
 		}
 	}
 }

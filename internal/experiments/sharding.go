@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"blend"
+	"blend/internal/datalake"
+)
+
+// Shards is the shard count exercised by the sharding experiment; the
+// blend-experiments CLI overrides it with -shards.
+var Shards = 4
+
+// Workers is the scheduler worker-pool size exercised by the sharding
+// experiment (0 = GOMAXPROCS); the CLI overrides it with -workers.
+var Workers = 0
+
+// RunSharding measures the production-scaling extension: the same seeker
+// workload against a monolithic index versus a hash-partitioned one with
+// concurrent shard scans, and the same multi-seeker plan on the sequential
+// engine versus the DAG scheduler at increasing worker counts. It also
+// verifies, per configuration, that results are identical to the
+// monolithic sequential reference — the invariant the scheduler and the
+// shard merge are built around.
+func RunSharding(scale Scale) *Report {
+	r := &Report{ID: "sharding", Title: "Extension: sharded AllTables + concurrent plan scheduler"}
+	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
+		Name: "shard", NumTables: 80 * scale.factor(), ColsPerTable: 4,
+		RowsPerTable: 100, VocabSize: 4000, Seed: 77,
+	})
+	mono := blend.IndexTables(blend.ColumnStore, lake.Tables)
+	shard := blend.IndexTables(blend.ColumnStore, lake.Tables, blend.WithShards(Shards))
+
+	queries := make([][]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		queries = append(queries, lake.QueryColumn(40))
+	}
+
+	seekerBench := func(d *blend.Discovery) (time.Duration, []string) {
+		var total time.Duration
+		var names []string
+		for _, q := range queries {
+			start := time.Now()
+			hits, err := d.Seek(blend.SC(q, 10))
+			if err != nil {
+				panic(err)
+			}
+			total += time.Since(start)
+			names = append(names, d.TableNames(hits)...)
+		}
+		return total / time.Duration(len(queries)), names
+	}
+
+	tMono, refNames := seekerBench(mono)
+	tShard, gotNames := seekerBench(shard)
+	r.Printf("SC seeker avg over %d queries:", len(queries))
+	r.Printf("  monolithic         %10v", tMono.Round(time.Microsecond))
+	r.Printf("  %d shards           %10v   identical results: %v",
+		Shards, tShard.Round(time.Microsecond), reflect.DeepEqual(refNames, gotNames))
+
+	// A plan of four independent seekers joined by a Union: the shape the
+	// DAG scheduler parallelizes fully.
+	mkPlan := func() *blend.Plan {
+		p := blend.NewPlan()
+		p.MustAddSeeker("sc0", blend.SC(queries[0], 10))
+		p.MustAddSeeker("sc1", blend.SC(queries[1], 10))
+		p.MustAddSeeker("kw", blend.KW(queries[2][:8], 10))
+		p.MustAddSeeker("sc3", blend.SC(queries[3], 10))
+		p.MustAddCombiner("any", blend.Union(10), "sc0", "sc1", "kw", "sc3")
+		return p
+	}
+	ref, err := shard.RunWithOptions(mkPlan(), blend.RunOptions{Optimize: true})
+	if err != nil {
+		panic(err)
+	}
+	r.Printf("4-seeker Union plan on the %d-shard index:", Shards)
+	r.Printf("  sequential         %10v", ref.Duration.Round(time.Microsecond))
+	maxW := Workers
+	if maxW <= 0 {
+		maxW = runtime.GOMAXPROCS(0)
+	}
+	workerSteps := []int{1, 2, maxW}
+	sort.Ints(workerSteps)
+	for _, w := range workerSteps {
+		res, err := shard.RunWithOptions(mkPlan(), blend.RunOptions{
+			Optimize: true, Parallel: true, MaxWorkers: w,
+		})
+		if err != nil {
+			panic(err)
+		}
+		same := reflect.DeepEqual(res.NodeHits, ref.NodeHits)
+		r.Printf("  scheduler w=%-3d    %10v   peak concurrency %d, identical results: %v",
+			w, res.Duration.Round(time.Microsecond), res.PeakConcurrency, same)
+	}
+	return r
+}

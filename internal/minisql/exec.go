@@ -51,6 +51,27 @@ func (r *Result) resolve(qual, name string) (int, error) {
 	return found, nil
 }
 
+// MergeResults concatenates partial results produced by executing the same
+// statement against disjoint partitions of a relation (the engine's sharded
+// scan path). Rows are appended in argument order, so a deterministic shard
+// order yields a deterministic merged result; callers re-apply any ORDER BY
+// / LIMIT semantics across partitions themselves. Nil parts are skipped;
+// merging zero non-nil parts returns an empty result.
+func MergeResults(parts ...*Result) *Result {
+	merged := &Result{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if merged.cols == nil {
+			merged.cols = p.cols
+			merged.quals = p.quals
+		}
+		merged.rows = append(merged.rows, p.rows...)
+	}
+	return merged
+}
+
 // ExecSQL parses and executes a statement against the catalog.
 func ExecSQL(cat *Catalog, sql string) (*Result, error) {
 	q, err := Parse(sql)

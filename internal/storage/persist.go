@@ -13,55 +13,133 @@ import (
 // Binary persistence for the AllTables index. The format is a simple
 // little-endian stream:
 //
-//	magic "BLND" | version u32 | layout u32
+//	v1 (monolithic):
+//	magic "BLND" | version=1 | payload
+//
+//	v2 (sharded):
+//	magic "BLND" | version=2 | layout u32 | numShards u32
+//	numTables u32 | per table: owning shard u32 (global id = position)
+//	per shard: payload
+//
+//	payload:
+//	layout u32
 //	numTables u32 | per table: name, numRows u32, numCols u32, per col: name, kind u8
 //	dict: numValues u32 | per value: string
 //	numEntries u32 | arrays: valIdx, tableIDs, columnIDs, rowIDs (i32),
 //	                 superLo, superHi (u64), quadrant (i8)
 //
 // Postings and table ranges are rebuilt on load (they are derivable), which
-// keeps the on-disk footprint lean — part of what Table VIII measures.
+// keeps the on-disk footprint lean — part of what Table VIII measures. Load
+// reads both versions, so v1 files written before sharding existed keep
+// opening; Save writes v1 from a Store and v2 from a ShardedStore.
 
 const (
-	persistMagic   = "BLND"
-	persistVersion = 1
+	persistMagic          = "BLND"
+	persistVersion        = 1
+	persistVersionSharded = 2
 )
 
-// Save writes the store to w.
+// Save writes the monolithic store to w in the v1 format.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
 	}
-	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
-	writeStr := func(v string) error {
-		if err := writeU32(uint32(len(v))); err != nil {
+	if err := writeU32(bw, persistVersion); err != nil {
+		return err
+	}
+	if err := s.savePayload(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Save writes the sharded store to w in the v2 format, round-tripping the
+// shard count and the global table directory.
+func (s *ShardedStore) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, persistVersionSharded); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(s.layout)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(s.shards))); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(s.refs))); err != nil {
+		return err
+	}
+	for _, r := range s.refs {
+		if err := writeU32(bw, uint32(r.shard)); err != nil {
 			return err
 		}
-		_, err := bw.WriteString(v)
+	}
+	for _, sh := range s.shards {
+		if err := sh.savePayload(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the store to a file.
+func (s *Store) SaveFile(path string) error { return saveFile(s, path) }
+
+// SaveFile writes the sharded store to a file.
+func (s *ShardedStore) SaveFile(path string) error { return saveFile(s, path) }
+
+type saver interface {
+	Save(w io.Writer) error
+}
+
+func saveFile(s saver, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	if err := writeU32(persistVersion); err != nil {
+	if err := s.Save(f); err != nil {
+		f.Close()
 		return err
 	}
-	if err := writeU32(uint32(s.layout)); err != nil {
+	return f.Close()
+}
+
+func writeU32(bw *bufio.Writer, v uint32) error {
+	return binary.Write(bw, binary.LittleEndian, v)
+}
+
+func writeStr(bw *bufio.Writer, v string) error {
+	if err := writeU32(bw, uint32(len(v))); err != nil {
 		return err
 	}
-	if err := writeU32(uint32(len(s.tables))); err != nil {
+	_, err := bw.WriteString(v)
+	return err
+}
+
+// savePayload writes one store body (everything after magic and version).
+func (s *Store) savePayload(bw *bufio.Writer) error {
+	if err := writeU32(bw, uint32(s.layout)); err != nil {
+		return err
+	}
+	if err := writeU32(bw, uint32(len(s.tables))); err != nil {
 		return err
 	}
 	for _, m := range s.tables {
-		if err := writeStr(m.Name); err != nil {
+		if err := writeStr(bw, m.Name); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(m.NumRows)); err != nil {
+		if err := writeU32(bw, uint32(m.NumRows)); err != nil {
 			return err
 		}
-		if err := writeU32(uint32(len(m.ColNames))); err != nil {
+		if err := writeU32(bw, uint32(len(m.ColNames))); err != nil {
 			return err
 		}
 		for c := range m.ColNames {
-			if err := writeStr(m.ColNames[c]); err != nil {
+			if err := writeStr(bw, m.ColNames[c]); err != nil {
 				return err
 			}
 			if err := bw.WriteByte(byte(m.ColKinds[c])); err != nil {
@@ -69,15 +147,15 @@ func (s *Store) Save(w io.Writer) error {
 			}
 		}
 	}
-	if err := writeU32(uint32(len(s.dict))); err != nil {
+	if err := writeU32(bw, uint32(len(s.dict))); err != nil {
 		return err
 	}
 	for _, v := range s.dict {
-		if err := writeStr(v); err != nil {
+		if err := writeStr(bw, v); err != nil {
 			return err
 		}
 	}
-	if err := writeU32(uint32(len(s.valIdx))); err != nil {
+	if err := writeU32(bw, uint32(len(s.valIdx))); err != nil {
 		return err
 	}
 	for _, arr := range [][]int32{s.valIdx, s.tableIDs, s.columnIDs, s.rowIDs} {
@@ -91,28 +169,96 @@ func (s *Store) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, s.superHi); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, s.quadrant); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return binary.Write(bw, binary.LittleEndian, s.quadrant)
 }
 
-// SaveFile writes the store to a file.
-func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
+// All length- and count-prefixed reads allocate in bounded chunks:
+// corrupted or truncated files then fail with an I/O error instead of
+// attempting a multi-gigabyte allocation from an untrusted count.
+const loadChunk = 1 << 16
+
+func readU32(br *bufio.Reader) (uint32, error) {
+	var v uint32
+	err := binary.Read(br, binary.LittleEndian, &v)
+	return v, err
+}
+
+func readStr(br *bufio.Reader) (string, error) {
+	n, err := readU32(br)
 	if err != nil {
-		return err
+		return "", err
 	}
-	if err := s.Save(f); err != nil {
-		f.Close()
-		return err
+	var sb []byte
+	for remaining := int(n); remaining > 0; {
+		c := remaining
+		if c > loadChunk {
+			c = loadChunk
+		}
+		buf := make([]byte, c)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("read string payload: %w", err)
+		}
+		sb = append(sb, buf...)
+		remaining -= c
 	}
-	return f.Close()
+	return string(sb), nil
 }
 
-// Load reads a store previously written by Save and rebuilds its in-memory
-// indexes.
-func Load(r io.Reader) (*Store, error) {
+func readI32s(br *bufio.Reader, n int) ([]int32, error) {
+	var out []int32
+	for remaining := n; remaining > 0; {
+		c := remaining
+		if c > loadChunk {
+			c = loadChunk
+		}
+		part := make([]int32, c)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		remaining -= c
+	}
+	return out, nil
+}
+
+func readU64s(br *bufio.Reader, n int) ([]uint64, error) {
+	var out []uint64
+	for remaining := n; remaining > 0; {
+		c := remaining
+		if c > loadChunk {
+			c = loadChunk
+		}
+		part := make([]uint64, c)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		remaining -= c
+	}
+	return out, nil
+}
+
+func readI8s(br *bufio.Reader, n int) ([]int8, error) {
+	var out []int8
+	for remaining := n; remaining > 0; {
+		c := remaining
+		if c > loadChunk {
+			c = loadChunk
+		}
+		part := make([]int8, c)
+		if err := binary.Read(br, binary.LittleEndian, part); err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+		remaining -= c
+	}
+	return out, nil
+}
+
+// Load reads an index previously written by Save — either version — and
+// rebuilds its in-memory indexes. The concrete type of the result matches
+// the file: *Store for v1, *ShardedStore for v2.
+func Load(r io.Reader) (Index, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -121,117 +267,102 @@ func Load(r io.Reader) (*Store, error) {
 	if string(magic) != persistMagic {
 		return nil, fmt.Errorf("bad index magic %q", magic)
 	}
-	readU32 := func() (uint32, error) {
-		var v uint32
-		err := binary.Read(br, binary.LittleEndian, &v)
-		return v, err
-	}
-	// All length- and count-prefixed reads allocate in bounded chunks:
-	// corrupted or truncated files then fail with an I/O error instead of
-	// attempting a multi-gigabyte allocation from an untrusted count.
-	const chunk = 1 << 16
-	readStr := func() (string, error) {
-		n, err := readU32()
-		if err != nil {
-			return "", err
-		}
-		var sb []byte
-		for remaining := int(n); remaining > 0; {
-			c := remaining
-			if c > chunk {
-				c = chunk
-			}
-			buf := make([]byte, c)
-			if _, err := io.ReadFull(br, buf); err != nil {
-				return "", fmt.Errorf("read string payload: %w", err)
-			}
-			sb = append(sb, buf...)
-			remaining -= c
-		}
-		return string(sb), nil
-	}
-	readI32s := func(n int) ([]int32, error) {
-		var out []int32
-		for remaining := n; remaining > 0; {
-			c := remaining
-			if c > chunk {
-				c = chunk
-			}
-			part := make([]int32, c)
-			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
-				return nil, err
-			}
-			out = append(out, part...)
-			remaining -= c
-		}
-		return out, nil
-	}
-	readU64s := func(n int) ([]uint64, error) {
-		var out []uint64
-		for remaining := n; remaining > 0; {
-			c := remaining
-			if c > chunk {
-				c = chunk
-			}
-			part := make([]uint64, c)
-			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
-				return nil, err
-			}
-			out = append(out, part...)
-			remaining -= c
-		}
-		return out, nil
-	}
-	readI8s := func(n int) ([]int8, error) {
-		var out []int8
-		for remaining := n; remaining > 0; {
-			c := remaining
-			if c > chunk {
-				c = chunk
-			}
-			part := make([]int8, c)
-			if err := binary.Read(br, binary.LittleEndian, part); err != nil {
-				return nil, err
-			}
-			out = append(out, part...)
-			remaining -= c
-		}
-		return out, nil
-	}
-	version, err := readU32()
+	version, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	switch version {
+	case persistVersion:
+		return loadPayload(br)
+	case persistVersionSharded:
+		return loadSharded(br)
+	default:
 		return nil, fmt.Errorf("unsupported index version %d", version)
 	}
-	layoutRaw, err := readU32()
+}
+
+// loadSharded reads the v2 body: shard count, table directory, then one
+// payload per shard.
+func loadSharded(br *bufio.Reader) (*ShardedStore, error) {
+	layoutRaw, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	numShards, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	if numShards == 0 || numShards > MaxShards {
+		return nil, fmt.Errorf("implausible shard count %d", numShards)
+	}
+	numTables, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedStore{
+		layout:    Layout(layoutRaw),
+		shards:    make([]*Store, numShards),
+		globalTID: make([][]int32, numShards),
+	}
+	localCount := make([]int32, numShards)
+	for g := 0; g < int(numTables); g++ {
+		sh, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if sh >= numShards {
+			return nil, fmt.Errorf("table %d assigned to shard %d of %d", g, sh, numShards)
+		}
+		s.refs = append(s.refs, shardRef{shard: int32(sh), local: localCount[sh]})
+		s.globalTID[sh] = append(s.globalTID[sh], int32(g))
+		localCount[sh]++
+	}
+	for i := range s.shards {
+		sub, err := loadPayload(br)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if sub.layout != s.layout {
+			return nil, fmt.Errorf("shard %d layout %v does not match index layout %v", i, sub.layout, s.layout)
+		}
+		if sub.NumTables() != int(localCount[i]) {
+			return nil, fmt.Errorf("shard %d holds %d tables, directory says %d", i, sub.NumTables(), localCount[i])
+		}
+		s.shards[i] = sub
+	}
+	s.recomputeBase()
+	return s, nil
+}
+
+// loadPayload reads one store body and rebuilds its derived indexes.
+func loadPayload(br *bufio.Reader) (*Store, error) {
+	layoutRaw, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{layout: Layout(layoutRaw), dictIdx: make(map[string]int32)}
 
-	numTables, err := readU32()
+	numTables, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
 	s.tables = make([]TableMeta, 0, minInt(int(numTables), 1<<16))
 	for i := 0; i < int(numTables); i++ {
 		var m TableMeta
-		if m.Name, err = readStr(); err != nil {
+		if m.Name, err = readStr(br); err != nil {
 			return nil, err
 		}
-		nr, err := readU32()
+		nr, err := readU32(br)
 		if err != nil {
 			return nil, err
 		}
 		m.NumRows = int32(nr)
-		nc, err := readU32()
+		nc, err := readU32(br)
 		if err != nil {
 			return nil, err
 		}
 		for c := 0; c < int(nc); c++ {
-			name, err := readStr()
+			name, err := readStr(br)
 			if err != nil {
 				return nil, err
 			}
@@ -245,13 +376,13 @@ func Load(r io.Reader) (*Store, error) {
 		s.tables = append(s.tables, m)
 	}
 
-	numValues, err := readU32()
+	numValues, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
 	dict := make([]string, 0, minInt(int(numValues), 1<<16))
 	for i := 0; i < int(numValues); i++ {
-		v, err := readStr()
+		v, err := readStr(br)
 		if err != nil {
 			return nil, err
 		}
@@ -260,30 +391,30 @@ func Load(r io.Reader) (*Store, error) {
 	}
 	s.dict = dict
 
-	numEntries, err := readU32()
+	numEntries, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
 	n := int(numEntries)
-	if s.valIdx, err = readI32s(n); err != nil {
+	if s.valIdx, err = readI32s(br, n); err != nil {
 		return nil, err
 	}
-	if s.tableIDs, err = readI32s(n); err != nil {
+	if s.tableIDs, err = readI32s(br, n); err != nil {
 		return nil, err
 	}
-	if s.columnIDs, err = readI32s(n); err != nil {
+	if s.columnIDs, err = readI32s(br, n); err != nil {
 		return nil, err
 	}
-	if s.rowIDs, err = readI32s(n); err != nil {
+	if s.rowIDs, err = readI32s(br, n); err != nil {
 		return nil, err
 	}
-	if s.superLo, err = readU64s(n); err != nil {
+	if s.superLo, err = readU64s(br, n); err != nil {
 		return nil, err
 	}
-	if s.superHi, err = readU64s(n); err != nil {
+	if s.superHi, err = readU64s(br, n); err != nil {
 		return nil, err
 	}
-	if s.quadrant, err = readI8s(n); err != nil {
+	if s.quadrant, err = readI8s(br, n); err != nil {
 		return nil, err
 	}
 	// Referential integrity: every entry must point into the dictionary
@@ -313,8 +444,8 @@ func Load(r io.Reader) (*Store, error) {
 	return s, nil
 }
 
-// LoadFile reads a store from a file.
-func LoadFile(path string) (*Store, error) {
+// LoadFile reads an index (either version) from a file.
+func LoadFile(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,96 @@
+package storage
+
+import (
+	"io"
+
+	"blend/internal/table"
+	"blend/internal/xash"
+)
+
+// Reader is the read surface of the AllTables index: everything the SQL
+// layer, the seekers, and the optimizer need to scan and reconstruct the
+// unified relation. Both the monolithic Store and the ShardedStore satisfy
+// it, so the engine above is agnostic to physical partitioning.
+//
+// Entry positions and table ids are global: a sharded implementation maps
+// them onto its partitions internally. Implementations must be safe for
+// concurrent readers once built (the engine scans shards in parallel).
+type Reader interface {
+	// Layout reports the physical layout of the AllTables tuples.
+	Layout() Layout
+	// NumShards reports how many partitions back the index (1 when
+	// monolithic).
+	NumShards() int
+	// NumEntries reports the number of AllTables tuples.
+	NumEntries() int
+	// NumTables reports the number of indexed tables.
+	NumTables() int
+	// NumDistinctValues reports the number of distinct cell values.
+	NumDistinctValues() int
+	// TableMeta returns catalog information for a table id.
+	TableMeta(tid int32) TableMeta
+	// TableName returns the name of a table id, or "" if out of range.
+	TableName(tid int32) string
+	// TableIDByName returns the id of the named table, or -1.
+	TableIDByName(name string) int32
+	// Value returns the CellValue of entry i.
+	Value(i int32) string
+	// TableID returns the TableId of entry i.
+	TableID(i int32) int32
+	// ColumnID returns the ColumnId of entry i.
+	ColumnID(i int32) int32
+	// RowID returns the RowId of entry i.
+	RowID(i int32) int32
+	// SuperKey returns the XASH super key of entry i's row.
+	SuperKey(i int32) xash.Key
+	// Quadrant returns the quadrant bit of entry i, or QuadrantNull.
+	Quadrant(i int32) int8
+	// Postings returns the sorted entry positions whose CellValue equals
+	// v. Callers must not modify the returned slice.
+	Postings(v string) []int32
+	// Frequency returns the number of index entries holding value v.
+	Frequency(v string) int
+	// AvgFrequency returns the mean index frequency of the given values.
+	AvgFrequency(values []string) float64
+	// TableEntries returns the [start, end) entry range of a table id.
+	TableEntries(tid int32) (start, end int32)
+	// ReconstructRow materializes row rid of table tid from the index.
+	ReconstructRow(tid, rid int32) []string
+	// ReconstructTable materializes a full table from the index.
+	ReconstructTable(tid int32) *table.Table
+	// SizeBytes estimates the resident size of the index in bytes.
+	SizeBytes() int64
+	// ComputeStats scans the index once and returns its summary.
+	ComputeStats() Stats
+}
+
+// Index is a Reader that also supports the maintenance surface: appending
+// tables incrementally and binary persistence. blend.Discovery holds an
+// Index; the engine's query path needs only the Reader half.
+type Index interface {
+	Reader
+	// AddTable appends one table to the index, returning its (global)
+	// table id. Not safe for use concurrent with readers.
+	AddTable(t *table.Table) int32
+	// Save writes the index to w (v1 for monolithic stores, v2 for
+	// sharded ones).
+	Save(w io.Writer) error
+	// SaveFile writes the index to a file.
+	SaveFile(path string) error
+}
+
+// Sharded is implemented by indexes that partition tables across shards
+// and can expose each partition as a standalone Reader. The engine uses the
+// per-shard views to fan a seeker's SQL out across partitions concurrently;
+// each view reports global table ids but shard-local entry positions.
+type Sharded interface {
+	// ShardReaders returns one Reader per shard.
+	ShardReaders() []Reader
+}
+
+var (
+	_ Index   = (*Store)(nil)
+	_ Index   = (*ShardedStore)(nil)
+	_ Sharded = (*ShardedStore)(nil)
+	_ Reader  = (*shardView)(nil)
+)

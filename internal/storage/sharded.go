@@ -1,0 +1,420 @@
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"blend/internal/table"
+	"blend/internal/xash"
+)
+
+// ShardedStore hash-partitions the AllTables relation across N shards, one
+// monolithic Store per shard, each with its own dictionary, inverted index,
+// and table-range index. Tables are assigned whole to a shard by a hash of
+// their name, so every per-table aggregate the seekers' SQL computes
+// (GROUP BY TableId, joins on TableId/RowId) is shard-local and the engine
+// can execute a seeker against every shard concurrently and merge top-k.
+//
+// The ShardedStore itself presents the unified global view: entry positions
+// are globally contiguous (shard s occupies [base[s], base[s+1])) and table
+// ids are assigned in insertion order across the whole lake, exactly like a
+// monolithic Store, so raw SQL and every Reader consumer behave
+// identically regardless of partitioning.
+type ShardedStore struct {
+	layout Layout
+	shards []*Store
+
+	// refs maps global table id -> owning shard and shard-local table id.
+	refs []shardRef
+	// globalTID maps, per shard, local table id -> global table id.
+	globalTID [][]int32
+	// base[s] is the global entry offset of shard s; base has one extra
+	// trailing element holding the total entry count.
+	base []int32
+}
+
+type shardRef struct {
+	shard int32
+	local int32
+}
+
+// MaxShards caps the partition count, so every index BuildSharded can
+// produce is also one Load accepts (the loader rejects counts above this
+// as corruption).
+const MaxShards = 1 << 12
+
+// BuildSharded indexes the tables into n hash-partitioned shards. n is
+// clamped to [1, MaxShards]; a single shard still goes through the sharded
+// code path (useful for tests) — use Build for a plain monolithic store.
+func BuildSharded(layout Layout, tables []*table.Table, n int) *ShardedStore {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	s := &ShardedStore{
+		layout:    layout,
+		shards:    make([]*Store, n),
+		globalTID: make([][]int32, n),
+	}
+	builders := make([]*Builder, n)
+	for i := range builders {
+		builders[i] = NewBuilder(layout)
+	}
+	for _, t := range tables {
+		sh := s.shardFor(t.Name)
+		local := builders[sh].Add(t)
+		s.refs = append(s.refs, shardRef{shard: int32(sh), local: local})
+		s.globalTID[sh] = append(s.globalTID[sh], int32(len(s.refs)-1))
+	}
+	for i, b := range builders {
+		s.shards[i] = b.Finish()
+	}
+	s.recomputeBase()
+	return s
+}
+
+// shardFor picks the shard owning a table name (FNV-1a modulo shard count).
+func (s *ShardedStore) shardFor(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// recomputeBase refreshes the global entry offsets after shard growth.
+func (s *ShardedStore) recomputeBase() {
+	s.base = make([]int32, len(s.shards)+1)
+	for i, sh := range s.shards {
+		s.base[i+1] = s.base[i] + int32(sh.NumEntries())
+	}
+}
+
+// locate maps a global entry position to (shard, local position).
+func (s *ShardedStore) locate(i int32) (int, int32) {
+	// sort.Search finds the first shard whose range ends beyond i.
+	sh := sort.Search(len(s.shards), func(k int) bool { return s.base[k+1] > i })
+	return sh, i - s.base[sh]
+}
+
+// Layout reports the physical layout shared by every shard.
+func (s *ShardedStore) Layout() Layout { return s.layout }
+
+// NumShards reports the partition count.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// NumEntries reports the total AllTables tuples across shards.
+func (s *ShardedStore) NumEntries() int { return int(s.base[len(s.shards)]) }
+
+// NumTables reports the number of indexed tables across shards.
+func (s *ShardedStore) NumTables() int { return len(s.refs) }
+
+// NumDistinctValues reports the number of distinct cell values across the
+// whole lake. Dictionaries are per-shard, so this deduplicates across them;
+// it is an O(dictionary) scan meant for stats, not hot paths.
+func (s *ShardedStore) NumDistinctValues() int {
+	if len(s.shards) == 1 {
+		return s.shards[0].NumDistinctValues()
+	}
+	seen := make(map[string]struct{})
+	for _, sh := range s.shards {
+		for _, v := range sh.dict {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// TableMeta returns catalog information for a global table id.
+func (s *ShardedStore) TableMeta(tid int32) TableMeta {
+	r := s.refs[tid]
+	return s.shards[r.shard].TableMeta(r.local)
+}
+
+// TableName returns the name of a global table id, or "" if out of range.
+func (s *ShardedStore) TableName(tid int32) string {
+	if tid < 0 || int(tid) >= len(s.refs) {
+		return ""
+	}
+	return s.TableMeta(tid).Name
+}
+
+// TableIDByName returns the global id of the named table, or -1.
+func (s *ShardedStore) TableIDByName(name string) int32 {
+	for g := range s.refs {
+		if s.TableMeta(int32(g)).Name == name {
+			return int32(g)
+		}
+	}
+	return -1
+}
+
+// Value returns the CellValue of global entry i.
+func (s *ShardedStore) Value(i int32) string {
+	sh, l := s.locate(i)
+	return s.shards[sh].Value(l)
+}
+
+// TableID returns the global TableId of entry i.
+func (s *ShardedStore) TableID(i int32) int32 {
+	sh, l := s.locate(i)
+	return s.globalTID[sh][s.shards[sh].TableID(l)]
+}
+
+// ColumnID returns the ColumnId of global entry i.
+func (s *ShardedStore) ColumnID(i int32) int32 {
+	sh, l := s.locate(i)
+	return s.shards[sh].ColumnID(l)
+}
+
+// RowID returns the RowId of global entry i.
+func (s *ShardedStore) RowID(i int32) int32 {
+	sh, l := s.locate(i)
+	return s.shards[sh].RowID(l)
+}
+
+// SuperKey returns the XASH super key of global entry i's row.
+func (s *ShardedStore) SuperKey(i int32) xash.Key {
+	sh, l := s.locate(i)
+	return s.shards[sh].SuperKey(l)
+}
+
+// Quadrant returns the quadrant bit of global entry i.
+func (s *ShardedStore) Quadrant(i int32) int8 {
+	sh, l := s.locate(i)
+	return s.shards[sh].Quadrant(l)
+}
+
+// Postings returns the global entry positions whose CellValue equals v,
+// merged across shards in ascending position order. Unlike Store.Postings
+// the slice is freshly allocated per call (per-shard postings cannot be
+// shared globally); Frequency avoids the allocation when only the count is
+// needed.
+func (s *ShardedStore) Postings(v string) []int32 {
+	if len(s.shards) == 1 {
+		return s.shards[0].Postings(v)
+	}
+	n := s.Frequency(v)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, 0, n)
+	for si, sh := range s.shards {
+		for _, p := range sh.Postings(v) {
+			out = append(out, p+s.base[si])
+		}
+	}
+	return out
+}
+
+// Frequency returns the number of index entries holding value v.
+func (s *ShardedStore) Frequency(v string) int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Frequency(v)
+	}
+	return total
+}
+
+// AvgFrequency returns the mean index frequency of the given values.
+func (s *ShardedStore) AvgFrequency(values []string) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	total := 0
+	for _, v := range values {
+		total += s.Frequency(v)
+	}
+	return float64(total) / float64(len(values))
+}
+
+// TableEntries returns the global [start, end) entry range of a table id.
+func (s *ShardedStore) TableEntries(tid int32) (start, end int32) {
+	r := s.refs[tid]
+	lo, hi := s.shards[r.shard].TableEntries(r.local)
+	return lo + s.base[r.shard], hi + s.base[r.shard]
+}
+
+// ReconstructRow materializes row rid of global table tid.
+func (s *ShardedStore) ReconstructRow(tid, rid int32) []string {
+	r := s.refs[tid]
+	return s.shards[r.shard].ReconstructRow(r.local, rid)
+}
+
+// ReconstructTable materializes a full table from the index.
+func (s *ShardedStore) ReconstructTable(tid int32) *table.Table {
+	r := s.refs[tid]
+	return s.shards[r.shard].ReconstructTable(r.local)
+}
+
+// SizeBytes sums the resident sizes of all shards.
+func (s *ShardedStore) SizeBytes() int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += sh.SizeBytes()
+	}
+	return b
+}
+
+// ComputeStats aggregates per-shard stats into one lake summary. The
+// posting-length figures are computed over per-shard dictionaries (a value
+// split across shards counts once per shard), which is what the scan cost
+// of a sharded seeker actually depends on.
+func (s *ShardedStore) ComputeStats() Stats {
+	st := Stats{
+		Layout:         s.layout,
+		Shards:         len(s.shards),
+		Tables:         s.NumTables(),
+		Entries:        s.NumEntries(),
+		DistinctValues: s.NumDistinctValues(),
+		EstimatedBytes: s.SizeBytes(),
+	}
+	totalPost, dictEntries := 0, 0
+	for _, sh := range s.shards {
+		sub := sh.ComputeStats()
+		st.NumericCells += sub.NumericCells
+		st.DictBytes += sub.DictBytes
+		if sub.MaxPostingLength > st.MaxPostingLength {
+			st.MaxPostingLength = sub.MaxPostingLength
+		}
+		totalPost += sub.Entries
+		dictEntries += sub.DistinctValues
+	}
+	if dictEntries > 0 {
+		st.AvgPostingLength = float64(totalPost) / float64(dictEntries)
+	}
+	var cols, rows int
+	for g := range s.refs {
+		m := s.TableMeta(int32(g))
+		cols += len(m.ColNames)
+		rows += int(m.NumRows)
+	}
+	if st.Tables > 0 {
+		st.AvgColumnsPerTbl = float64(cols) / float64(st.Tables)
+		st.AvgRowsPerTable = float64(rows) / float64(st.Tables)
+	}
+	return st
+}
+
+// AddTable appends one table, routing it to its hash shard. The returned
+// table id is global and insertion-ordered, exactly like Store.AddTable.
+// Not safe for use concurrent with readers.
+func (s *ShardedStore) AddTable(t *table.Table) int32 {
+	sh := s.shardFor(t.Name)
+	local := s.shards[sh].AddTable(t)
+	g := int32(len(s.refs))
+	s.refs = append(s.refs, shardRef{shard: int32(sh), local: local})
+	s.globalTID[sh] = append(s.globalTID[sh], g)
+	s.recomputeBase()
+	return g
+}
+
+// ShardReaders implements Sharded: one per-shard view exposing global table
+// ids over shard-local entry positions, for the engine's concurrent SQL
+// fan-out.
+func (s *ShardedStore) ShardReaders() []Reader {
+	out := make([]Reader, len(s.shards))
+	for i := range s.shards {
+		out[i] = &shardView{parent: s, shard: i}
+	}
+	return out
+}
+
+// shardView is one shard of a ShardedStore viewed as a standalone Reader.
+// Entry positions are local to the shard (the relation the SQL engine scans
+// is just that shard), but table ids are global so GROUP BY TableId output
+// and TableId IN (…) rewrite predicates compose across shards. TableEntries
+// of a table owned by another shard is empty, which makes TableId lookups
+// against foreign tables match nothing — precisely the partition semantics
+// the merge step relies on.
+type shardView struct {
+	parent *ShardedStore
+	shard  int
+}
+
+func (v *shardView) store() *Store { return v.parent.shards[v.shard] }
+
+// Layout reports the shard's physical layout.
+func (v *shardView) Layout() Layout { return v.parent.layout }
+
+// NumShards reports 1: a view is a single partition.
+func (v *shardView) NumShards() int { return 1 }
+
+// NumEntries reports the shard-local tuple count.
+func (v *shardView) NumEntries() int { return v.store().NumEntries() }
+
+// NumTables reports the global table count, so global table ids stay in
+// range for bounds checks at the SQL layer.
+func (v *shardView) NumTables() int { return v.parent.NumTables() }
+
+// NumDistinctValues reports the shard's dictionary size.
+func (v *shardView) NumDistinctValues() int { return v.store().NumDistinctValues() }
+
+// TableMeta delegates to the global catalog.
+func (v *shardView) TableMeta(tid int32) TableMeta { return v.parent.TableMeta(tid) }
+
+// TableName delegates to the global catalog.
+func (v *shardView) TableName(tid int32) string { return v.parent.TableName(tid) }
+
+// TableIDByName delegates to the global catalog.
+func (v *shardView) TableIDByName(name string) int32 { return v.parent.TableIDByName(name) }
+
+// Value returns the CellValue of shard-local entry i.
+func (v *shardView) Value(i int32) string { return v.store().Value(i) }
+
+// TableID returns the global TableId of shard-local entry i.
+func (v *shardView) TableID(i int32) int32 {
+	return v.parent.globalTID[v.shard][v.store().TableID(i)]
+}
+
+// ColumnID returns the ColumnId of shard-local entry i.
+func (v *shardView) ColumnID(i int32) int32 { return v.store().ColumnID(i) }
+
+// RowID returns the RowId of shard-local entry i.
+func (v *shardView) RowID(i int32) int32 { return v.store().RowID(i) }
+
+// SuperKey returns the super key of shard-local entry i.
+func (v *shardView) SuperKey(i int32) xash.Key { return v.store().SuperKey(i) }
+
+// Quadrant returns the quadrant bit of shard-local entry i.
+func (v *shardView) Quadrant(i int32) int8 { return v.store().Quadrant(i) }
+
+// Postings returns shard-local entry positions for value v.
+func (v *shardView) Postings(val string) []int32 { return v.store().Postings(val) }
+
+// Frequency returns the shard-local frequency of value v.
+func (v *shardView) Frequency(val string) int { return v.store().Frequency(val) }
+
+// AvgFrequency returns the shard-local mean frequency.
+func (v *shardView) AvgFrequency(values []string) float64 { return v.store().AvgFrequency(values) }
+
+// TableEntries maps a global table id to the shard-local entry range; a
+// table owned by another shard yields the empty range.
+func (v *shardView) TableEntries(tid int32) (start, end int32) {
+	if tid < 0 || int(tid) >= len(v.parent.refs) {
+		return 0, 0
+	}
+	r := v.parent.refs[tid]
+	if int(r.shard) != v.shard {
+		return 0, 0
+	}
+	return v.store().TableEntries(r.local)
+}
+
+// ReconstructRow materializes a row of a global table id.
+func (v *shardView) ReconstructRow(tid, rid int32) []string { return v.parent.ReconstructRow(tid, rid) }
+
+// ReconstructTable materializes a global table id.
+func (v *shardView) ReconstructTable(tid int32) *table.Table { return v.parent.ReconstructTable(tid) }
+
+// SizeBytes reports the shard's resident size.
+func (v *shardView) SizeBytes() int64 { return v.store().SizeBytes() }
+
+// ComputeStats summarizes the single shard.
+func (v *shardView) ComputeStats() Stats { return v.store().ComputeStats() }
+
+// String identifies the view in diagnostics.
+func (v *shardView) String() string {
+	return fmt.Sprintf("shard %d/%d", v.shard, len(v.parent.shards))
+}

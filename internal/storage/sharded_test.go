@@ -1,0 +1,310 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"blend/internal/table"
+)
+
+// widerLake extends the Fig. 1 fixture with enough tables that a 4-way
+// hash partition actually spreads.
+func widerLake() []*table.Table {
+	tables := lakeFixture()
+	for i := 0; i < 8; i++ {
+		t := table.New(fmt.Sprintf("W%d", i), "Team", "Metric")
+		t.MustAppendRow("HR", fmt.Sprintf("%d", 10+i))
+		t.MustAppendRow(fmt.Sprintf("Unit%d", i), fmt.Sprintf("%d", 20+i))
+		t.MustAppendRow("Firenze", fmt.Sprintf("%d", 30+i))
+		t.InferKinds()
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// entryTuple is the location-independent content of one index entry.
+type entryTuple struct {
+	val      string
+	tid, cid int32
+	rid      int32
+	lo, hi   uint64
+	q        int8
+}
+
+// tableTuples decodes a table's entries through any Reader, sorted.
+func tableTuples(r Reader, tid int32) []entryTuple {
+	start, end := r.TableEntries(tid)
+	out := make([]entryTuple, 0, end-start)
+	for i := start; i < end; i++ {
+		k := r.SuperKey(i)
+		out = append(out, entryTuple{
+			val: r.Value(i), tid: r.TableID(i), cid: r.ColumnID(i),
+			rid: r.RowID(i), lo: k.Lo, hi: k.Hi, q: r.Quadrant(i),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].rid != out[b].rid {
+			return out[a].rid < out[b].rid
+		}
+		return out[a].cid < out[b].cid
+	})
+	return out
+}
+
+func TestShardedMatchesMonolithic(t *testing.T) {
+	tables := widerLake()
+	for _, layout := range []Layout{ColumnStore, RowStore} {
+		mono := Build(layout, tables)
+		shard := BuildSharded(layout, tables, 4)
+		if shard.NumShards() != 4 {
+			t.Fatalf("NumShards = %d", shard.NumShards())
+		}
+		if shard.NumEntries() != mono.NumEntries() {
+			t.Fatalf("layout %v: entries %d != %d", layout, shard.NumEntries(), mono.NumEntries())
+		}
+		if shard.NumTables() != mono.NumTables() {
+			t.Fatalf("layout %v: tables differ", layout)
+		}
+		if shard.NumDistinctValues() != mono.NumDistinctValues() {
+			t.Fatalf("layout %v: distinct values %d != %d",
+				layout, shard.NumDistinctValues(), mono.NumDistinctValues())
+		}
+		for tid := int32(0); tid < int32(mono.NumTables()); tid++ {
+			if shard.TableName(tid) != mono.TableName(tid) {
+				t.Fatalf("layout %v: table %d name %q != %q",
+					layout, tid, shard.TableName(tid), mono.TableName(tid))
+			}
+			if !reflect.DeepEqual(tableTuples(shard, tid), tableTuples(mono, tid)) {
+				t.Fatalf("layout %v: table %d entries differ", layout, tid)
+			}
+			mt := mono.ReconstructTable(tid)
+			st := shard.ReconstructTable(tid)
+			if !reflect.DeepEqual(mt.Rows, st.Rows) {
+				t.Fatalf("layout %v: table %d reconstruction differs", layout, tid)
+			}
+		}
+		for _, name := range []string{"T1", "W3", "nope"} {
+			if shard.TableIDByName(name) != mono.TableIDByName(name) {
+				t.Fatalf("layout %v: TableIDByName(%q) differs", layout, name)
+			}
+		}
+		for _, v := range []string{"HR", "Firenze", "Unit3", "missing"} {
+			if shard.Frequency(v) != mono.Frequency(v) {
+				t.Fatalf("layout %v: Frequency(%q) %d != %d",
+					layout, v, shard.Frequency(v), mono.Frequency(v))
+			}
+			// Postings positions differ (global layouts differ) but must
+			// decode to the same cell locations.
+			decode := func(r Reader, ps []int32) []entryTuple {
+				out := make([]entryTuple, 0, len(ps))
+				for _, p := range ps {
+					out = append(out, entryTuple{
+						val: r.Value(p), tid: r.TableID(p),
+						cid: r.ColumnID(p), rid: r.RowID(p),
+					})
+				}
+				sort.Slice(out, func(a, b int) bool {
+					if out[a].tid != out[b].tid {
+						return out[a].tid < out[b].tid
+					}
+					if out[a].rid != out[b].rid {
+						return out[a].rid < out[b].rid
+					}
+					return out[a].cid < out[b].cid
+				})
+				return out
+			}
+			if !reflect.DeepEqual(decode(shard, shard.Postings(v)), decode(mono, mono.Postings(v))) {
+				t.Fatalf("layout %v: Postings(%q) decode differently", layout, v)
+			}
+		}
+		if got, want := shard.AvgFrequency([]string{"HR", "Firenze"}), mono.AvgFrequency([]string{"HR", "Firenze"}); got != want {
+			t.Fatalf("layout %v: AvgFrequency %v != %v", layout, got, want)
+		}
+	}
+}
+
+func TestShardedGlobalPositionsConsistent(t *testing.T) {
+	s := BuildSharded(ColumnStore, widerLake(), 4)
+	// Every global position must belong to exactly the table whose range
+	// contains it, and postings must be sorted ascending.
+	for tid := int32(0); tid < int32(s.NumTables()); tid++ {
+		start, end := s.TableEntries(tid)
+		for i := start; i < end; i++ {
+			if s.TableID(i) != tid {
+				t.Fatalf("entry %d in range of table %d reports table %d", i, tid, s.TableID(i))
+			}
+		}
+	}
+	p := s.Postings("HR")
+	if !sort.SliceIsSorted(p, func(a, b int) bool { return p[a] < p[b] }) {
+		t.Fatal("merged postings not sorted")
+	}
+}
+
+func TestShardReaderViews(t *testing.T) {
+	s := BuildSharded(ColumnStore, widerLake(), 4)
+	views := s.ShardReaders()
+	if len(views) != 4 {
+		t.Fatalf("views = %d", len(views))
+	}
+	totalEntries, totalFreq := 0, 0
+	for _, v := range views {
+		totalEntries += v.NumEntries()
+		totalFreq += v.Frequency("HR")
+		if v.NumTables() != s.NumTables() {
+			t.Fatal("view must report the global table count")
+		}
+		// Every entry's TableID must be global: its global range must
+		// belong to a table whose name matches.
+		for i := int32(0); i < int32(v.NumEntries()); i++ {
+			tid := v.TableID(i)
+			if tid < 0 || int(tid) >= s.NumTables() {
+				t.Fatalf("view reports out-of-range global table id %d", tid)
+			}
+		}
+	}
+	if totalEntries != s.NumEntries() {
+		t.Fatalf("views hold %d entries, store %d", totalEntries, s.NumEntries())
+	}
+	if totalFreq != s.Frequency("HR") {
+		t.Fatal("per-shard frequencies must sum to the global frequency")
+	}
+	// A table's entries live in exactly one view.
+	for tid := int32(0); tid < int32(s.NumTables()); tid++ {
+		owners := 0
+		for _, v := range views {
+			if lo, hi := v.TableEntries(tid); hi > lo {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("table %d owned by %d shards", tid, owners)
+		}
+	}
+}
+
+func TestShardedPersistV2RoundTrip(t *testing.T) {
+	for _, layout := range []Layout{ColumnStore, RowStore} {
+		orig := BuildSharded(layout, widerLake(), 3)
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, ok := loaded.(*ShardedStore)
+		if !ok {
+			t.Fatalf("v2 file loaded as %T", loaded)
+		}
+		if back.NumShards() != 3 {
+			t.Fatalf("shard count = %d after round trip", back.NumShards())
+		}
+		if back.Layout() != layout || back.NumEntries() != orig.NumEntries() {
+			t.Fatal("shape lost on round trip")
+		}
+		for tid := int32(0); tid < int32(orig.NumTables()); tid++ {
+			if !reflect.DeepEqual(tableTuples(back, tid), tableTuples(orig, tid)) {
+				t.Fatalf("layout %v: table %d differs after round trip", layout, tid)
+			}
+		}
+		// Incremental maintenance after load: same hash routing, same
+		// global ids.
+		nt := table.New("postload", "A", "B")
+		nt.MustAppendRow("zz-postload", "1")
+		nt.InferKinds()
+		id1 := orig.AddTable(nt)
+		id2 := back.AddTable(nt)
+		if id1 != id2 {
+			t.Fatalf("AddTable after load assigned id %d, fresh store %d", id2, id1)
+		}
+		if back.Frequency("zz-postload") != 1 {
+			t.Fatal("value added after load not indexed")
+		}
+		if !reflect.DeepEqual(tableTuples(back, id2), tableTuples(orig, id1)) {
+			t.Fatal("post-load AddTable produced different entries")
+		}
+	}
+}
+
+func TestV1FilesStillLoadAsMonolithic(t *testing.T) {
+	orig := Build(ColumnStore, lakeFixture())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.(*Store); !ok {
+		t.Fatalf("v1 file loaded as %T, want *Store", loaded)
+	}
+	if loaded.NumShards() != 1 {
+		t.Fatal("monolithic store must report one shard")
+	}
+}
+
+func TestLoadShardedRejectsBadDirectory(t *testing.T) {
+	orig := BuildSharded(ColumnStore, lakeFixture(), 2)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Byte layout: magic(4) version(4) layout(4) shards(4) tables(4) then
+	// the first table's shard assignment — point it out of range.
+	raw[20] = 0xee
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt shard directory must be rejected")
+	}
+}
+
+func TestShardedComputeStats(t *testing.T) {
+	s := BuildSharded(ColumnStore, widerLake(), 4)
+	st := s.ComputeStats()
+	if st.Shards != 4 {
+		t.Fatalf("stats shards = %d", st.Shards)
+	}
+	if st.Tables != s.NumTables() || st.Entries != s.NumEntries() {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	if st.DistinctValues != s.NumDistinctValues() {
+		t.Fatal("distinct count mismatch")
+	}
+	if st.NumericCells == 0 || st.AvgPostingLength <= 0 {
+		t.Fatalf("stats content: %+v", st)
+	}
+	mono := Build(ColumnStore, widerLake()).ComputeStats()
+	if st.NumericCells != mono.NumericCells {
+		t.Fatal("numeric cell count must not depend on partitioning")
+	}
+	if st.AvgColumnsPerTbl != mono.AvgColumnsPerTbl || st.AvgRowsPerTable != mono.AvgRowsPerTable {
+		t.Fatal("table shape averages must not depend on partitioning")
+	}
+}
+
+// TestBuildShardedClampsShardCount guards the Save/Load agreement: any
+// shard count BuildSharded accepts must survive a round trip.
+func TestBuildShardedClampsShardCount(t *testing.T) {
+	s := BuildSharded(ColumnStore, lakeFixture(), MaxShards+100)
+	if s.NumShards() != MaxShards {
+		t.Fatalf("NumShards = %d, want clamp to %d", s.NumShards(), MaxShards)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("index built at the cap failed to reload: %v", err)
+	}
+	if back.NumShards() != MaxShards {
+		t.Fatal("shard count lost on round trip")
+	}
+}

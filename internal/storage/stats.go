@@ -5,6 +5,7 @@ package storage
 // quantity seeker runtimes scale with), and quadrant coverage.
 type Stats struct {
 	Layout           Layout
+	Shards           int // partitions backing the index (1 when monolithic)
 	Tables           int
 	Entries          int
 	DistinctValues   int
@@ -21,6 +22,7 @@ type Stats struct {
 func (s *Store) ComputeStats() Stats {
 	st := Stats{
 		Layout:         s.layout,
+		Shards:         1,
 		Tables:         s.NumTables(),
 		Entries:        s.NumEntries(),
 		DistinctValues: s.NumDistinctValues(),

@@ -276,6 +276,9 @@ func parseFloat(s string) (float64, bool) {
 // Layout reports the store's physical layout.
 func (s *Store) Layout() Layout { return s.layout }
 
+// NumShards reports 1: a monolithic store is a single partition.
+func (s *Store) NumShards() int { return 1 }
+
 // NumEntries reports the number of AllTables tuples.
 func (s *Store) NumEntries() int { return len(s.valIdx) }
 
