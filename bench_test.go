@@ -18,6 +18,7 @@ package blend
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -115,7 +116,7 @@ func BenchmarkSCSeekerColumn(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchLake.queries[i%len(benchLake.queries)]
-		if _, err := benchLake.col.Seek(SC(q, 10)); err != nil {
+		if _, err := benchLake.col.Seek(context.Background(), SC(q, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -126,7 +127,7 @@ func BenchmarkSCSeekerRow(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchLake.queries[i%len(benchLake.queries)]
-		if _, err := benchLake.row.Seek(SC(q, 10)); err != nil {
+		if _, err := benchLake.row.Seek(context.Background(), SC(q, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -157,7 +158,7 @@ func BenchmarkMCSeeker(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchLake.tuples[i%len(benchLake.tuples)]
-		if _, err := benchLake.col.Seek(MC(t, 10)); err != nil {
+		if _, err := benchLake.col.Seek(context.Background(), MC(t, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkUnionPlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := benchLake.union.Queries[i%len(benchLake.union.Queries)]
-		if _, err := d.Run(UnionSearchPlan(q.Query, 100, 10)); err != nil {
+		if _, err := d.Run(context.Background(), UnionSearchPlan(q.Query, 100, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -203,7 +204,7 @@ func BenchmarkCorrelationSeeker(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchLake.corr.Queries[i%len(benchLake.corr.Queries)]
-		if _, err := benchLake.corrCol.Seek(Correlation(q.Keys, q.Targets, 10)); err != nil {
+		if _, err := benchLake.corrCol.Seek(context.Background(), Correlation(q.Keys, q.Targets, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -228,7 +229,7 @@ func BenchmarkOptimizedPlan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := benchComplexPlan(i)
-		if _, err := benchLake.col.Run(p); err != nil {
+		if _, err := benchLake.col.Run(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,7 +240,7 @@ func BenchmarkUnoptimizedPlan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := benchComplexPlan(i)
-		if _, err := benchLake.col.RunUnoptimized(p); err != nil {
+		if _, err := benchLake.col.Run(context.Background(), p, WithoutOptimizer()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -260,7 +261,7 @@ func BenchmarkComplexTaskNegative(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pos := benchLake.tuples[i%len(benchLake.tuples)]
 		neg := benchLake.tuples[(i+1)%len(benchLake.tuples)]
-		if _, err := benchLake.col.Run(NegativeExamplesPlan(pos, neg, 10)); err != nil {
+		if _, err := benchLake.col.Run(context.Background(), NegativeExamplesPlan(pos, neg, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -273,7 +274,7 @@ func BenchmarkComplexTaskImputation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ex := benchLake.tuples[i%len(benchLake.tuples)]
 		q := benchLake.queries[i%len(benchLake.queries)][:12]
-		if _, err := benchLake.col.Run(ImputationPlan(ex, q, 10)); err != nil {
+		if _, err := benchLake.col.Run(context.Background(), ImputationPlan(ex, q, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,7 +297,7 @@ func BenchmarkComplexTaskMultiObjective(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := benchLake.col.Run(p); err != nil {
+		if _, err := benchLake.col.Run(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -320,7 +321,7 @@ func BenchmarkSCSeekerSharded(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := benchLake.queries[i%len(benchLake.queries)]
-		if _, err := benchLake.sharded.Seek(SC(q, 10)); err != nil {
+		if _, err := benchLake.sharded.Seek(context.Background(), SC(q, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -332,7 +333,7 @@ func BenchmarkMCSeekerSharded(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := benchLake.tuples[i%len(benchLake.tuples)]
-		if _, err := benchLake.sharded.Seek(MC(t, 10)); err != nil {
+		if _, err := benchLake.sharded.Seek(context.Background(), MC(t, 10)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -371,8 +372,11 @@ func benchmarkPlanWorkers(b *testing.B, workers int, parallel bool) {
 	benchSetup(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		opts := RunOptions{Optimize: true, Parallel: parallel, MaxWorkers: workers}
-		if _, err := benchLake.sharded.RunWithOptions(benchFanOutPlan(i), opts); err != nil {
+		var opts []RunOption
+		if parallel {
+			opts = append(opts, WithMaxWorkers(workers))
+		}
+		if _, err := benchLake.sharded.Run(context.Background(), benchFanOutPlan(i), opts...); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,15 +15,17 @@
 //	plan.MustAddSeeker("rows", blend.MC(examples, 10))
 //	plan.MustAddSeeker("col", blend.SC(values, 10))
 //	plan.MustAddCombiner("both", blend.Intersect(10), "rows", "col")
-//	res, err := d.Run(plan)
+//	res, err := d.Run(ctx, plan)
 //	// res.Tables lists the top tables, best first.
 package blend
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"blend/internal/berr"
 	"blend/internal/core"
 	"blend/internal/costmodel"
 	"blend/internal/storage"
@@ -85,6 +87,14 @@ func ParsePlanJSON(r io.Reader) (*Plan, error) { return core.ParsePlanJSON(r) }
 // EncodePlanJSON writes a plan as its JSON document. Plans containing
 // user-defined seekers or combiners cannot be encoded.
 func EncodePlanJSON(p *Plan, w io.Writer) error { return core.EncodePlanJSON(p, w) }
+
+// ParseSeekerJSON decodes one standalone seeker document — the "seeker"
+// object of a plan node, e.g. {"kind": "sc", "values": ["HR"], "k": 10}.
+// The HTTP service's /v1/seek endpoint executes these.
+func ParseSeekerJSON(r io.Reader) (Seeker, error) { return core.ParseSeekerJSON(r) }
+
+// EncodeSeekerJSON renders a single seeker back to its JSON document.
+func EncodeSeekerJSON(s Seeker, w io.Writer) error { return core.EncodeSeekerJSON(s, w) }
 
 // Seeker constructors (§IV-A of the paper).
 
@@ -192,29 +202,80 @@ func OpenIndex(path string) (*Discovery, error) {
 
 // SaveIndex persists the index to a file for later OpenIndex calls.
 func (d *Discovery) SaveIndex(path string) error {
-	if err := d.engine.Store().SaveFile(path); err != nil {
+	if err := d.engine.SaveFile(path); err != nil {
 		return fmt.Errorf("blend: save index %s: %w", path, err)
 	}
 	return nil
 }
 
-// Run executes a plan with the optimizer enabled.
-func (d *Discovery) Run(p *Plan) (*Result, error) { return d.engine.RunPlan(p) }
+// Run executes a plan under the given context — the single query entry
+// point of API v2. With no options the two-phase optimizer is enabled and
+// execution is sequential; functional options tune the call:
+//
+//	res, err := d.Run(ctx, plan, blend.WithMaxWorkers(8), blend.WithDeadline(time.Second))
+//
+// Cancellation is honored between scheduler tasks, execution-group
+// members, and per-shard index scans; on cancellation the error matches
+// blend.ErrCanceled (or blend.ErrDeadlineExceeded) under errors.Is, and
+// also wraps the context's own error. Run is safe for concurrent use,
+// including concurrently with AddTable.
+func (d *Discovery) Run(ctx context.Context, p *Plan, opts ...RunOption) (*Result, error) {
+	cfg, copts := coreOptions(opts)
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	return d.engine.Run(ctx, p, copts)
+}
+
+// Seek executes a single seeker outside any plan under the given context
+// and returns the scored tables. It accepts the same options as Run;
+// WithoutOptimizer and WithMaxWorkers are no-ops for a single operator.
+func (d *Discovery) Seek(ctx context.Context, s Seeker, opts ...RunOption) (Hits, error) {
+	cfg, _ := coreOptions(opts)
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	hits, _, err := d.engine.RunSeeker(ctx, s)
+	return hits, err
+}
+
+// RunPlan executes a plan with the optimizer enabled and no cancellation —
+// the pre-v2 Run.
+//
+// Deprecated: use Run with a context.
+func (d *Discovery) RunPlan(p *Plan) (*Result, error) {
+	return d.Run(context.Background(), p)
+}
 
 // RunUnoptimized executes a plan without operator reordering or query
 // rewriting (the paper's B-NO configuration).
-func (d *Discovery) RunUnoptimized(p *Plan) (*Result, error) { return d.engine.RunPlanNoOpt(p) }
-
-// RunWithOptions executes a plan with explicit options.
-func (d *Discovery) RunWithOptions(p *Plan, opts RunOptions) (*Result, error) {
-	return d.engine.Run(p, opts)
+//
+// Deprecated: use Run with WithoutOptimizer.
+func (d *Discovery) RunUnoptimized(p *Plan) (*Result, error) {
+	return d.Run(context.Background(), p, WithoutOptimizer())
 }
 
-// Seek executes a single seeker outside any plan and returns the scored
-// tables.
-func (d *Discovery) Seek(s Seeker) (Hits, error) {
-	hits, _, err := d.engine.RunSeeker(s)
-	return hits, err
+// RunWithOptions executes a plan with an explicit options struct. The
+// options' deprecated Context field, when non-nil, becomes the run
+// context.
+//
+// Deprecated: use Run with a context and functional options.
+func (d *Discovery) RunWithOptions(p *Plan, opts RunOptions) (*Result, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return d.engine.Run(ctx, p, opts)
 }
 
 // TrainCostModels runs the offline cost-model training of §VII-B:
@@ -230,7 +291,7 @@ func (d *Discovery) TrainCostModels(samplesPerKind int, seed int64) error {
 // file). It fails if TrainCostModels has not run.
 func (d *Discovery) SaveCostModels(path string) error {
 	if d.engine.Cost == nil {
-		return fmt.Errorf("blend: no trained cost models; call TrainCostModels first")
+		return berr.New(berr.CodeNoCostModel, "blend.cost", "no trained cost models; call TrainCostModels first")
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -271,25 +332,28 @@ func (d *Discovery) TableNames(h Hits) []string { return d.engine.TableNames(h) 
 
 // AddTable appends one table to the index without rebuilding it — the
 // incremental maintenance a single unified index enables (§I). The table
-// is immediately discoverable. Not safe concurrently with queries.
-func (d *Discovery) AddTable(t *Table) { d.engine.Store().AddTable(t) }
+// is immediately discoverable. AddTable is safe concurrently with
+// queries: it waits for in-flight plans to drain, and queries issued
+// after it returns see the new table.
+func (d *Discovery) AddTable(t *Table) { d.engine.AddTable(t) }
 
 // NumTables reports the number of indexed tables.
-func (d *Discovery) NumTables() int { return d.engine.Store().NumTables() }
+func (d *Discovery) NumTables() int { return d.engine.NumTables() }
 
 // NumShards reports how many partitions back the index (1 when
 // monolithic).
 func (d *Discovery) NumShards() int { return d.engine.Store().NumShards() }
 
 // Stats summarizes the index (shape, dictionary, posting-list skew).
-func (d *Discovery) Stats() storage.Stats { return d.engine.Store().ComputeStats() }
+func (d *Discovery) Stats() storage.Stats { return d.engine.ComputeStats() }
 
 // TableByID reconstructs an indexed table from the unified index (BLEND
-// never retains source files; cell locations suffice).
-func (d *Discovery) TableByID(id int32) *Table { return d.engine.Store().ReconstructTable(id) }
+// never retains source files; cell locations suffice). It returns nil
+// when the id is out of range.
+func (d *Discovery) TableByID(id int32) *Table { return d.engine.ReconstructTable(id) }
 
 // IndexSizeBytes estimates the resident size of the unified index.
-func (d *Discovery) IndexSizeBytes() int64 { return d.engine.Store().SizeBytes() }
+func (d *Discovery) IndexSizeBytes() int64 { return d.engine.SizeBytes() }
 
 // Engine exposes the underlying execution engine for advanced use
 // (experiments, benchmarking, raw SQL via Engine.Catalog).

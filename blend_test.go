@@ -3,6 +3,7 @@ package blend
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"reflect"
@@ -55,7 +56,7 @@ func TestEndToEndExample1(t *testing.T) {
 	)
 	p.MustAddSeeker("dep", SC(deps, 10))
 	p.MustAddCombiner("intersect", Intersect(10), "exclude", "dep")
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestEndToEndExample1(t *testing.T) {
 
 func TestSeekStandalone(t *testing.T) {
 	d := IndexTables(ColumnStore, fig1Tables())
-	hits, err := d.Seek(SC(deps, 2))
+	hits, err := d.Seek(context.Background(), SC(deps, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestIndexPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h1, err := d.Seek(KW([]string{"Firenze"}, 5))
+	h1, err := d.Seek(context.Background(), KW([]string{"Firenze"}, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := d2.Seek(KW([]string{"Firenze"}, 5))
+	h2, err := d2.Seek(context.Background(), KW([]string{"Firenze"}, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestUnionSearchPlan(t *testing.T) {
 	q.MustAppendRow("Firenze", "2022", "HR")
 	q.MustAppendRow("Harry Potter", "2022", "Finance")
 	p := UnionSearchPlan(q, 100, 2)
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestImputationPlan(t *testing.T) {
 		[]string{"Marketing", "Finance", "IT", "R&D"}, // incomplete rows' known values
 		10,
 	)
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFeatureDiscoveryPlan(t *testing.T) {
 		joinTuples = append(joinTuples, []string{cities[i], strconv.Itoa(int(target[i]) * 3)})
 	}
 	p := FeatureDiscoveryPlan(cities, target, [][]float64{feature}, joinTuples, 1)
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestMultiObjectivePlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,11 +238,11 @@ func TestMultiObjectivePlan(t *testing.T) {
 func TestRunUnoptimizedMatchesOptimized(t *testing.T) {
 	d := IndexTables(ColumnStore, fig1Tables())
 	p := ImputationPlan([][]string{{"HR", "Firenze"}}, deps, 10)
-	a, err := d.RunUnoptimized(p)
+	a, err := d.Run(context.Background(), p, WithoutOptimizer())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := d.Run(p)
+	b, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,11 +285,11 @@ func TestRowStoreLayoutAnswersIdentically(t *testing.T) {
 	row := IndexTables(RowStore, fig1Tables())
 	col := IndexTables(ColumnStore, fig1Tables())
 	p := NegativeExamplesPlan([][]string{{"HR", "Firenze"}}, [][]string{{"IT", "Tom Riddle"}}, 10)
-	r1, err := row.Run(p)
+	r1, err := row.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := col.Run(p)
+	r2, err := col.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestRowStoreLayoutAnswersIdentically(t *testing.T) {
 
 func TestSemanticSeekerPublicAPI(t *testing.T) {
 	d := IndexTables(ColumnStore, fig1Tables())
-	hits, err := d.Seek(Semantic([]string{"Firenze", "Draco Malfoy"}, 2))
+	hits, err := d.Seek(context.Background(), Semantic([]string{"Firenze", "Draco Malfoy"}, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestAddTablePublicAPI(t *testing.T) {
 	if d.NumTables() != 4 {
 		t.Fatalf("tables = %d", d.NumTables())
 	}
-	hits, err := d.Seek(KW([]string{"Quidditch"}, 5))
+	hits, err := d.Seek(context.Background(), KW([]string{"Quidditch"}, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,11 +335,11 @@ func TestParallelPublicAPI(t *testing.T) {
 	q := NewTable("q", "Lead", "Year", "Team")
 	q.MustAppendRow("Firenze", "2024", "HR")
 	p := UnionSearchPlan(q, 100, 5)
-	seq, err := d.Run(p)
+	seq, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := d.RunWithOptions(p, RunOptions{Optimize: true, Parallel: true})
+	par, err := d.Run(context.Background(), p, WithMaxWorkers(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestCustomCombinerThroughPublicAPI(t *testing.T) {
 	p.MustAddSeeker("kw", KW([]string{"Firenze", "2024"}, 10))
 	p.MustAddSeeker("sc", SC(deps, 10))
 	p.MustAddCombiner("vote", &weightedVote{k: 2}, "kw", "sc")
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,11 +449,11 @@ func TestShardedIndexPublicAPI(t *testing.T) {
 	)
 	p.MustAddSeeker("dep", SC(deps, 10))
 	p.MustAddCombiner("intersect", Intersect(10), "exclude", "dep")
-	ref, err := mono.Run(p)
+	ref, err := mono.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := shard.RunWithOptions(p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
+	got, err := shard.Run(context.Background(), p, WithMaxWorkers(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,11 +485,11 @@ func TestPersistenceRegressionBothFormats(t *testing.T) {
 			if back.NumShards() != shards {
 				t.Fatalf("%s: shards = %d after reload", name, back.NumShards())
 			}
-			h1, err := d.Seek(KW([]string{"Firenze", "IT"}, 5))
+			h1, err := d.Seek(context.Background(), KW([]string{"Firenze", "IT"}, 5))
 			if err != nil {
 				t.Fatal(err)
 			}
-			h2, err := back.Seek(KW([]string{"Firenze", "IT"}, 5))
+			h2, err := back.Seek(context.Background(), KW([]string{"Firenze", "IT"}, 5))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -500,7 +501,7 @@ func TestPersistenceRegressionBothFormats(t *testing.T) {
 			nt := NewTable("T9", "Team", "Head")
 			nt.MustAppendRow("Astronomy", "Aurora Sinistra")
 			back.AddTable(nt)
-			hits, err := back.Seek(KW([]string{"Astronomy"}, 5))
+			hits, err := back.Seek(context.Background(), KW([]string{"Astronomy"}, 5))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -522,21 +523,35 @@ func TestPersistenceRegressionBothFormats(t *testing.T) {
 	}
 }
 
-// TestRunWithContextPublicAPI exercises RunOptions.Context end to end.
+// TestRunWithContextPublicAPI exercises context cancellation end to end,
+// including the typed-error contract: a canceled run matches ErrCanceled
+// and still wraps context.Canceled.
 func TestRunWithContextPublicAPI(t *testing.T) {
 	d := IndexTables(ColumnStore, fig1Tables(), WithShards(2))
 	p := NewPlan()
 	p.MustAddSeeker("kw", KW(deps, 5))
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: ctx}); err == nil {
+	_, err := d.Run(ctx, p)
+	if err == nil {
 		t.Fatal("pre-cancelled context must abort the plan")
 	}
-	res, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: context.Background()})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run must match ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run must wrap context.Canceled, got %v", err)
+	}
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Tables) == 0 {
 		t.Fatal("live context run found nothing")
+	}
+	// The deprecated options-struct wrapper still honors its Context
+	// field for one release.
+	if _, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: ctx}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("deprecated wrapper lost the context: %v", err)
 	}
 }

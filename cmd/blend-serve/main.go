@@ -1,0 +1,130 @@
+// Command blend-serve exposes one indexed data lake over HTTP: the
+// discovery service counterpart of the in-process API. It loads (or
+// builds) an AllTables index once, then answers the versioned JSON API
+//
+//	POST /v1/query        execute a declarative plan-JSON document
+//	POST /v1/seek         execute one standalone seeker
+//	POST /v1/sql          raw SQL over the AllTables relation
+//	GET  /v1/stats        index statistics
+//	GET  /v1/tables/{id}  reconstruct one indexed table
+//	GET  /healthz         liveness probe
+//
+// with per-request contexts and timeouts, concurrent request handling
+// over the (optionally sharded) store, and structured JSON errors
+// carrying the library's typed error codes. SIGINT/SIGTERM drain
+// in-flight requests before exit.
+//
+// Usage:
+//
+//	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N]
+//	blend-serve -lake DIR [-layout column|row] [-shards N] ...
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"blend"
+	"blend/internal/berr"
+	"blend/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "blend-serve: error[%s]: %v\n", blend.ErrorCodeOf(err), err)
+		if errors.Is(err, blend.ErrBadRequest) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("blend-serve", flag.ContinueOnError)
+	fs.SetOutput(&strings.Builder{})
+	index := fs.String("index", "", "index file built by `blend index`")
+	lake := fs.String("lake", "", "directory of CSV tables to index at startup (alternative to -index)")
+	layout := fs.String("layout", "column", "physical layout for -lake: column or row")
+	shards := fs.Int("shards", 1, "hash-partition a -lake index across N shards")
+	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution bound (0 = none)")
+	workers := fs.Int("workers", 0, "run every plan on the concurrent scheduler with this worker bound (0 = sequential unless the request opts in)")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain period")
+	if err := fs.Parse(args); err != nil {
+		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
+	}
+	if fs.NArg() > 0 {
+		return berr.New(berr.CodeBadRequest, "serve.flags", "unexpected arguments %q", fs.Args())
+	}
+
+	d, err := openLake(*index, *lake, *layout, *shards)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d tables across %d shard(s), ~%d index bytes",
+		d.NumTables(), d.NumShards(), d.IndexSizeBytes())
+
+	svc := service.New(d, service.Options{
+		DefaultTimeout: *timeout,
+		MaxWorkers:     *workers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %v", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("bye")
+	return nil
+}
+
+// openLake resolves the serving lake from -index or -lake.
+func openLake(index, lake, layout string, shards int) (*blend.Discovery, error) {
+	switch {
+	case index != "" && lake != "":
+		return nil, berr.New(berr.CodeBadRequest, "serve.flags", "-index and -lake are mutually exclusive")
+	case index != "":
+		return blend.OpenIndex(index)
+	case lake != "":
+		l := blend.ColumnStore
+		switch layout {
+		case "column":
+		case "row":
+			l = blend.RowStore
+		default:
+			return nil, berr.New(berr.CodeBadRequest, "serve.flags", "unknown -layout %q (want column or row)", layout)
+		}
+		return blend.IndexCSVDir(l, lake, blend.WithShards(shards))
+	default:
+		return nil, berr.New(berr.CodeBadRequest, "serve.flags", "one of -index or -lake is required")
+	}
+}

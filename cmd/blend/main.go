@@ -10,18 +10,24 @@
 //	blend seek  -index FILE -op mc -tuples "a|b,c|d" [-k 10]
 //	blend sql   -index FILE -query "SELECT … FROM AllTables …"
 //	blend demo
+//
+// Failures print one structured line — blend: error[<code>]: <detail> —
+// and exit non-zero: 2 for usage errors (bad subcommand, bad flags,
+// missing required flags), 1 for runtime errors.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"blend"
-	"blend/internal/minisql"
+	"blend/internal/berr"
 )
 
 func main() {
@@ -46,14 +52,47 @@ func main() {
 	case "-h", "--help", "help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "blend: unknown command %q\n", os.Args[1])
+		fail(berr.New(berr.CodeBadRequest, "cli", "unknown command %q", os.Args[1]))
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+// fail prints one structured error line and exits: usage-class errors
+// (bad flags, bad requests) exit 2, runtime errors exit 1.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "blend: error[%s]: %s\n", blend.ErrorCodeOf(err), errDetail(err))
+	if errors.Is(err, blend.ErrBadRequest) {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "blend:", err)
-		os.Exit(1)
+	os.Exit(1)
+}
+
+// errDetail strips the code prefix a typed error already renders, so the
+// structured line shows each fact once.
+func errDetail(err error) string {
+	var te *blend.Error
+	if errors.As(err, &te) {
+		msg := te.Error()
+		return strings.TrimPrefix(msg, te.Code.String()+": ")
 	}
+	return err.Error()
+}
+
+// parseFlags parses a subcommand flag set, converting flag errors into
+// typed bad-request errors so main can exit with a structured message and
+// status 2 instead of flag's mixed usage output.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	fs.SetOutput(&strings.Builder{}) // suppress flag's own usage dump
+	if err := fs.Parse(args); err != nil {
+		return berr.New(berr.CodeBadRequest, "cli."+fs.Name(), "%v", err)
+	}
+	if fs.NArg() > 0 {
+		return berr.New(berr.CodeBadRequest, "cli."+fs.Name(), "unexpected arguments %q", fs.Args())
+	}
+	return nil
 }
 
 func usage() {
@@ -63,20 +102,29 @@ func usage() {
   blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
   blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
   blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
-  blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N]
+  blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N] [-timeout D] [-explain]
                                                          run a JSON discovery plan
   blend stats -index FILE                                index statistics
   blend demo                                             run the paper's Example 1`)
 }
 
+// queryContext derives the context for one CLI query: Background, bounded
+// by -timeout when positive.
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	index := fs.String("index", "", "index file built by `blend index`")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" {
-		return fmt.Errorf("stats: -index is required")
+		return berr.New(berr.CodeBadRequest, "cli.stats", "-index is required")
 	}
 	d, err := blend.OpenIndex(*index)
 	if err != nil {
@@ -96,7 +144,7 @@ func cmdStats(args []string) error {
 }
 
 func cmdPlan(args []string) error {
-	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	index := fs.String("index", "", "index file built by `blend index`")
 	file := fs.String("file", "", "JSON plan document")
 	noOpt := fs.Bool("no-opt", false, "disable the optimizer (B-NO)")
@@ -104,11 +152,12 @@ func cmdPlan(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "abort the plan after this duration (0 = none)")
 	profile := fs.Bool("profile", false, "print a per-node execution profile")
-	if err := fs.Parse(args); err != nil {
+	explain := fs.Bool("explain", false, "print the SQL executed per seeker, rewrites included")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" || *file == "" {
-		return fmt.Errorf("plan: -index and -file are required")
+		return berr.New(berr.CodeBadRequest, "cli.plan", "-index and -file are required")
 	}
 	d, err := blend.OpenIndex(*index)
 	if err != nil {
@@ -123,19 +172,31 @@ func cmdPlan(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := blend.RunOptions{Optimize: !*noOpt, Parallel: *parallel, MaxWorkers: *workers}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		opts.Context = ctx
+	var opts []blend.RunOption
+	if *noOpt {
+		opts = append(opts, blend.WithoutOptimizer())
 	}
-	res, err := d.RunWithOptions(p, opts)
+	if *parallel || *workers > 0 {
+		opts = append(opts, blend.WithMaxWorkers(*workers))
+	}
+	if *timeout > 0 {
+		opts = append(opts, blend.WithDeadline(*timeout))
+	}
+	if *explain {
+		opts = append(opts, blend.WithExplain())
+	}
+	res, err := d.Run(context.Background(), p, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("plan: %v\nseeker order: %v\nduration: %v\n", p, res.SeekerOrder, res.Duration)
 	if *profile {
 		fmt.Print(res.Profile())
+	}
+	if *explain {
+		for _, id := range res.SeekerOrder {
+			fmt.Printf("sql[%s]: %s\n", id, res.SQLByNode[id])
+		}
 	}
 	for i, name := range res.Tables {
 		fmt.Printf("%2d. %-30s score=%s\n", i+1, name, strconv.FormatFloat(res.Output[i].Score, 'g', 4, 64))
@@ -147,20 +208,24 @@ func cmdPlan(args []string) error {
 }
 
 func cmdIndex(args []string) error {
-	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	fs := flag.NewFlagSet("index", flag.ContinueOnError)
 	lakeDir := fs.String("lake", "", "directory of CSV tables")
 	out := fs.String("out", "lake.blend", "output index file")
 	layout := fs.String("layout", "column", "physical layout: column or row")
 	shards := fs.Int("shards", 1, "hash-partition the index across N shards")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *lakeDir == "" {
-		return fmt.Errorf("index: -lake is required")
+		return berr.New(berr.CodeBadRequest, "cli.index", "-lake is required")
 	}
 	l := blend.ColumnStore
-	if *layout == "row" {
+	switch *layout {
+	case "column":
+	case "row":
 		l = blend.RowStore
+	default:
+		return berr.New(berr.CodeBadRequest, "cli.index", "unknown -layout %q (want column or row)", *layout)
 	}
 	d, err := blend.IndexCSVDir(l, *lakeDir, blend.WithShards(*shards))
 	if err != nil {
@@ -175,18 +240,22 @@ func cmdIndex(args []string) error {
 }
 
 func cmdSeek(args []string) error {
-	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	fs := flag.NewFlagSet("seek", flag.ContinueOnError)
 	index := fs.String("index", "", "index file built by `blend index`")
 	op := fs.String("op", "sc", "seeker: sc, kw, or mc")
 	values := fs.String("values", "", "comma-separated input values (sc/kw)")
 	tuples := fs.String("tuples", "", "comma-separated tuples of |-separated values (mc)")
 	k := fs.Int("k", 10, "top-k result size")
 	preview := fs.Int("preview", 0, "print the first N rows of each result table")
-	if err := fs.Parse(args); err != nil {
+	timeout := fs.Duration("timeout", 0, "abort the search after this duration (0 = none)")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" {
-		return fmt.Errorf("seek: -index is required")
+		return berr.New(berr.CodeBadRequest, "cli.seek", "-index is required")
+	}
+	if *k <= 0 {
+		return berr.New(berr.CodeBadRequest, "cli.seek", "-k must be positive, got %d", *k)
 	}
 	d, err := blend.OpenIndex(*index)
 	if err != nil {
@@ -204,13 +273,15 @@ func cmdSeek(args []string) error {
 			rows = append(rows, strings.Split(t, "|"))
 		}
 		if len(rows) == 0 {
-			return fmt.Errorf("seek: -tuples is required for mc")
+			return berr.New(berr.CodeBadRequest, "cli.seek", "-tuples is required for mc")
 		}
 		seeker = blend.MC(rows, *k)
 	default:
-		return fmt.Errorf("seek: unknown op %q", *op)
+		return berr.New(berr.CodeBadRequest, "cli.seek", "unknown op %q", *op)
 	}
-	hits, err := d.Seek(seeker)
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+	hits, err := d.Seek(ctx, seeker)
 	if err != nil {
 		return err
 	}
@@ -230,30 +301,33 @@ func cmdSeek(args []string) error {
 }
 
 func cmdSQL(args []string) error {
-	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	fs := flag.NewFlagSet("sql", flag.ContinueOnError)
 	index := fs.String("index", "", "index file built by `blend index`")
 	query := fs.String("query", "", "SQL over the AllTables relation")
 	limit := fs.Int("print", 50, "maximum rows to print")
 	explain := fs.Bool("explain", false, "print the execution plan instead of results")
-	if err := fs.Parse(args); err != nil {
+	timeout := fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" || *query == "" {
-		return fmt.Errorf("sql: -index and -query are required")
+		return berr.New(berr.CodeBadRequest, "cli.sql", "-index and -query are required")
 	}
 	d, err := blend.OpenIndex(*index)
 	if err != nil {
 		return err
 	}
 	if *explain {
-		out, err := minisql.ExplainSQL(d.Engine().Catalog(), *query)
+		out, err := d.Engine().ExplainRawSQL(*query)
 		if err != nil {
 			return err
 		}
 		fmt.Print(out)
 		return nil
 	}
-	res, err := minisql.ExecSQL(d.Engine().Catalog(), *query)
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+	res, err := d.Engine().ExecRawSQL(ctx, *query)
 	if err != nil {
 		return err
 	}
@@ -301,7 +375,7 @@ func cmdDemo() error {
 		[][]string{{"IT", "Tom Riddle"}}, 10)
 	p.MustAddSeeker("dep", blend.SC([]string{"HR", "Marketing", "Finance", "IT", "R&D", "Sales"}, 10))
 	p.MustAddCombiner("intersect", blend.Intersect(10), "exclude", "dep")
-	res, err := d.Run(p)
+	res, err := d.Run(context.Background(), p)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The lake: a table whose Income column tracks the prediction target,
 	// a table duplicating a feature we already own (multicollinear), and
 	// an unrelated noise table.
@@ -45,7 +47,7 @@ func main() {
 	joinRows := [][]string{{districts[0]}, {districts[1]}, {districts[2]}}
 
 	plan := blend.FeatureDiscoveryPlan(districts, target, [][]float64{owned}, joinRows, 1)
-	res, err := d.Run(plan)
+	res, err := d.Run(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The user's table: country ↦ capital, with holes.
 	user := blend.NewTable("my_countries", "Country", "Capital")
 	user.MustAppendRow("france", "paris")
@@ -46,7 +48,7 @@ func main() {
 	examples := [][]string{{"france", "paris"}, {"japan", "tokyo"}}
 	known := []string{"brazil", "kenya", "norway"}
 	plan := blend.ImputationPlan(examples, known, 5)
-	res, err := d.Run(plan)
+	res, err := d.Run(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir, err := os.MkdirTemp("", "blend-lake-")
 	if err != nil {
 		log.Fatal(err)
@@ -40,7 +42,7 @@ func main() {
 		blend.SC([]string{"HR", "Marketing", "Finance", "IT", "R&D", "Sales"}, 10))
 	plan.MustAddCombiner("answer", blend.Intersect(10), "exclude", "departments")
 
-	res, err := d.Run(plan)
+	res, err := d.Run(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

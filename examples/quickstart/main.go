@@ -4,13 +4,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"blend"
 )
 
 func main() {
+	ctx := context.Background()
 	// A tiny lake: three tables about company departments.
 	sizes := blend.NewTable("team_sizes", "Team", "Size")
 	for _, r := range [][2]string{
@@ -38,7 +42,7 @@ func main() {
 
 	// A standalone seeker: which tables join with our department column?
 	departments := []string{"HR", "Marketing", "Finance", "IT", "Sales"}
-	hits, err := d.Seek(blend.SC(departments, 3))
+	hits, err := d.Seek(ctx, blend.SC(departments, 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,15 +52,22 @@ func main() {
 	}
 
 	// A composed plan: tables that contain the row ("HR","Firenze") AND
-	// join on the department column.
+	// join on the department column. API v2 options bound the call and
+	// capture the executed SQL; a canceled or timed-out run would match
+	// blend.ErrCanceled / blend.ErrDeadlineExceeded via errors.Is.
 	plan := blend.NewPlan()
 	plan.MustAddSeeker("row", blend.MC([][]string{{"HR", "Firenze"}}, 10))
 	plan.MustAddSeeker("col", blend.SC(departments, 10))
 	plan.MustAddCombiner("both", blend.Intersect(5), "row", "col")
-	res, err := d.Run(plan)
-	if err != nil {
+	res, err := d.Run(ctx, plan,
+		blend.WithDeadline(2*time.Second),
+		blend.WithExplain())
+	if errors.Is(err, blend.ErrDeadlineExceeded) {
+		log.Fatal("the lake is too slow for a 2s budget: ", err)
+	} else if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nplan result: %v\n", res.Tables)
 	fmt.Printf("optimizer executed seekers as %v (faster first, later ones rewritten)\n", res.SeekerOrder)
+	fmt.Printf("rewritten SQL of %q: %s\n", "row", res.SQLByNode["row"])
 }

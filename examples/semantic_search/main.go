@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// Lake: two tables about German cities with *different* value sets,
 	// and one table of unrelated sensor codes.
 	cities1 := blend.NewTable("cities_north", "City", "State")
@@ -44,7 +46,7 @@ func main() {
 	// token-level similarity still places both city columns far above the
 	// sensor codes.
 	query := []string{"hamburg", "bremen", "munich"}
-	exact, err := d.Seek(blend.SC(query, 3))
+	exact, err := d.Seek(ctx, blend.SC(query, 3))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 		fmt.Printf("  %d. %-14s overlap=%.0f\n", i+1, name, exact[i].Score)
 	}
 
-	semantic, err := d.Seek(blend.Semantic(query, 2))
+	semantic, err := d.Seek(ctx, blend.Semantic(query, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func main() {
 	p.MustAddSeeker("similar", blend.Semantic(query, 10))
 	p.MustAddSeeker("exactkw", blend.KW([]string{"bavaria"}, 10))
 	p.MustAddCombiner("both", blend.Intersect(5), "similar", "exactkw")
-	res, err := d.Run(p)
+	res, err := d.Run(ctx, p)
 	if err != nil {
 		log.Fatal(err)
 	}

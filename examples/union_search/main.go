@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A benchmark lake in the style of the TUS/SANTOS union benchmarks:
 	// tables belong to labeled unionable families.
 	bench := datalake.GenUnionBenchmark(datalake.UnionConfig{
@@ -27,7 +29,7 @@ func main() {
 		q.Query.Name, q.Query.NumRows(), len(q.Relevant))
 
 	plan := blend.UnionSearchPlan(q.Query, 100, 10)
-	res, err := d.Run(plan)
+	res, err := d.Run(ctx, plan)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"strconv"
@@ -51,7 +52,7 @@ var departments = []string{"HR", "Marketing", "Finance", "IT", "R&D", "Sales"}
 
 func TestSCSeeker(t *testing.T) {
 	e := fig1Engine()
-	hits, stats, err := e.RunSeeker(NewSC(departments, 10))
+	hits, stats, err := e.RunSeeker(context.Background(), NewSC(departments, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSCSeeker(t *testing.T) {
 
 func TestSCSeekerTopKCut(t *testing.T) {
 	e := fig1Engine()
-	hits, _, err := e.RunSeeker(NewSC(departments, 2))
+	hits, _, err := e.RunSeeker(context.Background(), NewSC(departments, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSCSeekerTopKCut(t *testing.T) {
 
 func TestSCSeekerEmptyInput(t *testing.T) {
 	e := fig1Engine()
-	hits, _, err := e.RunSeeker(NewSC(nil, 5))
+	hits, _, err := e.RunSeeker(context.Background(), NewSC(nil, 5))
 	if err != nil || len(hits) != 0 {
 		t.Fatalf("hits=%v err=%v", hits, err)
 	}
@@ -91,7 +92,7 @@ func TestSCSeekerEmptyInput(t *testing.T) {
 
 func TestKWSeeker(t *testing.T) {
 	e := fig1Engine()
-	hits, _, err := e.RunSeeker(NewKW([]string{"Firenze", "2024"}, 10))
+	hits, _, err := e.RunSeeker(context.Background(), NewKW([]string{"Firenze", "2024"}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestKWSeeker(t *testing.T) {
 func TestMCSeekerExample1(t *testing.T) {
 	e := fig1Engine()
 	// Positive examples: tables containing ("HR", "Firenze") in a row.
-	hits, stats, err := e.RunSeeker(NewMC([][]string{{"HR", "Firenze"}}, 10))
+	hits, stats, err := e.RunSeeker(context.Background(), NewMC([][]string{{"HR", "Firenze"}}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestMCSeekerExample1(t *testing.T) {
 		t.Fatalf("validated = %d", stats.Validated)
 	}
 	// Negative examples: tables containing ("IT", "Tom Riddle").
-	hits, _, err = e.RunSeeker(NewMC([][]string{{"IT", "Tom Riddle"}}, 10))
+	hits, _, err = e.RunSeeker(context.Background(), NewMC([][]string{{"IT", "Tom Riddle"}}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestMCSeekerExample1(t *testing.T) {
 func TestMCSeekerRejectsMisaligned(t *testing.T) {
 	e := fig1Engine()
 	// "HR" and "Tom Riddle" both exist in T2, but never in the same row.
-	hits, _, err := e.RunSeeker(NewMC([][]string{{"HR", "Tom Riddle"}}, 10))
+	hits, _, err := e.RunSeeker(context.Background(), NewMC([][]string{{"HR", "Tom Riddle"}}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestMCSeekerRejectsMisaligned(t *testing.T) {
 
 func TestMCSeekerCountsJoinableRows(t *testing.T) {
 	e := fig1Engine()
-	hits, _, err := e.RunSeeker(NewMC([][]string{
+	hits, _, err := e.RunSeeker(context.Background(), NewMC([][]string{
 		{"IT", "2024"}, {"HR", "2024"}, {"Sales", "2024"},
 	}, 10))
 	if err != nil {
@@ -155,7 +156,7 @@ func TestMCSeekerCountsJoinableRows(t *testing.T) {
 
 func TestMCSeekerEmpty(t *testing.T) {
 	e := fig1Engine()
-	hits, _, err := e.RunSeeker(NewMC(nil, 10))
+	hits, _, err := e.RunSeeker(context.Background(), NewMC(nil, 10))
 	if err != nil || len(hits) != 0 {
 		t.Fatalf("hits=%v err=%v", hits, err)
 	}
@@ -195,7 +196,7 @@ func TestCorrelationSeeker(t *testing.T) {
 	for i := range targets {
 		targets[i] = float64(i + 1)
 	}
-	hits, _, err := e.RunSeeker(NewCorrelation(keys, targets, 2))
+	hits, _, err := e.RunSeeker(context.Background(), NewCorrelation(keys, targets, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestCorrelationSeekerNumericKeys(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, []*table.Table{tb}))
 	keys := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
 	targets := []float64{10, 20, 30, 40, 50, 60, 70, 80}
-	hits, _, err := e.RunSeeker(NewCorrelation(keys, targets, 1))
+	hits, _, err := e.RunSeeker(context.Background(), NewCorrelation(keys, targets, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestExample1FullPlan(t *testing.T) {
 	p.MustAddCombiner("intersect", NewIntersect(10), "exclude", "dep")
 
 	for _, opt := range []bool{false, true} {
-		res, err := e.Run(p, RunOptions{Optimize: opt})
+		res, err := e.Run(context.Background(), p, RunOptions{Optimize: opt})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,14 +287,14 @@ func TestPlanUnknownInput(t *testing.T) {
 	p := NewPlan()
 	p.MustAddSeeker("a", NewSC([]string{"HR"}, 5))
 	p.MustAddCombiner("c", NewIntersect(5), "a", "ghost")
-	if _, err := e.RunPlan(p); err == nil {
+	if _, err := e.Run(context.Background(), p, RunOptions{Optimize: true}); err == nil {
 		t.Fatal("unknown input must fail at run time")
 	}
 }
 
 func TestPlanEmpty(t *testing.T) {
 	e := fig1Engine()
-	if _, err := e.RunPlan(NewPlan()); err == nil {
+	if _, err := e.Run(context.Background(), NewPlan(), RunOptions{Optimize: true}); err == nil {
 		t.Fatal("empty plan must fail")
 	}
 }
@@ -431,7 +432,7 @@ func TestOptimizerRunsKWBeforeMC(t *testing.T) {
 	p.MustAddSeeker("mc", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddSeeker("kw", NewKW([]string{"Firenze"}, 10))
 	p.MustAddCombiner("i", NewIntersect(10), "mc", "kw")
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +453,7 @@ func TestDifferenceRewriteRunsSubtrahendFirst(t *testing.T) {
 	p.MustAddSeeker("pos", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddSeeker("neg", NewMC([][]string{{"IT", "Tom Riddle"}}, 10))
 	p.MustAddCombiner("diff", NewDifference(10), "pos", "neg")
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,11 +501,11 @@ func TestTheorem1OptimizerPreservesOutput(t *testing.T) {
 		case 2:
 			p.MustAddCombiner("out", NewDifference(10), ids[0], ids[1])
 		}
-		noOpt, err := e.RunPlanNoOpt(p)
+		noOpt, err := e.Run(context.Background(), p, RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := e.RunPlan(p)
+		opt, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -628,11 +629,11 @@ func TestParallelExecutionMatchesSequential(t *testing.T) {
 	p.MustAddSeeker("sc", NewSC(departments, 10))
 	p.MustAddSeeker("mc", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddCombiner("all", NewUnion(10), "kw", "sc", "mc")
-	seq, err := e.Run(p, RunOptions{Optimize: true})
+	seq, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := e.Run(p, RunOptions{Optimize: true, Parallel: true})
+	par, err := e.Run(context.Background(), p, RunOptions{Optimize: true, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -652,7 +653,7 @@ func TestParallelKeepsRewriteDependencies(t *testing.T) {
 	p.MustAddSeeker("pos", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddSeeker("neg", NewMC([][]string{{"IT", "Tom Riddle"}}, 10))
 	p.MustAddCombiner("diff", NewDifference(10), "pos", "neg")
-	res, err := e.Run(p, RunOptions{Optimize: true, Parallel: true})
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -672,7 +673,7 @@ func TestParallelIntersectGroupStaysSequential(t *testing.T) {
 	p.MustAddSeeker("kw", NewKW([]string{"Firenze"}, 10))
 	p.MustAddSeeker("mc", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddCombiner("i", NewIntersect(10), "kw", "mc")
-	res, err := e.Run(p, RunOptions{Optimize: true, Parallel: true})
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -690,7 +691,7 @@ func TestPlanResultProfile(t *testing.T) {
 	p.MustAddSeeker("mc", NewMC([][]string{{"HR", "Firenze"}}, 10))
 	p.MustAddSeeker("kw", NewKW([]string{"Firenze"}, 10))
 	p.MustAddCombiner("i", NewIntersect(10), "mc", "kw")
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -706,7 +707,7 @@ func TestSCSeekerMinOverlap(t *testing.T) {
 	e := fig1Engine()
 	s := NewSC(departments, 10)
 	s.MinOverlap = 6 // T1 overlaps only 5 departments
-	hits, _, err := e.RunSeeker(s)
+	hits, _, err := e.RunSeeker(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -724,7 +725,7 @@ func TestKWSeekerMinOverlap(t *testing.T) {
 	e := fig1Engine()
 	s := NewKW([]string{"Firenze", "2024"}, 10)
 	s.MinOverlap = 2 // only T3 matches both
-	hits, _, err := e.RunSeeker(s)
+	hits, _, err := e.RunSeeker(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -743,11 +744,11 @@ func TestDifferenceWithCombinerMinuend(t *testing.T) {
 	p.MustAddCombiner("u", NewUnion(10), "a", "b")
 	p.MustAddSeeker("neg", NewMC([][]string{{"IT", "Tom Riddle"}}, 10))
 	p.MustAddCombiner("diff", NewDifference(10), "u", "neg")
-	opt, err := e.RunPlan(p)
+	opt, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	noOpt, err := e.RunPlanNoOpt(p)
+	noOpt, err := e.Run(context.Background(), p, RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -770,7 +771,7 @@ func TestNestedCombiners(t *testing.T) {
 	p.MustAddSeeker("s3", NewKW([]string{"2024"}, 10))
 	p.MustAddCombiner("years", NewUnion(10), "s2", "s3")
 	p.MustAddCombiner("both", NewIntersect(10), "s1", "years")
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,11 @@ import (
 	"time"
 
 	"blend/internal/alltables"
+	"blend/internal/berr"
 	"blend/internal/costmodel"
 	"blend/internal/minisql"
 	"blend/internal/storage"
+	"blend/internal/table"
 )
 
 // DefaultSampleH is the default correlation sample size h (§V); the paper's
@@ -25,7 +27,16 @@ const DefaultSampleH = 256
 // merging the partial results; tables are partitioned whole, so every
 // per-table aggregate in the generated SQL is shard-local and the merge is
 // exact. The unified catalog remains available for raw SQL.
+//
+// The engine is safe for concurrent use: queries (Run, RunSeeker, raw SQL,
+// stats, table reconstruction) share a read lock, while incremental index
+// maintenance (AddTable) takes the write lock and waits for in-flight
+// queries to drain.
 type Engine struct {
+	// mu guards the store against concurrent mutation: every query path
+	// holds it for reading, AddTable for writing. The storage layer itself
+	// is safe for concurrent readers once built.
+	mu    sync.RWMutex
 	store storage.Index
 	cat   *minisql.Catalog
 
@@ -69,22 +80,103 @@ func NewEngine(store storage.Index) *Engine {
 	return e
 }
 
-// Store returns the engine's index.
+// Store returns the engine's index. Callers touching it directly are not
+// covered by the engine's lock; prefer the Engine accessors when queries
+// may run concurrently.
 func (e *Engine) Store() storage.Index { return e.store }
 
-// Catalog returns the unified SQL catalog (exposed for tests and the CLI's
-// raw SQL mode). For sharded indexes it serves the global single-relation
-// view; seekers use the concurrent per-shard path instead.
+// Catalog returns the unified SQL catalog (exposed for tests and advanced
+// embedding). For sharded indexes it serves the global single-relation
+// view; seekers use the concurrent per-shard path instead. Prefer
+// ExecRawSQL, which also takes the engine's read lock.
 func (e *Engine) Catalog() *minisql.Catalog { return e.cat }
 
 // NumShards reports how many partitions the engine scans per seeker.
 func (e *Engine) NumShards() int { return e.store.NumShards() }
 
+// AddTable appends one table to the index without rebuilding it — the
+// incremental maintenance a single unified index enables (§I). It takes
+// the engine's write lock, so it is safe concurrently with queries: the
+// call waits for in-flight plans to finish, and queries started after it
+// returns see the new table.
+func (e *Engine) AddTable(t *table.Table) int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.AddTable(t)
+}
+
+// ExecRawSQL runs one SQL statement against the unified AllTables relation
+// under the engine's read lock. Invalid statements report typed bad-query
+// errors. Cancellation is honored at statement granularity: a context
+// already canceled reports the typed canceled code, but the minisql
+// executor does not interrupt a statement mid-flight.
+func (e *Engine) ExecRawSQL(ctx context.Context, sql string) (*minisql.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, berr.FromContext("sql.exec", err)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return minisql.ExecSQL(e.cat, sql)
+}
+
+// ExplainRawSQL renders the execution plan of one SQL statement against
+// the unified relation.
+func (e *Engine) ExplainRawSQL(sql string) (string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return minisql.ExplainSQL(e.cat, sql)
+}
+
+// ComputeStats summarizes the index under the engine's read lock.
+func (e *Engine) ComputeStats() storage.Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.ComputeStats()
+}
+
+// NumTables reports the number of indexed tables.
+func (e *Engine) NumTables() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.NumTables()
+}
+
+// ReconstructTable materializes one indexed table, or nil when the id is
+// out of range.
+func (e *Engine) ReconstructTable(tid int32) *table.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if tid < 0 || int(tid) >= e.store.NumTables() {
+		return nil
+	}
+	return e.store.ReconstructTable(tid)
+}
+
+// SizeBytes estimates the resident size of the unified index.
+func (e *Engine) SizeBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.SizeBytes()
+}
+
+// SaveFile persists the index under the engine's read lock (persistence
+// only reads the store, so concurrent queries may proceed, but a
+// concurrent AddTable waits).
+func (e *Engine) SaveFile(path string) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.SaveFile(path)
+}
+
 // execSQL runs a seeker's SQL and times it. On a sharded index the
 // statement executes against every shard concurrently and the partial
 // results are merged; tables never span shards, so the merged rows equal a
 // run against the unified relation. The context cancels the fan-out
-// between shard scans.
+// between shard scans. Callers hold the engine's read lock (seekers only
+// run inside Engine.Run / Engine.RunSeeker).
 func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time.Duration, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
@@ -124,8 +216,17 @@ func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time
 	return minisql.MergeResults(parts...), time.Since(start), nil
 }
 
-// TableNames maps hits to table names, preserving order.
+// TableNames maps hits to table names, preserving order, under the
+// engine's read lock.
 func (e *Engine) TableNames(h Hits) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tableNames(h)
+}
+
+// tableNames is TableNames without locking, for callers already holding
+// the engine lock (Engine.Run's result assembly).
+func (e *Engine) tableNames(h Hits) []string {
 	out := make([]string, len(h))
 	for i, t := range h {
 		out[i] = e.store.TableName(t.TableID)

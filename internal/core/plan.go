@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"blend/internal/berr"
 )
 
 // Plan is a declarative discovery task: a DAG of named seeker and combiner
@@ -35,7 +37,7 @@ func NewPlan() *Plan {
 // AddSeeker adds a named seeker node. Names must be unique within the plan.
 func (p *Plan) AddSeeker(id string, s Seeker) error {
 	if s == nil {
-		return fmt.Errorf("plan: seeker %q is nil", id)
+		return berr.New(berr.CodeBadPlan, "plan.add", "seeker %q is nil", id)
 	}
 	return p.add(&planNode{id: id, seeker: s})
 }
@@ -44,13 +46,13 @@ func (p *Plan) AddSeeker(id string, s Seeker) error {
 // Inputs may be added later; the plan is validated when executed.
 func (p *Plan) AddCombiner(id string, c Combiner, inputs ...string) error {
 	if c == nil {
-		return fmt.Errorf("plan: combiner %q is nil", id)
+		return berr.New(berr.CodeBadPlan, "plan.add", "combiner %q is nil", id)
 	}
 	if min := c.MinInputs(); len(inputs) < min {
-		return fmt.Errorf("plan: combiner %q needs at least %d inputs, got %d", id, min, len(inputs))
+		return berr.New(berr.CodeBadPlan, "plan.add", "combiner %q needs at least %d inputs, got %d", id, min, len(inputs))
 	}
 	if max := c.MaxInputs(); max >= 0 && len(inputs) > max {
-		return fmt.Errorf("plan: combiner %q accepts at most %d inputs, got %d", id, max, len(inputs))
+		return berr.New(berr.CodeBadPlan, "plan.add", "combiner %q accepts at most %d inputs, got %d", id, max, len(inputs))
 	}
 	return p.add(&planNode{id: id, combiner: c, inputs: append([]string(nil), inputs...)})
 }
@@ -72,10 +74,10 @@ func (p *Plan) MustAddCombiner(id string, c Combiner, inputs ...string) {
 
 func (p *Plan) add(n *planNode) error {
 	if n.id == "" {
-		return fmt.Errorf("plan: node id must not be empty")
+		return berr.New(berr.CodeBadPlan, "plan.add", "node id must not be empty")
 	}
 	if _, dup := p.nodes[n.id]; dup {
-		return fmt.Errorf("plan: duplicate node id %q", n.id)
+		return berr.New(berr.CodeBadPlan, "plan.add", "duplicate node id %q", n.id)
 	}
 	p.nodes[n.id] = n
 	p.order = append(p.order, n.id)
@@ -87,7 +89,7 @@ func (p *Plan) add(n *planNode) error {
 // last added node is the output.
 func (p *Plan) SetOutput(id string) error {
 	if _, ok := p.nodes[id]; !ok {
-		return fmt.Errorf("plan: unknown output node %q", id)
+		return berr.New(berr.CodeUnknownNode, "plan.output", "unknown output node %q", id)
 	}
 	p.output = id
 	return nil
@@ -106,16 +108,16 @@ func (p *Plan) NodeIDs() []string { return append([]string(nil), p.order...) }
 // acyclic, returning a topological order (insertion-order stable).
 func (p *Plan) validate() ([]string, error) {
 	if len(p.nodes) == 0 {
-		return nil, fmt.Errorf("plan: empty plan")
+		return nil, berr.New(berr.CodeBadPlan, "plan.validate", "empty plan")
 	}
 	for _, id := range p.order {
 		n := p.nodes[id]
 		for _, in := range n.inputs {
 			if _, ok := p.nodes[in]; !ok {
-				return nil, fmt.Errorf("plan: node %q references unknown input %q", id, in)
+				return nil, berr.New(berr.CodeUnknownNode, "plan.validate", "node %q references unknown input %q", id, in)
 			}
 			if in == id {
-				return nil, fmt.Errorf("plan: node %q consumes itself", id)
+				return nil, berr.New(berr.CodeBadPlan, "plan.validate", "node %q consumes itself", id)
 			}
 		}
 	}
@@ -148,7 +150,7 @@ func (p *Plan) validate() ([]string, error) {
 		}
 	}
 	if len(topo) != len(p.nodes) {
-		return nil, fmt.Errorf("plan: cycle detected among nodes")
+		return nil, berr.New(berr.CodeBadPlan, "plan.validate", "cycle detected among nodes")
 	}
 	return topo, nil
 }

@@ -4,11 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"blend/internal/berr"
 )
 
 // JSON plan documents let discovery tasks be written declaratively outside
-// Go code (the CLI's `blend plan` subcommand executes them). The format
-// mirrors the paper's API one-to-one:
+// Go code (the CLI's `blend plan` subcommand and the HTTP service's
+// /v1/query endpoint execute them). The format mirrors the paper's API
+// one-to-one:
 //
 //	{
 //	  "output": "answer",
@@ -51,25 +54,27 @@ type combinerDoc struct {
 }
 
 // ParsePlanJSON decodes a JSON plan document into an executable Plan.
+// Malformed documents and invalid operator parameters report ErrBadPlan;
+// references to undeclared node ids report ErrUnknownNode.
 func ParsePlanJSON(r io.Reader) (*Plan, error) {
 	var doc planDoc
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&doc); err != nil {
-		return nil, fmt.Errorf("plan json: %w", err)
+		return nil, berr.New(berr.CodeBadPlan, "plan.json", "malformed document: %v", err)
 	}
 	p := NewPlan()
 	for _, n := range doc.Nodes {
 		switch {
 		case n.Seeker != nil && n.Combiner != nil:
-			return nil, fmt.Errorf("plan json: node %q is both seeker and combiner", n.ID)
+			return nil, berr.New(berr.CodeBadPlan, "plan.json", "node %q is both seeker and combiner", n.ID)
 		case n.Seeker != nil:
 			if len(n.Inputs) > 0 {
-				return nil, fmt.Errorf("plan json: seeker node %q cannot have inputs", n.ID)
+				return nil, berr.New(berr.CodeBadPlan, "plan.json", "seeker node %q cannot have inputs", n.ID)
 			}
 			s, err := n.Seeker.build()
 			if err != nil {
-				return nil, fmt.Errorf("plan json: node %q: %w", n.ID, err)
+				return nil, berr.Wrap(berr.CodeBadPlan, fmt.Sprintf("plan.json node %q", n.ID), err)
 			}
 			if err := p.AddSeeker(n.ID, s); err != nil {
 				return nil, err
@@ -77,13 +82,13 @@ func ParsePlanJSON(r io.Reader) (*Plan, error) {
 		case n.Combiner != nil:
 			c, err := n.Combiner.build()
 			if err != nil {
-				return nil, fmt.Errorf("plan json: node %q: %w", n.ID, err)
+				return nil, berr.Wrap(berr.CodeBadPlan, fmt.Sprintf("plan.json node %q", n.ID), err)
 			}
 			if err := p.AddCombiner(n.ID, c, n.Inputs...); err != nil {
 				return nil, err
 			}
 		default:
-			return nil, fmt.Errorf("plan json: node %q has neither seeker nor combiner", n.ID)
+			return nil, berr.New(berr.CodeBadPlan, "plan.json", "node %q has neither seeker nor combiner", n.ID)
 		}
 	}
 	if doc.Output != "" {
@@ -92,12 +97,44 @@ func ParsePlanJSON(r io.Reader) (*Plan, error) {
 		}
 	}
 	if p.Len() == 0 {
-		return nil, fmt.Errorf("plan json: no nodes")
+		return nil, berr.New(berr.CodeBadPlan, "plan.json", "no nodes")
 	}
 	return p, nil
 }
 
+// ParseSeekerJSON decodes one seeker document — the "seeker" object of a
+// plan node, e.g. {"kind": "sc", "values": ["HR"], "k": 10} — into an
+// executable Seeker. The HTTP service's /v1/seek endpoint runs these
+// standalone.
+func ParseSeekerJSON(r io.Reader) (Seeker, error) {
+	var doc seekerDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, berr.New(berr.CodeBadPlan, "seeker.json", "malformed document: %v", err)
+	}
+	s, err := doc.build()
+	if err != nil {
+		return nil, berr.Wrap(berr.CodeBadPlan, "seeker.json", err)
+	}
+	return s, nil
+}
+
+// EncodeSeekerJSON renders a single seeker back to its JSON document.
+func EncodeSeekerJSON(s Seeker, w io.Writer) error {
+	doc, err := encodeSeeker(s)
+	if err != nil {
+		return berr.Wrap(berr.CodeBadPlan, "seeker.json", err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
 func (d *seekerDoc) build() (Seeker, error) {
+	if d.K <= 0 {
+		return nil, berr.New(berr.CodeBadPlan, "seeker.json", "%s seeker k must be positive, got %d", d.Kind, d.K)
+	}
 	switch d.Kind {
 	case "sc":
 		return NewSC(d.Values, d.K), nil
@@ -109,15 +146,18 @@ func (d *seekerDoc) build() (Seeker, error) {
 		return NewMC(d.Tuples, d.K), nil
 	case "correlation":
 		if len(d.Keys) == 0 || len(d.Targets) == 0 {
-			return nil, fmt.Errorf("correlation seeker needs keys and targets")
+			return nil, berr.New(berr.CodeBadPlan, "seeker.json", "correlation seeker needs keys and targets")
 		}
 		return NewCorrelation(d.Keys, d.Targets, d.K), nil
 	default:
-		return nil, fmt.Errorf("unknown seeker kind %q", d.Kind)
+		return nil, berr.New(berr.CodeBadPlan, "seeker.json", "unknown seeker kind %q", d.Kind)
 	}
 }
 
 func (d *combinerDoc) build() (Combiner, error) {
+	if d.K <= 0 {
+		return nil, berr.New(berr.CodeBadPlan, "combiner.json", "%s combiner k must be positive, got %d", d.Kind, d.K)
+	}
 	switch d.Kind {
 	case "intersect":
 		return NewIntersect(d.K), nil
@@ -128,7 +168,7 @@ func (d *combinerDoc) build() (Combiner, error) {
 	case "counter":
 		return NewCounter(d.K), nil
 	default:
-		return nil, fmt.Errorf("unknown combiner kind %q", d.Kind)
+		return nil, berr.New(berr.CodeBadPlan, "combiner.json", "unknown combiner kind %q", d.Kind)
 	}
 }
 
@@ -143,13 +183,13 @@ func EncodePlanJSON(p *Plan, w io.Writer) error {
 		if n.isSeeker() {
 			sd, err := encodeSeeker(n.seeker)
 			if err != nil {
-				return fmt.Errorf("plan json: node %q: %w", id, err)
+				return berr.Wrap(berr.CodeBadPlan, fmt.Sprintf("plan.json node %q", id), err)
 			}
 			nd.Seeker = sd
 		} else {
 			cd, err := encodeCombiner(n.combiner)
 			if err != nil {
-				return fmt.Errorf("plan json: node %q: %w", id, err)
+				return berr.Wrap(berr.CodeBadPlan, fmt.Sprintf("plan.json node %q", id), err)
 			}
 			nd.Combiner = cd
 		}
@@ -173,7 +213,7 @@ func encodeSeeker(s Seeker) (*seekerDoc, error) {
 	case *CorrelationSeeker:
 		return &seekerDoc{Kind: "correlation", K: x.K, Keys: x.Keys, Targets: x.Targets}, nil
 	default:
-		return nil, fmt.Errorf("unsupported seeker type %T", s)
+		return nil, berr.New(berr.CodeBadPlan, "plan.json", "unsupported seeker type %T", s)
 	}
 }
 
@@ -188,6 +228,6 @@ func encodeCombiner(c Combiner) (*combinerDoc, error) {
 	case *CounterCombiner:
 		return &combinerDoc{Kind: "counter", K: x.K}, nil
 	default:
-		return nil, fmt.Errorf("unsupported combiner type %T", c)
+		return nil, berr.New(berr.CodeBadPlan, "plan.json", "unsupported combiner type %T", c)
 	}
 }

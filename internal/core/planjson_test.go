@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func TestParsePlanJSONExample1(t *testing.T) {
 		t.Fatalf("plan = %s", p)
 	}
 	e := fig1Engine()
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,6 +139,78 @@ func TestWriteDot(t *testing.T) {
 	} {
 		if !strings.Contains(dot, want) {
 			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestPlanJSONRoundTripEveryKind round-trips one plan per seeker kind and
+// one per combiner kind, checking decoded parameters — not just String()
+// equality — survive encode → parse.
+func TestPlanJSONRoundTripEveryKind(t *testing.T) {
+	seekers := map[string]Seeker{
+		"sc":          NewSC([]string{"a", "b"}, 7),
+		"kw":          NewKW([]string{"k1", "k2", "k3"}, 4),
+		"mc":          NewMC([][]string{{"x", "y"}, {"u", "v"}}, 9),
+		"correlation": NewCorrelation([]string{"c1", "c2"}, []float64{1.5, -2.25}, 3),
+		"semantic":    NewSemantic([]string{"berlin"}, 2),
+	}
+	for kind, s := range seekers {
+		t.Run("seeker_"+kind, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := EncodeSeekerJSON(s, &buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParseSeekerJSON(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(back, s) {
+				t.Fatalf("round trip changed the seeker:\n%#v\n%#v", s, back)
+			}
+		})
+	}
+	combiners := map[string]Combiner{
+		"intersect":  NewIntersect(5),
+		"union":      NewUnion(6),
+		"difference": NewDifference(7),
+		"counter":    NewCounter(8),
+	}
+	for kind, c := range combiners {
+		t.Run("combiner_"+kind, func(t *testing.T) {
+			p := NewPlan()
+			p.MustAddSeeker("s1", NewSC([]string{"a"}, 5))
+			p.MustAddSeeker("s2", NewKW([]string{"b"}, 5))
+			p.MustAddCombiner("out", c, "s1", "s2")
+			var buf bytes.Buffer
+			if err := EncodePlanJSON(p, &buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ParsePlanJSON(&buf)
+			if err != nil {
+				t.Fatalf("reparse: %v\n%s", err, buf.String())
+			}
+			if back.String() != p.String() || back.Output() != p.Output() {
+				t.Fatalf("round trip changed the plan:\n%s\n%s", p, back)
+			}
+			if !reflect.DeepEqual(back.nodes["out"].combiner, c) {
+				t.Fatalf("combiner params changed: %#v vs %#v", back.nodes["out"].combiner, c)
+			}
+		})
+	}
+}
+
+// TestPlanJSONRejectsNonPositiveK pins the k > 0 document invariant for
+// both node families.
+func TestPlanJSONRejectsNonPositiveK(t *testing.T) {
+	for _, doc := range []string{
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "values": ["a"], "k": 0}}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "kw", "values": ["a"], "k": -3}}]}`,
+		`{"nodes": [{"id": "x", "seeker": {"kind": "sc", "values": ["a"], "k": 1}},
+		            {"id": "y", "combiner": {"kind": "union", "k": 0}, "inputs": ["x"]}]}`,
+	} {
+		_, err := ParsePlanJSON(strings.NewReader(doc))
+		if err == nil {
+			t.Fatalf("ParsePlanJSON(%s) accepted k <= 0", doc)
 		}
 	}
 }

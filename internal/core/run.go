@@ -2,11 +2,16 @@ package core
 
 import (
 	"context"
-	"fmt"
+	"errors"
 	"time"
+
+	"blend/internal/berr"
 )
 
-// RunOptions tune plan execution.
+// RunOptions tune plan execution. The context is NOT part of the options:
+// Engine.Run and Engine.RunSeeker take it as their first parameter, so
+// cancellation composes the same way across the library, the CLI, and the
+// HTTP service.
 type RunOptions struct {
 	// Optimize enables the two-phase optimizer (execution-group
 	// reordering + query rewriting). Disabled it reproduces B-NO, the
@@ -30,10 +35,16 @@ type RunOptions struct {
 	// many seekers run concurrently). Zero or negative means GOMAXPROCS.
 	// Ignored without Parallel.
 	MaxWorkers int
-	// Context cancels plan execution: between scheduler tasks, between
-	// execution-group members, and between per-shard index scans. A nil
-	// Context means context.Background(). On cancellation Run returns
-	// the context's error; partial results are discarded.
+	// Explain records, per seeker node, the exact SQL statement executed
+	// against the AllTables relation — including any optimizer rewrite
+	// predicates — into PlanResult.SQLByNode.
+	Explain bool
+
+	// Context is deprecated: pass the context as the first argument of
+	// Engine.Run instead. It is retained for one release so the exported
+	// blend.RunOptions alias keeps compiling; Engine.Run ignores it.
+	//
+	// Deprecated: use the ctx parameter of Engine.Run.
 	Context context.Context
 }
 
@@ -47,6 +58,10 @@ type PlanResult struct {
 	NodeHits map[string]Hits
 	// Stats maps seeker node ids to execution diagnostics.
 	Stats map[string]RunStats
+	// SQLByNode maps seeker node ids to the SQL statement actually
+	// executed, rewrites included. Populated only under
+	// RunOptions.Explain.
+	SQLByNode map[string]string
 	// SeekerOrder is the deterministic seeker execution order: the order
 	// the sequential engine executes (topological order with execution
 	// groups expanded at their ranked positions and Difference
@@ -69,34 +84,35 @@ type PlanResult struct {
 	Duration time.Duration
 }
 
-// RunPlan executes the plan with the optimizer enabled.
-func (e *Engine) RunPlan(p *Plan) (*PlanResult, error) {
-	return e.Run(p, RunOptions{Optimize: true})
-}
-
-// RunPlanNoOpt executes the plan without optimization (B-NO): seekers run
-// in insertion order with no rewriting.
-func (e *Engine) RunPlanNoOpt(p *Plan) (*PlanResult, error) {
-	return e.Run(p, RunOptions{})
-}
-
-// Run executes the plan with explicit options.
-func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
+// Run executes the plan under the given context with explicit options —
+// the single execution entry point of the engine (the former
+// RunPlan/RunPlanNoOpt convenience pair collapsed into the options). A nil
+// ctx means context.Background(). On cancellation the returned error
+// carries the typed canceled/deadline code and wraps the context's error;
+// partial results are discarded.
+//
+// Run holds the engine's read lock for the duration of the plan, so it is
+// safe to call concurrently with other runs and with AddTable.
+func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult, error) {
 	start := time.Now()
-	ctx := opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("plan cancelled before execution: %w", err)
+		return nil, berr.FromContext("plan.run", err)
 	}
 	topo, err := p.validate()
 	if err != nil {
 		return nil, err
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	res := &PlanResult{
 		NodeHits: make(map[string]Hits, len(p.nodes)),
 		Stats:    make(map[string]RunStats),
+	}
+	if opts.Explain {
+		res.SQLByNode = make(map[string]string)
 	}
 
 	// Membership maps for optimization decisions.
@@ -144,6 +160,7 @@ func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
 		res:         res,
 		ctx:         ctx,
 		optimize:    opts.Optimize,
+		explain:     opts.Explain,
 		groupOf:     groupOf,
 		excludeFrom: excludeFrom,
 		rankedOf:    rankedOf,
@@ -154,29 +171,40 @@ func (e *Engine) Run(p *Plan, opts RunOptions) (*PlanResult, error) {
 		err = ex.runSequential(topo)
 	}
 	if err != nil {
+		// Only type as canceled/deadline when the failure actually came
+		// from the context; an unrelated seeker error racing with
+		// cancellation keeps its own classification.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, berr.FromContext("plan.run", err)
+		}
 		return nil, err
 	}
 	res.SeekerOrder = ex.emissionOrder(topo)
 	res.CompletionOrder = ex.completion
 	res.PeakConcurrency = int(ex.peak)
 	res.Output = res.NodeHits[p.output]
-	res.Tables = e.TableNames(res.Output)
+	res.Tables = e.tableNames(res.Output)
 	res.Duration = time.Since(start)
 	return res, nil
 }
 
-// RunSeeker executes a single seeker outside any plan (the "simple task"
-// mode of §VII-A).
-func (e *Engine) RunSeeker(s Seeker) (Hits, RunStats, error) {
-	return s.run(context.Background(), e, NoRewrite)
-}
-
-// RunSeekerContext executes a single seeker under a cancellable context.
-func (e *Engine) RunSeekerContext(ctx context.Context, s Seeker) (Hits, RunStats, error) {
+// RunSeeker executes a single seeker outside any plan under the given
+// context (the "simple task" mode of §VII-A). A nil ctx means
+// context.Background().
+func (e *Engine) RunSeeker(ctx context.Context, s Seeker) (Hits, RunStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return s.run(ctx, e, NoRewrite)
+	if err := ctx.Err(); err != nil {
+		return nil, RunStats{}, berr.FromContext("seeker.run", err)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	hits, stats, err := s.run(ctx, e, NoRewrite)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return nil, stats, berr.FromContext("seeker.run", err)
+	}
+	return hits, stats, err
 }
 
 // applyForcedOrder reorders ranked ids so that ids listed in forced appear

@@ -19,6 +19,7 @@ type planExec struct {
 	ctx context.Context
 
 	optimize    bool
+	explain     bool
 	groupOf     map[string]*executionGroup
 	excludeFrom map[string]string
 	rankedOf    map[string][]string // Intersect combiner id -> ranked members
@@ -51,6 +52,9 @@ func (x *planExec) runSeeker(id string, rw Rewrite) error {
 	x.mu.Lock()
 	x.res.NodeHits[id] = hits
 	x.res.Stats[id] = stats
+	if x.explain {
+		x.res.SQLByNode[id] = n.seeker.SQL(rw)
+	}
 	x.completion = append(x.completion, id)
 	x.mu.Unlock()
 	return nil

@@ -82,11 +82,11 @@ func TestSchedulerMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		p := randomMixedPlan(rng)
 		for _, optimize := range []bool{false, true} {
-			seq, err := e.Run(p, RunOptions{Optimize: optimize})
+			seq, err := e.Run(context.Background(), p, RunOptions{Optimize: optimize})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := e.Run(p, RunOptions{Optimize: optimize, Parallel: true, MaxWorkers: 4})
+			par, err := e.Run(context.Background(), p, RunOptions{Optimize: optimize, Parallel: true, MaxWorkers: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,11 +110,11 @@ func TestSchedulerMatchesSequentialSharded(t *testing.T) {
 	rng := rand.New(rand.NewSource(78))
 	for trial := 0; trial < 10; trial++ {
 		p := randomMixedPlan(rng)
-		ref, err := mono.Run(p, RunOptions{Optimize: true})
+		ref, err := mono.Run(context.Background(), p, RunOptions{Optimize: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := shard.Run(p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
+		got, err := shard.Run(context.Background(), p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func TestSchedulerMatchesSequentialSharded(t *testing.T) {
 func TestSeekerOrderDeterministicUnderParallel(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, schedLake(7, 12)))
 	p := randomMixedPlan(rand.New(rand.NewSource(8)))
-	seq, err := e.Run(p, RunOptions{Optimize: true})
+	seq, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestSeekerOrderDeterministicUnderParallel(t *testing.T) {
 			seq.SeekerOrder, seq.CompletionOrder)
 	}
 	for i := 0; i < 5; i++ {
-		par, err := e.Run(p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
+		par, err := e.Run(context.Background(), p, RunOptions{Optimize: true, Parallel: true, MaxWorkers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +199,7 @@ func TestIndependentSeekersRunConcurrently(t *testing.T) {
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := e.Run(p, RunOptions{Parallel: true, MaxWorkers: 4})
+		res, err := e.Run(context.Background(), p, RunOptions{Parallel: true, MaxWorkers: 4})
 		done <- outcome{res, err}
 	}()
 	// All four seekers must reach their barrier while blocked — only
@@ -231,7 +231,7 @@ func TestRunPreCancelledContext(t *testing.T) {
 	cancel()
 	for _, parallel := range []bool{false, true} {
 		start := time.Now()
-		_, err := e.Run(p, RunOptions{Optimize: true, Parallel: parallel, Context: ctx})
+		_, err := e.Run(ctx, p, RunOptions{Optimize: true, Parallel: parallel})
 		if err == nil {
 			t.Fatalf("parallel=%v: pre-cancelled context must fail", parallel)
 		}
@@ -255,7 +255,7 @@ func TestRunCancelMidPlan(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		_, err := e.Run(p, RunOptions{Parallel: true, MaxWorkers: 2, Context: ctx})
+		_, err := e.Run(ctx, p, RunOptions{Parallel: true, MaxWorkers: 2})
 		done <- err
 	}()
 	<-started
@@ -276,10 +276,10 @@ func TestRunSeekerContext(t *testing.T) {
 	e := fig1Engine()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := e.RunSeekerContext(ctx, NewKW(departments, 5)); err == nil {
+	if _, _, err := e.RunSeeker(ctx, NewKW(departments, 5)); err == nil {
 		t.Fatal("pre-cancelled seeker run must fail")
 	}
-	if hits, _, err := e.RunSeekerContext(context.Background(), NewKW(departments, 5)); err != nil || len(hits) == 0 {
+	if hits, _, err := e.RunSeeker(context.Background(), NewKW(departments, 5)); err != nil || len(hits) == 0 {
 		t.Fatalf("live context run failed: %v %v", hits, err)
 	}
 }
@@ -307,11 +307,11 @@ func TestShardedEngineSeekersMatchMonolithic(t *testing.T) {
 		NewCorrelation(keys, targets, 8),
 	}
 	for i, s := range seekers {
-		h1, _, err := mono.RunSeeker(s)
+		h1, _, err := mono.RunSeeker(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
-		h2, _, err := shard.RunSeeker(s)
+		h2, _, err := shard.RunSeeker(context.Background(), s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -338,7 +338,7 @@ func TestSchedulerRunsEachTaskOnce(t *testing.T) {
 	p.MustAddCombiner("u2", NewUnion(10), ids[6:]...)
 	p.MustAddCombiner("all", NewCounter(10), "u1", "u2")
 	for trial := 0; trial < 30; trial++ {
-		res, err := e.Run(p, RunOptions{Parallel: true, MaxWorkers: 8})
+		res, err := e.Run(context.Background(), p, RunOptions{Parallel: true, MaxWorkers: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -31,7 +31,7 @@ func semanticLake() []*table.Table {
 func TestSemanticSeekerFindsSimilarColumn(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
 	// Query shares tokens with the cities table but is not identical.
-	hits, stats, err := e.RunSeeker(NewSemantic([]string{"berlin", "munich", "dresden"}, 1))
+	hits, stats, err := e.RunSeeker(context.Background(), NewSemantic([]string{"berlin", "munich", "dresden"}, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +48,11 @@ func TestSemanticSeekerFindsSimilarColumn(t *testing.T) {
 
 func TestSemanticSeekerEmptyAndZeroInputs(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
-	hits, _, err := e.RunSeeker(NewSemantic(nil, 5))
+	hits, _, err := e.RunSeeker(context.Background(), NewSemantic(nil, 5))
 	if err != nil || len(hits) != 0 {
 		t.Fatalf("empty input: hits=%v err=%v", hits, err)
 	}
-	hits, _, err = e.RunSeeker(NewSemantic([]string{"", ""}, 5))
+	hits, _, err = e.RunSeeker(context.Background(), NewSemantic([]string{"", ""}, 5))
 	if err != nil || len(hits) != 0 {
 		t.Fatalf("null-only input: hits=%v err=%v", hits, err)
 	}
@@ -73,7 +73,7 @@ func TestSemanticSeekerIndexReused(t *testing.T) {
 func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
 	s := NewSemantic([]string{"berlin", "hamburg"}, 5)
-	all, _, err := e.RunSeeker(s)
+	all, _, err := e.RunSeeker(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSemanticInPlanWithExactSeekers(t *testing.T) {
 	p.MustAddSeeker("sem", NewSemantic([]string{"berlin", "dresden"}, 5))
 	p.MustAddSeeker("sc", NewSC([]string{"germany"}, 5))
 	p.MustAddCombiner("both", NewIntersect(5), "sem", "sc")
-	res, err := e.RunPlan(p)
+	res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,7 +31,7 @@ func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerK
 			if s == nil {
 				continue
 			}
-			_, stats, err := e.RunSeeker(s)
+			_, stats, err := e.RunSeeker(context.Background(), s)
 			if err != nil {
 				return nil, fmt.Errorf("core: training run for %v: %w", kind, err)
 			}

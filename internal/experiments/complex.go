@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -94,8 +95,8 @@ func runNegativeTask(scale Scale, queries int) taskResult {
 			continue
 		}
 		plan := blend.NegativeExamplesPlan(pos, neg, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(plan)) })
-		res.bno += timeIt(func() { mustRun(d.RunUnoptimized(plan)) })
+		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() { baselineNegative(mateIx, db, pos, neg, 10) })
 	}
 	return res
@@ -162,8 +163,8 @@ func runImputationTask(scale Scale, queries int) taskResult {
 		}
 		queriesCol := lake.QueryColumn(12)
 		plan := blend.ImputationPlan(examples, queriesCol, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(plan)) })
-		res.bno += timeIt(func() { mustRun(d.RunUnoptimized(plan)) })
+		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() { baselineImputation(mateIx, josieIx, db, examples, queriesCol, 10) })
 	}
 	return res
@@ -220,8 +221,8 @@ func runFeatureTask(scale Scale, queries int) taskResult {
 			joinTuples = append(joinTuples, []string{q.Keys[i]})
 		}
 		plan := blend.FeatureDiscoveryPlan(q.Keys, q.Targets, [][]float64{feature}, joinTuples, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(plan)) })
-		res.bno += timeIt(func() { mustRun(d.RunUnoptimized(plan)) })
+		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() {
 			baselineFeature(sketchIx, mateIx, db, q.Keys, q.Targets, [][]float64{feature}, joinTuples, 10)
 		})
@@ -278,8 +279,8 @@ func runMultiTask(scale Scale, queries int) taskResult {
 		if err != nil {
 			panic(err)
 		}
-		res.blend += timeIt(func() { mustRun(d.Run(plan)) })
-		res.bno += timeIt(func() { mustRun(d.RunUnoptimized(plan)) })
+		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() {
 			baselineMulti(josieIx, starmieIx, sketchIx, db, keywords, query, 10)
 		})

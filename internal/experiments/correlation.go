@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -48,7 +49,7 @@ func RunCorrelation(scale Scale) *Report {
 			seeker := blend.Correlation(q.Keys, q.Targets, 10)
 
 			start := time.Now()
-			hits, err := d.Seek(seeker)
+			hits, err := d.Seek(context.Background(), seeker)
 			if err != nil {
 				panic(err)
 			}
@@ -56,7 +57,7 @@ func RunCorrelation(scale Scale) *Report {
 			bRuns = append(bRuns, metrics.Run{Retrieved: d.TableNames(hits), Relevant: truth})
 
 			start = time.Now()
-			hits, err = dRand.Seek(seeker)
+			hits, err = dRand.Seek(context.Background(), seeker)
 			if err != nil {
 				panic(err)
 			}

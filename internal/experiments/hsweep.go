@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -33,7 +34,7 @@ func RunHSweep(scale Scale) *Report {
 		rebuild := time.Since(start)
 		for _, q := range bench.Queries {
 			truth := metrics.SetOf(q.TopTables...)
-			hits, err := d.Seek(blend.Correlation(q.Keys, q.Targets, 10))
+			hits, err := d.Seek(context.Background(), blend.Correlation(q.Keys, q.Targets, 10))
 			if err != nil {
 				panic(err)
 			}

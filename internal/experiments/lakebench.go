@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -35,7 +36,7 @@ func RunLakeBench(scale Scale) *Report {
 		truth := metrics.SetOf(lake.BruteForceTopOverlap(col, 20)...)
 
 		start := time.Now()
-		hits, err := d.Seek(blend.SC(col, 20))
+		hits, err := d.Seek(context.Background(), blend.SC(col, 20))
 		if err != nil {
 			panic(err)
 		}

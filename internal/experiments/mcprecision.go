@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -40,7 +41,7 @@ func RunMCPrecision(scale Scale) *Report {
 				continue
 			}
 			start := time.Now()
-			_, stats, err := e.RunSeeker(blend.MC(tuples, 10))
+			_, stats, err := e.RunSeeker(context.Background(), blend.MC(tuples, 10))
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -46,7 +47,7 @@ func RunOptimizer(scale Scale) *Report {
 			plan.MustAddCombiner("i", core.NewIntersect(10), "s0", "s1")
 
 			run := func(order []string) (time.Duration, error) {
-				res, err := e.Run(plan, core.RunOptions{Optimize: true, ForcedOrder: order})
+				res, err := e.Run(context.Background(), plan, core.RunOptions{Optimize: true, ForcedOrder: order})
 				if err != nil {
 					return 0, err
 				}
@@ -67,7 +68,7 @@ func RunOptimizer(scale Scale) *Report {
 			} else {
 				idealT += tB
 			}
-			res, err := e.Run(plan, core.RunOptions{Optimize: true})
+			res, err := e.Run(context.Background(), plan, core.RunOptions{Optimize: true})
 			if err != nil {
 				panic(err)
 			}

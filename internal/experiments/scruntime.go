@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -41,12 +42,12 @@ func RunSCRuntime(scale Scale) *Report {
 				col := lake.QueryColumn(size)
 				seeker := blend.SC(col, 10)
 				start := time.Now()
-				if _, err := dRow.Seek(seeker); err != nil {
+				if _, err := dRow.Seek(context.Background(), seeker); err != nil {
 					panic(err)
 				}
 				tRow += time.Since(start)
 				start = time.Now()
-				if _, err := dCol.Seek(seeker); err != nil {
+				if _, err := dCol.Seek(context.Background(), seeker); err != nil {
 					panic(err)
 				}
 				tCol += time.Since(start)

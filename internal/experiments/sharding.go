@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"sort"
@@ -44,7 +45,7 @@ func RunSharding(scale Scale) *Report {
 		var names []string
 		for _, q := range queries {
 			start := time.Now()
-			hits, err := d.Seek(blend.SC(q, 10))
+			hits, err := d.Seek(context.Background(), blend.SC(q, 10))
 			if err != nil {
 				panic(err)
 			}
@@ -72,7 +73,7 @@ func RunSharding(scale Scale) *Report {
 		p.MustAddCombiner("any", blend.Union(10), "sc0", "sc1", "kw", "sc3")
 		return p
 	}
-	ref, err := shard.RunWithOptions(mkPlan(), blend.RunOptions{Optimize: true})
+	ref, err := shard.Run(context.Background(), mkPlan())
 	if err != nil {
 		panic(err)
 	}
@@ -85,9 +86,7 @@ func RunSharding(scale Scale) *Report {
 	workerSteps := []int{1, 2, maxW}
 	sort.Ints(workerSteps)
 	for _, w := range workerSteps {
-		res, err := shard.RunWithOptions(mkPlan(), blend.RunOptions{
-			Optimize: true, Parallel: true, MaxWorkers: w,
-		})
+		res, err := shard.Run(context.Background(), mkPlan(), blend.WithMaxWorkers(w))
 		if err != nil {
 			panic(err)
 		}

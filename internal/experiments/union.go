@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"blend"
@@ -58,7 +59,7 @@ func RunUnionQuality(scale Scale) *Report {
 		var bRuns, sRuns []metrics.Run
 		for _, q := range bench.Queries {
 			plan := blend.UnionSearchPlan(q.Query, 10*maxK, maxK)
-			res, err := d.Run(plan)
+			res, err := d.Run(context.Background(), plan)
 			if err != nil {
 				panic(err)
 			}
@@ -98,12 +99,12 @@ func RunUnionRuntime(scale Scale) *Report {
 
 			plan := blend.UnionSearchPlan(q.Query, 100, 10)
 			start = time.Now()
-			if _, err := dRow.Run(plan); err != nil {
+			if _, err := dRow.Run(context.Background(), plan); err != nil {
 				panic(err)
 			}
 			tRow += time.Since(start)
 			start = time.Now()
-			if _, err := dCol.Run(plan); err != nil {
+			if _, err := dCol.Run(context.Background(), plan); err != nil {
 				panic(err)
 			}
 			tCol += time.Since(start)

@@ -1,9 +1,10 @@
 package minisql
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
+
+	"blend/internal/berr"
 )
 
 // tokenType enumerates lexical token classes.
@@ -163,7 +164,7 @@ func (l *lexer) lexString(start int) error {
 		sb.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("minisql: unterminated string literal at offset %d", start)
+	return berr.New(berr.CodeBadQuery, "minisql.lex", "unterminated string literal at offset %d", start)
 }
 
 // twoCharSymbols lists multi-byte operators, longest-match-first.
@@ -185,5 +186,5 @@ func (l *lexer) lexSymbol(start int) error {
 		l.emit(tokSymbol, string(c), start)
 		return nil
 	}
-	return fmt.Errorf("minisql: unexpected character %q at offset %d", c, l.pos)
+	return berr.New(berr.CodeBadQuery, "minisql.lex", "unexpected character %q at offset %d", c, l.pos)
 }

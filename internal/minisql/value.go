@@ -9,9 +9,10 @@
 package minisql
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
+
+	"blend/internal/berr"
 )
 
 // Kind tags the runtime type of a Value.
@@ -224,7 +225,9 @@ func (v Value) GroupKey() string {
 	}
 }
 
-// errorf builds engine errors with a consistent prefix.
+// errorf builds engine errors as typed bad-query errors: everything the
+// SQL layer rejects — at parse time or mid-execution — traces back to the
+// statement the caller supplied.
 func errorf(format string, args ...any) error {
-	return fmt.Errorf("minisql: "+format, args...)
+	return berr.New(berr.CodeBadQuery, "minisql", format, args...)
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"blend/internal/berr"
 	"blend/internal/table"
 )
 
@@ -257,9 +258,17 @@ func readI8s(br *bufio.Reader, n int) ([]int8, error) {
 
 // Load reads an index previously written by Save — either version — and
 // rebuilds its in-memory indexes. The concrete type of the result matches
-// the file: *Store for v1, *ShardedStore for v2.
+// the file: *Store for v1, *ShardedStore for v2. Unreadable or corrupt
+// inputs report typed bad-index errors.
 func Load(r io.Reader) (Index, error) {
-	br := bufio.NewReader(r)
+	idx, err := load(bufio.NewReader(r))
+	if err != nil {
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.load", err)
+	}
+	return idx, nil
+}
+
+func load(br *bufio.Reader) (Index, error) {
 	magic := make([]byte, len(persistMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("read index magic: %w", err)
@@ -444,11 +453,13 @@ func loadPayload(br *bufio.Reader) (*Store, error) {
 	return s, nil
 }
 
-// LoadFile reads an index (either version) from a file.
+// LoadFile reads an index (either version) from a file. A missing or
+// unreadable file reports a typed bad-index error wrapping the underlying
+// cause, so errors.Is(err, fs.ErrNotExist) still works.
 func LoadFile(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.open", err)
 	}
 	defer f.Close()
 	return Load(f)

@@ -1,0 +1,75 @@
+package blend
+
+import (
+	"time"
+
+	"blend/internal/core"
+)
+
+// RunOption tunes one Run or Seek call. Options compose orthogonally:
+//
+//	res, err := d.Run(ctx, plan,
+//		blend.WithMaxWorkers(8),
+//		blend.WithDeadline(2*time.Second),
+//		blend.WithExplain())
+//
+// The zero configuration (no options) runs the plan sequentially with the
+// two-phase optimizer enabled — the paper's default BLEND configuration.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	noOptimize bool
+	parallel   bool
+	maxWorkers int
+	deadline   time.Duration
+	explain    bool
+}
+
+// WithMaxWorkers executes the plan on the concurrent DAG scheduler with a
+// worker pool of n (n <= 0 means GOMAXPROCS). Seekers are pure reads, so
+// results are identical to sequential execution; only wall-clock
+// completion order varies. Plans whose sub-trees are independent — union
+// search, multi-objective discovery — gain the most.
+func WithMaxWorkers(n int) RunOption {
+	return func(c *runConfig) {
+		c.parallel = true
+		c.maxWorkers = n
+	}
+}
+
+// WithDeadline bounds the call's wall-clock time: the run's context is
+// derived with this timeout, and on expiry the call fails with
+// ErrDeadlineExceeded. It composes with (and never extends) a deadline
+// already carried by the caller's ctx.
+func WithDeadline(d time.Duration) RunOption {
+	return func(c *runConfig) { c.deadline = d }
+}
+
+// WithoutOptimizer disables operator reordering and query rewriting — the
+// paper's B-NO baseline. Results are set-equivalent to optimized runs;
+// execution typically scans more of the index.
+func WithoutOptimizer() RunOption {
+	return func(c *runConfig) { c.noOptimize = true }
+}
+
+// WithExplain records, per seeker node, the exact SQL executed against
+// the AllTables relation — optimizer rewrites included — into
+// Result.SQLByNode, at negligible cost.
+func WithExplain() RunOption {
+	return func(c *runConfig) { c.explain = true }
+}
+
+// coreOptions folds the functional options into the engine's option
+// struct.
+func coreOptions(opts []RunOption) (runConfig, core.RunOptions) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg, core.RunOptions{
+		Optimize:   !cfg.noOptimize,
+		Parallel:   cfg.parallel,
+		MaxWorkers: cfg.maxWorkers,
+		Explain:    cfg.explain,
+	}
+}
