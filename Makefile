@@ -1,0 +1,25 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race lint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/storage/ ./internal/service/ .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# bench runs the seeker/service benchmarks with -benchmem and emits
+# BENCH_PR3.json (native fast path vs SQL-interpreter baseline, plus the
+# result-cache and end-to-end service numbers). Tune with
+# BENCHTIME=2000x / BENCH_OUT=path.
+bench:
+	./scripts/bench.sh

@@ -56,6 +56,8 @@ type (
 	TableHit = core.TableHit
 	// RunOptions tunes plan execution.
 	RunOptions = core.RunOptions
+	// CacheStats summarizes the engine's seeker result cache.
+	CacheStats = core.CacheStats
 )
 
 // Physical layouts of the AllTables index.
@@ -148,7 +150,9 @@ type Discovery struct {
 type IndexOption func(*indexConfig)
 
 type indexConfig struct {
-	shards int
+	shards    int
+	cacheSize int
+	noNative  bool
 }
 
 // WithShards hash-partitions the index's tables across n shards, each with
@@ -158,6 +162,27 @@ type indexConfig struct {
 // index. n <= 1 keeps the monolithic store.
 func WithShards(n int) IndexOption {
 	return func(c *indexConfig) { c.shards = n }
+}
+
+// WithResultCache enables the engine's seeker result cache with room for n
+// entries: repeated seekers (standalone or inside plans) return their
+// memoized top-k list instead of rescanning the index. Entries are keyed
+// by (seeker fingerprint, rewrite, store generation) and the cache is
+// purged by AddTable, so results are never stale. Off by default, so
+// benchmark and experiment timings keep measuring real executions; serving
+// deployments (blend-serve) enable it. See Discovery.SetResultCache to
+// reconfigure later and Discovery.CacheStats for hit rates.
+func WithResultCache(n int) IndexOption {
+	return func(c *indexConfig) { c.cacheSize = n }
+}
+
+// WithoutNativeExec forces every seeker through SQL generation and the
+// embedded interpreter — the pre-fast-path behavior. Results are identical
+// to the native posting-list executor (the path-equivalence tests assert
+// it); only the runtime differs. Intended for A/B benchmarking and
+// debugging with `-explain`.
+func WithoutNativeExec() IndexOption {
+	return func(c *indexConfig) { c.noNative = true }
 }
 
 // IndexTables builds the unified index over the given tables (the offline
@@ -176,7 +201,12 @@ func IndexTables(layout Layout, tables []*Table, opts ...IndexOption) *Discovery
 	} else {
 		idx = storage.Build(layout, tables)
 	}
-	return &Discovery{engine: core.NewEngine(idx)}
+	e := core.NewEngine(idx)
+	e.NoNativeExec = cfg.noNative
+	if cfg.cacheSize > 0 {
+		e.SetResultCache(cfg.cacheSize)
+	}
+	return &Discovery{engine: e}
 }
 
 // IndexCSVDir loads every CSV file in dir and indexes the resulting lake.
@@ -336,6 +366,14 @@ func (d *Discovery) TableNames(h Hits) []string { return d.engine.TableNames(h) 
 // queries: it waits for in-flight plans to drain, and queries issued
 // after it returns see the new table.
 func (d *Discovery) AddTable(t *Table) { d.engine.AddTable(t) }
+
+// SetResultCache configures the seeker result cache to hold up to n
+// entries; n <= 0 disables it. See WithResultCache for semantics.
+func (d *Discovery) SetResultCache(n int) { d.engine.SetResultCache(n) }
+
+// CacheStats snapshots the result cache counters (zero value when the
+// cache is disabled).
+func (d *Discovery) CacheStats() CacheStats { return d.engine.ResultCacheStats() }
 
 // NumTables reports the number of indexed tables.
 func (d *Discovery) NumTables() int { return d.engine.NumTables() }

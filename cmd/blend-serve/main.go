@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N]
+//	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N] [-cache N]
 //	blend-serve -lake DIR [-layout column|row] [-shards N] ...
 package main
 
@@ -58,6 +58,7 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request execution bound (0 = none)")
 	workers := fs.Int("workers", 0, "run every plan on the concurrent scheduler with this worker bound (0 = sequential unless the request opts in)")
+	cache := fs.Int("cache", 512, "seeker result cache entries, invalidated on index mutation (0 = disabled)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain period")
 	if err := fs.Parse(args); err != nil {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
@@ -70,8 +71,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %d tables across %d shard(s), ~%d index bytes",
-		d.NumTables(), d.NumShards(), d.IndexSizeBytes())
+	if *cache > 0 {
+		d.SetResultCache(*cache)
+	}
+	log.Printf("serving %d tables across %d shard(s), ~%d index bytes, result cache %d entries",
+		d.NumTables(), d.NumShards(), d.IndexSizeBytes(), *cache)
 
 	svc := service.New(d, service.Options{
 		DefaultTimeout: *timeout,

@@ -195,7 +195,7 @@ func cmdPlan(args []string) error {
 	}
 	if *explain {
 		for _, id := range res.SeekerOrder {
-			fmt.Printf("sql[%s]: %s\n", id, res.SQLByNode[id])
+			fmt.Printf("node[%s]: path=%s sql: %s\n", id, res.PathByNode[id], res.SQLByNode[id])
 		}
 	}
 	for i, name := range res.Tables {

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The engine's result cache memoizes seeker top-k lists across queries:
+// repeated /v1/seek and /v1/query traffic over an unchanged index returns
+// the cached list instead of rescanning posting lists (or interpreting
+// SQL). Entries are keyed by (seeker fingerprint, rewrite, store
+// generation); AddTable bumps the generation and purges, so a cached list
+// can never survive an index mutation. The cache is opt-in
+// (Engine.SetResultCache) so library benchmarks and the paper-reproduction
+// experiments keep measuring real executions.
+
+// CacheStats summarizes the engine result cache for operators
+// (Engine.ResultCacheStats, the service's `/v1/stats`).
+type CacheStats struct {
+	// Capacity is the configured entry bound; 0 means the cache is
+	// disabled.
+	Capacity int
+	// Entries is the current resident entry count.
+	Entries int
+	// Hits / Misses count lookups since the cache was configured.
+	Hits   uint64
+	Misses uint64
+	// Invalidations counts full purges triggered by AddTable.
+	Invalidations uint64
+}
+
+// cacheEntry is one memoized seeker result.
+type cacheEntry struct {
+	key  string
+	hits Hits
+	path string // execution path that produced the entry
+}
+
+// resultCache is a mutex-guarded LRU over seeker results. Get returns (and
+// Put stores) defensive copies, so cached hit lists are immutable no
+// matter what callers do with the slices they receive.
+type resultCache struct {
+	mu            sync.Mutex
+	cap           int
+	ll            *list.List
+	idx           map[string]*list.Element
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get looks a key up, refreshing its recency on hit.
+func (c *resultCache) get(key string) (Hits, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		c.misses++
+		return nil, "", false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return append(Hits(nil), ent.hits...), ent.path, true
+}
+
+// put inserts (or refreshes) a key, evicting the least-recently-used entry
+// beyond capacity.
+func (c *resultCache) put(key string, h Hits, path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*cacheEntry)
+		ent.hits = append(Hits(nil), h...)
+		ent.path = path
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, hits: append(Hits(nil), h...), path: path})
+	c.idx[key] = el
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.idx, back.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry (index mutation). Counters survive so operators
+// see cumulative hit rates.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.idx)
+	c.invalidations++
+}
+
+// stats snapshots the cache counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Capacity:      c.cap,
+		Entries:       c.ll.Len(),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+	}
+}
+
+// appendLenPrefixed writes a length-prefixed string, making fingerprints
+// injective regardless of the bytes values contain.
+func appendLenPrefixed(sb *strings.Builder, s string) {
+	sb.WriteString(strconv.Itoa(len(s)))
+	sb.WriteByte(':')
+	sb.WriteString(s)
+}
+
+// seekerFingerprint renders a deterministic, collision-free identity for
+// the built-in seeker kinds. The second result is false for user-defined
+// (or semantic) seekers, which are never cached: custom seekers may close
+// over mutable state, and the semantic seeker's ANN search is already
+// served by its own side index.
+func seekerFingerprint(sb *strings.Builder, s Seeker) bool {
+	switch x := s.(type) {
+	case *SCSeeker:
+		sb.WriteString("sc|")
+		sb.WriteString(strconv.Itoa(x.K))
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(x.MinOverlap))
+		sb.WriteByte('|')
+		for _, v := range x.Values {
+			appendLenPrefixed(sb, v)
+		}
+	case *KWSeeker:
+		sb.WriteString("kw|")
+		sb.WriteString(strconv.Itoa(x.K))
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(x.MinOverlap))
+		sb.WriteByte('|')
+		for _, v := range x.Keywords {
+			appendLenPrefixed(sb, v)
+		}
+	case *MCSeeker:
+		sb.WriteString("mc|")
+		sb.WriteString(strconv.Itoa(x.K))
+		sb.WriteByte('|')
+		for _, t := range x.Tuples {
+			sb.WriteString("r")
+			sb.WriteString(strconv.Itoa(len(t)))
+			sb.WriteByte('|')
+			for _, v := range t {
+				appendLenPrefixed(sb, v)
+			}
+		}
+	case *CorrelationSeeker:
+		sb.WriteString("c|")
+		sb.WriteString(strconv.Itoa(x.K))
+		sb.WriteByte('|')
+		for i, key := range x.Keys {
+			appendLenPrefixed(sb, key)
+			sb.WriteString(strconv.FormatFloat(x.Targets[i], 'g', -1, 64))
+			sb.WriteByte('|')
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// cacheKey renders the full lookup key for a seeker run: store generation,
+// correlation sample size (it changes C-seeker results), seeker
+// fingerprint, and rewrite predicate.
+func (e *Engine) cacheKey(s Seeker, rw Rewrite) (string, bool) {
+	var sb strings.Builder
+	sb.WriteString("g")
+	sb.WriteString(strconv.FormatUint(e.gen, 10))
+	sb.WriteString("|h")
+	sb.WriteString(strconv.Itoa(e.SampleH))
+	sb.WriteByte('|')
+	if !seekerFingerprint(&sb, s) {
+		return "", false
+	}
+	sb.WriteString("|rw")
+	sb.WriteString(strconv.Itoa(rw.mode))
+	sb.WriteByte('|')
+	for _, id := range rw.ids {
+		sb.WriteString(strconv.FormatInt(int64(id), 10))
+		sb.WriteByte(',')
+	}
+	return sb.String(), true
+}
+
+// runSeekerCached executes a seeker through the result cache: a hit
+// returns the memoized top-k (with CacheHit set and the original path
+// preserved); a miss executes the seeker and stores its result. With no
+// cache configured it is a plain dispatch. Callers hold the engine's read
+// lock, so the generation embedded in the key cannot move mid-run.
+func (e *Engine) runSeekerCached(ctx context.Context, s Seeker, rw Rewrite) (Hits, RunStats, error) {
+	cache := e.cache
+	if cache == nil {
+		return s.run(ctx, e, rw)
+	}
+	key, cacheable := e.cacheKey(s, rw)
+	if !cacheable {
+		return s.run(ctx, e, rw)
+	}
+	if hits, path, ok := cache.get(key); ok {
+		return hits, RunStats{Kind: s.Kind(), Rewritten: rw.active(), Path: path, CacheHit: true}, nil
+	}
+	hits, stats, err := s.run(ctx, e, rw)
+	if err == nil {
+		cache.put(key, hits, stats.Path)
+	}
+	return hits, stats, err
+}

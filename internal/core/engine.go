@@ -48,6 +48,21 @@ type Engine struct {
 	// without oversubscribing the machine.
 	shardSem chan struct{}
 
+	// nativeViews holds the per-shard readers the native posting-list
+	// executor scans (one element wrapping the whole store when
+	// monolithic). Views reference the store, so AddTable needs no
+	// rebuild.
+	nativeViews []storage.Reader
+	// NoNativeExec forces every seeker through SQL generation and the
+	// minisql interpreter — the pre-fast-path behavior, kept for A/B
+	// benchmarking and the path-equivalence tests.
+	NoNativeExec bool
+
+	// cache memoizes seeker results when configured (nil otherwise); gen
+	// is the store generation embedded in cache keys, bumped by AddTable.
+	cache *resultCache
+	gen   uint64
+
 	// SampleH is the number of leading row ids sampled by the correlation
 	// seeker (the `rowid < h` predicate of Listing 3).
 	SampleH int
@@ -66,6 +81,7 @@ func NewEngine(store storage.Index) *Engine {
 	cat := minisql.NewCatalog()
 	cat.Register(alltables.Name, alltables.New(store))
 	e := &Engine{store: store, cat: cat, SampleH: DefaultSampleH}
+	e.nativeViews = []storage.Reader{store}
 	if sh, ok := store.(storage.Sharded); ok {
 		if views := sh.ShardReaders(); len(views) > 1 {
 			e.shardCats = make([]*minisql.Catalog, len(views))
@@ -75,6 +91,7 @@ func NewEngine(store storage.Index) *Engine {
 				e.shardCats[i] = c
 			}
 			e.shardSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+			e.nativeViews = views
 		}
 	}
 	return e
@@ -102,7 +119,40 @@ func (e *Engine) NumShards() int { return e.store.NumShards() }
 func (e *Engine) AddTable(t *table.Table) int32 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// The mutation invalidates every memoized result: bump the generation
+	// (so in-flight keys can never collide with post-mutation ones) and
+	// drop the entries.
+	e.gen++
+	if e.cache != nil {
+		e.cache.purge()
+	}
 	return e.store.AddTable(t)
+}
+
+// SetResultCache configures the engine's seeker result cache to hold up to
+// capacity entries; capacity <= 0 disables caching. The cache memoizes
+// per-seeker top-k lists keyed by (seeker fingerprint, rewrite, store
+// generation) and is purged by AddTable, so it never serves stale results.
+// Reconfiguring resets the hit/miss counters.
+func (e *Engine) SetResultCache(capacity int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if capacity <= 0 {
+		e.cache = nil
+		return
+	}
+	e.cache = newResultCache(capacity)
+}
+
+// ResultCacheStats snapshots the result cache counters; the zero value is
+// returned when no cache is configured.
+func (e *Engine) ResultCacheStats() CacheStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // ExecRawSQL runs one SQL statement against the unified AllTables relation

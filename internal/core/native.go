@@ -1,0 +1,370 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"blend/internal/storage"
+)
+
+// Execution-path labels reported in RunStats.Path and, under WithExplain,
+// in PlanResult.PathByNode. They tell the optimizer/cost-model layer (and
+// operators reading -explain output) whether a seeker ran on the native
+// posting-list executor or fell back to SQL interpretation.
+const (
+	// PathNative marks a run on the native posting-list fast path: no SQL
+	// was generated, parsed, or interpreted.
+	PathNative = "native"
+	// PathSQL marks a run through SQL generation and the minisql
+	// interpreter.
+	PathSQL = "sql"
+	// PathANN marks the semantic seeker's embedding-index search, which
+	// has no relational form on either path.
+	PathANN = "ann"
+)
+
+// The native executor answers the hot seeker family
+//
+//	SELECT TableId, COUNT(DISTINCT CellValue) … GROUP BY TableId[, ColumnId]
+//	ORDER BY overlap DESC, TableId ASC LIMIT k
+//
+// (single-column joinability, keyword/multi-column overlap, and the
+// union-compatibility probes built from them) directly over the sharded
+// store: one dictionary lookup per query value, an int32 posting-list scan
+// with per-table counters, a bounded k-size selection per shard, and a
+// deterministic merge across shards. No SQL string is built, nothing is
+// parsed, and the per-row work is integer comparisons against pooled
+// counter buffers — the JOSIE/MATE-style merge execution the paper's SQL
+// formulation abstracts over.
+
+// tableFilter is a Rewrite compiled to an O(1) membership test on table
+// ids — the native form of the optimizer's `TableId [NOT] IN (…)`
+// predicate.
+type tableFilter struct {
+	mode int // 0 none, 1 include, 2 exclude
+	ids  map[int32]struct{}
+}
+
+// compileFilter builds the native predicate for a rewrite.
+func compileFilter(rw Rewrite) tableFilter {
+	f := tableFilter{mode: rw.mode}
+	if rw.mode != 0 {
+		f.ids = make(map[int32]struct{}, len(rw.ids))
+		for _, id := range rw.ids {
+			f.ids[id] = struct{}{}
+		}
+	}
+	return f
+}
+
+// admit reports whether the filter keeps entries of the given table.
+func (f *tableFilter) admit(tid int32) bool {
+	switch f.mode {
+	case 1:
+		_, ok := f.ids[tid]
+		return ok
+	case 2:
+		_, ok := f.ids[tid]
+		return !ok
+	default:
+		return true
+	}
+}
+
+// scGroup is one (TableId, ColumnId) aggregation cell of the SC shape.
+type scGroup struct {
+	count int32  // COUNT(DISTINCT CellValue) so far
+	mark  uint32 // last value epoch that contributed (dedup within a value)
+}
+
+// overlapScratch holds the pooled per-scan counter state. The count/mark
+// arrays are indexed by global table id; touched records which ids were
+// written so release() resets in O(touched) instead of O(tables). groups
+// carries the per-(table, column) cells of the SC shape; clear() keeps its
+// buckets allocated across scans.
+type overlapScratch struct {
+	count   []int32
+	mark    []uint32
+	touched []int32
+	groups  map[uint64]scGroup
+}
+
+var overlapPool = sync.Pool{New: func() any {
+	return &overlapScratch{groups: make(map[uint64]scGroup)}
+}}
+
+// grab fetches a scratch sized for numTables table ids.
+func grabScratch(numTables int) *overlapScratch {
+	sc := overlapPool.Get().(*overlapScratch)
+	if len(sc.count) < numTables {
+		sc.count = make([]int32, numTables)
+		sc.mark = make([]uint32, numTables)
+	}
+	return sc
+}
+
+// release resets the touched counters and returns the scratch to the pool.
+func (sc *overlapScratch) release() {
+	for _, tid := range sc.touched {
+		sc.count[tid] = 0
+		sc.mark[tid] = 0
+	}
+	sc.touched = sc.touched[:0]
+	if len(sc.groups) > 0 {
+		clear(sc.groups)
+	}
+	overlapPool.Put(sc)
+}
+
+// bump counts one distinct query value for table tid. epoch identifies the
+// value, so repeated occurrences of the same value in a table count once —
+// COUNT(DISTINCT CellValue) in integer space.
+func (sc *overlapScratch) bump(tid int32, epoch uint32) {
+	if sc.mark[tid] == epoch {
+		return
+	}
+	sc.mark[tid] = epoch
+	if sc.count[tid] == 0 {
+		sc.touched = append(sc.touched, tid)
+	}
+	sc.count[tid]++
+}
+
+// hitBetter is the shared result order of both execution paths: overlap
+// score descending, TableId ascending as the deterministic tie-break.
+func hitBetter(a, b TableHit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.TableID < b.TableID
+}
+
+// topkHeap is a bounded min-heap under hitBetter: the root is the worst
+// retained hit, so a better candidate replaces it in O(log k). It keeps a
+// shard's top-k without sorting (or even materializing) the full table set.
+type topkHeap struct {
+	h Hits
+	k int
+}
+
+// offer inserts a candidate, evicting the current worst once full.
+func (t *topkHeap) offer(h TableHit) {
+	if t.k == 0 {
+		return
+	}
+	if t.k > 0 && len(t.h) == t.k {
+		if !hitBetter(h, t.h[0]) {
+			return
+		}
+		t.h[0] = h
+		t.siftDown(0)
+		return
+	}
+	t.h = append(t.h, h)
+	// Sift up.
+	i := len(t.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if hitBetter(t.h[p], t.h[i]) {
+			t.h[p], t.h[i] = t.h[i], t.h[p]
+			i = p
+			continue
+		}
+		break
+	}
+}
+
+func (t *topkHeap) siftDown(i int) {
+	n := len(t.h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && hitBetter(t.h[worst], t.h[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && hitBetter(t.h[worst], t.h[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// sorted drains the heap into best-first order.
+func (t *topkHeap) sorted() Hits {
+	out := t.h
+	sort.Slice(out, func(a, b int) bool { return hitBetter(out[a], out[b]) })
+	return out
+}
+
+// dedupeValues removes duplicate query values (the SQL IN list and
+// COUNT(DISTINCT …) are insensitive to them; the epoch counters are not).
+// Seekers built through the constructors are already distinct, so the
+// common case allocates nothing beyond the small set map.
+func dedupeValues(values []string) []string {
+	seen := make(map[string]struct{}, len(values))
+	dup := false
+	for _, v := range values {
+		if _, ok := seen[v]; ok {
+			dup = true
+			break
+		}
+		seen[v] = struct{}{}
+	}
+	if !dup {
+		return values
+	}
+	out := make([]string, 0, len(seen))
+	clear(seen)
+	for _, v := range values {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// scanShardOverlap executes the overlap aggregation against one shard
+// reader and returns its top-k hits (best first) plus the number of
+// aggregation groups that passed the minOverlap threshold (the rows the
+// equivalent SQL would have produced on this shard).
+func scanShardOverlap(ctx context.Context, r storage.Reader, values []string,
+	k, minOverlap int, perColumn bool, f *tableFilter, numTables int) (Hits, int, error) {
+
+	sc := grabScratch(numTables)
+	defer sc.release()
+
+	for vi, v := range values {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		epoch := uint32(vi + 1)
+		if perColumn {
+			r.ScanPostings(v, func(tid, cid, rid int32) {
+				if !f.admit(tid) {
+					return
+				}
+				key := uint64(uint32(tid))<<32 | uint64(uint32(cid))
+				g := sc.groups[key]
+				if g.mark == epoch {
+					return
+				}
+				g.mark = epoch
+				g.count++
+				sc.groups[key] = g
+			})
+		} else {
+			r.ScanPostings(v, func(tid, cid, rid int32) {
+				if !f.admit(tid) {
+					return
+				}
+				sc.bump(tid, epoch)
+			})
+		}
+	}
+
+	groups := 0
+	if perColumn {
+		// Reduce (table, column) cells to the best column per table — the
+		// application-level cut the SQL path performs with dedupeBest. The
+		// HAVING threshold applies per group, but a table survives iff its
+		// best group does, so thresholding the maximum is equivalent.
+		for key, g := range sc.groups {
+			if minOverlap > 0 && int(g.count) < minOverlap {
+				continue
+			}
+			groups++
+			tid := int32(key >> 32)
+			if g.count > sc.count[tid] {
+				if sc.count[tid] == 0 {
+					sc.touched = append(sc.touched, tid)
+				}
+				sc.count[tid] = g.count
+			}
+		}
+	}
+
+	heap := topkHeap{k: k}
+	for _, tid := range sc.touched {
+		n := sc.count[tid]
+		if !perColumn {
+			if minOverlap > 0 && int(n) < minOverlap {
+				continue
+			}
+			groups++
+		}
+		heap.offer(TableHit{TableID: tid, Score: float64(n)})
+	}
+	if !perColumn && k >= 0 && groups > k {
+		// The equivalent KW SQL carries LIMIT k per shard; clamp the group
+		// count so RunStats.SQLRows matches what that SQL would return.
+		groups = k
+	}
+	return heap.sorted(), groups, nil
+}
+
+// runNativeOverlap executes the SC (perColumn) / KW seeker shape on the
+// native fast path: every shard is scanned concurrently (bounded by the
+// engine's shard semaphore), each producing a bounded top-k, and the
+// partials are merged with the same (score desc, TableId asc) order the
+// SQL path's topK applies — so both paths return identical results. The
+// returned group count approximates RunStats.SQLRows: the rows the
+// generated SQL would have returned.
+func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
+	k, minOverlap int, perColumn bool, rw Rewrite) (Hits, int, error) {
+
+	values = dedupeValues(values)
+	f := compileFilter(rw)
+	numTables := e.store.NumTables()
+
+	if len(e.nativeViews) == 1 {
+		hits, groups, err := scanShardOverlap(ctx, e.nativeViews[0], values, k, minOverlap, perColumn, &f, numTables)
+		if err != nil {
+			return nil, 0, err
+		}
+		if hits == nil {
+			hits = Hits{} // match the SQL path's empty-but-non-nil result
+		}
+		return topK(hits, k), groups, nil
+	}
+
+	partials := make([]Hits, len(e.nativeViews))
+	counts := make([]int, len(e.nativeViews))
+	errs := make([]error, len(e.nativeViews))
+	var wg sync.WaitGroup
+	for i, view := range e.nativeViews {
+		wg.Add(1)
+		go func(i int, view storage.Reader) {
+			defer wg.Done()
+			if e.shardSem != nil {
+				select {
+				case e.shardSem <- struct{}{}:
+					defer func() { <-e.shardSem }()
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
+			}
+			partials[i], counts[i], errs[i] = scanShardOverlap(
+				ctx, view, values, k, minOverlap, perColumn, &f, numTables)
+		}(i, view)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	merged := Hits{}
+	groups := 0
+	for i, p := range partials {
+		merged = append(merged, p...)
+		groups += counts[i]
+	}
+	return topK(merged, k), groups, nil
+}

@@ -24,13 +24,20 @@ func (r *PlanResult) Profile() string {
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(&sb, "  %-20s %-9s %10v  sql_rows=%-6d hits=%-4d",
-			id, st.Kind.String(), st.Duration.Round(10_000), st.SQLRows, len(r.NodeHits[id]))
+		path := st.Path
+		if path == "" {
+			path = "?"
+		}
+		fmt.Fprintf(&sb, "  %-20s %-9s %-7s %10v  sql_rows=%-6d hits=%-4d",
+			id, st.Kind.String(), path, st.Duration.Round(10_000), st.SQLRows, len(r.NodeHits[id]))
 		if st.Kind == MC {
 			fmt.Fprintf(&sb, " candidates=%-5d validated=%-5d", st.Candidates, st.Validated)
 		}
 		if st.Rewritten {
 			sb.WriteString(" [rewritten]")
+		}
+		if st.CacheHit {
+			sb.WriteString(" [cached]")
 		}
 		sb.WriteByte('\n')
 	}

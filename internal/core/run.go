@@ -58,10 +58,17 @@ type PlanResult struct {
 	NodeHits map[string]Hits
 	// Stats maps seeker node ids to execution diagnostics.
 	Stats map[string]RunStats
-	// SQLByNode maps seeker node ids to the SQL statement actually
-	// executed, rewrites included. Populated only under
-	// RunOptions.Explain.
+	// SQLByNode maps seeker node ids to the SQL statement the node
+	// executed — or, for nodes the native fast path served, the SQL it
+	// made unnecessary (rendered for diagnostics only; the hot path
+	// never generates it). Populated only under RunOptions.Explain.
 	SQLByNode map[string]string
+	// PathByNode maps seeker node ids to the execution path that served
+	// them: "native", "sql", or "ann", with " (cached)" appended when the
+	// result came from the engine's result cache. Populated only under
+	// RunOptions.Explain; per-run stats always carry the same facts in
+	// Stats[id].Path / Stats[id].CacheHit.
+	PathByNode map[string]string
 	// SeekerOrder is the deterministic seeker execution order: the order
 	// the sequential engine executes (topological order with execution
 	// groups expanded at their ranked positions and Difference
@@ -113,6 +120,7 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 	}
 	if opts.Explain {
 		res.SQLByNode = make(map[string]string)
+		res.PathByNode = make(map[string]string)
 	}
 
 	// Membership maps for optimization decisions.
@@ -200,7 +208,7 @@ func (e *Engine) RunSeeker(ctx context.Context, s Seeker) (Hits, RunStats, error
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	hits, stats, err := s.run(ctx, e, NoRewrite)
+	hits, stats, err := e.runSeekerCached(ctx, s, NoRewrite)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return nil, stats, berr.FromContext("seeker.run", err)
 	}

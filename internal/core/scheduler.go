@@ -44,7 +44,7 @@ func (x *planExec) runSeeker(id string, rw Rewrite) error {
 			break
 		}
 	}
-	hits, stats, err := n.seeker.run(x.ctx, x.e, rw)
+	hits, stats, err := x.e.runSeekerCached(x.ctx, n.seeker, rw)
 	atomic.AddInt32(&x.inFlight, -1)
 	if err != nil {
 		return fmt.Errorf("plan node %q: %w", id, err)
@@ -54,6 +54,11 @@ func (x *planExec) runSeeker(id string, rw Rewrite) error {
 	x.res.Stats[id] = stats
 	if x.explain {
 		x.res.SQLByNode[id] = n.seeker.SQL(rw)
+		path := stats.Path
+		if stats.CacheHit {
+			path += " (cached)"
+		}
+		x.res.PathByNode[id] = path
 	}
 	x.completion = append(x.completion, id)
 	x.mu.Unlock()

@@ -29,10 +29,18 @@ const (
 type RunStats struct {
 	Kind       SeekerKind
 	Duration   time.Duration
-	SQLRows    int // rows returned by the seeker's SQL
+	SQLRows    int // rows the seeker's (actual or equivalent) SQL produced
 	Candidates int // candidate rows after XASH filtering (MC only)
 	Validated  int // rows surviving exact validation (MC only)
 	Rewritten  bool
+	// Path reports the execution path the run took: PathNative for the
+	// posting-list fast path, PathSQL for the minisql interpreter, PathANN
+	// for the semantic seeker's embedding search. The optimizer/cost-model
+	// layer uses it to attribute timings to the right executor.
+	Path string
+	// CacheHit marks a run served from the engine's result cache; Path
+	// then reports the path that originally produced the entry.
+	CacheHit bool
 }
 
 // Seeker is a low-level search operator: given an input Q it returns the
@@ -180,9 +188,20 @@ func (s *SCSeeker) SQL(rw Rewrite) string {
 }
 
 func (s *SCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
-	stats := RunStats{Kind: SC, Rewritten: rw.active()}
+	stats := RunStats{Kind: SC, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
+	}
+	if !e.NoNativeExec {
+		start := time.Now()
+		hits, groups, err := e.runNativeOverlap(ctx, s.Values, s.K, s.MinOverlap, true, rw)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Path = PathNative
+		stats.Duration = time.Since(start)
+		stats.SQLRows = groups
+		return hits, stats, nil
 	}
 	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {
@@ -245,9 +264,20 @@ func (s *KWSeeker) SQL(rw Rewrite) string {
 }
 
 func (s *KWSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
-	stats := RunStats{Kind: KW, Rewritten: rw.active()}
+	stats := RunStats{Kind: KW, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Keywords) == 0 {
 		return nil, stats, nil
+	}
+	if !e.NoNativeExec {
+		start := time.Now()
+		hits, groups, err := e.runNativeOverlap(ctx, s.Keywords, s.K, s.MinOverlap, false, rw)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Path = PathNative
+		stats.Duration = time.Since(start)
+		stats.SQLRows = groups
+		return hits, stats, nil
 	}
 	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {
@@ -356,7 +386,7 @@ func (s *MCSeeker) SQL(rw Rewrite) string {
 }
 
 func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
-	stats := RunStats{Kind: MC, Rewritten: rw.active()}
+	stats := RunStats{Kind: MC, Rewritten: rw.active(), Path: PathSQL}
 	if s.width() == 0 || len(s.Tuples) == 0 {
 		return nil, stats, nil
 	}
@@ -534,7 +564,7 @@ func (s *CorrelationSeeker) sqlWithH(rw Rewrite, h int) string {
 }
 
 func (s *CorrelationSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
-	stats := RunStats{Kind: C, Rewritten: rw.active()}
+	stats := RunStats{Kind: C, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Keys) == 0 {
 		return nil, stats, nil
 	}

@@ -55,7 +55,7 @@ func (s *SemanticSeeker) Features(store storage.Reader) costmodel.Features {
 func (s *SemanticSeeker) SQL(Rewrite) string { return "" }
 
 func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
-	stats := RunStats{Kind: Semantic, Rewritten: rw.active()}
+	stats := RunStats{Kind: Semantic, Rewritten: rw.active(), Path: PathANN}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
 	}

@@ -115,21 +115,26 @@ func Exec(cat *Catalog, q *Query) (*Result, error) {
 }
 
 // dedupeRows removes duplicate output rows (SELECT DISTINCT), keeping the
-// first occurrence so ORDER BY ranking is preserved.
+// first occurrence so ORDER BY ranking is preserved. Keys are built in one
+// reused buffer; only first-seen rows pay a key-string allocation (map
+// lookups with string(kb) convert without allocating).
 func dedupeRows(rows [][]Value) [][]Value {
+	if len(rows) == 0 {
+		return rows
+	}
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0]
+	var kb []byte
 	for _, row := range rows {
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, v := range row {
-			kb.WriteString(v.GroupKey())
-			kb.WriteByte(0x1f)
+			kb = v.AppendGroupKey(kb)
+			kb = append(kb, 0x1f)
 		}
-		k := kb.String()
-		if _, dup := seen[k]; dup {
+		if _, dup := seen[string(kb)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(kb)] = struct{}{}
 		out = append(out, row)
 	}
 	return out
@@ -275,6 +280,39 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 		}
 	}
 
+	// Materialization cost control: when the emitted row count is known up
+	// front (index access path: the posting lengths bound it; unfiltered
+	// scan: the relation size), out.rows gets an exact capacity hint, and
+	// row copies are carved out of chunked arenas — one bulk allocation
+	// per chunk instead of one per row.
+	nc := len(cols)
+	expect := -1
+	if !fullScan {
+		expect = len(candidates)
+	} else if where == nil {
+		expect = rel.NumRows()
+	}
+	if expect >= 0 {
+		out.rows = make([][]Value, 0, expect)
+	}
+	const arenaChunkRows = 512
+	var arena []Value
+	takeRow := func() []Value {
+		if len(arena) < nc || nc == 0 {
+			chunk := arenaChunkRows
+			if expect >= 0 && expect < chunk {
+				chunk = expect
+			}
+			if chunk < 1 {
+				chunk = 1
+			}
+			arena = make([]Value, nc*chunk)
+		}
+		row := arena[:nc:nc]
+		arena = arena[nc:]
+		return row
+	}
+
 	buf := make([]Value, len(cols))
 	scratch := &Result{cols: out.cols, quals: out.quals, rows: [][]Value{buf}}
 	ctx := &evalCtx{res: scratch}
@@ -295,7 +333,9 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 				return nil
 			}
 		}
-		out.rows = append(out.rows, append([]Value(nil), buf...))
+		row := takeRow()
+		copy(row, buf)
+		out.rows = append(out.rows, row)
 		return nil
 	}
 	if fullScan {
@@ -547,7 +587,7 @@ func hashJoin(left, right *Result, on Expr) (*Result, error) {
 func execProject(q *Query, src *Result) (*Result, error) {
 	aliases := aliasMap(q)
 	if q.Star {
-		ordered, err := orderRows(q, src, len(src.rows), nil, aliases)
+		ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
 		if err != nil {
 			return nil, err
 		}
@@ -572,7 +612,7 @@ func execProject(q *Query, src *Result) (*Result, error) {
 		}
 		proj[r] = row
 	}
-	ordered, err := orderRows(q, src, len(src.rows), nil, aliases)
+	ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
 	if err != nil {
 		return nil, err
 	}
@@ -652,7 +692,7 @@ func execAggregate(q *Query, src *Result) (*Result, error) {
 		}
 		rows[gi] = row
 	}
-	order, err := orderRows(q, src, len(groups), groups, aliases)
+	order, err := orderRows(q, src, len(groups), groups, aliases, pushableLimit(q))
 	if err != nil {
 		return nil, err
 	}
@@ -665,11 +705,24 @@ func execAggregate(q *Query, src *Result) (*Result, error) {
 // orderRows returns the permutation of unit indices 0..n-1 sorted by the
 // query's ORDER BY keys. In grouped mode groups[i] gives the member rows of
 // unit i; otherwise each unit is the source row with the same index.
-func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]Expr) ([]int, error) {
+//
+// limit, when in [0, n), is the query's LIMIT: only that many best units
+// are selected (with a bounded heap, O(n log limit)) instead of sorting
+// all n — the seekers' `ORDER BY overlap DESC … LIMIT k` stops paying a
+// full sort of every candidate table to return k of them. limit < 0 (or
+// >= n) keeps the full sort.
+//
+// Ties under the ORDER BY keys break by ascending unit index — the
+// first-seen row/group order — which both the full sort and the partial
+// selection apply identically, so results are deterministic and
+// limit-insensitive. (The seekers' generated SQL additionally orders by
+// TableId ASC explicitly; the index tie-break covers every other query.)
+func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]Expr, limit int) ([]int, error) {
 	if len(q.OrderBy) == 0 {
 		return identityIndices(n), nil
 	}
 	keys := make([][]Value, n)
+	flat := make([]Value, n*len(q.OrderBy))
 	for unit := 0; unit < n; unit++ {
 		ctx := &evalCtx{res: src, aliases: aliases}
 		if groups != nil {
@@ -677,7 +730,7 @@ func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]
 		} else {
 			ctx.row = unit
 		}
-		ks := make([]Value, len(q.OrderBy))
+		ks := flat[unit*len(q.OrderBy) : (unit+1)*len(q.OrderBy)]
 		for j, ob := range q.OrderBy {
 			v, err := eval(ob.Expr, ctx)
 			if err != nil {
@@ -687,9 +740,11 @@ func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]
 		}
 		keys[unit] = ks
 	}
-	perm := identityIndices(n)
-	sort.SliceStable(perm, func(a, b int) bool {
-		ka, kb := keys[perm[a]], keys[perm[b]]
+	// less is a total order — ORDER BY keys, then unit index — so plain
+	// sorting reproduces exactly what a stable sort on the keys alone
+	// would, and the heap selection below agrees with the sort.
+	less := func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
 		for j, ob := range q.OrderBy {
 			c := ka[j].Compare(kb[j])
 			if c == 0 {
@@ -700,9 +755,70 @@ func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]
 			}
 			return c < 0
 		}
-		return false
-	})
+		return a < b
+	}
+	if limit >= 0 && limit < n {
+		return selectTopUnits(n, limit, less), nil
+	}
+	perm := identityIndices(n)
+	sort.Slice(perm, func(a, b int) bool { return less(perm[a], perm[b]) })
 	return perm, nil
+}
+
+// selectTopUnits picks the k first units under less out of 0..n-1 and
+// returns them in sorted order, using a bounded max-heap (the root is the
+// worst retained unit) so only k units are ever held.
+func selectTopUnits(n, k int, less func(a, b int) bool) []int {
+	if k == 0 {
+		return nil
+	}
+	h := make([]int, 0, k)
+	siftDown := func(i int) {
+		for {
+			worst := i
+			if l := 2*i + 1; l < len(h) && less(h[worst], h[l]) {
+				worst = l
+			}
+			if r := 2*i + 2; r < len(h) && less(h[worst], h[r]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			h[i], h[worst] = h[worst], h[i]
+			i = worst
+		}
+	}
+	for unit := 0; unit < n; unit++ {
+		if len(h) < k {
+			h = append(h, unit)
+			for i := len(h) - 1; i > 0; {
+				p := (i - 1) / 2
+				if !less(h[p], h[i]) {
+					break
+				}
+				h[p], h[i] = h[i], h[p]
+				i = p
+			}
+			continue
+		}
+		if less(unit, h[0]) {
+			h[0] = unit
+			siftDown(0)
+		}
+	}
+	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	return h
+}
+
+// pushableLimit returns the LIMIT that may be pushed into orderRows' unit
+// selection. DISTINCT dedupes after ordering, so its queries must keep the
+// full order; Exec re-applies LIMIT after projection either way.
+func pushableLimit(q *Query) int {
+	if q.Distinct {
+		return -1
+	}
+	return q.Limit
 }
 
 func aliasMap(q *Query) map[string]Expr {

@@ -1,0 +1,70 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestOrderByLimitMatchesFullSort is the partial-selection property test:
+// for random data, random ORDER BY directions, and every limit, a LIMIT k
+// query must return exactly the first k rows of the unlimited query —
+// including ties, which both code paths break by first-seen row/group
+// order.
+func TestOrderByLimitMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := NewMemRelation("grp", "score", "id")
+	n := 200
+	for i := 0; i < n; i++ {
+		// Few distinct scores so ties are common.
+		m.Append(
+			Str(fmt.Sprintf("g%d", rng.Intn(8))),
+			Int(int64(rng.Intn(5))),
+			Int(int64(i)),
+		)
+	}
+	m.BuildIndex(0)
+	cat := catWith("t", m)
+
+	queries := []string{
+		"SELECT id, score FROM t ORDER BY score DESC",
+		"SELECT id, score FROM t ORDER BY score ASC, grp DESC",
+		"SELECT grp, COUNT(*) AS c FROM t GROUP BY grp ORDER BY c DESC",
+		"SELECT grp, COUNT(DISTINCT score) AS c FROM t GROUP BY grp ORDER BY c DESC, grp ASC",
+	}
+	for _, q := range queries {
+		full := exec(t, cat, q)
+		for _, k := range []int{0, 1, 2, 3, 7, full.NumRows() - 1, full.NumRows(), full.NumRows() + 5} {
+			if k < 0 {
+				continue
+			}
+			limited := exec(t, cat, fmt.Sprintf("%s LIMIT %d", q, k))
+			want := full.rows
+			if k < len(want) {
+				want = want[:k]
+			}
+			if len(limited.rows) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(limited.rows, want) {
+				t.Fatalf("%s LIMIT %d:\n got %v\nwant %v", q, k, limited.rows, want)
+			}
+		}
+	}
+}
+
+// TestDistinctWithLimitUnaffected guards the pushdown's exclusion rule:
+// DISTINCT dedupes after ordering, so LIMIT must apply to the deduped
+// rows, not the sorted ones.
+func TestDistinctWithLimitUnaffected(t *testing.T) {
+	m := NewMemRelation("v")
+	for _, v := range []string{"b", "b", "b", "a", "a", "c"} {
+		m.Append(Str(v))
+	}
+	cat := catWith("t", m)
+	res := exec(t, cat, "SELECT DISTINCT v FROM t ORDER BY v ASC LIMIT 2")
+	if got := col0Strings(res); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("got %v, want [a b]", got)
+	}
+}

@@ -78,9 +78,14 @@ type QueryResponse struct {
 	// SeekerMicros maps seeker node ids to their execution time in
 	// microseconds.
 	SeekerMicros map[string]int64 `json:"seeker_micros,omitempty"`
-	// SQLByNode maps seeker node ids to the SQL executed (only with
+	// SQLByNode maps seeker node ids to the SQL executed — or, for nodes
+	// the native fast path served, the SQL it made unnecessary (only with
 	// options.explain).
 	SQLByNode map[string]string `json:"sql_by_node,omitempty"`
+	// PathByNode maps seeker node ids to the execution path that served
+	// them — "native", "sql", or "ann", with " (cached)" appended for
+	// result-cache hits (only with options.explain).
+	PathByNode map[string]string `json:"path_by_node,omitempty"`
 	// DurationMicros is the total execution time in microseconds,
 	// optimizer included.
 	DurationMicros int64 `json:"duration_micros"`
@@ -114,6 +119,13 @@ type StatsResponse struct {
 	EstimatedBytes   int64   `json:"estimated_bytes"`
 	AvgColumnsPerTbl float64 `json:"avg_columns_per_table"`
 	AvgRowsPerTable  float64 `json:"avg_rows_per_table"`
+	// Result-cache counters (all zero when the cache is disabled; see
+	// blend-serve's -cache flag).
+	CacheCapacity      int    `json:"cache_capacity"`
+	CacheEntries       int    `json:"cache_entries"`
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
 }
 
 // TableResponse is the body of GET /v1/tables/{id}: one table

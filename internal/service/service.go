@@ -139,6 +139,7 @@ func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CompletionOrder: res.CompletionOrder,
 		PeakConcurrency: res.PeakConcurrency,
 		SQLByNode:       res.SQLByNode,
+		PathByNode:      res.PathByNode,
 		DurationMicros:  res.Duration.Microseconds(),
 	}
 	if len(res.Stats) > 0 {
@@ -210,6 +211,7 @@ func (s *Service) handleSQL(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.d.Stats()
+	cs := s.d.CacheStats()
 	writeJSON(w, StatsResponse{
 		Layout:           st.Layout.String(),
 		Shards:           st.Shards,
@@ -223,6 +225,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		EstimatedBytes:   st.EstimatedBytes,
 		AvgColumnsPerTbl: st.AvgColumnsPerTbl,
 		AvgRowsPerTable:  st.AvgRowsPerTable,
+
+		CacheCapacity:      cs.Capacity,
+		CacheEntries:       cs.Entries,
+		CacheHits:          cs.Hits,
+		CacheMisses:        cs.Misses,
+		CacheInvalidations: cs.Invalidations,
 	})
 }
 

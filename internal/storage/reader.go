@@ -48,6 +48,12 @@ type Reader interface {
 	// Postings returns the sorted entry positions whose CellValue equals
 	// v. Callers must not modify the returned slice.
 	Postings(v string) []int32
+	// ScanPostings streams the (TableId, ColumnId, RowId) attributes of
+	// every entry holding value v, in ascending entry-position order,
+	// without materializing positions — the zero-allocation access path of
+	// the engine's native seeker executor. Sharded implementations report
+	// global table ids.
+	ScanPostings(v string, fn func(tid, cid, rid int32))
 	// Frequency returns the number of index entries holding value v.
 	Frequency(v string) int
 	// AvgFrequency returns the mean index frequency of the given values.

@@ -208,6 +208,15 @@ func (s *ShardedStore) Postings(v string) []int32 {
 	return out
 }
 
+// ScanPostings streams the entries holding value v across all shards in
+// shard order, reporting global table ids.
+func (s *ShardedStore) ScanPostings(v string, fn func(tid, cid, rid int32)) {
+	for si, sh := range s.shards {
+		g := s.globalTID[si]
+		sh.ScanPostings(v, func(tid, cid, rid int32) { fn(g[tid], cid, rid) })
+	}
+}
+
 // Frequency returns the number of index entries holding value v.
 func (s *ShardedStore) Frequency(v string) int {
 	total := 0
@@ -382,6 +391,13 @@ func (v *shardView) Quadrant(i int32) int8 { return v.store().Quadrant(i) }
 
 // Postings returns shard-local entry positions for value v.
 func (v *shardView) Postings(val string) []int32 { return v.store().Postings(val) }
+
+// ScanPostings streams the shard's entries holding value val, reporting
+// global table ids so per-shard native scans merge like per-shard SQL.
+func (v *shardView) ScanPostings(val string, fn func(tid, cid, rid int32)) {
+	g := v.parent.globalTID[v.shard]
+	v.store().ScanPostings(val, func(tid, cid, rid int32) { fn(g[tid], cid, rid) })
+}
 
 // Frequency returns the shard-local frequency of value v.
 func (v *shardView) Frequency(val string) int { return v.store().Frequency(val) }

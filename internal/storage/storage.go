@@ -380,6 +380,31 @@ func (s *Store) Postings(v string) []int32 {
 // Frequency returns the number of index entries holding value v.
 func (s *Store) Frequency(v string) int { return len(s.Postings(v)) }
 
+// ScanPostings streams the (TableId, ColumnId, RowId) attributes of every
+// entry holding value v, in ascending entry-position order — the native
+// posting-list access path the engine's fast seeker executor scans instead
+// of interpreting SQL. The column layout reads the attribute arrays
+// directly; the row layout decodes each packed record, paying the same
+// per-tuple deforming cost its SQL scans do.
+func (s *Store) ScanPostings(v string, fn func(tid, cid, rid int32)) {
+	vi, ok := s.dictIdx[v]
+	if !ok {
+		return
+	}
+	if s.layout == RowStore {
+		for _, p := range s.postings[vi] {
+			rec := s.record(p)
+			fn(int32(getU32(rec[rowOffTableID:])),
+				int32(getU32(rec[rowOffColumnID:])),
+				int32(getU32(rec[rowOffRowID:])))
+		}
+		return
+	}
+	for _, p := range s.postings[vi] {
+		fn(s.tableIDs[p], s.columnIDs[p], s.rowIDs[p])
+	}
+}
+
 // AvgFrequency returns the mean index frequency of the given values — the
 // statistic BLEND's learned cost model uses as a feature (§VII-B).
 func (s *Store) AvgFrequency(values []string) float64 {

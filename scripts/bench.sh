@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh runs the seeker/service benchmarks with -benchmem and emits
+# BENCH_PR3.json: every benchmark's ns/op, B/op, and allocs/op, plus the
+# native-vs-SQL speedup for each *NativePath/*SQLPath pair. CI runs it as a
+# non-blocking job (make bench) so the perf trajectory is tracked per PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${BENCH_OUT:-BENCH_PR3.json}
+BENCHTIME=${BENCHTIME:-500x}
+PATTERN='SCSeeker|KWSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek'
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "running seeker benchmarks (-benchtime $BENCHTIME)..." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW" >&2
+echo "running service benchmarks..." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/service/ | tee -a "$RAW" >&2
+
+awk -v out="$OUT" -v benchtime="$BENCHTIME" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters[name] = $2
+    ns[name] = $3
+    bytes[name] = $5
+    allocs[name] = $7
+    order[n++] = name
+}
+END {
+    printf "{\n  \"pr\": 3,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime > out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, iters[name], ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "") >> out
+    }
+    printf "  ],\n  \"native_vs_sql_speedup\": {\n" >> out
+    first = 1
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (name ~ /SQLPath$/) {
+            base = name
+            sub(/SQLPath$/, "NativePath", name)
+            if (name in ns && ns[name] > 0) {
+                if (!first) printf ",\n" >> out
+                first = 0
+                printf "    \"%s\": {\"sql_ns_per_op\": %s, \"native_ns_per_op\": %s, \"speedup\": %.2f, \"allocs_sql\": %s, \"allocs_native\": %s}", \
+                    name, ns[base], ns[name], ns[base] / ns[name], allocs[base], allocs[name] >> out
+            }
+        }
+    }
+    printf "\n  }\n}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT" >&2
