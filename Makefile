@@ -11,15 +11,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/storage/ ./internal/service/ .
+	$(GO) test -race ./internal/core/ ./internal/storage/ ./internal/service/ ./internal/datalake/ ./internal/table/ .
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
-# bench runs the seeker/service benchmarks with -benchmem and emits
-# BENCH_PR3.json (native fast path vs SQL-interpreter baseline, plus the
-# result-cache and end-to-end service numbers). Tune with
-# BENCHTIME=2000x / BENCH_OUT=path.
+# bench runs the seeker/service/ingest benchmarks with -benchmem and
+# emits BENCH.json (self-describing: commit + date metadata inside; native
+# fast path vs SQL baseline, bulk-ingest batch vs sequential, result-cache
+# and end-to-end service numbers). Tune with BENCHTIME=2000x /
+# BENCH_OUT=path. Compare two reports with scripts/benchdelta.sh.
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,115 @@
+package blend
+
+// Bulk-ingestion benchmarks: the batched, shard-parallel write path
+// (Discovery.AddTables) against the sequential AddTable loop it replaces,
+// plus the end-to-end CSV pipeline. scripts/bench.sh pairs Sequential and
+// Batch into BENCH.json's bulk_ingest_speedup so CI tracks the write-path
+// trajectory the way native_vs_sql_speedup tracks the read path.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"blend/internal/datalake"
+)
+
+// benchIngestWorkers bounds the batch path's parallelism: per-shard
+// inserts during commits. The acceptance bar (batched ingest ≥ 2x a
+// sequential AddTable loop) is measured at this width.
+const benchIngestWorkers = 8
+
+// benchIngestShards partitions the target index; tables hash across the
+// shards, so batch commits parallelize up to min(workers, shards).
+const benchIngestShards = 8
+
+var benchIngest struct {
+	once sync.Once
+	seed []*Table
+	add  []*Table
+}
+
+func benchIngestSetup(b *testing.B) {
+	b.Helper()
+	benchIngest.once.Do(func() {
+		benchIngest.seed = datalake.GenJoinLake(datalake.JoinLakeConfig{
+			Name: "ingest-seed", NumTables: 8, ColsPerTable: 4, RowsPerTable: 60,
+			VocabSize: 4000, Seed: 91,
+		}).Tables
+		benchIngest.add = datalake.GenJoinLake(datalake.JoinLakeConfig{
+			Name: "ingest-add", NumTables: 64, ColsPerTable: 4, RowsPerTable: 60,
+			VocabSize: 4000, Seed: 92,
+		}).Tables
+	})
+}
+
+// benchIngestTarget builds a fresh seeded index outside the timer, so each
+// iteration measures only the ingest of the 64-table batch.
+func benchIngestTarget(b *testing.B) *Discovery {
+	b.Helper()
+	b.StopTimer()
+	d := IndexTables(ColumnStore, benchIngest.seed, WithShards(benchIngestShards))
+	b.StartTimer()
+	return d
+}
+
+// BenchmarkBulkIngestSequential is the pre-batching baseline: one engine
+// write-lock acquisition, generation bump, and cache purge per table, and
+// strictly serial index appends.
+func BenchmarkBulkIngestSequential(b *testing.B) {
+	benchIngestSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := benchIngestTarget(b)
+		for _, t := range benchIngest.add {
+			d.AddTable(t)
+		}
+		if d.NumTables() != len(benchIngest.seed)+len(benchIngest.add) {
+			b.Fatal("sequential ingest lost tables")
+		}
+	}
+}
+
+// BenchmarkBulkIngestBatch is the bulk path: the whole 64-table batch
+// commits as one maintenance operation with per-shard inserts running on
+// benchIngestWorkers workers.
+func BenchmarkBulkIngestBatch(b *testing.B) {
+	benchIngestSetup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := benchIngestTarget(b)
+		ids, err := d.AddTables(context.Background(), benchIngest.add,
+			WithIngestWorkers(benchIngestWorkers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ids) != len(benchIngest.add) {
+			b.Fatal("batch ingest lost tables")
+		}
+	}
+}
+
+// BenchmarkBulkIngestCSVDir measures the full pipeline — directory walk,
+// parallel CSV parse, batched commits — over a lake written to disk once.
+func BenchmarkBulkIngestCSVDir(b *testing.B) {
+	benchIngestSetup(b)
+	dir := b.TempDir()
+	for _, t := range benchIngest.add {
+		if err := t.WriteCSVFile(dir + "/" + t.Name + ".csv"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := benchIngestTarget(b)
+		report, err := d.IngestCSVDir(context.Background(), dir,
+			WithIngestWorkers(benchIngestWorkers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.TablesAdded != len(benchIngest.add) {
+			b.Fatalf("csv ingest added %d tables, want %d", report.TablesAdded, len(benchIngest.add))
+		}
+	}
+}

@@ -76,6 +76,11 @@ func NewTable(name string, columns ...string) *Table { return table.New(name, co
 // ReadCSVFile loads one table from a CSV file.
 func ReadCSVFile(path string) (*Table, error) { return table.ReadCSVFile(path) }
 
+// ReadCSV parses one table from CSV bytes, naming it explicitly — the
+// entry point for ingest sources that are not files (HTTP uploads, object
+// stores). The first record is the header; column kinds are inferred.
+func ReadCSV(name string, r io.Reader) (*Table, error) { return table.ReadCSV(name, r) }
+
 // ReadCSVDir loads every .csv file in a directory as a table.
 func ReadCSVDir(dir string) ([]*Table, error) { return table.ReadCSVDir(dir) }
 
@@ -375,8 +380,14 @@ func (d *Discovery) SetResultCache(n int) { d.engine.SetResultCache(n) }
 // cache is disabled).
 func (d *Discovery) CacheStats() CacheStats { return d.engine.ResultCacheStats() }
 
-// NumTables reports the number of indexed tables.
+// NumTables reports the number of allocated table ids, including tables
+// removed but not yet compacted away — the bound for TableByID
+// iteration. LiveTables counts only discoverable tables.
 func (d *Discovery) NumTables() int { return d.engine.NumTables() }
+
+// LiveTables reports the number of discoverable tables (allocated ids
+// minus tombstones); it equals NumTables once Compact has run.
+func (d *Discovery) LiveTables() int { return d.engine.LiveTables() }
 
 // NumShards reports how many partitions back the index (1 when
 // monolithic).

@@ -2,22 +2,29 @@
 // discovery service counterpart of the in-process API. It loads (or
 // builds) an AllTables index once, then answers the versioned JSON API
 //
-//	POST /v1/query        execute a declarative plan-JSON document
-//	POST /v1/seek         execute one standalone seeker
-//	POST /v1/sql          raw SQL over the AllTables relation
-//	GET  /v1/stats        index statistics
-//	GET  /v1/tables/{id}  reconstruct one indexed table
-//	GET  /healthz         liveness probe
+//	POST   /v1/query        execute a declarative plan-JSON document
+//	POST   /v1/seek         execute one standalone seeker
+//	POST   /v1/sql          raw SQL over the AllTables relation
+//	GET    /v1/stats        index statistics + ingest/cache counters
+//	POST   /v1/tables       ingest: CSV upload (text/csv, ?name=) or
+//	                        server-side dir ingest (JSON {"dir": …};
+//	                        requires -allow-dir-ingest)
+//	GET    /v1/tables/{id}  reconstruct one indexed table
+//	DELETE /v1/tables/{id}  remove (tombstone) one table
+//	POST   /v1/compact      reclaim removed tables' index space
+//	GET    /healthz         liveness probe
 //
 // with per-request contexts and timeouts, concurrent request handling
 // over the (optionally sharded) store, and structured JSON errors
-// carrying the library's typed error codes. SIGINT/SIGTERM drain
-// in-flight requests before exit.
+// carrying the library's typed error codes. Ingestion runs behind the
+// engine's write lock, so it is safe while queries are being served.
+// SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Usage:
 //
 //	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N] [-cache N]
 //	blend-serve -lake DIR [-layout column|row] [-shards N] ...
+//	blend-serve ... [-allow-dir-ingest] [-ingest-workers N] [-ingest-batch N]
 package main
 
 import (
@@ -60,6 +67,9 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "run every plan on the concurrent scheduler with this worker bound (0 = sequential unless the request opts in)")
 	cache := fs.Int("cache", 512, "seeker result cache entries, invalidated on index mutation (0 = disabled)")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain period")
+	allowDirIngest := fs.Bool("allow-dir-ingest", false, "allow POST /v1/tables to bulk-load CSV directories from the server's filesystem (off by default: it lets any client read server-side CSV files)")
+	ingestWorkers := fs.Int("ingest-workers", 0, "parallelism for ingest parsing and per-shard inserts (0 = GOMAXPROCS)")
+	ingestBatch := fs.Int("ingest-batch", 0, "tables per atomic ingest commit batch (0 = library default)")
 	if err := fs.Parse(args); err != nil {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
 	}
@@ -75,11 +85,14 @@ func run(args []string) error {
 		d.SetResultCache(*cache)
 	}
 	log.Printf("serving %d tables across %d shard(s), ~%d index bytes, result cache %d entries",
-		d.NumTables(), d.NumShards(), d.IndexSizeBytes(), *cache)
+		d.LiveTables(), d.NumShards(), d.IndexSizeBytes(), *cache)
 
 	svc := service.New(d, service.Options{
-		DefaultTimeout: *timeout,
-		MaxWorkers:     *workers,
+		DefaultTimeout:  *timeout,
+		MaxWorkers:      *workers,
+		AllowDirIngest:  *allowDirIngest,
+		IngestWorkers:   *ingestWorkers,
+		IngestBatchSize: *ingestBatch,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -99,6 +99,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   blend index -lake DIR -out FILE [-layout column|row] [-shards N]
                                                          build the unified index
+  blend index -lake DIR -out FILE -append [-workers N] [-batch N]
+                                                         bulk-append DIR to an existing index
   blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
   blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
   blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
@@ -213,11 +215,35 @@ func cmdIndex(args []string) error {
 	out := fs.String("out", "lake.blend", "output index file")
 	layout := fs.String("layout", "column", "physical layout: column or row")
 	shards := fs.Int("shards", 1, "hash-partition the index across N shards")
+	appendMode := fs.Bool("append", false, "append -lake to the existing index at -out instead of rebuilding (bulk ingest; -layout/-shards come from the existing index)")
+	workers := fs.Int("workers", 0, "ingest parallelism for -append: CSV parsers and per-shard inserts (0 = GOMAXPROCS)")
+	batch := fs.Int("batch", 0, "tables per atomic ingest commit batch for -append (0 = library default)")
+	timeout := fs.Duration("timeout", 0, "abort an -append ingest after this duration (0 = none)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *lakeDir == "" {
 		return berr.New(berr.CodeBadRequest, "cli.index", "-lake is required")
+	}
+	if *appendMode {
+		d, err := blend.OpenIndex(*out)
+		if err != nil {
+			return err
+		}
+		ctx, cancel := queryContext(*timeout)
+		defer cancel()
+		report, err := d.IngestCSVDir(ctx, *lakeDir,
+			blend.WithIngestWorkers(*workers), blend.WithIngestBatchSize(*batch))
+		if err != nil {
+			return err
+		}
+		if err := d.SaveIndex(*out); err != nil {
+			return err
+		}
+		fmt.Printf("appended %d tables (%d rows) in %d batch(es) in %v (%.0f tables/s) -> %s now holds %d tables\n",
+			report.TablesAdded, report.RowsAdded, report.Batches, report.Duration.Round(time.Millisecond),
+			report.Throughput(), *out, d.LiveTables())
+		return nil
 	}
 	l := blend.ColumnStore
 	switch *layout {

@@ -47,6 +47,9 @@ const (
 	CodeNotFound = berr.CodeNotFound
 	// CodeInternal reports an engine invariant violation.
 	CodeInternal = berr.CodeInternal
+	// CodeDuplicateTable reports an ingest whose table name is already
+	// indexed (or repeated within one batch).
+	CodeDuplicateTable = berr.CodeDuplicateTable
 )
 
 // Sentinel errors for errors.Is dispatch, one per code.
@@ -75,6 +78,9 @@ var (
 	ErrNotFound = berr.ErrNotFound
 	// ErrInternal matches engine invariant violations.
 	ErrInternal = berr.ErrInternal
+	// ErrDuplicateTable matches ingests rejected because a table name is
+	// already indexed or repeated within the batch.
+	ErrDuplicateTable = berr.ErrDuplicateTable
 )
 
 // ErrorCodeOf extracts the code of the first typed error in err's chain,

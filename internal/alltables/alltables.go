@@ -78,6 +78,16 @@ func (r *Relation) Cell(row, col int) minisql.Value {
 	}
 }
 
+// HasTombstones implements minisql.Tombstoned: scans pay the per-row
+// visibility check only while removed tables await compaction.
+func (r *Relation) HasTombstones() bool { return r.store.Tombstones() > 0 }
+
+// RowVisible implements minisql.Tombstoned: an entry is live iff its
+// owning table has not been removed.
+func (r *Relation) RowVisible(row int) bool {
+	return r.store.TableAlive(r.store.TableID(int32(row)))
+}
+
 // LookupIn implements minisql.IndexedRelation: CellValue lookups use the
 // inverted index; TableId lookups use the table range index.
 func (r *Relation) LookupIn(col int, vals []minisql.Value) ([]int, bool) {

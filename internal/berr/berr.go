@@ -51,6 +51,9 @@ const (
 	CodeNotFound
 	// CodeInternal reports an invariant violation inside the engine.
 	CodeInternal
+	// CodeDuplicateTable reports an ingest of a table whose name is
+	// already indexed (or repeated within one batch).
+	CodeDuplicateTable
 )
 
 // String returns the stable wire name of the code.
@@ -76,6 +79,8 @@ func (c Code) String() string {
 		return "not_found"
 	case CodeInternal:
 		return "internal"
+	case CodeDuplicateTable:
+		return "duplicate_table"
 	default:
 		return "unknown"
 	}
@@ -140,6 +145,7 @@ var (
 	ErrBadRequest       = &Error{Code: CodeBadRequest}
 	ErrNotFound         = &Error{Code: CodeNotFound}
 	ErrInternal         = &Error{Code: CodeInternal}
+	ErrDuplicateTable   = &Error{Code: CodeDuplicateTable}
 )
 
 // New builds a typed error from a format string.

@@ -12,10 +12,27 @@ import (
 // repeated /v1/seek and /v1/query traffic over an unchanged index returns
 // the cached list instead of rescanning posting lists (or interpreting
 // SQL). Entries are keyed by (seeker fingerprint, rewrite, store
-// generation); AddTable bumps the generation and purges, so a cached list
-// can never survive an index mutation. The cache is opt-in
+// generation), and every index mutation bumps the generation, so a cached
+// list can never be served after a mutation. The cache is opt-in
 // (Engine.SetResultCache) so library benchmarks and the paper-reproduction
 // experiments keep measuring real executions.
+//
+// Invalidation granularity differs by mutation, sized to its cost:
+//
+//   - AddTable / AddTables purge eagerly — but once per *batch*, not per
+//     table: a 1000-table AddTables call bumps the generation and drops
+//     the entries exactly once, where the same ingest through AddTable
+//     would purge 1000 times and thrash every concurrently warming key.
+//   - RemoveTable invalidates only: the generation bump makes every
+//     memoized key unreachable (lookups for the new generation miss), and
+//     the stale entries age out through normal LRU eviction instead of an
+//     eager purge. Removal is expected to interleave with serving
+//     traffic, so it should not stall lookups behind a full-map sweep;
+//     correctness needs only the generation, which is embedded in every
+//     key.
+//   - Compact purges eagerly: it reassigns table ids, so stale entries
+//     are not merely unreachable but actively wrong, and dropping them
+//     promptly frees the capacity they would otherwise pin.
 
 // CacheStats summarizes the engine result cache for operators
 // (Engine.ResultCacheStats, the service's `/v1/stats`).

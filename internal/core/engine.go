@@ -59,9 +59,19 @@ type Engine struct {
 	NoNativeExec bool
 
 	// cache memoizes seeker results when configured (nil otherwise); gen
-	// is the store generation embedded in cache keys, bumped by AddTable.
+	// is the store generation embedded in cache keys, bumped by every
+	// index mutation (AddTable, AddTables, RemoveTable, Compact).
 	cache *resultCache
 	gen   uint64
+
+	// maint counts index maintenance for operators (see MaintStats).
+	maint MaintStats
+	// names caches the live table names for AddTables' duplicate check,
+	// built lazily and maintained incrementally under the write lock;
+	// nil means "rebuild on next use" (RemoveTable invalidates it, since
+	// duplicate names the unchecked AddTable may have introduced make an
+	// incremental delete ambiguous).
+	names map[string]struct{}
 
 	// SampleH is the number of leading row ids sampled by the correlation
 	// seeker (the `rowid < h` predicate of Listing 3).
@@ -71,9 +81,12 @@ type Engine struct {
 	// optimizer falls back to pure rule-based ranking.
 	Cost *costmodel.PerKind
 
-	// Lazily built embedding side-index for the SemanticSeeker extension.
-	semOnce sync.Once
-	semIdx  *semanticIdx
+	// Lazily built embedding side-index for the SemanticSeeker extension,
+	// rebuilt when the store generation moves (table added or removed), so
+	// ANN results never reference tables the index no longer serves.
+	semMu  sync.Mutex
+	semIdx *semanticIdx
+	semGen uint64
 }
 
 // NewEngine wraps an AllTables index for plan execution.
@@ -115,8 +128,11 @@ func (e *Engine) NumShards() int { return e.store.NumShards() }
 // incremental maintenance a single unified index enables (§I). It takes
 // the engine's write lock, so it is safe concurrently with queries: the
 // call waits for in-flight plans to finish, and queries started after it
-// returns see the new table.
+// returns see the new table. Unlike AddTables it performs no duplicate
+// check, and it pays the generation bump and cache purge per call — bulk
+// ingestion should batch through AddTables.
 func (e *Engine) AddTable(t *table.Table) int32 {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// The mutation invalidates every memoized result: bump the generation
@@ -126,7 +142,16 @@ func (e *Engine) AddTable(t *table.Table) int32 {
 	if e.cache != nil {
 		e.cache.purge()
 	}
-	return e.store.AddTable(t)
+	id := e.store.AddTable(t)
+	if e.names != nil {
+		e.names[t.Name] = struct{}{}
+	}
+	e.maint.Batches++
+	e.maint.TablesAdded++
+	e.maint.RowsAdded += uint64(len(t.Rows))
+	e.maint.LastBatchTables = 1
+	e.maint.LastBatchDuration = time.Since(start)
+	return id
 }
 
 // SetResultCache configures the engine's seeker result cache to hold up to
@@ -187,11 +212,21 @@ func (e *Engine) ComputeStats() storage.Stats {
 	return e.store.ComputeStats()
 }
 
-// NumTables reports the number of indexed tables.
+// NumTables reports the number of allocated table ids, tombstoned slots
+// included — the bound for id-space iteration. See LiveTables for the
+// discoverable-table count.
 func (e *Engine) NumTables() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.store.NumTables()
+}
+
+// LiveTables reports the number of discoverable tables: allocated ids
+// minus removed-but-not-compacted tombstones.
+func (e *Engine) LiveTables() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.NumTables() - e.store.Tombstones()
 }
 
 // ReconstructTable materializes one indexed table, or nil when the id is

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"time"
+
+	"blend/internal/berr"
+	"blend/internal/table"
+)
+
+// Index maintenance: the write path of the engine. Mutations take the
+// engine's write lock, so they serialize against each other and wait for
+// in-flight queries to drain; queries started after a mutation returns see
+// its effect. Batch ingestion (AddTables) amortizes the per-mutation costs
+// — generation bump, result-cache purge, derived-state refresh — over the
+// whole batch instead of paying them per table.
+
+// MaintStats counts index maintenance since the engine was built; the
+// service exposes them as the ingest progress/throughput counters of
+// /v1/stats.
+type MaintStats struct {
+	// Batches counts committed ingest batches (one per AddTables call;
+	// AddTable counts as a batch of one).
+	Batches uint64
+	// TablesAdded / RowsAdded count ingested tables and rows.
+	TablesAdded uint64
+	RowsAdded   uint64
+	// TablesRemoved counts RemoveTable tombstones.
+	TablesRemoved uint64
+	// Compactions counts Compact passes that reclaimed space;
+	// TablesCompacted sums the tables they physically removed.
+	Compactions     uint64
+	TablesCompacted uint64
+	// LastBatchTables and LastBatchDuration describe the most recently
+	// committed ingest batch (throughput = tables over duration).
+	LastBatchTables   int
+	LastBatchDuration time.Duration
+}
+
+// AddTables appends a batch of tables to the index as one maintenance
+// operation: one write-lock acquisition, one generation bump, and one
+// result-cache purge for the whole batch (AddTable pays each per call).
+// On a sharded index the per-shard inserts run concurrently, bounded by
+// workers (<= 0 means GOMAXPROCS).
+//
+// Table names must be unique: a name already indexed (and not removed), or
+// repeated within the batch, fails the whole call with a typed
+// duplicate-table error and the index unchanged — ingest batches are
+// atomic.
+func (e *Engine) AddTables(tables []*table.Table, workers int) ([]int32, error) {
+	if len(tables) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Duplicate check against the cached live-name set (O(batch), not
+	// O(lake), per batch) plus an intra-batch scratch set; the cache is
+	// only updated after the batch commits, so a rejected batch leaves it
+	// clean.
+	names := e.liveNamesLocked()
+	batch := make(map[string]struct{}, len(tables))
+	for _, t := range tables {
+		if _, dup := names[t.Name]; dup {
+			return nil, berr.New(berr.CodeDuplicateTable, "engine.ingest",
+				"table %q is already indexed", t.Name)
+		}
+		if _, dup := batch[t.Name]; dup {
+			return nil, berr.New(berr.CodeDuplicateTable, "engine.ingest",
+				"table %q appears twice in the batch", t.Name)
+		}
+		batch[t.Name] = struct{}{}
+	}
+	e.gen++
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	ids := e.store.AddTablesBatch(tables, workers)
+	for _, t := range tables {
+		names[t.Name] = struct{}{}
+	}
+	e.maint.Batches++
+	e.maint.TablesAdded += uint64(len(ids))
+	for _, t := range tables {
+		e.maint.RowsAdded += uint64(len(t.Rows))
+	}
+	e.maint.LastBatchTables = len(ids)
+	e.maint.LastBatchDuration = time.Since(start)
+	return ids, nil
+}
+
+// RemoveTable tombstones one table: it immediately disappears from every
+// query path (seekers, raw SQL, reconstruction, name lookups) while its
+// entries stay allocated until Compact reclaims them. The store generation
+// is bumped so memoized results referencing the table become unreachable,
+// but the result cache is not purged — see cache.go for why removal
+// invalidates lazily where ingestion purges eagerly. An unknown or
+// already-removed id reports a typed not-found error.
+func (e *Engine) RemoveTable(tid int32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.store.RemoveTable(tid); err != nil {
+		return err
+	}
+	e.gen++
+	e.names = nil // see the field comment: removals invalidate the name cache
+	e.maint.TablesRemoved++
+	return nil
+}
+
+// Compact physically reclaims every tombstoned table and returns how many
+// were removed. Table ids are reassigned contiguously, so the generation
+// is bumped and the result cache purged; callers holding ids from before
+// the compaction must re-resolve them by name. A lake without tombstones
+// returns 0 without touching the index.
+func (e *Engine) Compact() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	removed := e.store.Compact()
+	if removed == 0 {
+		return 0
+	}
+	e.gen++
+	if e.cache != nil {
+		e.cache.purge()
+	}
+	e.maint.Compactions++
+	e.maint.TablesCompacted += uint64(removed)
+	return removed
+}
+
+// liveNamesLocked returns the cached live table-name set, building it
+// once per invalidation. Callers hold the engine's write lock.
+func (e *Engine) liveNamesLocked() map[string]struct{} {
+	if e.names == nil {
+		e.names = make(map[string]struct{}, e.store.NumTables())
+		for tid := 0; tid < e.store.NumTables(); tid++ {
+			if n := e.store.TableName(int32(tid)); n != "" {
+				e.names[n] = struct{}{}
+			}
+		}
+	}
+	return e.names
+}
+
+// MaintStats snapshots the maintenance counters.
+func (e *Engine) MaintStats() MaintStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.maint
+}
+
+// TableIDByName resolves a live table name to its current id (-1 when
+// absent) under the engine's read lock — the stable way to re-find a
+// table across compactions, which reassign ids.
+func (e *Engine) TableIDByName(name string) int32 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.TableIDByName(name)
+}

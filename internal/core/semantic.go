@@ -133,26 +133,37 @@ type semanticIdx struct {
 }
 
 // semanticIndex returns the engine's embedding index, building it on first
-// use from the store's reconstructed columns.
+// use from the store's reconstructed columns and rebuilding it whenever
+// the store generation has moved since the last build — AddTable(s) and
+// RemoveTable therefore invalidate ANN results exactly like they
+// invalidate the result cache. Callers hold the engine's read lock, so the
+// generation cannot move mid-build.
 func (e *Engine) semanticIndex() *semanticIdx {
-	e.semOnce.Do(func() {
-		idx := &semanticIdx{ann: hnsw.New(hnsw.DefaultConfig())}
-		for tid := int32(0); tid < int32(e.store.NumTables()); tid++ {
-			t := e.store.ReconstructTable(tid)
-			for c := 0; c < t.NumCols(); c++ {
-				vec := embed.Column(t.ColumnValues(c))
-				if vec.IsZero() {
-					continue
-				}
-				id := len(idx.refs)
-				idx.refs = append(idx.refs, tid)
-				if err := idx.ann.Add(id, vec); err != nil {
-					// IsZero filtered zero vectors; Add cannot fail.
-					panic("core: " + err.Error())
-				}
+	e.semMu.Lock()
+	defer e.semMu.Unlock()
+	if e.semIdx != nil && e.semGen == e.gen {
+		return e.semIdx
+	}
+	idx := &semanticIdx{ann: hnsw.New(hnsw.DefaultConfig())}
+	for tid := int32(0); tid < int32(e.store.NumTables()); tid++ {
+		t := e.store.ReconstructTable(tid)
+		if t == nil { // tombstoned
+			continue
+		}
+		for c := 0; c < t.NumCols(); c++ {
+			vec := embed.Column(t.ColumnValues(c))
+			if vec.IsZero() {
+				continue
+			}
+			id := len(idx.refs)
+			idx.refs = append(idx.refs, tid)
+			if err := idx.ann.Add(id, vec); err != nil {
+				// IsZero filtered zero vectors; Add cannot fail.
+				panic("core: " + err.Error())
 			}
 		}
-		e.semIdx = idx
-	})
+	}
+	e.semIdx = idx
+	e.semGen = e.gen
 	return e.semIdx
 }

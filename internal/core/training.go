@@ -60,8 +60,8 @@ func sampleSeeker(e *Engine, rng *rand.Rand, kind SeekerKind) Seeker {
 		return nil
 	}
 	t := st.ReconstructTable(int32(rng.Intn(st.NumTables())))
-	if t.NumRows() == 0 || t.NumCols() == 0 {
-		return nil
+	if t == nil || t.NumRows() == 0 || t.NumCols() == 0 {
+		return nil // tombstoned or empty table; resample
 	}
 	k := 10
 	switch kind {

@@ -13,6 +13,19 @@ type Relation interface {
 	Cell(row, col int) Value
 }
 
+// Tombstoned is a Relation whose rows can be logically deleted in place:
+// scans skip rows RowVisible rejects, so deletion needs no physical row
+// renumbering. The AllTables relation implements it to hide entries of
+// removed-but-not-compacted tables from full scans.
+type Tombstoned interface {
+	Relation
+	// HasTombstones reports whether any row is currently invisible; scans
+	// skip the per-row visibility check entirely when false.
+	HasTombstones() bool
+	// RowVisible reports whether row r is live.
+	RowVisible(r int) bool
+}
+
 // IndexedRelation is a Relation with value-index access paths. The engine
 // uses LookupIn to avoid full scans for `col IN (…)` predicates — this is
 // how the AllTables inverted index and TableId index accelerate seekers.

@@ -313,10 +313,21 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 		return row
 	}
 
+	// Tombstone visibility: rows a Tombstoned relation marks dead are
+	// skipped on every access path, so logically deleted data can never
+	// satisfy a predicate or reach a result.
+	var visible func(int) bool
+	if tr, ok := rel.(Tombstoned); ok && tr.HasTombstones() {
+		visible = tr.RowVisible
+	}
+
 	buf := make([]Value, len(cols))
 	scratch := &Result{cols: out.cols, quals: out.quals, rows: [][]Value{buf}}
 	ctx := &evalCtx{res: scratch}
 	emit := func(r int) error {
+		if visible != nil && !visible(r) {
+			return nil
+		}
 		for c := range cols {
 			if wanted[c] {
 				buf[c] = rel.Cell(r, c)

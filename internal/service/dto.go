@@ -105,11 +105,72 @@ type SQLResponse struct {
 	TotalRows int `json:"total_rows"`
 }
 
+// IngestDirRequest is the JSON body of POST /v1/tables when Content-Type
+// is application/json: a server-side bulk ingest of a CSV directory the
+// server can read (gated by the server's allow-dir-ingest setting).
+type IngestDirRequest struct {
+	// Dir is the directory to walk for *.csv files (recursive).
+	Dir string `json:"dir"`
+	// Workers bounds concurrent CSV parsers and per-shard inserts
+	// (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// BatchSize is the number of tables per atomic commit batch
+	// (0 = server default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// SkipBad skips unparseable files instead of aborting the ingest.
+	SkipBad bool `json:"skip_bad,omitempty"`
+}
+
+// IngestResponse is the body of a successful POST /v1/tables — both for
+// CSV uploads and for server-side directory ingests.
+type IngestResponse struct {
+	// TableIDs are the assigned table ids in committed order.
+	TableIDs []int32 `json:"table_ids"`
+	// TablesAdded / RowsAdded count what was committed.
+	TablesAdded int `json:"tables_added"`
+	RowsAdded   int `json:"rows_added"`
+	// Batches is the number of atomic commit batches.
+	Batches int `json:"batches"`
+	// SkippedFiles lists files skipped under skip_bad.
+	SkippedFiles []string `json:"skipped_files,omitempty"`
+	// DurationMicros is the ingest wall-clock time; TablesPerSec the
+	// resulting throughput.
+	DurationMicros int64   `json:"duration_micros"`
+	TablesPerSec   float64 `json:"tables_per_sec"`
+}
+
+// RemoveResponse is the body of a successful DELETE /v1/tables/{id}.
+type RemoveResponse struct {
+	ID      int32 `json:"id"`
+	Removed bool  `json:"removed"`
+	// Tombstones is the lake's removed-but-not-compacted table count
+	// after this removal (compaction reclaims their space).
+	Tombstones int `json:"tombstones"`
+}
+
+// CompactResponse is the body of a successful POST /v1/compact.
+type CompactResponse struct {
+	// RemovedTables is how many tombstoned tables were reclaimed.
+	RemovedTables int `json:"removed_tables"`
+}
+
+// validateIngestDirRequest checks the server-side ingest DTO shape.
+func validateIngestDirRequest(req *IngestDirRequest) error {
+	if req.Dir == "" {
+		return berr.New(berr.CodeBadRequest, "service.ingest", "request carries no dir")
+	}
+	if req.Workers < 0 || req.BatchSize < 0 {
+		return berr.New(berr.CodeBadRequest, "service.ingest", "workers and batch_size must not be negative")
+	}
+	return nil
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Layout           string  `json:"layout"`
 	Shards           int     `json:"shards"`
 	Tables           int     `json:"tables"`
+	Tombstones       int     `json:"tombstones"`
 	Entries          int     `json:"entries"`
 	DistinctValues   int     `json:"distinct_values"`
 	NumericCells     int     `json:"numeric_cells"`
@@ -126,6 +187,18 @@ type StatsResponse struct {
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
 	CacheInvalidations uint64 `json:"cache_invalidations"`
+
+	// Ingest progress/throughput counters (see POST /v1/tables).
+	IngestBatches        uint64 `json:"ingest_batches"`
+	IngestTablesAdded    uint64 `json:"ingest_tables_added"`
+	IngestRowsAdded      uint64 `json:"ingest_rows_added"`
+	IngestTablesRemoved  uint64 `json:"ingest_tables_removed"`
+	IngestCompactions    uint64 `json:"ingest_compactions"`
+	IngestLastBatchTbls  int    `json:"ingest_last_batch_tables"`
+	IngestLastBatchUsecs int64  `json:"ingest_last_batch_micros"`
+	// IngestLastBatchPerSec is the last committed batch's throughput in
+	// tables per second.
+	IngestLastBatchPerSec float64 `json:"ingest_last_batch_tables_per_sec"`
 }
 
 // TableResponse is the body of GET /v1/tables/{id}: one table

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"blend"
@@ -24,6 +25,20 @@ type Options struct {
 	MaxWorkers int
 	// MaxSQLRows caps /v1/sql responses (default 1000).
 	MaxSQLRows int
+	// AllowDirIngest enables the server-side directory form of
+	// POST /v1/tables (JSON {"dir": …}), which makes the server read CSV
+	// files from its own filesystem. CSV uploads are always enabled.
+	AllowDirIngest bool
+	// IngestWorkers bounds concurrent CSV parsers and per-shard inserts
+	// for ingest requests that do not pick their own width (0 =
+	// GOMAXPROCS).
+	IngestWorkers int
+	// IngestBatchSize is the default number of tables per atomic commit
+	// batch (0 = the library default).
+	IngestBatchSize int
+	// MaxUploadBytes caps the request body of a CSV upload (default
+	// 64 MiB).
+	MaxUploadBytes int64
 }
 
 // Service exposes one Discovery over HTTP: the versioned discovery API of
@@ -41,6 +56,9 @@ func New(d *blend.Discovery, opts Options) *Service {
 	if opts.MaxSQLRows <= 0 {
 		opts.MaxSQLRows = 1000
 	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
 	return &Service{d: d, opts: opts}
 }
 
@@ -51,10 +69,15 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/seek", s.handleSeek)
 	mux.HandleFunc("POST /v1/sql", s.handleSQL)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/tables", s.handleIngest)
 	mux.HandleFunc("GET /v1/tables/{id}", s.handleTable)
+	mux.HandleFunc("DELETE /v1/tables/{id}", s.handleRemoveTable)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"ok": true, "tables": s.d.NumTables()})
+		// LiveTables, so the probe agrees with /v1/stats' tables field
+		// while tombstones await compaction.
+		json.NewEncoder(w).Encode(map[string]any{"ok": true, "tables": s.d.LiveTables()})
 	})
 	return mux
 }
@@ -212,10 +235,12 @@ func (s *Service) handleSQL(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.d.Stats()
 	cs := s.d.CacheStats()
+	ms := s.d.MaintStats()
 	writeJSON(w, StatsResponse{
 		Layout:           st.Layout.String(),
 		Shards:           st.Shards,
 		Tables:           st.Tables,
+		Tombstones:       st.Tombstones,
 		Entries:          st.Entries,
 		DistinctValues:   st.DistinctValues,
 		NumericCells:     st.NumericCells,
@@ -231,7 +256,147 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		CacheHits:          cs.Hits,
 		CacheMisses:        cs.Misses,
 		CacheInvalidations: cs.Invalidations,
+
+		IngestBatches:         ms.Batches,
+		IngestTablesAdded:     ms.TablesAdded,
+		IngestRowsAdded:       ms.RowsAdded,
+		IngestTablesRemoved:   ms.TablesRemoved,
+		IngestCompactions:     ms.Compactions,
+		IngestLastBatchTbls:   ms.LastBatchTables,
+		IngestLastBatchUsecs:  ms.LastBatchDuration.Microseconds(),
+		IngestLastBatchPerSec: perSec(ms.LastBatchTables, ms.LastBatchDuration),
 	})
+}
+
+// ingestOptions folds the server ingest defaults with per-request
+// overrides into library options.
+func (s *Service) ingestOptions(workers, batchSize int) []blend.IngestOption {
+	if workers <= 0 {
+		workers = s.opts.IngestWorkers
+	}
+	if batchSize <= 0 {
+		batchSize = s.opts.IngestBatchSize
+	}
+	var opts []blend.IngestOption
+	if workers > 0 {
+		opts = append(opts, blend.WithIngestWorkers(workers))
+	}
+	if batchSize > 0 {
+		opts = append(opts, blend.WithIngestBatchSize(batchSize))
+	}
+	return opts
+}
+
+// handleIngest serves POST /v1/tables in its two forms:
+//
+//   - Content-Type text/csv: the body is one CSV table, named by the
+//     required ?name= query parameter.
+//   - anything else (curl -d defaults included): a JSON {"dir": …}
+//     document making the server bulk-load a CSV directory it can read
+//     (requires AllowDirIngest). The strict decoder rejects non-JSON
+//     bodies with a clear error.
+//
+// Both commit through the engine's batched maintenance path, so the whole
+// upload (or each directory batch) is atomic and costs one result-cache
+// purge.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	if strings.TrimSpace(ct) == "text/csv" {
+		s.handleIngestCSV(w, r)
+		return
+	}
+	s.handleIngestDir(w, r)
+}
+
+func (s *Service) handleIngestCSV(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, berr.New(berr.CodeBadRequest, "service.ingest",
+			"csv upload requires a ?name= query parameter"))
+		return
+	}
+	start := time.Now()
+	t, err := blend.ReadCSV(name, http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
+	if err != nil {
+		writeError(w, berr.New(berr.CodeBadRequest, "service.ingest", "parse csv upload: %v", err))
+		return
+	}
+	ids, err := s.d.AddTables(r.Context(), []*blend.Table{t}, s.ingestOptions(0, 0)...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, IngestResponse{
+		TableIDs:       ids,
+		TablesAdded:    len(ids),
+		RowsAdded:      t.NumRows(),
+		Batches:        1,
+		DurationMicros: time.Since(start).Microseconds(),
+		TablesPerSec:   perSec(len(ids), time.Since(start)),
+	})
+}
+
+func (s *Service) handleIngestDir(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.AllowDirIngest {
+		writeError(w, berr.New(berr.CodeBadRequest, "service.ingest",
+			"server-side directory ingest is disabled (start the server with dir ingest allowed)"))
+		return
+	}
+	var req IngestDirRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateIngestDirRequest(&req); err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := s.ingestOptions(req.Workers, req.BatchSize)
+	if req.SkipBad {
+		opts = append(opts, blend.WithSkipBadFiles())
+	}
+	report, err := s.d.IngestCSVDir(r.Context(), req.Dir, opts...)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, IngestResponse{
+		TableIDs:       report.TableIDs,
+		TablesAdded:    report.TablesAdded,
+		RowsAdded:      report.RowsAdded,
+		Batches:        report.Batches,
+		SkippedFiles:   report.SkippedFiles,
+		DurationMicros: report.Duration.Microseconds(),
+		TablesPerSec:   report.Throughput(),
+	})
+}
+
+func (s *Service) handleRemoveTable(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, berr.New(berr.CodeBadRequest, "service.tables", "table id %q is not a number", r.PathValue("id")))
+		return
+	}
+	if err := s.d.RemoveTable(int32(id)); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, RemoveResponse{ID: int32(id), Removed: true, Tombstones: s.d.Stats().Tombstones})
+}
+
+func (s *Service) handleCompact(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, CompactResponse{RemovedTables: s.d.Compact()})
+}
+
+// perSec converts a count over a duration into a rate (0 when either is).
+func perSec(n int, d time.Duration) float64 {
+	if n == 0 || d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
 }
 
 func (s *Service) handleTable(w http.ResponseWriter, r *http.Request) {

@@ -14,13 +14,20 @@ import (
 // Binary persistence for the AllTables index. The format is a simple
 // little-endian stream:
 //
-//	v1 (monolithic):
+//	v1 (monolithic, legacy):
 //	magic "BLND" | version=1 | payload
 //
-//	v2 (sharded):
+//	v2 (sharded, legacy):
 //	magic "BLND" | version=2 | layout u32 | numShards u32
 //	numTables u32 | per table: owning shard u32 (global id = position)
 //	per shard: payload
+//
+//	v3 (current, written by Save):
+//	magic "BLND" | version=3 | kind u8 (0 = monolithic, 1 = sharded)
+//	kind 0: payload | tombstones
+//	kind 1: layout u32 | numShards u32
+//	        numTables u32 | per table: owning shard u32 (global id = position)
+//	        per shard: payload | tombstones
 //
 //	payload:
 //	layout u32
@@ -29,42 +36,69 @@ import (
 //	numEntries u32 | arrays: valIdx, tableIDs, columnIDs, rowIDs (i32),
 //	                 superLo, superHi (u64), quadrant (i8)
 //
+//	tombstones:
+//	numDead u32 | per dead table: (shard-)local table id u32
+//
 // Postings and table ranges are rebuilt on load (they are derivable), which
-// keeps the on-disk footprint lean — part of what Table VIII measures. Load
-// reads both versions, so v1 files written before sharding existed keep
-// opening; Save writes v1 from a Store and v2 from a ShardedStore.
+// keeps the on-disk footprint lean — part of what Table VIII measures. Save
+// always writes v3, which round-trips tombstoned tables so a removed table
+// stays removed across restarts without forcing a compaction at save time.
+// Load reads all three versions, so v1/v2 files written before tombstones
+// (or sharding) existed keep opening.
 
 const (
-	persistMagic          = "BLND"
-	persistVersion        = 1
-	persistVersionSharded = 2
+	persistMagic             = "BLND"
+	persistVersion           = 1
+	persistVersionSharded    = 2
+	persistVersionTombstones = 3
+
+	persistKindMonolithic = 0
+	persistKindSharded    = 1
 )
 
-// Save writes the monolithic store to w in the v1 format.
+// Save writes the monolithic store to w in the v3 format.
 func (s *Store) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
 	}
-	if err := writeU32(bw, persistVersion); err != nil {
+	if err := writeU32(bw, persistVersionTombstones); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(persistKindMonolithic); err != nil {
 		return err
 	}
 	if err := s.savePayload(bw); err != nil {
 		return err
 	}
+	if err := s.saveTombstones(bw); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// Save writes the sharded store to w in the v2 format, round-tripping the
-// shard count and the global table directory.
+// Save writes the sharded store to w in the v3 format, round-tripping the
+// shard count, the global table directory, and per-shard tombstones.
 func (s *ShardedStore) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
 	}
-	if err := writeU32(bw, persistVersionSharded); err != nil {
+	if err := writeU32(bw, persistVersionTombstones); err != nil {
 		return err
 	}
+	if err := bw.WriteByte(persistKindSharded); err != nil {
+		return err
+	}
+	if err := s.saveShardedBody(bw, true); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveShardedBody writes the v2/v3 sharded body: directory then per-shard
+// payloads, with tombstone sections when withTombstones is set.
+func (s *ShardedStore) saveShardedBody(bw *bufio.Writer, withTombstones bool) error {
 	if err := writeU32(bw, uint32(s.layout)); err != nil {
 		return err
 	}
@@ -83,6 +117,50 @@ func (s *ShardedStore) Save(w io.Writer) error {
 		if err := sh.savePayload(bw); err != nil {
 			return err
 		}
+		if withTombstones {
+			if err := sh.saveTombstones(bw); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// saveLegacyV1 writes the pre-tombstone monolithic format; kept so the
+// compatibility tests can produce genuine v1 files. It refuses to drop
+// tombstone state silently.
+func (s *Store) saveLegacyV1(w io.Writer) error {
+	if s.numDead > 0 {
+		return fmt.Errorf("cannot write v1 format with %d tombstoned tables", s.numDead)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, persistVersion); err != nil {
+		return err
+	}
+	if err := s.savePayload(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// saveLegacyV2 writes the pre-tombstone sharded format; kept so the
+// compatibility tests can produce genuine v2 files.
+func (s *ShardedStore) saveLegacyV2(w io.Writer) error {
+	if s.Tombstones() > 0 {
+		return fmt.Errorf("cannot write v2 format with %d tombstoned tables", s.Tombstones())
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := writeU32(bw, persistVersionSharded); err != nil {
+		return err
+	}
+	if err := s.saveShardedBody(bw, false); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -171,6 +249,22 @@ func (s *Store) savePayload(bw *bufio.Writer) error {
 		return err
 	}
 	return binary.Write(bw, binary.LittleEndian, s.quadrant)
+}
+
+// saveTombstones writes the store's dead-table list (v3 section).
+func (s *Store) saveTombstones(bw *bufio.Writer) error {
+	if err := writeU32(bw, uint32(s.numDead)); err != nil {
+		return err
+	}
+	for tid, d := range s.dead {
+		if !d {
+			continue
+		}
+		if err := writeU32(bw, uint32(tid)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // All length- and count-prefixed reads allocate in bounded chunks:
@@ -282,17 +376,30 @@ func load(br *bufio.Reader) (Index, error) {
 	}
 	switch version {
 	case persistVersion:
-		return loadPayload(br)
+		return loadPayload(br, false)
 	case persistVersionSharded:
-		return loadSharded(br)
+		return loadSharded(br, false)
+	case persistVersionTombstones:
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case persistKindMonolithic:
+			return loadPayload(br, true)
+		case persistKindSharded:
+			return loadSharded(br, true)
+		default:
+			return nil, fmt.Errorf("unknown v3 index kind %d", kind)
+		}
 	default:
 		return nil, fmt.Errorf("unsupported index version %d", version)
 	}
 }
 
-// loadSharded reads the v2 body: shard count, table directory, then one
-// payload per shard.
-func loadSharded(br *bufio.Reader) (*ShardedStore, error) {
+// loadSharded reads the v2/v3 sharded body: shard count, table directory,
+// then one payload (with a tombstone section for v3) per shard.
+func loadSharded(br *bufio.Reader, withTombstones bool) (*ShardedStore, error) {
 	layoutRaw, err := readU32(br)
 	if err != nil {
 		return nil, err
@@ -327,7 +434,7 @@ func loadSharded(br *bufio.Reader) (*ShardedStore, error) {
 		localCount[sh]++
 	}
 	for i := range s.shards {
-		sub, err := loadPayload(br)
+		sub, err := loadPayload(br, withTombstones)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -343,8 +450,9 @@ func loadSharded(br *bufio.Reader) (*ShardedStore, error) {
 	return s, nil
 }
 
-// loadPayload reads one store body and rebuilds its derived indexes.
-func loadPayload(br *bufio.Reader) (*Store, error) {
+// loadPayload reads one store body (plus the v3 tombstone section when
+// withTombstones is set) and rebuilds its derived indexes.
+func loadPayload(br *bufio.Reader, withTombstones bool) (*Store, error) {
 	layoutRaw, err := readU32(br)
 	if err != nil {
 		return nil, err
@@ -443,6 +551,31 @@ func loadPayload(br *bufio.Reader) (*Store, error) {
 		}
 		if s.rowIDs[i] < 0 || s.rowIDs[i] >= meta.NumRows {
 			return nil, fmt.Errorf("entry %d references row %d outside table %q", i, s.rowIDs[i], meta.Name)
+		}
+	}
+
+	s.dead = make([]bool, len(s.tables))
+	if withTombstones {
+		numDead, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		if int(numDead) > len(s.tables) {
+			return nil, fmt.Errorf("tombstone count %d exceeds %d tables", numDead, len(s.tables))
+		}
+		for i := 0; i < int(numDead); i++ {
+			tid, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			if int(tid) >= len(s.tables) {
+				return nil, fmt.Errorf("tombstone references table %d outside catalog", tid)
+			}
+			if s.dead[tid] {
+				return nil, fmt.Errorf("table %d tombstoned twice", tid)
+			}
+			s.dead[tid] = true
+			s.numDead++
 		}
 	}
 

@@ -31,8 +31,13 @@ type Reader interface {
 	TableMeta(tid int32) TableMeta
 	// TableName returns the name of a table id, or "" if out of range.
 	TableName(tid int32) string
-	// TableIDByName returns the id of the named table, or -1.
+	// TableIDByName returns the id of the named live table, or -1.
 	TableIDByName(name string) int32
+	// TableAlive reports whether a table id is allocated and not
+	// tombstoned by RemoveTable.
+	TableAlive(tid int32) bool
+	// Tombstones reports the number of removed-but-not-compacted tables.
+	Tombstones() int
 	// Value returns the CellValue of entry i.
 	Value(i int32) string
 	// TableID returns the TableId of entry i.
@@ -71,15 +76,27 @@ type Reader interface {
 }
 
 // Index is a Reader that also supports the maintenance surface: appending
-// tables incrementally and binary persistence. blend.Discovery holds an
-// Index; the engine's query path needs only the Reader half.
+// and removing tables incrementally, compaction, and binary persistence.
+// blend.Discovery holds an Index; the engine's query path needs only the
+// Reader half. None of the mutating methods are safe for use concurrent
+// with readers — the engine serializes them behind its write lock.
 type Index interface {
 	Reader
 	// AddTable appends one table to the index, returning its (global)
-	// table id. Not safe for use concurrent with readers.
+	// table id.
 	AddTable(t *table.Table) int32
-	// Save writes the index to w (v1 for monolithic stores, v2 for
-	// sharded ones).
+	// AddTablesBatch appends a batch of tables in order and returns their
+	// ids. Sharded indexes apply the per-shard inserts concurrently,
+	// bounded by workers (<= 0 means GOMAXPROCS), and refresh derived
+	// global state once per batch.
+	AddTablesBatch(tables []*table.Table, workers int) []int32
+	// RemoveTable tombstones one table: it disappears from every read
+	// surface while its entries stay allocated until Compact.
+	RemoveTable(tid int32) error
+	// Compact physically reclaims tombstoned tables, reassigning table
+	// ids contiguously, and returns how many tables were removed.
+	Compact() int
+	// Save writes the index to w in the current (v3) snapshot format.
 	Save(w io.Writer) error
 	// SaveFile writes the index to a file.
 	SaveFile(path string) error

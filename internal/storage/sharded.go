@@ -3,8 +3,11 @@ package storage
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
+	"sync"
 
+	"blend/internal/berr"
 	"blend/internal/table"
 	"blend/internal/xash"
 )
@@ -132,22 +135,42 @@ func (s *ShardedStore) TableMeta(tid int32) TableMeta {
 	return s.shards[r.shard].TableMeta(r.local)
 }
 
-// TableName returns the name of a global table id, or "" if out of range.
+// TableName returns the name of a global table id, or "" if out of range
+// or tombstoned.
 func (s *ShardedStore) TableName(tid int32) string {
-	if tid < 0 || int(tid) >= len(s.refs) {
+	if !s.TableAlive(tid) {
 		return ""
 	}
 	return s.TableMeta(tid).Name
 }
 
-// TableIDByName returns the global id of the named table, or -1.
+// TableIDByName returns the global id of the named live table, or -1.
 func (s *ShardedStore) TableIDByName(name string) int32 {
 	for g := range s.refs {
-		if s.TableMeta(int32(g)).Name == name {
+		if s.TableAlive(int32(g)) && s.TableMeta(int32(g)).Name == name {
 			return int32(g)
 		}
 	}
 	return -1
+}
+
+// TableAlive reports whether a global table id is allocated and not
+// tombstoned.
+func (s *ShardedStore) TableAlive(tid int32) bool {
+	if tid < 0 || int(tid) >= len(s.refs) {
+		return false
+	}
+	r := s.refs[tid]
+	return s.shards[r.shard].TableAlive(r.local)
+}
+
+// Tombstones sums the removed-but-not-compacted tables across shards.
+func (s *ShardedStore) Tombstones() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Tombstones()
+	}
+	return n
 }
 
 // Value returns the CellValue of global entry i.
@@ -274,7 +297,8 @@ func (s *ShardedStore) ComputeStats() Stats {
 	st := Stats{
 		Layout:         s.layout,
 		Shards:         len(s.shards),
-		Tables:         s.NumTables(),
+		Tables:         s.NumTables() - s.Tombstones(),
+		Tombstones:     s.Tombstones(),
 		Entries:        s.NumEntries(),
 		DistinctValues: s.NumDistinctValues(),
 		EstimatedBytes: s.SizeBytes(),
@@ -295,6 +319,9 @@ func (s *ShardedStore) ComputeStats() Stats {
 	}
 	var cols, rows int
 	for g := range s.refs {
+		if !s.TableAlive(int32(g)) {
+			continue
+		}
 		m := s.TableMeta(int32(g))
 		cols += len(m.ColNames)
 		rows += int(m.NumRows)
@@ -317,6 +344,82 @@ func (s *ShardedStore) AddTable(t *table.Table) int32 {
 	s.globalTID[sh] = append(s.globalTID[sh], g)
 	s.recomputeBase()
 	return g
+}
+
+// AddTablesBatch appends a batch of tables, assigning global ids in input
+// order, and applies the per-shard inserts concurrently — the write-path
+// counterpart of the per-shard read fan-out. Tables are grouped by their
+// hash shard first; each shard's group is then appended by one goroutine
+// (dictionaries and postings are shard-local, so the appends share no
+// state), bounded by workers (<= 0 means GOMAXPROCS). The global directory
+// and entry offsets are refreshed once for the whole batch. Not safe for
+// use concurrent with readers.
+func (s *ShardedStore) AddTablesBatch(tables []*table.Table, workers int) []int32 {
+	if len(tables) == 0 {
+		return nil
+	}
+	ids := make([]int32, len(tables))
+	perShard := make([][]*table.Table, len(s.shards))
+	for i, t := range tables {
+		sh := s.shardFor(t.Name)
+		g := int32(len(s.refs))
+		ids[i] = g
+		local := int32(s.shards[sh].NumTables() + len(perShard[sh]))
+		s.refs = append(s.refs, shardRef{shard: int32(sh), local: local})
+		s.globalTID[sh] = append(s.globalTID[sh], g)
+		perShard[sh] = append(perShard[sh], t)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for sh, group := range perShard {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, group []*table.Table) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.shards[sh].AddTablesBatch(group, 1)
+		}(sh, group)
+	}
+	wg.Wait()
+	s.recomputeBase()
+	return ids
+}
+
+// RemoveTable tombstones one global table id; see Store.RemoveTable for
+// the semantics. Not safe for use concurrent with readers.
+func (s *ShardedStore) RemoveTable(tid int32) error {
+	if tid < 0 || int(tid) >= len(s.refs) {
+		return berr.New(berr.CodeNotFound, "storage.remove", "no table with id %d", tid)
+	}
+	r := s.refs[tid]
+	return s.shards[r.shard].RemoveTable(r.local)
+}
+
+// Compact physically reclaims tombstoned tables by rebuilding the lake
+// from its live tables, preserving the shard count and the relative order
+// of global ids (which are reassigned contiguously). Returns how many
+// tables were removed; a lake without tombstones is left untouched. Not
+// safe for use concurrent with readers.
+func (s *ShardedStore) Compact() int {
+	removed := s.Tombstones()
+	if removed == 0 {
+		return 0
+	}
+	live := make([]*table.Table, 0, len(s.refs)-removed)
+	for g := range s.refs {
+		r := s.refs[g]
+		if s.shards[r.shard].TableAlive(r.local) {
+			live = append(live, s.shards[r.shard].reconstructTable(r.local))
+		}
+	}
+	*s = *BuildSharded(s.layout, live, len(s.shards))
+	return removed
 }
 
 // ShardReaders implements Sharded: one per-shard view exposing global table
@@ -368,6 +471,12 @@ func (v *shardView) TableName(tid int32) string { return v.parent.TableName(tid)
 
 // TableIDByName delegates to the global catalog.
 func (v *shardView) TableIDByName(name string) int32 { return v.parent.TableIDByName(name) }
+
+// TableAlive delegates to the global catalog.
+func (v *shardView) TableAlive(tid int32) bool { return v.parent.TableAlive(tid) }
+
+// Tombstones reports the shard-local tombstone count.
+func (v *shardView) Tombstones() int { return v.store().Tombstones() }
 
 // Value returns the CellValue of shard-local entry i.
 func (v *shardView) Value(i int32) string { return v.store().Value(i) }

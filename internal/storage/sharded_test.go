@@ -187,7 +187,7 @@ func TestShardReaderViews(t *testing.T) {
 	}
 }
 
-func TestShardedPersistV2RoundTrip(t *testing.T) {
+func TestShardedPersistRoundTrip(t *testing.T) {
 	for _, layout := range []Layout{ColumnStore, RowStore} {
 		orig := BuildSharded(layout, widerLake(), 3)
 		var buf bytes.Buffer
@@ -257,9 +257,10 @@ func TestLoadShardedRejectsBadDirectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	// Byte layout: magic(4) version(4) layout(4) shards(4) tables(4) then
-	// the first table's shard assignment — point it out of range.
-	raw[20] = 0xee
+	// v3 byte layout: magic(4) version(4) kind(1) layout(4) shards(4)
+	// tables(4) then the first table's shard assignment — point it out of
+	// range.
+	raw[21] = 0xee
 	if _, err := Load(bytes.NewReader(raw)); err == nil {
 		t.Fatal("corrupt shard directory must be rejected")
 	}

@@ -6,7 +6,8 @@ package storage
 type Stats struct {
 	Layout           Layout
 	Shards           int // partitions backing the index (1 when monolithic)
-	Tables           int
+	Tables           int // live tables (tombstoned ones excluded)
+	Tombstones       int // removed-but-not-compacted tables still holding space
 	Entries          int
 	DistinctValues   int
 	NumericCells     int // cells carrying a quadrant bit
@@ -23,7 +24,8 @@ func (s *Store) ComputeStats() Stats {
 	st := Stats{
 		Layout:         s.layout,
 		Shards:         1,
-		Tables:         s.NumTables(),
+		Tables:         s.NumTables() - s.numDead,
+		Tombstones:     s.numDead,
 		Entries:        s.NumEntries(),
 		DistinctValues: s.NumDistinctValues(),
 		EstimatedBytes: s.SizeBytes(),
@@ -47,7 +49,10 @@ func (s *Store) ComputeStats() Stats {
 		}
 	}
 	var cols, rows int
-	for _, m := range s.tables {
+	for tid, m := range s.tables {
+		if s.dead[tid] {
+			continue
+		}
 		cols += len(m.ColNames)
 		rows += int(m.NumRows)
 	}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"blend/internal/berr"
 	"blend/internal/qcr"
 	"blend/internal/table"
 	"blend/internal/xash"
@@ -101,6 +102,11 @@ type Store struct {
 	tableRange [][2]int32
 
 	tables []TableMeta
+	// dead marks tombstoned tables (RemoveTable): their catalog slot and
+	// entries stay allocated until Compact, but every read surface skips
+	// them. len(dead) == len(tables) at all times.
+	dead    []bool
+	numDead int
 }
 
 // NewBuilder starts an offline indexing run producing a store with the given
@@ -140,6 +146,108 @@ func (s *Store) AddTable(t *table.Table) int32 {
 	return tid
 }
 
+// AddTablesBatch appends a batch of tables in order and returns their ids.
+// Unlike a loop over AddTable, the attribute arrays are grown once for the
+// whole batch (the cell count is known up front) and the row layout is
+// re-packed once at the end. The workers argument exists for interface
+// symmetry with the sharded store; a monolithic store shares one
+// dictionary, so the batch is applied sequentially. Not safe for use
+// concurrent with readers.
+func (s *Store) AddTablesBatch(tables []*table.Table, workers int) []int32 {
+	_ = workers
+	cells := 0
+	for _, t := range tables {
+		cells += len(t.Rows) * len(t.Columns) // upper bound: nulls are skipped
+	}
+	s.reserve(cells)
+	ids := make([]int32, len(tables))
+	for i, t := range tables {
+		ids[i] = s.addTable(t)
+	}
+	if s.layout == RowStore {
+		s.packRows()
+	}
+	return ids
+}
+
+// reserve grows the attribute arrays for extra upcoming entries in one
+// reallocation each, instead of the amortized doubling a long append
+// sequence pays.
+func (s *Store) reserve(extra int) {
+	if extra <= 0 {
+		return
+	}
+	need := len(s.valIdx) + extra
+	if cap(s.valIdx) >= need {
+		return
+	}
+	growI32 := func(a []int32) []int32 {
+		n := make([]int32, len(a), need)
+		copy(n, a)
+		return n
+	}
+	growU64 := func(a []uint64) []uint64 {
+		n := make([]uint64, len(a), need)
+		copy(n, a)
+		return n
+	}
+	s.valIdx = growI32(s.valIdx)
+	s.tableIDs = growI32(s.tableIDs)
+	s.columnIDs = growI32(s.columnIDs)
+	s.rowIDs = growI32(s.rowIDs)
+	s.superLo = growU64(s.superLo)
+	s.superHi = growU64(s.superHi)
+	q := make([]int8, len(s.quadrant), need)
+	copy(q, s.quadrant)
+	s.quadrant = q
+}
+
+// RemoveTable tombstones one table: its id stays allocated (ids are never
+// reused before Compact) but the table disappears from every read surface —
+// name lookups, posting scans, table ranges, reconstruction. The entries
+// remain physically present until Compact reclaims them. Not safe for use
+// concurrent with readers.
+func (s *Store) RemoveTable(tid int32) error {
+	if tid < 0 || int(tid) >= len(s.tables) {
+		return berr.New(berr.CodeNotFound, "storage.remove", "no table with id %d", tid)
+	}
+	if s.dead[tid] {
+		return berr.New(berr.CodeNotFound, "storage.remove", "table %d is already removed", tid)
+	}
+	s.dead[tid] = true
+	s.numDead++
+	return nil
+}
+
+// TableAlive reports whether a table id is allocated and not tombstoned.
+func (s *Store) TableAlive(tid int32) bool {
+	return tid >= 0 && int(tid) < len(s.tables) && !s.dead[tid]
+}
+
+// Tombstones reports the number of removed-but-not-compacted tables.
+func (s *Store) Tombstones() int { return s.numDead }
+
+// Compact physically reclaims tombstoned tables by rebuilding the store
+// from its live tables, and returns how many tables were removed. Table
+// ids are reassigned contiguously in their original relative order, so any
+// externally held id is invalidated (the engine bumps its generation and
+// purges caches around compaction). A store without tombstones is left
+// untouched. Not safe for use concurrent with readers.
+func (s *Store) Compact() int {
+	if s.numDead == 0 {
+		return 0
+	}
+	live := make([]*table.Table, 0, len(s.tables)-s.numDead)
+	for tid := range s.tables {
+		if !s.dead[tid] {
+			live = append(live, s.reconstructTable(int32(tid)))
+		}
+	}
+	removed := s.numDead
+	*s = *Build(s.layout, live)
+	return removed
+}
+
 func (s *Store) addTable(t *table.Table) int32 {
 	tid := int32(len(s.tables))
 	meta := TableMeta{Name: t.Name, NumRows: int32(len(t.Rows))}
@@ -150,6 +258,7 @@ func (s *Store) addTable(t *table.Table) int32 {
 		meta.ColKinds[i] = c.Kind
 	}
 	s.tables = append(s.tables, meta)
+	s.dead = append(s.dead, false)
 
 	// Column means for quadrant bits.
 	means := make([]float64, len(t.Columns))
@@ -291,18 +400,19 @@ func (s *Store) NumDistinctValues() int { return len(s.dict) }
 // TableMeta returns catalog information for a table id.
 func (s *Store) TableMeta(tid int32) TableMeta { return s.tables[tid] }
 
-// TableName returns the name of a table id, or "" if out of range.
+// TableName returns the name of a table id, or "" if out of range or
+// tombstoned.
 func (s *Store) TableName(tid int32) string {
-	if tid < 0 || int(tid) >= len(s.tables) {
+	if !s.TableAlive(tid) {
 		return ""
 	}
 	return s.tables[tid].Name
 }
 
-// TableIDByName returns the id of the named table, or -1.
+// TableIDByName returns the id of the named live table, or -1.
 func (s *Store) TableIDByName(name string) int32 {
 	for i, m := range s.tables {
-		if m.Name == name {
+		if m.Name == name && !s.dead[i] {
 			return int32(i)
 		}
 	}
@@ -367,18 +477,44 @@ func (s *Store) Quadrant(i int32) int8 {
 }
 
 // Postings returns the sorted entry positions whose CellValue equals v
-// (the in-DB inverted index lookup). The returned slice is shared; callers
-// must not modify it.
+// (the in-DB inverted index lookup), restricted to live tables. Without
+// tombstones the shared index slice is returned directly (callers must not
+// modify it); with tombstones a filtered copy is allocated — Compact
+// restores the zero-copy path.
 func (s *Store) Postings(v string) []int32 {
 	vi, ok := s.dictIdx[v]
 	if !ok {
 		return nil
 	}
-	return s.postings[vi]
+	if s.numDead == 0 {
+		return s.postings[vi]
+	}
+	out := make([]int32, 0, len(s.postings[vi]))
+	for _, p := range s.postings[vi] {
+		if !s.dead[s.TableID(p)] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
-// Frequency returns the number of index entries holding value v.
-func (s *Store) Frequency(v string) int { return len(s.Postings(v)) }
+// Frequency returns the number of live index entries holding value v.
+func (s *Store) Frequency(v string) int {
+	vi, ok := s.dictIdx[v]
+	if !ok {
+		return 0
+	}
+	if s.numDead == 0 {
+		return len(s.postings[vi])
+	}
+	n := 0
+	for _, p := range s.postings[vi] {
+		if !s.dead[s.TableID(p)] {
+			n++
+		}
+	}
+	return n
+}
 
 // ScanPostings streams the (TableId, ColumnId, RowId) attributes of every
 // entry holding value v, in ascending entry-position order — the native
@@ -394,13 +530,20 @@ func (s *Store) ScanPostings(v string, fn func(tid, cid, rid int32)) {
 	if s.layout == RowStore {
 		for _, p := range s.postings[vi] {
 			rec := s.record(p)
-			fn(int32(getU32(rec[rowOffTableID:])),
+			tid := int32(getU32(rec[rowOffTableID:]))
+			if s.numDead > 0 && s.dead[tid] {
+				continue
+			}
+			fn(tid,
 				int32(getU32(rec[rowOffColumnID:])),
 				int32(getU32(rec[rowOffRowID:])))
 		}
 		return
 	}
 	for _, p := range s.postings[vi] {
+		if s.numDead > 0 && s.dead[s.tableIDs[p]] {
+			continue
+		}
 		fn(s.tableIDs[p], s.columnIDs[p], s.rowIDs[p])
 	}
 }
@@ -419,8 +562,12 @@ func (s *Store) AvgFrequency(values []string) float64 {
 }
 
 // TableEntries returns the [start, end) entry range of a table id (the
-// in-DB index on TableId used for fast table loading).
+// in-DB index on TableId used for fast table loading). A tombstoned table
+// yields the empty range.
 func (s *Store) TableEntries(tid int32) (start, end int32) {
+	if s.numDead > 0 && s.dead[tid] {
+		return 0, 0
+	}
 	r := s.tableRange[tid]
 	return r[0], r[1]
 }
@@ -443,8 +590,18 @@ func (s *Store) ReconstructRow(tid, rid int32) []string {
 	return row
 }
 
-// ReconstructTable materializes a full table from the index.
+// ReconstructTable materializes a full table from the index, or nil when
+// the table is tombstoned.
 func (s *Store) ReconstructTable(tid int32) *table.Table {
+	if s.numDead > 0 && s.dead[tid] {
+		return nil
+	}
+	return s.reconstructTable(tid)
+}
+
+// reconstructTable materializes a table straight off the physical entry
+// range, regardless of tombstone state.
+func (s *Store) reconstructTable(tid int32) *table.Table {
 	meta := s.tables[tid]
 	t := table.New(meta.Name, meta.ColNames...)
 	for c, k := range meta.ColKinds {
@@ -454,8 +611,8 @@ func (s *Store) ReconstructTable(tid int32) *table.Table {
 	for r := range t.Rows {
 		t.Rows[r] = make([]string, len(meta.ColNames))
 	}
-	start, end := s.TableEntries(tid)
-	for i := start; i < end; i++ {
+	r := s.tableRange[tid]
+	for i := r[0]; i < r[1]; i++ {
 		t.Rows[s.RowID(i)][s.ColumnID(i)] = s.Value(i)
 	}
 	return t

@@ -1,24 +1,38 @@
 #!/usr/bin/env bash
-# bench.sh runs the seeker/service benchmarks with -benchmem and emits
-# BENCH_PR3.json: every benchmark's ns/op, B/op, and allocs/op, plus the
-# native-vs-SQL speedup for each *NativePath/*SQLPath pair. CI runs it as a
-# non-blocking job (make bench) so the perf trajectory is tracked per PR.
+# bench.sh runs the seeker/service/ingest benchmarks with -benchmem and
+# emits BENCH.json: commit + date + host metadata, every benchmark's
+# ns/op, B/op, and allocs/op, the native-vs-SQL speedup for each
+# *NativePath/*SQLPath pair, and the bulk-ingest speedup of the batched
+# write path over the sequential AddTable loop. CI runs it as a
+# non-blocking job (make bench), uploads the artifact, and diffs it
+# against the previous main run with scripts/benchdelta.sh.
+#
+# The output file carries its own provenance (commit, date), so one stable
+# name works across PRs; per-PR snapshots from before this scheme
+# (BENCH_PR3.json, …) remain in the repo as loadable history — benchdelta
+# accepts either shape.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${BENCH_OUT:-BENCH_PR3.json}
+OUT=${BENCH_OUT:-BENCH.json}
 BENCHTIME=${BENCHTIME:-500x}
-PATTERN='SCSeeker|KWSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek'
+PATTERN='SCSeeker|KWSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest'
+
+COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+DATE=$(date -u +%FT%TZ)
+GOVER=$(go env GOVERSION 2>/dev/null || echo unknown)
+CORES=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "running seeker benchmarks (-benchtime $BENCHTIME)..." >&2
+echo "running seeker/ingest benchmarks (-benchtime $BENCHTIME)..." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW" >&2
 echo "running service benchmarks..." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/service/ | tee -a "$RAW" >&2
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" '
+awk -v out="$OUT" -v benchtime="$BENCHTIME" -v commit="$COMMIT" -v date="$DATE" \
+    -v gover="$GOVER" -v cores="$CORES" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -29,7 +43,8 @@ awk -v out="$OUT" -v benchtime="$BENCHTIME" '
     order[n++] = name
 }
 END {
-    printf "{\n  \"pr\": 3,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", benchtime > out
+    printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpu_cores\": %s,\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", \
+        commit, date, gover, cores, benchtime > out
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
@@ -50,7 +65,16 @@ END {
             }
         }
     }
-    printf "\n  }\n}\n" >> out
+    printf "\n  }" >> out
+    seqn = "BenchmarkBulkIngestSequential"
+    batn = "BenchmarkBulkIngestBatch"
+    if ((seqn in ns) && (batn in ns) && ns[batn] > 0) {
+        # Batched shard-parallel ingest vs the sequential AddTable loop;
+        # the parallel component of the speedup scales with cpu_cores.
+        printf ",\n  \"bulk_ingest_speedup\": {\"sequential_ns_per_op\": %s, \"batch_ns_per_op\": %s, \"speedup\": %.2f, \"bytes_sequential\": %s, \"bytes_batch\": %s, \"workers\": 8, \"cpu_cores\": %s}", \
+            ns[seqn], ns[batn], ns[seqn] / ns[batn], bytes[seqn], bytes[batn], cores >> out
+    }
+    printf "\n}\n" >> out
 }' "$RAW"
 
 echo "wrote $OUT" >&2

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# benchdelta.sh OLD.json NEW.json — print a benchstat-style markdown table
+# comparing two bench reports produced by scripts/bench.sh. It reads both
+# the current BENCH.json shape (with commit/date metadata) and the legacy
+# per-PR snapshots (BENCH_PR3.json), whose "benchmarks" arrays are
+# identical. Intended for the CI job summary; always exits 0 so the bench
+# job stays non-blocking.
+set -uo pipefail
+
+old=${1:-}
+new=${2:-}
+if [ -z "$old" ] || [ -z "$new" ] || [ ! -f "$old" ] || [ ! -f "$new" ]; then
+    echo "_no previous bench report to compare against_"
+    exit 0
+fi
+if ! command -v jq >/dev/null 2>&1; then
+    echo "_jq not available; skipping bench delta_"
+    exit 0
+fi
+
+meta() { # file field
+    jq -r ".$2 // \"?\"" "$1" 2>/dev/null || echo "?"
+}
+
+echo "### Benchmark delta"
+echo
+echo "Old: \`$(meta "$old" commit)\` ($(meta "$old" date)) → New: \`$(meta "$new" commit)\` ($(meta "$new" date))"
+echo
+echo "| benchmark | old ns/op | new ns/op | delta | old allocs | new allocs |"
+echo "|---|---:|---:|---:|---:|---:|"
+
+# Join the two benchmark arrays by name; report only names present in both.
+jq -rn --slurpfile o "$old" --slurpfile n "$new" '
+    ($o[0].benchmarks // [] | map({(.name): .}) | add // {}) as $old
+    | ($n[0].benchmarks // [])[]
+    | . as $new
+    | $old[$new.name] // empty
+    | [ $new.name,
+        .ns_per_op,
+        $new.ns_per_op,
+        (if .ns_per_op > 0
+            then ((($new.ns_per_op - .ns_per_op) / .ns_per_op * 100 * 10 | round) / 10 | tostring) + "%"
+            else "?" end),
+        .allocs_per_op,
+        $new.allocs_per_op ]
+    | "| " + (map(tostring) | join(" | ")) + " |"
+' 2>/dev/null || echo "_failed to parse bench reports_"
+
+echo
+echo "_delta = (new − old) / old; negative is faster. Non-blocking: noisy runners make small deltas meaningless._"
+exit 0
