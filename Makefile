@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench
+.PHONY: build test race lint bench fuzz cover
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,26 @@ lint:
 # BENCH_OUT=path. Compare two reports with scripts/benchdelta.sh.
 bench:
 	./scripts/bench.sh
+
+# fuzz smoke-runs every native fuzz target (seed corpora live under each
+# package's testdata/fuzz/). Targets are discovered with `go test -list`,
+# so a new Fuzz* function joins the smoke run without touching this file.
+# Tune with FUZZTIME=5m for a real session; CI runs the 15s default on
+# every push as a regression tripwire.
+FUZZTIME ?= 15s
+fuzz:
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		list=$$($(GO) test -list '^Fuzz' $$pkg); \
+		targets=$$(printf '%s\n' "$$list" | grep '^Fuzz' || true); \
+		for t in $$targets; do \
+			echo "== fuzz $$pkg $$t ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
+
+# cover writes the aggregate coverage profile and prints the per-function
+# summary; CI uploads the profile and posts the total as a non-blocking
+# delta next to the bench delta.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1

@@ -1,10 +1,11 @@
 package blend
 
-// A/B benchmarks for the native posting-list fast path (PR 3): the same
-// joinability / overlap workload executed on the native executor and on
-// the SQL-interpreter baseline it replaced, plus the result cache under
-// repeated serve-style traffic. scripts/bench.sh runs these with -benchmem
-// and records the pairing into BENCH_PR3.json.
+// A/B benchmarks for the native posting-list fast path: the joinability /
+// overlap workloads (SC, KW, union plans) and the multi-column candidate
+// join (MC) executed on the native executor and on the SQL-interpreter
+// baseline it replaced, plus the result cache under repeated serve-style
+// traffic. scripts/bench.sh runs these with -benchmem and records the
+// pairings into BENCH.json.
 
 import (
 	"context"
@@ -81,6 +82,35 @@ func BenchmarkSCSeekerShardedNativePath(b *testing.B) {
 func BenchmarkSCSeekerShardedSQLPath(b *testing.B) {
 	benchPathSetup(b)
 	benchSeekSC(b, benchPath.shardSQL)
+}
+
+func benchSeekMC(b *testing.B, d *Discovery) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := benchLake.tuples[i%len(benchLake.tuples)]
+		if _, err := d.Seek(context.Background(), MC(t, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Multi-column joinability: the native candidate join + XASH pruning +
+// exact validation pipeline vs the interpreted Listing 2 join it replaced.
+// scripts/bench.sh records this pairing as mc_native_speedup in BENCH.json.
+func BenchmarkMCNative(b *testing.B) { benchPathSetup(b); benchSeekMC(b, benchPath.colNative) }
+func BenchmarkMCSQL(b *testing.B)    { benchPathSetup(b); benchSeekMC(b, benchPath.colSQL) }
+
+// The same MC pairing over a 4-shard store: concurrent per-shard candidate
+// joins vs the per-shard SQL fan-out.
+func BenchmarkMCNativeSharded(b *testing.B) {
+	benchPathSetup(b)
+	benchSeekMC(b, benchPath.shardNative)
+}
+
+func BenchmarkMCSQLSharded(b *testing.B) {
+	benchPathSetup(b)
+	benchSeekMC(b, benchPath.shardSQL)
 }
 
 // Serve-style repeated traffic with the result cache on: after the first

@@ -206,6 +206,14 @@ func IndexTables(layout Layout, tables []*Table, opts ...IndexOption) *Discovery
 	} else {
 		idx = storage.Build(layout, tables)
 	}
+	return newDiscovery(idx, cfg)
+}
+
+// newDiscovery wires an indexConfig's engine-level options onto a fresh
+// engine — the one place IndexTables and OpenIndex share, so an engine
+// option added to one construction path cannot silently be a no-op on the
+// other. (Build-time options like WithShards act before this point.)
+func newDiscovery(idx storage.Index, cfg indexConfig) *Discovery {
 	e := core.NewEngine(idx)
 	e.NoNativeExec = cfg.noNative
 	if cfg.cacheSize > 0 {
@@ -226,13 +234,20 @@ func IndexCSVDir(layout Layout, dir string, opts ...IndexOption) (*Discovery, er
 	return IndexTables(layout, tables, opts...), nil
 }
 
-// OpenIndex loads a previously saved index file.
-func OpenIndex(path string) (*Discovery, error) {
+// OpenIndex loads a previously saved index file. Options configure the
+// engine the same way they do at build time — WithoutNativeExec and
+// WithResultCache apply; WithShards is ignored, because the shard count
+// is a property of the persisted file.
+func OpenIndex(path string, opts ...IndexOption) (*Discovery, error) {
 	s, err := storage.LoadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("blend: open index %s: %w", path, err)
 	}
-	return &Discovery{engine: core.NewEngine(s)}, nil
+	var cfg indexConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newDiscovery(s, cfg), nil
 }
 
 // SaveIndex persists the index to a file for later OpenIndex calls.

@@ -70,6 +70,7 @@ func run(args []string) error {
 	allowDirIngest := fs.Bool("allow-dir-ingest", false, "allow POST /v1/tables to bulk-load CSV directories from the server's filesystem (off by default: it lets any client read server-side CSV files)")
 	ingestWorkers := fs.Int("ingest-workers", 0, "parallelism for ingest parsing and per-shard inserts (0 = GOMAXPROCS)")
 	ingestBatch := fs.Int("ingest-batch", 0, "tables per atomic ingest commit batch (0 = library default)")
+	noNative := fs.Bool("no-native", false, "force the SQL interpreter for every seeker (A/B against path=native in /v1/query explain output)")
 	if err := fs.Parse(args); err != nil {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
 	}
@@ -77,7 +78,7 @@ func run(args []string) error {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "unexpected arguments %q", fs.Args())
 	}
 
-	d, err := openLake(*index, *lake, *layout, *shards)
+	d, err := openLake(*index, *lake, *layout, *shards, *noNative)
 	if err != nil {
 		return err
 	}
@@ -125,12 +126,16 @@ func run(args []string) error {
 }
 
 // openLake resolves the serving lake from -index or -lake.
-func openLake(index, lake, layout string, shards int) (*blend.Discovery, error) {
+func openLake(index, lake, layout string, shards int, noNative bool) (*blend.Discovery, error) {
+	var opts []blend.IndexOption
+	if noNative {
+		opts = append(opts, blend.WithoutNativeExec())
+	}
 	switch {
 	case index != "" && lake != "":
 		return nil, berr.New(berr.CodeBadRequest, "serve.flags", "-index and -lake are mutually exclusive")
 	case index != "":
-		return blend.OpenIndex(index)
+		return blend.OpenIndex(index, opts...)
 	case lake != "":
 		l := blend.ColumnStore
 		switch layout {
@@ -140,7 +145,7 @@ func openLake(index, lake, layout string, shards int) (*blend.Discovery, error) 
 		default:
 			return nil, berr.New(berr.CodeBadRequest, "serve.flags", "unknown -layout %q (want column or row)", layout)
 		}
-		return blend.IndexCSVDir(l, lake, blend.WithShards(shards))
+		return blend.IndexCSVDir(l, lake, append(opts, blend.WithShards(shards))...)
 	default:
 		return nil, berr.New(berr.CodeBadRequest, "serve.flags", "one of -index or -lake is required")
 	}

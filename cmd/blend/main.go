@@ -104,10 +104,20 @@ func usage() {
   blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
   blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
   blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
-  blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N] [-timeout D] [-explain]
+  blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N] [-timeout D] [-explain] [-no-native]
                                                          run a JSON discovery plan
   blend stats -index FILE                                index statistics
   blend demo                                             run the paper's Example 1`)
+}
+
+// indexOptions maps the -no-native flag to the engine options OpenIndex
+// applies: the SQL interpreter serves every seeker, for A/B runs against
+// path=native output.
+func indexOptions(noNative bool) []blend.IndexOption {
+	if noNative {
+		return []blend.IndexOption{blend.WithoutNativeExec()}
+	}
+	return nil
 }
 
 // queryContext derives the context for one CLI query: Background, bounded
@@ -155,13 +165,14 @@ func cmdPlan(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the plan after this duration (0 = none)")
 	profile := fs.Bool("profile", false, "print a per-node execution profile")
 	explain := fs.Bool("explain", false, "print the SQL executed per seeker, rewrites included")
+	noNative := fs.Bool("no-native", false, "force the SQL interpreter (A/B against path=native under -explain)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" || *file == "" {
 		return berr.New(berr.CodeBadRequest, "cli.plan", "-index and -file are required")
 	}
-	d, err := blend.OpenIndex(*index)
+	d, err := blend.OpenIndex(*index, indexOptions(*noNative)...)
 	if err != nil {
 		return err
 	}
@@ -274,6 +285,7 @@ func cmdSeek(args []string) error {
 	k := fs.Int("k", 10, "top-k result size")
 	preview := fs.Int("preview", 0, "print the first N rows of each result table")
 	timeout := fs.Duration("timeout", 0, "abort the search after this duration (0 = none)")
+	noNative := fs.Bool("no-native", false, "force the SQL interpreter instead of the native fast path")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -283,7 +295,7 @@ func cmdSeek(args []string) error {
 	if *k <= 0 {
 		return berr.New(berr.CodeBadRequest, "cli.seek", "-k must be positive, got %d", *k)
 	}
-	d, err := blend.OpenIndex(*index)
+	d, err := blend.OpenIndex(*index, indexOptions(*noNative)...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,47 @@
+package blend
+
+// Fuzzing for the public ingest surface: ReadCSV feeds every external
+// ingest path (HTTP uploads via /v1/tables, directory ingest, the CLI), so
+// malformed bytes from the outside world must never panic the process —
+// they either parse into a well-formed table or return an error.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV asserts CSV ingest never panics on malformed input, and that
+// every accepted table is structurally sound: rectangular rows matching
+// the header width, so the indexer downstream can trust cell coordinates.
+func FuzzReadCSV(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("Team,Size\nHR,33\nIT,92\n"),
+		[]byte("a,b,c\n1,2\n1,2,3,4\n"), // ragged rows: padded / truncated
+		[]byte("solo\n"),
+		[]byte(""),
+		[]byte("\"unclosed,quote\nx,y\n"),
+		[]byte("a;b\x00c,\xff\xfe\n1,2\n"),
+		[]byte("h1,h2\n\"it\"\"s\",  spaced  \n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<18 {
+			return // bound work per case
+		}
+		tb, err := ReadCSV("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if tb.Name != "fuzz" {
+			t.Fatalf("table name = %q", tb.Name)
+		}
+		width := len(tb.Columns)
+		for r, row := range tb.Rows {
+			if len(row) != width {
+				t.Fatalf("row %d has %d cells, header has %d", r, len(row), width)
+			}
+		}
+	})
+}

@@ -105,6 +105,39 @@ func TestKWSeeker(t *testing.T) {
 	}
 }
 
+// TestRunStatsFunnelMCOnly pins the RunStats invariant: Candidates and
+// Validated describe the MC validation funnel and are exactly zero for
+// every other seeker kind, on both execution paths — consumers must gate
+// funnel attribution on Kind == MC, never on non-zero counters.
+func TestRunStatsFunnelMCOnly(t *testing.T) {
+	for _, noNative := range []bool{false, true} {
+		e := fig1Engine()
+		e.NoNativeExec = noNative
+		seekers := map[string]Seeker{
+			"sc": NewSC(departments, 10),
+			"kw": NewKW([]string{"Firenze", "2024"}, 10),
+			"c":  NewCorrelation([]string{"HR", "IT", "Sales"}, []float64{33, 92, 80}, 10),
+		}
+		for name, s := range seekers {
+			_, stats, err := e.RunSeeker(context.Background(), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Candidates != 0 || stats.Validated != 0 {
+				t.Fatalf("%s (noNative=%v): funnel counters leaked: %+v", name, noNative, stats)
+			}
+		}
+		// The MC seeker does populate the funnel — on both paths.
+		_, stats, err := e.RunSeeker(context.Background(), NewMC([][]string{{"HR", "Firenze"}}, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates == 0 || stats.Validated == 0 {
+			t.Fatalf("mc (noNative=%v): funnel empty: %+v", noNative, stats)
+		}
+	}
+}
+
 func TestMCSeekerExample1(t *testing.T) {
 	e := fig1Engine()
 	// Positive examples: tables containing ("HR", "Firenze") in a row.
@@ -572,6 +605,42 @@ func TestTrainCostModels(t *testing.T) {
 	v := m.Predict(NewSC(departments, 10).Features(e.store))
 	if v != v { // NaN check
 		t.Fatal("prediction is NaN")
+	}
+}
+
+// TestTrainCostModelsPathSeparation asserts training observes both
+// executors for natively-served kinds: the flag is restored afterwards,
+// and the fitted model prices the native execution of a seeker below its
+// SQL execution (the Native feature varied within the training set, so
+// its weight carries the path cost gap instead of being collinear with
+// the intercept).
+func TestTrainCostModelsPathSeparation(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		e := fig1Engine()
+		if cached {
+			// Training must bypass the result cache: its keys are
+			// path-agnostic, so a cached run would feed the SQL-path
+			// samples the native run's result at zero measured cost.
+			e.SetResultCache(64)
+		}
+		per, err := TrainCostModels(e, 40, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NoNativeExec {
+			t.Fatal("training must restore the engine's execution path")
+		}
+		m := per.Get(SC)
+		if m == nil {
+			t.Fatal("SC model missing")
+		}
+		f := NewSC(departments, 10).Features(e.store)
+		fNative := f
+		fNative.Native = 1
+		if n, s := m.Predict(fNative), m.Predict(f); n >= s {
+			t.Fatalf("cached=%v: trained model prices native (%v) >= sql (%v)",
+				cached, n, s)
+		}
 	}
 }
 

@@ -333,8 +333,33 @@ func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
 		return topK(hits, k), groups, nil
 	}
 
+	partials, counts, err := fanOutShards(ctx, e, func(ctx context.Context, r storage.Reader) (Hits, int, error) {
+		return scanShardOverlap(ctx, r, values, k, minOverlap, perColumn, &f, numTables)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	merged := Hits{}
+	groups := 0
+	for i, p := range partials {
+		merged = append(merged, p...)
+		groups += counts[i]
+	}
+	return topK(merged, k), groups, nil
+}
+
+// fanOutShards runs scan against every native shard view concurrently,
+// each goroutine acquiring a slot of the engine's shard semaphore (or
+// aborting if the context is canceled while waiting), and returns the
+// per-shard partial hits and counters. Any shard error — cancellation
+// included — fails the whole fan-out. Both native executors (overlap and
+// MC) share this scaffolding so the semaphore/cancellation protocol lives
+// in exactly one place.
+func fanOutShards[C any](ctx context.Context, e *Engine,
+	scan func(ctx context.Context, r storage.Reader) (Hits, C, error)) ([]Hits, []C, error) {
+
 	partials := make([]Hits, len(e.nativeViews))
-	counts := make([]int, len(e.nativeViews))
+	counts := make([]C, len(e.nativeViews))
 	errs := make([]error, len(e.nativeViews))
 	var wg sync.WaitGroup
 	for i, view := range e.nativeViews {
@@ -350,21 +375,14 @@ func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
 					return
 				}
 			}
-			partials[i], counts[i], errs[i] = scanShardOverlap(
-				ctx, view, values, k, minOverlap, perColumn, &f, numTables)
+			partials[i], counts[i], errs[i] = scan(ctx, view)
 		}(i, view)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 	}
-	merged := Hits{}
-	groups := 0
-	for i, p := range partials {
-		merged = append(merged, p...)
-		groups += counts[i]
-	}
-	return topK(merged, k), groups, nil
+	return partials, counts, nil
 }

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"blend/internal/storage"
+	"blend/internal/xash"
+)
+
+// The native MC executor answers the paper's multi-column seeker (Listing 2
+// plus XASH filtering and exact validation, §VI) with no SQL: per-shard
+// posting scans build the candidate-row set of the per-column index-hit
+// join, each candidate's XASH super key prunes non-covering rows in-stream,
+// exact tuple validation runs against rows reconstructed from that shard,
+// and the per-shard bounded top-k heaps merge under the shared
+// (score desc, TableId asc) order. It is the MC counterpart of
+// runNativeOverlap: same pooled scratch discipline (epoch-marked progress
+// per candidate instead of per table), same shard fan-out under the
+// engine's semaphore, and bit-identical results to the SQL fallback —
+// including the RunStats funnel (SQLRows, Candidates, Validated).
+
+// mcCand tracks one candidate row (TableId, RowId) through the per-column
+// join. col is the epoch mark: the index of the last query column that
+// matched the row. A row whose col falls behind the scan's current column
+// missed a join leg and is dead; it is skipped, never deleted, so the
+// pooled map is written once per surviving leg.
+type mcCand struct {
+	super xash.Key
+	prod  int64 // join-row multiplicity of columns 0..col-1
+	col   int32 // epoch: last query column with a match
+	cnt   int32 // matches within column col
+}
+
+// mcScratch is the pooled per-shard scan state: the candidate map, the
+// cell set reused across row validations, and the contained-tuple index
+// buffer. clear() keeps the map buckets allocated across scans, the same
+// amortization the overlap scratch applies to its group map.
+type mcScratch struct {
+	cands  map[uint64]mcCand
+	cells  map[string]struct{}
+	tupIdx []int
+}
+
+var mcPool = sync.Pool{New: func() any {
+	return &mcScratch{
+		cands: make(map[uint64]mcCand),
+		cells: make(map[string]struct{}),
+	}
+}}
+
+func grabMCScratch() *mcScratch { return mcPool.Get().(*mcScratch) }
+
+func (sc *mcScratch) release() {
+	if len(sc.cands) > 0 {
+		clear(sc.cands)
+	}
+	if len(sc.cells) > 0 {
+		clear(sc.cells)
+	}
+	sc.tupIdx = sc.tupIdx[:0]
+	mcPool.Put(sc)
+}
+
+// mcCounters is the MC validation funnel both execution paths report
+// identically: the rows Listing 2's join would return, the rows surviving
+// the XASH filter, and the rows surviving exact validation.
+type mcCounters struct {
+	sqlRows    int
+	candidates int
+	validated  int
+}
+
+// rowKey64 packs a (TableId, RowId) pair into one map key.
+func rowKey64(tid, rid int32) uint64 {
+	return uint64(uint32(tid))<<32 | uint64(uint32(rid))
+}
+
+// scanShardMC executes the MC pipeline against one shard reader and
+// returns its top-k hits (best first) plus the funnel counters.
+//
+// Column 0 seeds the candidate set (the optimizer's rewrite predicate
+// lands here, exactly like the first subquery of the generated SQL bounds
+// every join result); each later column advances only candidates whose
+// epoch reached the previous column. The per-column match counts multiply
+// into the join-row multiplicity, so sqlRows equals the row count of the
+// SQL join without materializing it.
+func scanShardMC(ctx context.Context, r storage.Reader, cols [][]string,
+	tuples [][]string, tupleKeys []xash.Key, k int, f *tableFilter) (Hits, mcCounters, error) {
+
+	var c mcCounters
+	sc := grabMCScratch()
+	defer sc.release()
+
+	for _, v := range cols[0] {
+		if err := ctx.Err(); err != nil {
+			return nil, c, err
+		}
+		r.ScanPostingsSuper(v, func(tid, cid, rid int32, super xash.Key) {
+			if !f.admit(tid) {
+				return
+			}
+			key := rowKey64(tid, rid)
+			cand, ok := sc.cands[key]
+			if !ok {
+				sc.cands[key] = mcCand{super: super, prod: 1, cnt: 1}
+				return
+			}
+			if cand.col == 0 {
+				cand.cnt++
+				sc.cands[key] = cand
+			}
+		})
+	}
+	for i := 1; i < len(cols); i++ {
+		epoch := int32(i)
+		for _, v := range cols[i] {
+			if err := ctx.Err(); err != nil {
+				return nil, c, err
+			}
+			r.ScanPostings(v, func(tid, cid, rid int32) {
+				key := rowKey64(tid, rid)
+				cand, ok := sc.cands[key]
+				if !ok {
+					return
+				}
+				switch cand.col {
+				case epoch - 1:
+					cand.prod *= int64(cand.cnt)
+					cand.col = epoch
+					cand.cnt = 1
+				case epoch:
+					cand.cnt++
+				default:
+					return
+				}
+				sc.cands[key] = cand
+			})
+		}
+	}
+
+	last := int32(len(cols) - 1)
+	matched := make(map[int32]int32)
+	checked := 0
+	for key, cand := range sc.cands {
+		if cand.col != last {
+			continue
+		}
+		c.sqlRows += int(cand.prod) * int(cand.cnt)
+
+		// XASH bloom filter: some query tuple must be fully covered by the
+		// row's super key. Recall is exact (Contains never rejects a truly
+		// contained tuple), so the filter only trims validation work.
+		sc.tupIdx = sc.tupIdx[:0]
+		for ti, tk := range tupleKeys {
+			if cand.super.Contains(tk) {
+				sc.tupIdx = append(sc.tupIdx, ti)
+			}
+		}
+		if len(sc.tupIdx) == 0 {
+			continue
+		}
+		c.candidates++
+		if checked++; checked&0x3f == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, c, err
+			}
+		}
+
+		// Exact validation: every value of some surviving tuple must occur
+		// in the reconstructed candidate row.
+		tid, rid := int32(key>>32), int32(uint32(key))
+		if len(sc.cells) > 0 {
+			clear(sc.cells)
+		}
+		for _, cell := range r.ReconstructRow(tid, rid) {
+			if cell != "" {
+				sc.cells[cell] = struct{}{}
+			}
+		}
+		valid := false
+		for _, ti := range sc.tupIdx {
+			all := true
+			for _, v := range tuples[ti] {
+				if v == "" {
+					continue
+				}
+				if _, ok := sc.cells[v]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				valid = true
+				break
+			}
+		}
+		if valid {
+			c.validated++
+			matched[tid]++
+		}
+	}
+
+	heap := topkHeap{k: k}
+	for tid, n := range matched {
+		heap.offer(TableHit{TableID: tid, Score: float64(n)})
+	}
+	return heap.sorted(), c, nil
+}
+
+// runNativeMC executes the MC seeker on the native fast path: every shard
+// is scanned concurrently (bounded by the engine's shard semaphore), each
+// producing a bounded top-k and its slice of the validation funnel, and
+// the partials merge with the deterministic (score desc, TableId asc)
+// order of the SQL path. Tables never span shards, so per-shard candidate
+// rows — and therefore the summed counters — partition exactly.
+func (e *Engine) runNativeMC(ctx context.Context, s *MCSeeker, rw Rewrite) (Hits, mcCounters, error) {
+	x := s.width()
+	cols := make([][]string, x)
+	for i := range cols {
+		cols[i] = s.columnValues(i)
+		if len(cols[i]) == 0 {
+			// A column with no non-empty values renders as `IN ()`, which
+			// matches nothing: the join is empty on both paths.
+			return Hits{}, mcCounters{}, nil
+		}
+	}
+	tupleKeys := make([]xash.Key, len(s.Tuples))
+	for i, t := range s.Tuples {
+		tupleKeys[i] = xash.HashRow(t)
+	}
+	f := compileFilter(rw)
+
+	if len(e.nativeViews) == 1 {
+		hits, c, err := scanShardMC(ctx, e.nativeViews[0], cols, s.Tuples, tupleKeys, s.K, &f)
+		if err != nil {
+			return nil, c, err
+		}
+		if hits == nil {
+			hits = Hits{} // match the SQL path's empty-but-non-nil result
+		}
+		return topK(hits, s.K), c, nil
+	}
+
+	partials, counts, err := fanOutShards(ctx, e, func(ctx context.Context, r storage.Reader) (Hits, mcCounters, error) {
+		return scanShardMC(ctx, r, cols, s.Tuples, tupleKeys, s.K, &f)
+	})
+	var c mcCounters
+	if err != nil {
+		return nil, c, err
+	}
+	merged := Hits{}
+	for i, p := range partials {
+		merged = append(merged, p...)
+		c.sqlRows += counts[i].sqlRows
+		c.candidates += counts[i].candidates
+		c.validated += counts[i].validated
+	}
+	return topK(merged, s.K), c, nil
+}

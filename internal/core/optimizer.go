@@ -1,6 +1,38 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"blend/internal/costmodel"
+)
+
+// nativeServes reports whether the engine's native posting-list executor
+// will serve the given seeker kind; the others fall back to SQL (or ANN for
+// the semantic seeker).
+func (e *Engine) nativeServes(k SeekerKind) bool {
+	if e.NoNativeExec {
+		return false
+	}
+	switch k {
+	case KW, SC, MC:
+		return true
+	default:
+		return false
+	}
+}
+
+// seekerFeatures extracts a seeker's cost-model features and stamps the
+// execution-path indicator, so trained models can price the native and SQL
+// executions of one kind separately. Every optimizer or training call site
+// goes through here — never through Seeker.Features directly, which cannot
+// know the engine's path configuration.
+func (e *Engine) seekerFeatures(s Seeker) costmodel.Features {
+	f := s.Features(e.store)
+	if e.nativeServes(s.Kind()) {
+		f.Native = 1
+	}
+	return f
+}
 
 // ruleRank orders seeker kinds per the rule-based optimizer (§VII-B):
 // Rule 1 — the keyword seeker always executes first; Rule 2 — the MC seeker
@@ -77,7 +109,7 @@ func (e *Engine) rankSeekers(p *Plan, members []string) []string {
 	for i, id := range members {
 		s := p.nodes[id].seeker
 		r := ranked{id: id, rule: ruleRank(s.Kind())}
-		f := s.Features(e.store)
+		f := e.seekerFeatures(s)
 		if e.Cost != nil {
 			if m := e.Cost.Get(s.Kind()); m != nil {
 				r.cost = m.Predict(f)

@@ -26,12 +26,19 @@ const (
 
 // RunStats captures per-seeker execution diagnostics used by the
 // experiments (Table V counts true/false positives of the MC seeker).
+//
+// Invariant: Candidates and Validated describe the MC validation funnel
+// only — candidate rows surviving the XASH super-key filter, then rows
+// surviving exact tuple validation. Every other seeker kind has no such
+// funnel and reports both as zero, on the native and the SQL path alike
+// (core_test.go asserts this). Consumers attributing funnel counters must
+// therefore gate on Kind == MC, not on the counters being non-zero.
 type RunStats struct {
 	Kind       SeekerKind
 	Duration   time.Duration
 	SQLRows    int // rows the seeker's (actual or equivalent) SQL produced
-	Candidates int // candidate rows after XASH filtering (MC only)
-	Validated  int // rows surviving exact validation (MC only)
+	Candidates int // candidate rows after XASH filtering (MC only; see above)
+	Validated  int // rows surviving exact validation (MC only; see above)
 	Rewritten  bool
 	// Path reports the execution path the run took: PathNative for the
 	// posting-list fast path, PathSQL for the minisql interpreter, PathANN
@@ -192,7 +199,7 @@ func (s *SCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 	if len(s.Values) == 0 {
 		return nil, stats, nil
 	}
-	if !e.NoNativeExec {
+	if e.nativeServes(SC) {
 		start := time.Now()
 		hits, groups, err := e.runNativeOverlap(ctx, s.Values, s.K, s.MinOverlap, true, rw)
 		if err != nil {
@@ -268,7 +275,7 @@ func (s *KWSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 	if len(s.Keywords) == 0 {
 		return nil, stats, nil
 	}
-	if !e.NoNativeExec {
+	if e.nativeServes(KW) {
 		start := time.Now()
 		hits, groups, err := e.runNativeOverlap(ctx, s.Keywords, s.K, s.MinOverlap, false, rw)
 		if err != nil {
@@ -389,6 +396,19 @@ func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 	stats := RunStats{Kind: MC, Rewritten: rw.active(), Path: PathSQL}
 	if s.width() == 0 || len(s.Tuples) == 0 {
 		return nil, stats, nil
+	}
+	if e.nativeServes(MC) {
+		start := time.Now()
+		hits, c, err := e.runNativeMC(ctx, s, rw)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Path = PathNative
+		stats.Duration = time.Since(start)
+		stats.SQLRows = c.sqlRows
+		stats.Candidates = c.candidates
+		stats.Validated = c.validated
+		return hits, stats, nil
 	}
 	res, dur, err := e.execSQL(ctx, s.SQL(rw))
 	if err != nil {

@@ -14,6 +14,16 @@ import (
 // standalone, measures the runtime, and fits one linear model per seeker
 // kind. The fitted models are installed on the engine and returned.
 //
+// Kinds the engine can serve natively execute every sample on both
+// executors (the flag toggled per run), so the Features.Native path
+// indicator varies within the training set and the fitted weight prices
+// the two executors' very different cost curves; were all samples taken
+// on one path, the indicator would be constant — collinear with the
+// intercept — and a model trained under one path configuration would
+// mis-extrapolate when loaded into the other. Because training toggles
+// the engine's execution path, it must not run concurrently with queries
+// (it is an offline step, like the paper's).
+//
 // Training is deterministic for a given seed. samplesPerKind of 1000
 // matches the paper; experiments here use smaller counts because the
 // synthetic lakes are smaller.
@@ -26,17 +36,32 @@ func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerK
 	for _, kind := range []SeekerKind{KW, SC, MC, C} {
 		var feats []costmodel.Features
 		var times []float64
+		paths := []bool{e.NoNativeExec}
+		if e.nativeServes(kind) {
+			paths = []bool{false, true} // sample the native executor and the SQL fallback
+		}
 		for i := 0; i < samplesPerKind; i++ {
 			s := sampleSeeker(e, rng, kind)
 			if s == nil {
 				continue
 			}
-			_, stats, err := e.RunSeeker(context.Background(), s)
-			if err != nil {
-				return nil, fmt.Errorf("core: training run for %v: %w", kind, err)
+			prev := e.NoNativeExec
+			for _, noNative := range paths {
+				e.NoNativeExec = noNative
+				// Execute the seeker directly, not through RunSeeker: the
+				// result cache keys by fingerprint regardless of path, so a
+				// cached run would hand the second path the first path's
+				// result with no measured duration — a zero-cost sample that
+				// would corrupt the fitted path weight.
+				_, stats, err := s.run(context.Background(), e, NoRewrite)
+				if err != nil {
+					e.NoNativeExec = prev
+					return nil, fmt.Errorf("core: training run for %v: %w", kind, err)
+				}
+				feats = append(feats, e.seekerFeatures(s))
+				times = append(times, float64(stats.Duration.Microseconds()))
 			}
-			feats = append(feats, s.Features(e.store))
-			times = append(times, float64(stats.Duration.Microseconds()))
+			e.NoNativeExec = prev
 		}
 		if len(feats) < 8 {
 			continue // lake too small to sample this kind; keep heuristic

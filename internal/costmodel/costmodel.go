@@ -13,21 +13,28 @@ import (
 
 // Features describe one seeker input, mirroring §VII-B: cardinality of Q,
 // number of columns involved in Q, and the average frequency of Q's values
-// in the database (for MC, the product of per-column averages).
+// in the database (for MC, the product of per-column averages). Native is
+// an execution-path indicator the engine sets, not a property of Q: 1 when
+// the seeker will run on the native posting-list executor, 0 for the SQL
+// interpreter. It lets one trained model price the two executors of the
+// same seeker kind separately (the native MC path skips SQL generation and
+// interpretation entirely, so its cost curve has a different intercept).
 type Features struct {
 	Card    float64
 	Cols    float64
 	AvgFreq float64
+	Native  float64
 }
 
-// vector expands features into the regression design row. Features are
-// log1p-compressed: posting lengths and cardinalities are heavy-tailed and
-// runtimes scale sub-linearly in them.
+// vector expands features into the regression design row. Input-shape
+// features are log1p-compressed (posting lengths and cardinalities are
+// heavy-tailed and runtimes scale sub-linearly in them); the path
+// indicator enters raw.
 func (f Features) vector() [dims]float64 {
-	return [dims]float64{1, math.Log1p(f.Card), math.Log1p(f.Cols), math.Log1p(f.AvgFreq)}
+	return [dims]float64{1, math.Log1p(f.Card), math.Log1p(f.Cols), math.Log1p(f.AvgFreq), f.Native}
 }
 
-const dims = 4
+const dims = 5
 
 // Model is a fitted linear predictor of seeker runtime (in arbitrary but
 // consistent units; only the ordering matters to the optimizer).

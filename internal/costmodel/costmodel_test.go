@@ -56,11 +56,39 @@ func TestFitOrdersByCost(t *testing.T) {
 }
 
 func TestFitErrors(t *testing.T) {
-	if _, err := Fit([]Features{{1, 1, 1}}, []float64{1, 2}); err == nil {
+	if _, err := Fit([]Features{{Card: 1, Cols: 1, AvgFreq: 1}}, []float64{1, 2}); err == nil {
 		t.Fatal("length mismatch must fail")
 	}
-	if _, err := Fit([]Features{{1, 1, 1}, {2, 2, 2}}, []float64{1, 2}); err == nil {
+	if _, err := Fit([]Features{{Card: 1, Cols: 1, AvgFreq: 1}, {Card: 2, Cols: 2, AvgFreq: 2}}, []float64{1, 2}); err == nil {
 		t.Fatal("too few samples must fail")
+	}
+}
+
+func TestNativeFeatureSeparatesPaths(t *testing.T) {
+	// Train on the same input shapes executed on both paths: the native
+	// runs are uniformly cheaper. The fitted model must preserve that gap
+	// when predicting, i.e. the path indicator carries signal.
+	var xs []Features
+	var ys []float64
+	for card := 1; card <= 64; card *= 2 {
+		shape := Features{Card: float64(card), Cols: 1, AvgFreq: 10}
+		sql := shape
+		xs = append(xs, sql)
+		ys = append(ys, 100+math.Log1p(shape.Card)*50)
+		native := shape
+		native.Native = 1
+		xs = append(xs, native)
+		ys = append(ys, 1+math.Log1p(shape.Card))
+	}
+	m, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := Features{Card: 16, Cols: 1, AvgFreq: 10}
+	nativeShape := shape
+	nativeShape.Native = 1
+	if n, s := m.Predict(nativeShape), m.Predict(shape); n >= s {
+		t.Fatalf("native predicted %v, sql %v: path feature lost", n, s)
 	}
 }
 
@@ -103,8 +131,8 @@ func TestPerKind(t *testing.T) {
 
 func TestModelPersistenceRoundTrip(t *testing.T) {
 	per := &PerKind{}
-	per.Set(KindSC, &Model{W: [4]float64{1, 2, 3, 4}})
-	per.Set(KindMC, &Model{W: [4]float64{-1, 0.5, 0, 9}})
+	per.Set(KindSC, &Model{W: [5]float64{1, 2, 3, 4, 5}})
+	per.Set(KindMC, &Model{W: [5]float64{-1, 0.5, 0, 9, -2}})
 	var buf bytes.Buffer
 	if err := per.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -121,6 +149,30 @@ func TestModelPersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+func TestLoadModelsVersion1(t *testing.T) {
+	// Version-1 files carry four weights (no execution-path feature); they
+	// must load with a zero path weight, predicting identically on both
+	// paths.
+	doc := `{"version": 1, "models": {"SC": [1, 2, 3, 4]}}`
+	per, err := LoadModels(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := per.Get(KindSC)
+	if m == nil {
+		t.Fatal("SC model missing")
+	}
+	if m.W != [5]float64{1, 2, 3, 4, 0} {
+		t.Fatalf("v1 weights = %v", m.W)
+	}
+	f := Features{Card: 10, Cols: 2, AvgFreq: 3}
+	fn := f
+	fn.Native = 1
+	if m.Predict(f) != m.Predict(fn) {
+		t.Fatal("v1 model must be path-agnostic")
+	}
+}
+
 func TestLoadModelsRejectsGarbage(t *testing.T) {
 	for _, doc := range []string{
 		"",
@@ -128,6 +180,8 @@ func TestLoadModelsRejectsGarbage(t *testing.T) {
 		`{"version": 99, "models": {}}`,
 		`{"version": 1, "models": {"Bogus": [1,2,3,4]}}`,
 		`{"version": 1, "models": {}, "extra": true}`,
+		`{"version": 1, "models": {"SC": [1,2,3,4,5]}}`,
+		`{"version": 2, "models": {"SC": [1,2,3,4]}}`,
 	} {
 		if _, err := LoadModels(strings.NewReader(doc)); err == nil {
 			t.Errorf("LoadModels(%q) should fail", doc)

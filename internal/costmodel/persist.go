@@ -11,16 +11,18 @@ import (
 // installation") survives process restarts alongside the index file.
 
 type persistedModels struct {
-	Version int                   `json:"version"`
-	Models  map[string][4]float64 `json:"models"`
+	Version int                  `json:"version"`
+	Models  map[string][]float64 `json:"models"`
 }
 
-// Save writes the trained models as JSON.
+// Save writes the trained models as JSON (format version 2: one weight per
+// design dimension, currently 5 — the execution-path indicator added a
+// fifth weight to the version-1 quadruple).
 func (p *PerKind) Save(w io.Writer) error {
-	doc := persistedModels{Version: 1, Models: map[string][4]float64{}}
+	doc := persistedModels{Version: 2, Models: map[string][]float64{}}
 	for k := Kind(0); k < numKinds; k++ {
 		if m := p.Get(k); m != nil {
-			doc.Models[k.String()] = m.W
+			doc.Models[k.String()] = append([]float64(nil), m.W[:]...)
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -28,7 +30,10 @@ func (p *PerKind) Save(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// LoadModels reads models previously written by Save.
+// LoadModels reads models previously written by Save. Version-1 files
+// (four weights, no execution-path feature) still load: the missing path
+// weight becomes zero, i.e. the model prices both executors identically —
+// exactly what it observed when it was trained.
 func LoadModels(r io.Reader) (*PerKind, error) {
 	var doc persistedModels
 	dec := json.NewDecoder(r)
@@ -36,7 +41,13 @@ func LoadModels(r io.Reader) (*PerKind, error) {
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("costmodel: decode models: %w", err)
 	}
-	if doc.Version != 1 {
+	var width int
+	switch doc.Version {
+	case 1:
+		width = 4
+	case 2:
+		width = dims
+	default:
 		return nil, fmt.Errorf("costmodel: unsupported model version %d", doc.Version)
 	}
 	per := &PerKind{}
@@ -45,7 +56,13 @@ func LoadModels(r io.Reader) (*PerKind, error) {
 		if !ok {
 			return nil, fmt.Errorf("costmodel: unknown seeker kind %q", name)
 		}
-		per.Set(k, &Model{W: w})
+		if len(w) != width {
+			return nil, fmt.Errorf("costmodel: model %q has %d weights, version %d requires %d",
+				name, len(w), doc.Version, width)
+		}
+		m := &Model{}
+		copy(m.W[:], w)
+		per.Set(k, m)
 	}
 	return per, nil
 }

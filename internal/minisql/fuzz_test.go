@@ -1,9 +1,45 @@
 package minisql
 
 import (
+	"errors"
 	"strings"
 	"testing"
+
+	"blend/internal/berr"
 )
+
+// FuzzMinisqlParse fuzzes the parser's error contract: it never panics,
+// and every rejection is a typed berr error carrying CodeBadQuery — the
+// classification the HTTP service maps to a 4xx status, so an untyped
+// parse error would surface to clients as a spurious 500. (FuzzParse below
+// additionally checks the print/parse fixed point for accepted inputs.)
+func FuzzMinisqlParse(f *testing.F) {
+	seeds := []string{
+		"SELECT TableId FROM AllTables WHERE CellValue IN ('a') GROUP BY TableId",
+		"SELECT q0.TableId FROM (SELECT * FROM AllTables) AS q0 INNER JOIN (SELECT * FROM AllTables) AS q1 ON q0.TableId = q1.TableId AND q0.RowId = q1.RowId",
+		"SELECT * FROM t WHERE v IN ()",
+		"SELECT 'unterminated",
+		"\x00\x01\x02",
+		"SELECT ~!@#$%^&*",
+		")))(((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return // bound work per case
+		}
+		q, err := Parse(input)
+		if err != nil {
+			if !errors.Is(err, berr.ErrBadQuery) {
+				t.Fatalf("parse error for %q is not berr-typed bad_query: %v", input, err)
+			}
+			return
+		}
+		_ = q.String() // printing an accepted query must not panic either
+	})
+}
 
 // FuzzParse asserts the parser never panics and that anything it accepts
 // round-trips through the printer to an equivalent AST.

@@ -156,6 +156,40 @@ func TestQueryConcurrentRequests(t *testing.T) {
 	}
 }
 
+// TestQueryExplainReportsMCNativePath pins the explain attribution over
+// HTTP: with explain on, /v1/query reports path=native for the plan's MC
+// (and SC) seeker nodes, and path=sql on a service whose engine forces
+// the SQL fallback.
+func TestQueryExplainReportsMCNativePath(t *testing.T) {
+	body := fmt.Sprintf(`{"plan": %s, "options": {"explain": true}}`, example1Plan)
+	for _, tc := range []struct {
+		name string
+		opts []blend.IndexOption
+		want string
+	}{
+		{"native", nil, "native"},
+		{"sql-fallback", []blend.IndexOption{blend.WithoutNativeExec()}, "sql"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newTestServer(t, fig1Discovery(tc.opts...))
+			resp, raw := postJSON(t, srv.URL+"/v1/query", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var qr QueryResponse
+			if err := json.Unmarshal(raw, &qr); err != nil {
+				t.Fatal(err)
+			}
+			for _, node := range []string{"P_examples", "N_examples", "dep"} {
+				if got := qr.PathByNode[node]; got != tc.want {
+					t.Fatalf("path_by_node[%s] = %q, want %q (full: %v)",
+						node, got, tc.want, qr.PathByNode)
+				}
+			}
+		})
+	}
+}
+
 func errorCode(t *testing.T, body []byte) string {
 	t.Helper()
 	var eb ErrorBody

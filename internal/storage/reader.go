@@ -59,6 +59,11 @@ type Reader interface {
 	// the engine's native seeker executor. Sharded implementations report
 	// global table ids.
 	ScanPostings(v string, fn func(tid, cid, rid int32))
+	// ScanPostingsSuper is ScanPostings with the entry's row-level XASH
+	// super key included — the candidate-row streaming surface of the
+	// native multi-column executor, which prunes rows by super-key
+	// containment before reconstructing them for exact validation.
+	ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key))
 	// Frequency returns the number of index entries holding value v.
 	Frequency(v string) int
 	// AvgFrequency returns the mean index frequency of the given values.

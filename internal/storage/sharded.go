@@ -240,6 +240,17 @@ func (s *ShardedStore) ScanPostings(v string, fn func(tid, cid, rid int32)) {
 	}
 }
 
+// ScanPostingsSuper streams the entries holding value v, with their row
+// super keys, across all shards in shard order, reporting global table ids.
+func (s *ShardedStore) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key)) {
+	for si, sh := range s.shards {
+		g := s.globalTID[si]
+		sh.ScanPostingsSuper(v, func(tid, cid, rid int32, super xash.Key) {
+			fn(g[tid], cid, rid, super)
+		})
+	}
+}
+
 // Frequency returns the number of index entries holding value v.
 func (s *ShardedStore) Frequency(v string) int {
 	total := 0
@@ -506,6 +517,15 @@ func (v *shardView) Postings(val string) []int32 { return v.store().Postings(val
 func (v *shardView) ScanPostings(val string, fn func(tid, cid, rid int32)) {
 	g := v.parent.globalTID[v.shard]
 	v.store().ScanPostings(val, func(tid, cid, rid int32) { fn(g[tid], cid, rid) })
+}
+
+// ScanPostingsSuper streams the shard's entries holding value val with
+// their row super keys, reporting global table ids.
+func (v *shardView) ScanPostingsSuper(val string, fn func(tid, cid, rid int32, super xash.Key)) {
+	g := v.parent.globalTID[v.shard]
+	v.store().ScanPostingsSuper(val, func(tid, cid, rid int32, super xash.Key) {
+		fn(g[tid], cid, rid, super)
+	})
 }
 
 // Frequency returns the shard-local frequency of value v.

@@ -548,6 +548,40 @@ func (s *Store) ScanPostings(v string, fn func(tid, cid, rid int32)) {
 	}
 }
 
+// ScanPostingsSuper streams, for every entry holding value v, its
+// (TableId, ColumnId, RowId) attributes plus the XASH super key of its row
+// — the candidate stream of the native multi-column executor. The column
+// layout reads the dedicated super-key arrays; the row layout decodes the
+// packed record it already touched for the ids, so the key costs no extra
+// cache line.
+func (s *Store) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key)) {
+	vi, ok := s.dictIdx[v]
+	if !ok {
+		return
+	}
+	if s.layout == RowStore {
+		for _, p := range s.postings[vi] {
+			rec := s.record(p)
+			tid := int32(getU32(rec[rowOffTableID:]))
+			if s.numDead > 0 && s.dead[tid] {
+				continue
+			}
+			fn(tid,
+				int32(getU32(rec[rowOffColumnID:])),
+				int32(getU32(rec[rowOffRowID:])),
+				xash.Key{Lo: getU64(rec[rowOffSuperLo:]), Hi: getU64(rec[rowOffSuperHi:])})
+		}
+		return
+	}
+	for _, p := range s.postings[vi] {
+		if s.numDead > 0 && s.dead[s.tableIDs[p]] {
+			continue
+		}
+		fn(s.tableIDs[p], s.columnIDs[p], s.rowIDs[p],
+			xash.Key{Lo: s.superLo[p], Hi: s.superHi[p]})
+	}
+}
+
 // AvgFrequency returns the mean index frequency of the given values — the
 // statistic BLEND's learned cost model uses as a feature (§VII-B).
 func (s *Store) AvgFrequency(values []string) float64 {

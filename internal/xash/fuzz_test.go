@@ -1,0 +1,64 @@
+package xash
+
+import "testing"
+
+// FuzzXashKey fuzzes the bloom-filter contract the MC seeker's pruning
+// correctness rests on: if every cell of a query row occurs among a
+// candidate row's cells (exact set cover), the candidate's super key must
+// contain the query row's key — containment never false-negatives, so the
+// filter can only trim work, never drop a true match. The fuzzer builds
+// the candidate row from four cells and derives query rows as subsets
+// selected by a bitmask.
+func FuzzXashKey(f *testing.F) {
+	seeds := []struct {
+		a, b, c, d string
+		mask       uint8
+	}{
+		{"HR", "Firenze", "2022", "33", 0b0011},
+		{"", "", "", "", 0b1111},
+		{"a", "a", "a", "a", 0b1010},
+		{"it's", "quoted", "x\x00y", "\xff\xfe", 0b0101},
+		{"long-value-with-many-characters", "短", "émoji🙂", "0", 0b1001},
+	}
+	for _, s := range seeds {
+		f.Add(s.a, s.b, s.c, s.d, s.mask)
+	}
+	f.Fuzz(func(t *testing.T, a, b, c, d string, mask uint8) {
+		cells := []string{a, b, c, d}
+		super := HashRow(cells)
+
+		// Query = the subset of cells selected by mask: always an exact
+		// set cover, so containment must hold.
+		var query []string
+		for i, cell := range cells {
+			if mask&(1<<i) != 0 {
+				query = append(query, cell)
+			}
+		}
+		if qk := HashRow(query); !super.Contains(qk) {
+			t.Fatalf("false negative: row %q does not contain subset %q (super=%+v query=%+v)",
+				cells, query, super, qk)
+		}
+
+		// Per-cell invariants: every non-empty cell's own key is covered by
+		// the row key; the empty value hashes to zero; keys are bounded by
+		// psi character bits plus one length bit.
+		for _, cell := range cells {
+			k := Hash(cell)
+			if !super.Contains(k) {
+				t.Fatalf("row key drops cell %q", cell)
+			}
+			if cell == "" && !k.IsZero() {
+				t.Fatalf("empty value hashed to %+v", k)
+			}
+			if n := k.OnesCount(); n > psi+1 {
+				t.Fatalf("key of %q sets %d bits, max %d", cell, n, psi+1)
+			}
+		}
+
+		// Determinism: hashing is a pure function.
+		if again := HashRow(cells); again != super {
+			t.Fatalf("HashRow not deterministic: %+v vs %+v", again, super)
+		}
+	})
+}

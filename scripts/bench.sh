@@ -2,7 +2,9 @@
 # bench.sh runs the seeker/service/ingest benchmarks with -benchmem and
 # emits BENCH.json: commit + date + host metadata, every benchmark's
 # ns/op, B/op, and allocs/op, the native-vs-SQL speedup for each
-# *NativePath/*SQLPath pair, and the bulk-ingest speedup of the batched
+# *NativePath/*SQLPath pair, the multi-column seeker's native-vs-SQL
+# pairing (mc_native_speedup, from BenchmarkMCNative/BenchmarkMCSQL and
+# their sharded variants), and the bulk-ingest speedup of the batched
 # write path over the sequential AddTable loop. CI runs it as a
 # non-blocking job (make bench), uploads the artifact, and diffs it
 # against the previous main run with scripts/benchdelta.sh.
@@ -16,7 +18,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${BENCH_OUT:-BENCH.json}
 BENCHTIME=${BENCHTIME:-500x}
-PATTERN='SCSeeker|KWSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest'
+PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest'
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE=$(date -u +%FT%TZ)
@@ -66,6 +68,19 @@ END {
         }
     }
     printf "\n  }" >> out
+    mcs = "BenchmarkMCSQL"
+    mcn = "BenchmarkMCNative"
+    if ((mcs in ns) && (mcn in ns) && ns[mcn] > 0) {
+        # The multi-column seeker pairing: native candidate join + XASH
+        # pruning + exact validation vs the interpreted Listing 2 join.
+        printf ",\n  \"mc_native_speedup\": {\"sql_ns_per_op\": %s, \"native_ns_per_op\": %s, \"speedup\": %.2f, \"allocs_sql\": %s, \"allocs_native\": %s", \
+            ns[mcs], ns[mcn], ns[mcs] / ns[mcn], allocs[mcs], allocs[mcn] >> out
+        shs = "BenchmarkMCSQLSharded"
+        shn = "BenchmarkMCNativeSharded"
+        if ((shs in ns) && (shn in ns) && ns[shn] > 0)
+            printf ", \"sharded_speedup\": %.2f", ns[shs] / ns[shn] >> out
+        printf "}" >> out
+    }
     seqn = "BenchmarkBulkIngestSequential"
     batn = "BenchmarkBulkIngestBatch"
     if ((seqn in ns) && (batn in ns) && ns[batn] > 0) {
