@@ -8,6 +8,7 @@ package blend
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -76,6 +77,17 @@ func BenchmarkBulkIngestSequential(b *testing.B) {
 func BenchmarkBulkIngestBatch(b *testing.B) {
 	benchIngestSetup(b)
 	b.ReportAllocs()
+	// The effective parallelism is bounded by the flag, the shard count
+	// (one goroutine per shard), and GOMAXPROCS; report the real value so
+	// BENCH.json does not claim 8-way parallelism on a 1-core runner.
+	workers := benchIngestWorkers
+	if benchIngestShards < workers {
+		workers = benchIngestShards
+	}
+	if p := runtime.GOMAXPROCS(0); p < workers {
+		workers = p
+	}
+	b.ReportMetric(float64(workers), "workers")
 	for i := 0; i < b.N; i++ {
 		d := benchIngestTarget(b)
 		ids, err := d.AddTables(context.Background(), benchIngest.add,

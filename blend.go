@@ -158,6 +158,7 @@ type indexConfig struct {
 	shards    int
 	cacheSize int
 	noNative  bool
+	eager     bool
 }
 
 // WithShards hash-partitions the index's tables across n shards, each with
@@ -188,6 +189,19 @@ func WithResultCache(n int) IndexOption {
 // debugging with `-explain`.
 func WithoutNativeExec() IndexOption {
 	return func(c *indexConfig) { c.noNative = true }
+}
+
+// WithMmap controls how OpenIndex reads a segmented (v4) index file. On
+// (the default), the file is memory-mapped and shards are decoded only
+// when a query first touches them, so opening is O(footer) and resident
+// memory tracks the working set; query results are identical either way
+// (the differential tests assert it). WithMmap(false) restores the eager
+// loader, which decodes every shard up front — useful for A/B timing and
+// for tools that will scan the whole lake anyway. Pre-v4 files always
+// load eagerly; IndexTables ignores the option (a freshly built index is
+// already resident).
+func WithMmap(on bool) IndexOption {
+	return func(c *indexConfig) { c.eager = !on }
 }
 
 // IndexTables builds the unified index over the given tables (the offline
@@ -234,18 +248,26 @@ func IndexCSVDir(layout Layout, dir string, opts ...IndexOption) (*Discovery, er
 	return IndexTables(layout, tables, opts...), nil
 }
 
-// OpenIndex loads a previously saved index file. Options configure the
-// engine the same way they do at build time — WithoutNativeExec and
+// OpenIndex opens a previously saved index file. Segmented (v4) files are
+// memory-mapped with lazy shard materialization by default — see WithMmap
+// to opt out; older formats load eagerly. The remaining options configure
+// the engine the same way they do at build time — WithoutNativeExec and
 // WithResultCache apply; WithShards is ignored, because the shard count
 // is a property of the persisted file.
 func OpenIndex(path string, opts ...IndexOption) (*Discovery, error) {
-	s, err := storage.LoadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("blend: open index %s: %w", path, err)
-	}
 	var cfg indexConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	var s storage.Index
+	var err error
+	if cfg.eager {
+		s, err = storage.LoadFile(path)
+	} else {
+		s, err = storage.MapFile(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blend: open index %s: %w", path, err)
 	}
 	return newDiscovery(s, cfg), nil
 }
@@ -418,6 +440,18 @@ func (d *Discovery) TableByID(id int32) *Table { return d.engine.ReconstructTabl
 
 // IndexSizeBytes estimates the resident size of the unified index.
 func (d *Discovery) IndexSizeBytes() int64 { return d.engine.SizeBytes() }
+
+// Close releases the resources of an index opened with OpenIndex under
+// the default mmap mode — the memory mapping of the index file. It is a
+// no-op for built or eagerly loaded indexes. After Close, the Discovery
+// must not be queried (shards not yet materialized have nothing to decode
+// from); close only after in-flight queries have drained.
+func (d *Discovery) Close() error {
+	if c, ok := d.engine.Store().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Engine exposes the underlying execution engine for advanced use
 // (experiments, benchmarking, raw SQL via Engine.Catalog).

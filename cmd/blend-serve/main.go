@@ -22,7 +22,7 @@
 //
 // Usage:
 //
-//	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N] [-cache N]
+//	blend-serve -index lake.blend [-addr :8080] [-timeout 30s] [-workers N] [-cache N] [-mmap=false]
 //	blend-serve -lake DIR [-layout column|row] [-shards N] ...
 //	blend-serve ... [-allow-dir-ingest] [-ingest-workers N] [-ingest-batch N]
 package main
@@ -71,6 +71,7 @@ func run(args []string) error {
 	ingestWorkers := fs.Int("ingest-workers", 0, "parallelism for ingest parsing and per-shard inserts (0 = GOMAXPROCS)")
 	ingestBatch := fs.Int("ingest-batch", 0, "tables per atomic ingest commit batch (0 = library default)")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter for every seeker (A/B against path=native in /v1/query explain output)")
+	mmap := fs.Bool("mmap", true, "memory-map a v4 -index with lazy shard loading (false = eager load)")
 	if err := fs.Parse(args); err != nil {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
 	}
@@ -78,15 +79,21 @@ func run(args []string) error {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "unexpected arguments %q", fs.Args())
 	}
 
-	d, err := openLake(*index, *lake, *layout, *shards, *noNative)
+	d, err := openLake(*index, *lake, *layout, *shards, *noNative, *mmap)
 	if err != nil {
 		return err
 	}
 	if *cache > 0 {
 		d.SetResultCache(*cache)
 	}
-	log.Printf("serving %d tables across %d shard(s), ~%d index bytes, result cache %d entries",
-		d.LiveTables(), d.NumShards(), d.IndexSizeBytes(), *cache)
+	st := d.Stats()
+	if st.MappedBytes > 0 {
+		log.Printf("serving %d tables across %d shard(s), %d bytes mapped (%d/%d shards resident), result cache %d entries",
+			d.LiveTables(), d.NumShards(), st.MappedBytes, st.ResidentShards, st.Shards, *cache)
+	} else {
+		log.Printf("serving %d tables across %d shard(s), ~%d index bytes, result cache %d entries",
+			d.LiveTables(), d.NumShards(), d.IndexSizeBytes(), *cache)
+	}
 
 	svc := service.New(d, service.Options{
 		DefaultTimeout:  *timeout,
@@ -126,7 +133,7 @@ func run(args []string) error {
 }
 
 // openLake resolves the serving lake from -index or -lake.
-func openLake(index, lake, layout string, shards int, noNative bool) (*blend.Discovery, error) {
+func openLake(index, lake, layout string, shards int, noNative, mmap bool) (*blend.Discovery, error) {
 	var opts []blend.IndexOption
 	if noNative {
 		opts = append(opts, blend.WithoutNativeExec())
@@ -135,7 +142,7 @@ func openLake(index, lake, layout string, shards int, noNative bool) (*blend.Dis
 	case index != "" && lake != "":
 		return nil, berr.New(berr.CodeBadRequest, "serve.flags", "-index and -lake are mutually exclusive")
 	case index != "":
-		return blend.OpenIndex(index, opts...)
+		return blend.OpenIndex(index, append(opts, blend.WithMmap(mmap))...)
 	case lake != "":
 		l := blend.ColumnStore
 		switch layout {

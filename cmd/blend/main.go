@@ -9,6 +9,7 @@
 //	blend seek  -index FILE -op sc|kw -values v1,v2,… [-k 10]
 //	blend seek  -index FILE -op mc -tuples "a|b,c|d" [-k 10]
 //	blend sql   -index FILE -query "SELECT … FROM AllTables …"
+//	blend index -out FILE -inspect
 //	blend demo
 //
 // Failures print one structured line — blend: error[<code>]: <detail> —
@@ -28,9 +29,22 @@ import (
 
 	"blend"
 	"blend/internal/berr"
+	"blend/internal/storage"
 )
 
 func main() {
+	// A memory-mapped index that fails a section checksum at first touch
+	// panics with a typed bad_index error (the Reader surface has no error
+	// returns). Contain exactly that case into the standard error line;
+	// anything else stays a loud panic.
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && berr.CodeOf(err) == berr.CodeBadIndex {
+				fail(err)
+			}
+			panic(r)
+		}
+	}()
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
@@ -101,23 +115,29 @@ func usage() {
                                                          build the unified index
   blend index -lake DIR -out FILE -append [-workers N] [-batch N]
                                                          bulk-append DIR to an existing index
+  blend index -out FILE -inspect                         print a v4 index's segment directory
   blend seek  -index FILE -op sc|kw -values v1,v2,...    single-column / keyword search
   blend seek  -index FILE -op mc -tuples "a|b,c|d"       multi-column join search
   blend sql   -index FILE -query "SELECT ..."            raw SQL on AllTables
   blend plan  -index FILE -file plan.json [-no-opt] [-parallel] [-workers N] [-timeout D] [-explain] [-no-native]
                                                          run a JSON discovery plan
   blend stats -index FILE                                index statistics
-  blend demo                                             run the paper's Example 1`)
+  blend demo                                             run the paper's Example 1
+seek, sql, and plan open v4 index files memory-mapped with lazy shard
+loading; pass -mmap=false to load eagerly (A/B timing).`)
 }
 
-// indexOptions maps the -no-native flag to the engine options OpenIndex
-// applies: the SQL interpreter serves every seeker, for A/B runs against
-// path=native output.
-func indexOptions(noNative bool) []blend.IndexOption {
+// indexOptions maps the -no-native and -mmap flags to the engine options
+// OpenIndex applies: the SQL interpreter serves every seeker (for A/B runs
+// against path=native output), and mmap=false forces the eager loader (for
+// A/B runs against the default lazy-mapped open).
+func indexOptions(noNative, mmap bool) []blend.IndexOption {
+	var opts []blend.IndexOption
 	if noNative {
-		return []blend.IndexOption{blend.WithoutNativeExec()}
+		opts = append(opts, blend.WithoutNativeExec())
 	}
-	return nil
+	opts = append(opts, blend.WithMmap(mmap))
+	return opts
 }
 
 // queryContext derives the context for one CLI query: Background, bounded
@@ -138,7 +158,9 @@ func cmdStats(args []string) error {
 	if *index == "" {
 		return berr.New(berr.CodeBadRequest, "cli.stats", "-index is required")
 	}
-	d, err := blend.OpenIndex(*index)
+	// Stats scan the whole index, so a lazy open would materialize
+	// everything anyway; load eagerly for exact content figures.
+	d, err := blend.OpenIndex(*index, blend.WithMmap(false))
 	if err != nil {
 		return err
 	}
@@ -166,13 +188,14 @@ func cmdPlan(args []string) error {
 	profile := fs.Bool("profile", false, "print a per-node execution profile")
 	explain := fs.Bool("explain", false, "print the SQL executed per seeker, rewrites included")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter (A/B against path=native under -explain)")
+	mmap := fs.Bool("mmap", true, "memory-map a v4 index with lazy shard loading (false = eager load)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" || *file == "" {
 		return berr.New(berr.CodeBadRequest, "cli.plan", "-index and -file are required")
 	}
-	d, err := blend.OpenIndex(*index, indexOptions(*noNative)...)
+	d, err := blend.OpenIndex(*index, indexOptions(*noNative, *mmap)...)
 	if err != nil {
 		return err
 	}
@@ -230,8 +253,12 @@ func cmdIndex(args []string) error {
 	workers := fs.Int("workers", 0, "ingest parallelism for -append: CSV parsers and per-shard inserts (0 = GOMAXPROCS)")
 	batch := fs.Int("batch", 0, "tables per atomic ingest commit batch for -append (0 = library default)")
 	timeout := fs.Duration("timeout", 0, "abort an -append ingest after this duration (0 = none)")
+	inspect := fs.Bool("inspect", false, "print the segment directory of the v4 index at -out and exit")
 	if err := parseFlags(fs, args); err != nil {
 		return err
+	}
+	if *inspect {
+		return inspectIndex(*out)
 	}
 	if *lakeDir == "" {
 		return berr.New(berr.CodeBadRequest, "cli.index", "-lake is required")
@@ -276,6 +303,45 @@ func cmdIndex(args []string) error {
 	return nil
 }
 
+// inspectIndex prints a v4 index file's footer directory: per-shard
+// section sizes, tombstone counts, and the postings compression ratio
+// against the uncompressed legacy encoding. It reads only the footer and
+// the small eager sections, never materializing a shard.
+func inspectIndex(path string) error {
+	info, err := storage.InspectFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("index:    %s (%d bytes, version 4, %s, layout %v)\n", path, info.FileBytes, info.Kind, info.Layout)
+	fmt.Printf("tables:   %d (%d tombstoned)\n", info.Tables, info.Tombstones)
+	fmt.Printf("entries:  %d across %d shard(s)\n", info.Entries, len(info.Shards))
+	entryBytes := info.EntryBytes()
+	if entryBytes > 0 {
+		fmt.Printf("postings: %d bytes on disk vs %d raw (%.2fx compression)\n",
+			entryBytes, info.RawEntryBytes(), float64(info.RawEntryBytes())/float64(entryBytes))
+	}
+	fmt.Printf("footer:   offset %d, refs %d bytes\n\n", info.FooterOff, info.RefsBytes)
+	fmt.Printf("%5s %8s %6s %9s | %8s %8s %9s %8s %7s %6s\n",
+		"shard", "tables", "dead", "entries", "catalog", "dict", "postings", "super", "ranges", "tombs")
+	for i, sh := range info.Shards {
+		fmt.Printf("%5d %8d %6d %9d |", i, sh.Tables, sh.Tombstones, sh.Entries)
+		for _, sec := range sh.Sections {
+			switch sec.Name {
+			case "catalog", "dict", "super":
+				fmt.Printf(" %8d", sec.Bytes)
+			case "postings":
+				fmt.Printf(" %9d", sec.Bytes)
+			case "ranges":
+				fmt.Printf(" %7d", sec.Bytes)
+			case "tombstones":
+				fmt.Printf(" %6d", sec.Bytes)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
 func cmdSeek(args []string) error {
 	fs := flag.NewFlagSet("seek", flag.ContinueOnError)
 	index := fs.String("index", "", "index file built by `blend index`")
@@ -286,6 +352,7 @@ func cmdSeek(args []string) error {
 	preview := fs.Int("preview", 0, "print the first N rows of each result table")
 	timeout := fs.Duration("timeout", 0, "abort the search after this duration (0 = none)")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter instead of the native fast path")
+	mmap := fs.Bool("mmap", true, "memory-map a v4 index with lazy shard loading (false = eager load)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -295,7 +362,7 @@ func cmdSeek(args []string) error {
 	if *k <= 0 {
 		return berr.New(berr.CodeBadRequest, "cli.seek", "-k must be positive, got %d", *k)
 	}
-	d, err := blend.OpenIndex(*index, indexOptions(*noNative)...)
+	d, err := blend.OpenIndex(*index, indexOptions(*noNative, *mmap)...)
 	if err != nil {
 		return err
 	}
@@ -345,13 +412,14 @@ func cmdSQL(args []string) error {
 	limit := fs.Int("print", 50, "maximum rows to print")
 	explain := fs.Bool("explain", false, "print the execution plan instead of results")
 	timeout := fs.Duration("timeout", 0, "abort the query after this duration (0 = none)")
+	mmap := fs.Bool("mmap", true, "memory-map a v4 index with lazy shard loading (false = eager load)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *index == "" || *query == "" {
 		return berr.New(berr.CodeBadRequest, "cli.sql", "-index and -query are required")
 	}
-	d, err := blend.OpenIndex(*index)
+	d, err := blend.OpenIndex(*index, blend.WithMmap(*mmap))
 	if err != nil {
 		return err
 	}

@@ -273,11 +273,13 @@ func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time
 	}
 	parts := make([]*minisql.Result, len(e.shardCats))
 	errs := make([]error, len(e.shardCats))
+	panics := make([]any, len(e.shardCats))
 	var wg sync.WaitGroup
 	for i, cat := range e.shardCats {
 		wg.Add(1)
 		go func(i int, cat *minisql.Catalog) {
 			defer wg.Done()
+			defer func() { panics[i] = recover() }()
 			select {
 			case e.shardSem <- struct{}{}:
 				defer func() { <-e.shardSem }()
@@ -293,6 +295,7 @@ func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time
 		}(i, cat)
 	}
 	wg.Wait()
+	repanic(panics)
 	for _, err := range errs {
 		if err != nil {
 			return nil, time.Since(start), err

@@ -361,11 +361,13 @@ func fanOutShards[C any](ctx context.Context, e *Engine,
 	partials := make([]Hits, len(e.nativeViews))
 	counts := make([]C, len(e.nativeViews))
 	errs := make([]error, len(e.nativeViews))
+	panics := make([]any, len(e.nativeViews))
 	var wg sync.WaitGroup
 	for i, view := range e.nativeViews {
 		wg.Add(1)
 		go func(i int, view storage.Reader) {
 			defer wg.Done()
+			defer func() { panics[i] = recover() }()
 			if e.shardSem != nil {
 				select {
 				case e.shardSem <- struct{}{}:
@@ -379,10 +381,26 @@ func fanOutShards[C any](ctx context.Context, e *Engine,
 		}(i, view)
 	}
 	wg.Wait()
+	repanic(panics)
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
 	}
 	return partials, counts, nil
+}
+
+// repanic re-raises the first panic captured on a worker goroutine.
+// Lazily mapped shards report post-open integrity failures (a section
+// checksum mismatch at first touch) by panicking with a typed bad_index
+// error; re-raising on the calling goroutine preserves that contract
+// while letting request-scoped recovery — net/http's per-request
+// handler recover, a caller's own defer — contain the failure instead
+// of an unrecovered worker-goroutine panic killing the process.
+func repanic(panics []any) {
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }

@@ -277,6 +277,24 @@ func runTaskPool(ctx context.Context, tasks []*schedTask, maxWorkers int) error 
 			ready <- t
 		}
 	}
+	// A panicking task (a lazily mapped shard failing its first-touch
+	// checksum panics typed bad_index) must still run complete(t) — the
+	// ready channel never closes otherwise — so capture the panic, cancel
+	// the rest of the plan, and re-raise it on the calling goroutine once
+	// the workers drain (see repanic).
+	var panicOnce sync.Once
+	taskPanic := make([]any, 1)
+	runTask := func(t *schedTask) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() {
+					taskPanic[0] = r
+					cancel()
+				})
+			}
+		}()
+		return t.run()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < maxWorkers; w++ {
 		wg.Add(1)
@@ -284,7 +302,7 @@ func runTaskPool(ctx context.Context, tasks []*schedTask, maxWorkers int) error 
 			defer wg.Done()
 			for t := range ready {
 				if cctx.Err() == nil {
-					if err := t.run(); err != nil {
+					if err := runTask(t); err != nil {
 						errOnce.Do(func() {
 							firstErr = err
 							cancel()
@@ -296,6 +314,7 @@ func runTaskPool(ctx context.Context, tasks []*schedTask, maxWorkers int) error 
 		}()
 	}
 	wg.Wait()
+	repanic(taskPanic)
 	if firstErr != nil {
 		return firstErr
 	}

@@ -250,6 +250,8 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		EstimatedBytes:   st.EstimatedBytes,
 		AvgColumnsPerTbl: st.AvgColumnsPerTbl,
 		AvgRowsPerTable:  st.AvgRowsPerTable,
+		ResidentShards:   st.ResidentShards,
+		MappedBytes:      st.MappedBytes,
 
 		CacheCapacity:      cs.Capacity,
 		CacheEntries:       cs.Entries,

@@ -2,7 +2,12 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"blend/internal/berr"
 )
 
 // TestLoadTruncatedNeverPanics injects failure by truncating a valid index
@@ -62,5 +67,155 @@ func TestLoadBitFlips(t *testing.T) {
 			}()
 			_, _ = Load(bytes.NewReader(mutated))
 		}(i)
+	}
+}
+
+// writeBytes dumps raw index bytes to a file for the path-based loaders.
+func writeBytes(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapFileTruncatedNeverPanics truncates a valid v4 file at every
+// (stepped) prefix length: MapFile must return an error without
+// panicking — the footer directory lives at the end of the file, so no
+// truncation can look complete.
+func TestMapFileTruncatedNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	orig := BuildSharded(ColumnStore, widerLake(), 4)
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "trunc.blend")
+	step := 1
+	if len(full) > 1024 {
+		step = len(full) / 1024
+	}
+	for n := 0; n < len(full); n += step {
+		writeBytes(t, path, full[:n])
+		func(n int) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("MapFile panicked on %d-byte prefix: %v", n, r)
+				}
+			}()
+			idx, err := MapFile(path)
+			if err == nil {
+				t.Fatalf("MapFile accepted a %d-byte truncation of a %d-byte file", n, len(full))
+			}
+			if idx != nil {
+				t.Fatalf("MapFile returned both an index and an error at prefix %d", n)
+			}
+		}(n)
+	}
+	writeBytes(t, path, full)
+	idx, err := MapFile(path)
+	if err != nil {
+		t.Fatalf("full file failed to map: %v", err)
+	}
+	idx.(*ShardedStore).Close()
+}
+
+// TestMapFileBadFooter corrupts the structures MapFile validates eagerly —
+// trailer magic, footer offset, footer CRC — and checks each is rejected
+// with the typed bad-index code.
+func TestMapFileBadFooter(t *testing.T) {
+	var buf bytes.Buffer
+	orig := BuildSharded(ColumnStore, widerLake(), 4)
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "bad.blend")
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"trailer-magic", func(b []byte) { b[len(b)-1] ^= 0xFF }},
+		{"footer-offset-huge", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[len(b)-12:], uint64(len(b))*2)
+		}},
+		{"footer-offset-zero", func(b []byte) {
+			binary.LittleEndian.PutUint64(b[len(b)-12:], 0)
+		}},
+		{"footer-crc", func(b []byte) {
+			// A byte inside the footer directory, which the footer CRC covers.
+			footerOff := binary.LittleEndian.Uint64(b[len(b)-12:])
+			b[footerOff+8] ^= 0xFF
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := append([]byte(nil), full...)
+			tc.mutate(mutated)
+			writeBytes(t, path, mutated)
+			_, err := MapFile(path)
+			if err == nil {
+				t.Fatal("MapFile accepted the corrupted file")
+			}
+			if berr.CodeOf(err) != berr.CodeBadIndex {
+				t.Fatalf("error code = %v, want CodeBadIndex (%v)", berr.CodeOf(err), err)
+			}
+		})
+	}
+}
+
+// TestMappedCorruptSectionPanicsTyped flips a byte inside a shard's body
+// section. The footer stays valid, so MapFile succeeds; eager Load of the
+// same bytes must return an error (it checks section CRCs up front), and
+// the mapped store must panic with a typed bad-index error on first touch
+// of the poisoned shard — the Reader interface has no error returns, and a
+// CRC mismatch after open means the file changed underneath the mapping.
+func TestMappedCorruptSectionPanicsTyped(t *testing.T) {
+	orig := BuildSharded(ColumnStore, widerLake(), 4)
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "clean.blend")
+	if err := orig.SaveFile(clean); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := info.Shards[0].Sections[secDict]
+	if dict.Bytes == 0 {
+		t.Fatal("shard 0 has an empty dict section")
+	}
+	data, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[dict.Off+dict.Bytes/2] ^= 0xFF
+
+	// Eager load checks every section CRC before returning.
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("eager Load accepted a corrupt dict section")
+	}
+
+	bad := filepath.Join(dir, "bad.blend")
+	writeBytes(t, bad, data)
+	idx, err := MapFile(bad)
+	if err != nil {
+		t.Fatalf("MapFile rejected a file with a valid footer: %v", err)
+	}
+	s := idx.(*ShardedStore)
+	defer s.Close()
+	touch := func() (r any) {
+		defer func() { r = recover() }()
+		s.Value(0) // global entry 0 lives in shard 0
+		return nil
+	}
+	for i := 0; i < 2; i++ { // the panic must repeat, not vanish after once.Do
+		r := touch()
+		if r == nil {
+			t.Fatalf("touch %d of corrupt shard did not panic", i)
+		}
+		err, ok := r.(error)
+		if !ok || berr.CodeOf(err) != berr.CodeBadIndex {
+			t.Fatalf("touch %d panicked with %v, want typed CodeBadIndex error", i, r)
+		}
 	}
 }

@@ -181,7 +181,7 @@ func TestCompactReclaimsAndRenumbers(t *testing.T) {
 	}
 }
 
-func TestPersistV3RoundTripsTombstones(t *testing.T) {
+func TestPersistRoundTripsTombstones(t *testing.T) {
 	for _, shards := range []int{1, 3} {
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			var orig Index
@@ -212,7 +212,7 @@ func TestPersistV3RoundTripsTombstones(t *testing.T) {
 				t.Fatal("removed table resolves after reload")
 			}
 			if !reflect.DeepEqual(storeTuples(orig), storeTuples(loaded)) {
-				t.Fatal("live content differs after v3 round trip")
+				t.Fatal("live content differs after round trip")
 			}
 			// Compaction after reload fully reclaims.
 			if loaded.Compact() != 1 {
@@ -228,7 +228,7 @@ func TestPersistV3RoundTripsTombstones(t *testing.T) {
 func TestLegacyV1AndV2FilesStillLoad(t *testing.T) {
 	mono := Build(ColumnStore, lakeFixture())
 	var v1 bytes.Buffer
-	if err := mono.saveLegacyV1(&v1); err != nil {
+	if err := mono.SaveLegacy(&v1, 1); err != nil {
 		t.Fatal(err)
 	}
 	loaded1, err := Load(&v1)
@@ -247,7 +247,7 @@ func TestLegacyV1AndV2FilesStillLoad(t *testing.T) {
 
 	sh := BuildSharded(ColumnStore, widerLake(), 4)
 	var v2 bytes.Buffer
-	if err := sh.saveLegacyV2(&v2); err != nil {
+	if err := sh.SaveLegacy(&v2, 2); err != nil {
 		t.Fatal(err)
 	}
 	loaded2, err := Load(&v2)
@@ -265,7 +265,7 @@ func TestLegacyV1AndV2FilesStillLoad(t *testing.T) {
 	if err := sh.RemoveTable(sh.TableIDByName("W1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := sh.saveLegacyV2(&bytes.Buffer{}); err == nil {
+	if err := sh.SaveLegacy(&bytes.Buffer{}, 2); err == nil {
 		t.Fatal("legacy save with tombstones must fail")
 	}
 }
@@ -276,7 +276,7 @@ func TestV3RejectsCorruptTombstoneSection(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := s.Save(&buf); err != nil {
+	if err := s.SaveLegacy(&buf, 3); err != nil {
 		t.Fatal(err)
 	}
 	// The tombstone list is the last 8 bytes (count u32 + one id u32):

@@ -1,0 +1,26 @@
+//go:build !unix
+
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without the unix mmap syscall falls back to
+// reading the whole file into memory. Lazy shard materialization still
+// applies (decode work is deferred), only the page-cache sharing is lost.
+func mmapFile(f *os.File, size int64) (data []byte, release func() error, err error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("cannot map empty index file")
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	d, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, func() error { return nil }, nil
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"blend/internal/berr"
 	"blend/internal/table"
@@ -39,12 +40,15 @@ import (
 //	tombstones:
 //	numDead u32 | per dead table: (shard-)local table id u32
 //
-// Postings and table ranges are rebuilt on load (they are derivable), which
-// keeps the on-disk footprint lean — part of what Table VIII measures. Save
-// always writes v3, which round-trips tombstoned tables so a removed table
-// stays removed across restarts without forcing a compaction at save time.
-// Load reads all three versions, so v1/v2 files written before tombstones
-// (or sharding) existed keep opening.
+// In v1–v3, postings and table ranges are rebuilt on load (they are
+// derivable), which keeps the on-disk footprint lean — part of what
+// Table VIII measures. Save now writes v4, the segmented format described
+// in segment.go: per-shard, per-section segments behind a footer
+// directory, varint/delta-compressed, designed so MapFile can memory-map
+// the file and decode shards lazily. Load reads all four versions, so
+// files written before tombstones, sharding, or segments existed keep
+// opening; SaveLegacy regenerates the old formats for compatibility
+// tests and downgrades.
 
 const (
 	persistMagic             = "BLND"
@@ -56,8 +60,29 @@ const (
 	persistKindSharded    = 1
 )
 
-// Save writes the monolithic store to w in the v3 format.
+// Save writes the monolithic store to w in the segmented v4 format.
 func (s *Store) Save(w io.Writer) error {
+	return writeSegmented(w, persistKindMonolithic, s.layout, []*Store{s}, nil)
+}
+
+// Save writes the sharded store to w in the segmented v4 format,
+// round-tripping the shard count, the global table directory, and
+// per-shard tombstones. On a lazily mapped store this first materializes
+// every shard (a full save must serialize every shard anyway); a store
+// opened from a monolithic v4 file is written back as monolithic.
+func (s *ShardedStore) Save(w io.Writer) error {
+	shards := make([]*Store, len(s.shards))
+	for i := range shards {
+		shards[i] = s.shard(i)
+	}
+	if s.mono && len(shards) == 1 {
+		return writeSegmented(w, persistKindMonolithic, s.layout, shards, nil)
+	}
+	return writeSegmented(w, persistKindSharded, s.layout, shards, s.refs)
+}
+
+// saveV3 writes the monolithic store in the pre-segment v3 format.
+func (s *Store) saveV3(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -77,9 +102,8 @@ func (s *Store) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Save writes the sharded store to w in the v3 format, round-tripping the
-// shard count, the global table directory, and per-shard tombstones.
-func (s *ShardedStore) Save(w io.Writer) error {
+// saveV3 writes the sharded store in the pre-segment v3 format.
+func (s *ShardedStore) saveV3(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(persistMagic); err != nil {
 		return err
@@ -113,7 +137,8 @@ func (s *ShardedStore) saveShardedBody(bw *bufio.Writer, withTombstones bool) er
 			return err
 		}
 	}
-	for _, sh := range s.shards {
+	for i := range s.shards {
+		sh := s.shard(i)
 		if err := sh.savePayload(bw); err != nil {
 			return err
 		}
@@ -126,43 +151,58 @@ func (s *ShardedStore) saveShardedBody(bw *bufio.Writer, withTombstones bool) er
 	return nil
 }
 
-// saveLegacyV1 writes the pre-tombstone monolithic format; kept so the
-// compatibility tests can produce genuine v1 files. It refuses to drop
-// tombstone state silently.
-func (s *Store) saveLegacyV1(w io.Writer) error {
-	if s.numDead > 0 {
-		return fmt.Errorf("cannot write v1 format with %d tombstoned tables", s.numDead)
+// SaveLegacy writes the store in an older on-disk format: v1
+// (pre-tombstones) or v3 (pre-segments). It refuses to drop tombstone
+// state silently and exists for compatibility tests, benchmarking old
+// formats against v4, and downgrading an index for an older binary.
+func (s *Store) SaveLegacy(w io.Writer, version uint32) error {
+	switch version {
+	case persistVersion:
+		if s.numDead > 0 {
+			return fmt.Errorf("cannot write v1 format with %d tombstoned tables", s.numDead)
+		}
+		bw := bufio.NewWriter(w)
+		if _, err := bw.WriteString(persistMagic); err != nil {
+			return err
+		}
+		if err := writeU32(bw, persistVersion); err != nil {
+			return err
+		}
+		if err := s.savePayload(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	case persistVersionTombstones:
+		return s.saveV3(w)
+	default:
+		return fmt.Errorf("monolithic stores have no legacy version %d", version)
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(persistMagic); err != nil {
-		return err
-	}
-	if err := writeU32(bw, persistVersion); err != nil {
-		return err
-	}
-	if err := s.savePayload(bw); err != nil {
-		return err
-	}
-	return bw.Flush()
 }
 
-// saveLegacyV2 writes the pre-tombstone sharded format; kept so the
-// compatibility tests can produce genuine v2 files.
-func (s *ShardedStore) saveLegacyV2(w io.Writer) error {
-	if s.Tombstones() > 0 {
-		return fmt.Errorf("cannot write v2 format with %d tombstoned tables", s.Tombstones())
+// SaveLegacy writes the sharded store in an older on-disk format: v2
+// (pre-tombstones) or v3 (pre-segments). See Store.SaveLegacy.
+func (s *ShardedStore) SaveLegacy(w io.Writer, version uint32) error {
+	switch version {
+	case persistVersionSharded:
+		if s.Tombstones() > 0 {
+			return fmt.Errorf("cannot write v2 format with %d tombstoned tables", s.Tombstones())
+		}
+		bw := bufio.NewWriter(w)
+		if _, err := bw.WriteString(persistMagic); err != nil {
+			return err
+		}
+		if err := writeU32(bw, persistVersionSharded); err != nil {
+			return err
+		}
+		if err := s.saveShardedBody(bw, false); err != nil {
+			return err
+		}
+		return bw.Flush()
+	case persistVersionTombstones:
+		return s.saveV3(w)
+	default:
+		return fmt.Errorf("sharded stores have no legacy version %d", version)
 	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(persistMagic); err != nil {
-		return err
-	}
-	if err := writeU32(bw, persistVersionSharded); err != nil {
-		return err
-	}
-	if err := s.saveShardedBody(bw, false); err != nil {
-		return err
-	}
-	return bw.Flush()
 }
 
 // SaveFile writes the store to a file.
@@ -176,15 +216,37 @@ type saver interface {
 }
 
 func saveFile(s saver, path string) error {
-	f, err := os.Create(path)
+	// Write to a temp file and rename into place. Besides crash safety,
+	// this must never truncate the target in place: path may back the live
+	// mapping of the very store being saved (open-mapped → append → save
+	// flows), and an in-place os.Create would tear the pages out from
+	// under the save's own lazy shard reads mid-write.
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := s.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Chmod(0o644); err != nil { // CreateTemp defaults to 0600
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 func writeU32(bw *bufio.Writer, v uint32) error {
@@ -379,6 +441,18 @@ func load(br *bufio.Reader) (Index, error) {
 		return loadPayload(br, false)
 	case persistVersionSharded:
 		return loadSharded(br, false)
+	case persistVersionSegmented:
+		// Eager v4: slurp the remainder and decode every shard up front.
+		// MapFile is the lazy entry point.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		data := make([]byte, 0, len(persistMagic)+4+len(rest))
+		data = append(data, persistMagic...)
+		data = appendU32(data, persistVersionSegmented)
+		data = append(data, rest...)
+		return loadSegmented(data)
 	case persistVersionTombstones:
 		kind, err := br.ReadByte()
 		if err != nil {
@@ -586,9 +660,10 @@ func loadPayload(br *bufio.Reader, withTombstones bool) (*Store, error) {
 	return s, nil
 }
 
-// LoadFile reads an index (either version) from a file. A missing or
-// unreadable file reports a typed bad-index error wrapping the underlying
-// cause, so errors.Is(err, fs.ErrNotExist) still works.
+// LoadFile reads an index (any version) from a file, decoding everything
+// eagerly. A missing or unreadable file reports a typed bad-index error
+// wrapping the underlying cause, so errors.Is(err, fs.ErrNotExist) still
+// works.
 func LoadFile(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -598,9 +673,66 @@ func LoadFile(path string) (Index, error) {
 	return Load(f)
 }
 
+// MapFile opens an index file for serving. Segmented v4 files are
+// memory-mapped: only the footer directory, the table-to-shard refs, and
+// the tombstone bitmaps are decoded up front, so opening is O(footer)
+// instead of O(index); shards materialize on first touch (see
+// ShardedStore.shard). Pre-v4 files have no section directory, so they
+// fall back to the eager loader — identical results, just without the
+// lazy open. The returned index is a *ShardedStore for every v4 file
+// (monolithic files become a single-shard store that still saves back as
+// monolithic); callers that are done with a mapped index should Close it.
+func MapFile(path string) (Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.open", err)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.map", fmt.Errorf("read index header: %w", err))
+	}
+	if string(hdr[:4]) != persistMagic {
+		f.Close()
+		return nil, berr.New(berr.CodeBadIndex, "storage.map", "bad index magic %q", hdr[:4])
+	}
+	if getU32(hdr[4:]) != persistVersionSegmented {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			f.Close()
+			return nil, berr.Wrap(berr.CodeBadIndex, "storage.map", err)
+		}
+		defer f.Close()
+		return Load(f)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.map", err)
+	}
+	data, release, err := mmapFile(f, fi.Size())
+	f.Close() // the mapping outlives the descriptor
+	if err != nil {
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.map", err)
+	}
+	sf, err := parseSegFile(data)
+	if err != nil {
+		release()
+		return nil, berr.Wrap(berr.CodeBadIndex, "storage.map", err)
+	}
+	sf.unmap = release
+	return sf.lazyIndex(), nil
+}
+
 // rebuildIndexes reconstructs the inverted index and the TableId ranges
 // from the attribute arrays.
 func (s *Store) rebuildIndexes() {
+	s.rebuildPostings()
+	s.rebuildRanges()
+}
+
+// rebuildPostings reconstructs the inverted index from valIdx. The v4
+// loader uses this alone: table ranges are stored in their own section.
+func (s *Store) rebuildPostings() {
 	s.postings = make([][]int32, len(s.dict))
 	counts := make([]int32, len(s.dict))
 	for _, vi := range s.valIdx {
@@ -612,6 +744,10 @@ func (s *Store) rebuildIndexes() {
 	for i, vi := range s.valIdx {
 		s.postings[vi] = append(s.postings[vi], int32(i))
 	}
+}
+
+// rebuildRanges reconstructs the TableId range index from tableIDs.
+func (s *Store) rebuildRanges() {
 	s.tableRange = make([][2]int32, len(s.tables))
 	for i := range s.tableRange {
 		s.tableRange[i] = [2]int32{int32(len(s.valIdx)), 0}

@@ -101,7 +101,7 @@ type Index interface {
 	// Compact physically reclaims tombstoned tables, reassigning table
 	// ids contiguously, and returns how many tables were removed.
 	Compact() int
-	// Save writes the index to w in the current (v3) snapshot format.
+	// Save writes the index to w in the current (v4 segmented) format.
 	Save(w io.Writer) error
 	// SaveFile writes the index to a file.
 	SaveFile(path string) error

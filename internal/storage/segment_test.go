@@ -1,0 +1,431 @@
+package storage
+
+// Tests for the segmented v4 persistence format and its memory-mapped
+// lazy-load path: differential lazy-vs-eager coverage across layouts and
+// shard counts, residency accounting, legacy v1/v2/v3 fallback through
+// MapFile, property-based round trips, maintenance ops on mapped stores,
+// the footer-directory inspection API, and the on-disk compression bar.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"blend/internal/datalake"
+	"blend/internal/table"
+)
+
+// saveTemp persists an index to a fresh file under t.TempDir.
+func saveTemp(t *testing.T, s saver, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readerProbe compares the cheap whole-index read surfaces of two Readers.
+func readerProbe(t *testing.T, want, got Reader, label string) {
+	t.Helper()
+	if want.NumEntries() != got.NumEntries() || want.NumTables() != got.NumTables() {
+		t.Fatalf("%s: shape mismatch: entries %d/%d tables %d/%d", label,
+			want.NumEntries(), got.NumEntries(), want.NumTables(), got.NumTables())
+	}
+	if want.NumDistinctValues() != got.NumDistinctValues() {
+		t.Fatalf("%s: distinct values %d vs %d", label,
+			want.NumDistinctValues(), got.NumDistinctValues())
+	}
+	for _, v := range []string{"HR", "Firenze", "no-such-value"} {
+		if want.Frequency(v) != got.Frequency(v) {
+			t.Fatalf("%s: Frequency(%q) %d vs %d", label, v, want.Frequency(v), got.Frequency(v))
+		}
+		if !reflect.DeepEqual(want.Postings(v), got.Postings(v)) {
+			t.Fatalf("%s: Postings(%q) diverge", label, v)
+		}
+	}
+	for tid := int32(0); tid < int32(want.NumTables()); tid++ {
+		name := want.TableName(tid)
+		if got.TableIDByName(name) != want.TableIDByName(name) {
+			t.Fatalf("%s: TableIDByName(%q) %d vs %d", label, name,
+				want.TableIDByName(name), got.TableIDByName(name))
+		}
+	}
+	if !reflect.DeepEqual(storeTuples(want), storeTuples(got)) {
+		t.Fatalf("%s: table contents diverge", label)
+	}
+}
+
+// TestMapFileMatchesEagerLoad is the core differential: the same v4 file
+// read back eagerly (LoadFile) and lazily (MapFile) must expose identical
+// content through every Reader surface, across layouts and shard counts.
+func TestMapFileMatchesEagerLoad(t *testing.T) {
+	for _, layout := range []Layout{ColumnStore, RowStore} {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v/shards=%d", layout, shards), func(t *testing.T) {
+				orig := BuildSharded(layout, widerLake(), shards)
+				path := saveTemp(t, orig, "lake.blend")
+				eager, err := LoadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mapped, err := MapFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer mapped.(*ShardedStore).Close()
+				readerProbe(t, orig, eager, "eager")
+				readerProbe(t, eager, mapped, "mapped")
+			})
+		}
+	}
+}
+
+// TestMapFileMonolithicKind round-trips a monolithic store through the
+// mapped path: the kind survives, and a re-save still eagerly loads back
+// as a *Store.
+func TestMapFileMonolithicKind(t *testing.T) {
+	orig := Build(ColumnStore, lakeFixture())
+	path := saveTemp(t, orig, "mono.blend")
+	mapped, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := mapped.(*ShardedStore)
+	if !ok {
+		t.Fatalf("MapFile returned %T, want *ShardedStore wrapper", mapped)
+	}
+	defer sh.Close()
+	readerProbe(t, orig, mapped, "mapped-mono")
+	var buf bytes.Buffer
+	if err := mapped.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.(*Store); !ok {
+		t.Fatalf("re-saved monolithic mapped store loaded as %T, want *Store", back)
+	}
+	readerProbe(t, orig, back, "resaved")
+}
+
+// TestMapFileLazyResidency checks the laziness contract: opening touches
+// no shard, a hash-routed name lookup touches exactly one, and a full
+// content scan makes everything resident.
+func TestMapFileLazyResidency(t *testing.T) {
+	orig := BuildSharded(ColumnStore, widerLake(), 4)
+	path := saveTemp(t, orig, "lazy.blend")
+	mapped, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mapped.(*ShardedStore)
+	defer s.Close()
+	if got := s.ResidentShards(); got != 0 {
+		t.Fatalf("ResidentShards after open = %d, want 0", got)
+	}
+	if s.MappedBytes() <= 0 {
+		t.Fatalf("MappedBytes = %d, want > 0", s.MappedBytes())
+	}
+	// Footer-backed surfaces must not force materialization.
+	if s.NumEntries() != orig.NumEntries() || s.NumTables() != orig.NumTables() ||
+		s.Tombstones() != 0 || !s.TableAlive(0) {
+		t.Fatal("footer-backed shape surfaces diverge")
+	}
+	if got := s.ResidentShards(); got != 0 {
+		t.Fatalf("ResidentShards after shape reads = %d, want 0", got)
+	}
+	if s.TableIDByName(orig.TableName(0)) != 0 {
+		t.Fatal("TableIDByName lookup failed on mapped store")
+	}
+	if got := s.ResidentShards(); got != 1 {
+		t.Fatalf("ResidentShards after one name lookup = %d, want 1", got)
+	}
+	storeTuples(s) // full scan
+	if got := s.ResidentShards(); got != s.NumShards() {
+		t.Fatalf("ResidentShards after full scan = %d, want %d", got, s.NumShards())
+	}
+	stats := s.ComputeStats()
+	if stats.ResidentShards != s.NumShards() || stats.MappedBytes != s.MappedBytes() {
+		t.Fatalf("stats residency = %+v", stats)
+	}
+}
+
+// TestMapFileLegacyFallback feeds MapFile the three legacy formats; each
+// must load eagerly (no mapping) with content identical to the original.
+func TestMapFileLegacyFallback(t *testing.T) {
+	write := func(t *testing.T, name string, save func(f *os.File) error) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := save(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Run("v1-monolithic", func(t *testing.T) {
+		orig := Build(ColumnStore, lakeFixture())
+		path := write(t, "v1.blend", func(f *os.File) error { return orig.SaveLegacy(f, 1) })
+		back, err := MapFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readerProbe(t, orig, back, "v1")
+	})
+	t.Run("v2-sharded", func(t *testing.T) {
+		orig := BuildSharded(RowStore, widerLake(), 4)
+		path := write(t, "v2.blend", func(f *os.File) error { return orig.SaveLegacy(f, 2) })
+		back, err := MapFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readerProbe(t, orig, back, "v2")
+		if back.(*ShardedStore).MappedBytes() != 0 {
+			t.Fatal("legacy file reports mapped bytes")
+		}
+	})
+	t.Run("v3-tombstones", func(t *testing.T) {
+		orig := BuildSharded(ColumnStore, widerLake(), 4)
+		if err := orig.RemoveTable(2); err != nil {
+			t.Fatal(err)
+		}
+		path := write(t, "v3.blend", func(f *os.File) error { return orig.SaveLegacy(f, 3) })
+		back, err := MapFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Tombstones() != 1 {
+			t.Fatalf("tombstones = %d, want 1", back.Tombstones())
+		}
+		readerProbe(t, orig, back, "v3")
+	})
+}
+
+// TestSegmentedQuickRoundTrip property-tests the v4 writer/reader pair
+// and the v3 downgrade path against random cell content.
+func TestSegmentedQuickRoundTrip(t *testing.T) {
+	f := func(cells [][2]string) bool {
+		tb := table.New("q", "a", "b")
+		for _, c := range cells {
+			tb.MustAppendRow(c[0], c[1])
+		}
+		tb.InferKinds()
+		orig := BuildSharded(ColumnStore, []*table.Table{tb}, 2)
+		var v4, v3 bytes.Buffer
+		if err := orig.Save(&v4); err != nil {
+			return false
+		}
+		if err := orig.SaveLegacy(&v3, 3); err != nil {
+			return false
+		}
+		back4, err := Load(&v4)
+		if err != nil {
+			return false
+		}
+		back3, err := Load(&v3)
+		if err != nil {
+			return false
+		}
+		want := storeTuples(orig)
+		return reflect.DeepEqual(want, storeTuples(back4)) &&
+			reflect.DeepEqual(want, storeTuples(back3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaintenanceOnMappedStore runs every mutating op against a lazily
+// mapped store and an eagerly loaded twin; the stores must stay
+// indistinguishable through add, remove, compact, and a save/reload.
+func TestMaintenanceOnMappedStore(t *testing.T) {
+	orig := BuildSharded(ColumnStore, batchLake("M", 12), 4)
+	path := saveTemp(t, orig, "maint.blend")
+	eager, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.(*ShardedStore).Close()
+
+	check := func(step string) {
+		t.Helper()
+		if !reflect.DeepEqual(storeTuples(eager), storeTuples(mapped)) {
+			t.Fatalf("after %s: mapped store diverged from eager twin", step)
+		}
+		if eager.Tombstones() != mapped.Tombstones() {
+			t.Fatalf("after %s: tombstones %d vs %d", step, eager.Tombstones(), mapped.Tombstones())
+		}
+	}
+
+	extra := batchLake("N", 5)
+	eager.AddTablesBatch(extra, 2)
+	mapped.AddTablesBatch(extra, 2)
+	check("AddTablesBatch")
+
+	victim := mapped.TableIDByName("M03")
+	if victim < 0 {
+		t.Fatal("victim table missing")
+	}
+	if err := eager.RemoveTable(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.RemoveTable(victim); err != nil {
+		t.Fatal(err)
+	}
+	check("RemoveTable")
+
+	if e, m := eager.Compact(), mapped.Compact(); e != m {
+		t.Fatalf("Compact removed %d vs %d", e, m)
+	}
+	check("Compact")
+
+	var buf bytes.Buffer
+	if err := mapped.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(storeTuples(eager), storeTuples(back)) {
+		t.Fatal("mapped store save/reload diverged")
+	}
+}
+
+// TestSaveOverOwnMapping overwrites the file backing a lazily mapped
+// store with that store's own SaveFile — the CLI's open → append → save
+// in-place flow. The save must not read torn pages from its own mapping
+// (saveFile writes a temp file and renames), and both the live store and
+// a fresh open of the path must see the appended state.
+func TestSaveOverOwnMapping(t *testing.T) {
+	orig := BuildSharded(ColumnStore, batchLake("S", 8), 4)
+	path := saveTemp(t, orig, "self.blend")
+	idx, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := idx.(*ShardedStore)
+	defer s.Close()
+	s.AddTablesBatch(batchLake("T", 4), 2)
+	if err := s.SaveFile(path); err != nil { // no shard is resident yet beyond the touched ones
+		t.Fatal(err)
+	}
+	if s.TableIDByName("T02") < 0 {
+		t.Fatal("appended table missing from live store after save")
+	}
+	back, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.(*ShardedStore).Close()
+	if !reflect.DeepEqual(storeTuples(s), storeTuples(back)) {
+		t.Fatal("reopened file diverges from the store that saved it")
+	}
+	if back.NumTables() != 12 {
+		t.Fatalf("reopened tables = %d, want 12", back.NumTables())
+	}
+}
+
+// TestInspectFile checks the footer-directory inspection API against the
+// store that wrote the file.
+func TestInspectFile(t *testing.T) {
+	orig := BuildSharded(ColumnStore, widerLake(), 4)
+	if err := orig.RemoveTable(1); err != nil {
+		t.Fatal(err)
+	}
+	path := saveTemp(t, orig, "inspect.blend")
+	info, err := InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FileBytes != st.Size() {
+		t.Fatalf("FileBytes = %d, stat = %d", info.FileBytes, st.Size())
+	}
+	if info.Tables != orig.NumTables() || info.Entries != int64(orig.NumEntries()) || info.Tombstones != 1 {
+		t.Fatalf("shape = %+v", info)
+	}
+	if len(info.Shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(info.Shards))
+	}
+	if info.FooterOff <= 0 || info.FooterOff >= info.FileBytes {
+		t.Fatalf("footer offset %d out of file [0, %d)", info.FooterOff, info.FileBytes)
+	}
+	var entries int64
+	for si, sh := range info.Shards {
+		entries += int64(sh.Entries)
+		for _, sec := range sh.Sections {
+			if sec.Off < 0 || sec.Off+sec.Bytes > info.FileBytes {
+				t.Fatalf("shard %d section %s out of bounds: %+v", si, sec.Name, sec)
+			}
+		}
+	}
+	if entries != info.Entries {
+		t.Fatalf("per-shard entries sum %d != %d", entries, info.Entries)
+	}
+	if info.EntryBytes() <= 0 || info.EntryBytes() >= info.RawEntryBytes() {
+		t.Fatalf("entry bytes %d not compressed below raw %d", info.EntryBytes(), info.RawEntryBytes())
+	}
+	// Legacy files are rejected with the version named, not misparsed.
+	legacy := filepath.Join(t.TempDir(), "v3.blend")
+	f, err := os.Create(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig2 := BuildSharded(ColumnStore, widerLake(), 2)
+	if err := orig2.SaveLegacy(f, 3); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := InspectFile(legacy); err == nil {
+		t.Fatal("InspectFile accepted a v3 file")
+	}
+}
+
+// TestSegmentedSmallerThanV3 pins the PR's compression bar: on a
+// realistic synthetic lake the segmented varint format must be at least
+// 2x smaller on disk than the fixed-width v3 encoding of the same store.
+func TestSegmentedSmallerThanV3(t *testing.T) {
+	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
+		Name: "size-bar", NumTables: 32, ColsPerTable: 4, RowsPerTable: 60,
+		VocabSize: 4000, Seed: 7,
+	})
+	s := BuildSharded(ColumnStore, lake.Tables, 4)
+	var v4, v3 bytes.Buffer
+	if err := s.Save(&v4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveLegacy(&v3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v3.Len() < 2*v4.Len() {
+		t.Fatalf("v4 not 2x smaller: v3=%d bytes, v4=%d bytes (ratio %.2f)",
+			v3.Len(), v4.Len(), float64(v3.Len())/float64(v4.Len()))
+	}
+}

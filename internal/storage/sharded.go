@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"blend/internal/berr"
 	"blend/internal/table"
@@ -35,6 +36,103 @@ type ShardedStore struct {
 	// base[s] is the global entry offset of shard s; base has one extra
 	// trailing element holding the total entry count.
 	base []int32
+
+	// seg/slots back a lazily mapped v4 index (MapFile): shards[i] stays
+	// nil until first touch, when slots[i] materializes it from the
+	// mapped segments. Both are nil for heap-built stores. mono records
+	// that the file was written as monolithic, so Save preserves the
+	// kind. See shard().
+	seg   *segFile
+	slots []shardSlot
+	mono  bool
+}
+
+// shardSlot guards one shard's lazy materialization.
+type shardSlot struct {
+	once sync.Once
+	done atomic.Bool
+	err  error
+}
+
+// shard returns shard i, materializing it from the mapped file on first
+// touch. Reads from concurrent goroutines are safe: sync.Once publishes
+// the decoded store. A shard that fails its checksum or integrity checks
+// panics with a typed bad-index error — the Reader interface has no error
+// returns, and a section whose CRC no longer matches means the file was
+// corrupted underneath a running process, which is not a state to limp
+// through. Structural problems (bad footer, bad offsets) are caught
+// eagerly by MapFile instead.
+func (s *ShardedStore) shard(i int) *Store {
+	if s.slots == nil {
+		return s.shards[i]
+	}
+	sl := &s.slots[i]
+	sl.once.Do(func() {
+		st, err := s.seg.materializeShard(i)
+		if err != nil {
+			sl.err = err
+			return
+		}
+		s.shards[i] = st
+		sl.done.Store(true)
+	})
+	if sl.err != nil {
+		panic(berr.New(berr.CodeBadIndex, "storage.mmap", "shard %d: %v", i, sl.err))
+	}
+	return s.shards[i]
+}
+
+// residentShard returns shard i only if it is already heap-resident, nil
+// otherwise. Stats and size accounting use it to avoid forcing
+// materialization.
+func (s *ShardedStore) residentShard(i int) *Store {
+	if s.slots == nil || s.slots[i].done.Load() {
+		return s.shards[i]
+	}
+	return nil
+}
+
+// shardEntries reports shard i's entry count without materializing it
+// (the v4 footer stores per-shard counts).
+func (s *ShardedStore) shardEntries(i int) int {
+	if sh := s.residentShard(i); sh != nil {
+		return sh.NumEntries()
+	}
+	return s.seg.shards[i].entries
+}
+
+// ResidentShards counts the shards currently materialized on the heap;
+// equal to NumShards for eagerly loaded or built stores.
+func (s *ShardedStore) ResidentShards() int {
+	if s.slots == nil {
+		return len(s.shards)
+	}
+	n := 0
+	for i := range s.slots {
+		if s.slots[i].done.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// MappedBytes reports the size of the memory-mapped file backing this
+// store, 0 when heap-built or eagerly loaded.
+func (s *ShardedStore) MappedBytes() int64 {
+	if s.seg == nil {
+		return 0
+	}
+	return int64(len(s.seg.data))
+}
+
+// Close releases the memory mapping of a store opened with MapFile; a
+// no-op otherwise. Callers must not touch unmaterialized shards after
+// Close (already-materialized shards are heap copies and stay valid).
+func (s *ShardedStore) Close() error {
+	if s.seg == nil {
+		return nil
+	}
+	return s.seg.close()
 }
 
 type shardRef struct {
@@ -87,10 +185,12 @@ func (s *ShardedStore) shardFor(name string) int {
 }
 
 // recomputeBase refreshes the global entry offsets after shard growth.
+// Lazy shards contribute their footer-recorded counts, so the global
+// positions are exact without materializing anything.
 func (s *ShardedStore) recomputeBase() {
 	s.base = make([]int32, len(s.shards)+1)
-	for i, sh := range s.shards {
-		s.base[i+1] = s.base[i] + int32(sh.NumEntries())
+	for i := range s.shards {
+		s.base[i+1] = s.base[i] + int32(s.shardEntries(i))
 	}
 }
 
@@ -118,11 +218,11 @@ func (s *ShardedStore) NumTables() int { return len(s.refs) }
 // it is an O(dictionary) scan meant for stats, not hot paths.
 func (s *ShardedStore) NumDistinctValues() int {
 	if len(s.shards) == 1 {
-		return s.shards[0].NumDistinctValues()
+		return s.shard(0).NumDistinctValues()
 	}
 	seen := make(map[string]struct{})
-	for _, sh := range s.shards {
-		for _, v := range sh.dict {
+	for i := range s.shards {
+		for _, v := range s.shard(i).dict {
 			seen[v] = struct{}{}
 		}
 	}
@@ -132,7 +232,7 @@ func (s *ShardedStore) NumDistinctValues() int {
 // TableMeta returns catalog information for a global table id.
 func (s *ShardedStore) TableMeta(tid int32) TableMeta {
 	r := s.refs[tid]
-	return s.shards[r.shard].TableMeta(r.local)
+	return s.shard(int(r.shard)).TableMeta(r.local)
 }
 
 // TableName returns the name of a global table id, or "" if out of range
@@ -145,30 +245,41 @@ func (s *ShardedStore) TableName(tid int32) string {
 }
 
 // TableIDByName returns the global id of the named live table, or -1.
+// Tables are assigned whole to the shard hashing their name, so only that
+// shard needs to be consulted (and, when lazy, materialized).
 func (s *ShardedStore) TableIDByName(name string) int32 {
-	for g := range s.refs {
-		if s.TableAlive(int32(g)) && s.TableMeta(int32(g)).Name == name {
-			return int32(g)
-		}
+	sh := s.shardFor(name)
+	local := s.shard(sh).TableIDByName(name)
+	if local < 0 {
+		return -1
 	}
-	return -1
+	return s.globalTID[sh][local]
 }
 
 // TableAlive reports whether a global table id is allocated and not
-// tombstoned.
+// tombstoned. Tombstone bitmaps are decoded at open, so this never
+// materializes a shard.
 func (s *ShardedStore) TableAlive(tid int32) bool {
 	if tid < 0 || int(tid) >= len(s.refs) {
 		return false
 	}
 	r := s.refs[tid]
-	return s.shards[r.shard].TableAlive(r.local)
+	if sh := s.residentShard(int(r.shard)); sh != nil {
+		return sh.TableAlive(r.local)
+	}
+	return !s.seg.shards[r.shard].dead[r.local]
 }
 
-// Tombstones sums the removed-but-not-compacted tables across shards.
+// Tombstones sums the removed-but-not-compacted tables across shards,
+// using the footer counts for shards not yet materialized.
 func (s *ShardedStore) Tombstones() int {
 	n := 0
-	for _, sh := range s.shards {
-		n += sh.Tombstones()
+	for i := range s.shards {
+		if sh := s.residentShard(i); sh != nil {
+			n += sh.Tombstones()
+		} else {
+			n += s.seg.shards[i].numDead
+		}
 	}
 	return n
 }
@@ -176,37 +287,37 @@ func (s *ShardedStore) Tombstones() int {
 // Value returns the CellValue of global entry i.
 func (s *ShardedStore) Value(i int32) string {
 	sh, l := s.locate(i)
-	return s.shards[sh].Value(l)
+	return s.shard(sh).Value(l)
 }
 
 // TableID returns the global TableId of entry i.
 func (s *ShardedStore) TableID(i int32) int32 {
 	sh, l := s.locate(i)
-	return s.globalTID[sh][s.shards[sh].TableID(l)]
+	return s.globalTID[sh][s.shard(sh).TableID(l)]
 }
 
 // ColumnID returns the ColumnId of global entry i.
 func (s *ShardedStore) ColumnID(i int32) int32 {
 	sh, l := s.locate(i)
-	return s.shards[sh].ColumnID(l)
+	return s.shard(sh).ColumnID(l)
 }
 
 // RowID returns the RowId of global entry i.
 func (s *ShardedStore) RowID(i int32) int32 {
 	sh, l := s.locate(i)
-	return s.shards[sh].RowID(l)
+	return s.shard(sh).RowID(l)
 }
 
 // SuperKey returns the XASH super key of global entry i's row.
 func (s *ShardedStore) SuperKey(i int32) xash.Key {
 	sh, l := s.locate(i)
-	return s.shards[sh].SuperKey(l)
+	return s.shard(sh).SuperKey(l)
 }
 
 // Quadrant returns the quadrant bit of global entry i.
 func (s *ShardedStore) Quadrant(i int32) int8 {
 	sh, l := s.locate(i)
-	return s.shards[sh].Quadrant(l)
+	return s.shard(sh).Quadrant(l)
 }
 
 // Postings returns the global entry positions whose CellValue equals v,
@@ -216,15 +327,15 @@ func (s *ShardedStore) Quadrant(i int32) int8 {
 // needed.
 func (s *ShardedStore) Postings(v string) []int32 {
 	if len(s.shards) == 1 {
-		return s.shards[0].Postings(v)
+		return s.shard(0).Postings(v)
 	}
 	n := s.Frequency(v)
 	if n == 0 {
 		return nil
 	}
 	out := make([]int32, 0, n)
-	for si, sh := range s.shards {
-		for _, p := range sh.Postings(v) {
+	for si := range s.shards {
+		for _, p := range s.shard(si).Postings(v) {
 			out = append(out, p+s.base[si])
 		}
 	}
@@ -234,18 +345,18 @@ func (s *ShardedStore) Postings(v string) []int32 {
 // ScanPostings streams the entries holding value v across all shards in
 // shard order, reporting global table ids.
 func (s *ShardedStore) ScanPostings(v string, fn func(tid, cid, rid int32)) {
-	for si, sh := range s.shards {
+	for si := range s.shards {
 		g := s.globalTID[si]
-		sh.ScanPostings(v, func(tid, cid, rid int32) { fn(g[tid], cid, rid) })
+		s.shard(si).ScanPostings(v, func(tid, cid, rid int32) { fn(g[tid], cid, rid) })
 	}
 }
 
 // ScanPostingsSuper streams the entries holding value v, with their row
 // super keys, across all shards in shard order, reporting global table ids.
 func (s *ShardedStore) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key)) {
-	for si, sh := range s.shards {
+	for si := range s.shards {
 		g := s.globalTID[si]
-		sh.ScanPostingsSuper(v, func(tid, cid, rid int32, super xash.Key) {
+		s.shard(si).ScanPostingsSuper(v, func(tid, cid, rid int32, super xash.Key) {
 			fn(g[tid], cid, rid, super)
 		})
 	}
@@ -254,8 +365,8 @@ func (s *ShardedStore) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, 
 // Frequency returns the number of index entries holding value v.
 func (s *ShardedStore) Frequency(v string) int {
 	total := 0
-	for _, sh := range s.shards {
-		total += sh.Frequency(v)
+	for i := range s.shards {
+		total += s.shard(i).Frequency(v)
 	}
 	return total
 }
@@ -275,27 +386,32 @@ func (s *ShardedStore) AvgFrequency(values []string) float64 {
 // TableEntries returns the global [start, end) entry range of a table id.
 func (s *ShardedStore) TableEntries(tid int32) (start, end int32) {
 	r := s.refs[tid]
-	lo, hi := s.shards[r.shard].TableEntries(r.local)
+	lo, hi := s.shard(int(r.shard)).TableEntries(r.local)
 	return lo + s.base[r.shard], hi + s.base[r.shard]
 }
 
 // ReconstructRow materializes row rid of global table tid.
 func (s *ShardedStore) ReconstructRow(tid, rid int32) []string {
 	r := s.refs[tid]
-	return s.shards[r.shard].ReconstructRow(r.local, rid)
+	return s.shard(int(r.shard)).ReconstructRow(r.local, rid)
 }
 
 // ReconstructTable materializes a full table from the index.
 func (s *ShardedStore) ReconstructTable(tid int32) *table.Table {
 	r := s.refs[tid]
-	return s.shards[r.shard].ReconstructTable(r.local)
+	return s.shard(int(r.shard)).ReconstructTable(r.local)
 }
 
-// SizeBytes sums the resident sizes of all shards.
+// SizeBytes sums the heap sizes of the resident shards. On a lazily
+// mapped store this is the resident footprint only — the mapped file is
+// reported separately by MappedBytes — so the sum never forces
+// materialization.
 func (s *ShardedStore) SizeBytes() int64 {
 	var b int64
-	for _, sh := range s.shards {
-		b += sh.SizeBytes()
+	for i := range s.shards {
+		if sh := s.residentShard(i); sh != nil {
+			b += sh.SizeBytes()
+		}
 	}
 	return b
 }
@@ -304,6 +420,13 @@ func (s *ShardedStore) SizeBytes() int64 {
 // posting-length figures are computed over per-shard dictionaries (a value
 // split across shards counts once per shard), which is what the scan cost
 // of a sharded seeker actually depends on.
+//
+// On a lazily mapped store the shape figures (tables, entries, tombstones,
+// shards) are exact — they come from the footer — but the content scans
+// (dictionary, postings, numeric cells, per-table averages) cover only the
+// shards already materialized, so that a stats probe of a mapped serving
+// process does not drag the whole index onto the heap. ResidentShards and
+// MappedBytes make the coverage explicit.
 func (s *ShardedStore) ComputeStats() Stats {
 	st := Stats{
 		Layout:         s.layout,
@@ -311,11 +434,30 @@ func (s *ShardedStore) ComputeStats() Stats {
 		Tables:         s.NumTables() - s.Tombstones(),
 		Tombstones:     s.Tombstones(),
 		Entries:        s.NumEntries(),
-		DistinctValues: s.NumDistinctValues(),
 		EstimatedBytes: s.SizeBytes(),
+		ResidentShards: s.ResidentShards(),
+		MappedBytes:    s.MappedBytes(),
+	}
+	if st.ResidentShards == len(s.shards) {
+		st.DistinctValues = s.NumDistinctValues()
+	} else {
+		seen := make(map[string]struct{})
+		for i := range s.shards {
+			if sh := s.residentShard(i); sh != nil {
+				for _, v := range sh.dict {
+					seen[v] = struct{}{}
+				}
+			}
+		}
+		st.DistinctValues = len(seen)
 	}
 	totalPost, dictEntries := 0, 0
-	for _, sh := range s.shards {
+	var cols, rows, liveTables int
+	for i := range s.shards {
+		sh := s.residentShard(i)
+		if sh == nil {
+			continue
+		}
 		sub := sh.ComputeStats()
 		st.NumericCells += sub.NumericCells
 		st.DictBytes += sub.DictBytes
@@ -324,22 +466,21 @@ func (s *ShardedStore) ComputeStats() Stats {
 		}
 		totalPost += sub.Entries
 		dictEntries += sub.DistinctValues
+		for tid := range sh.tables {
+			if sh.dead[tid] {
+				continue
+			}
+			liveTables++
+			cols += len(sh.tables[tid].ColNames)
+			rows += int(sh.tables[tid].NumRows)
+		}
 	}
 	if dictEntries > 0 {
 		st.AvgPostingLength = float64(totalPost) / float64(dictEntries)
 	}
-	var cols, rows int
-	for g := range s.refs {
-		if !s.TableAlive(int32(g)) {
-			continue
-		}
-		m := s.TableMeta(int32(g))
-		cols += len(m.ColNames)
-		rows += int(m.NumRows)
-	}
-	if st.Tables > 0 {
-		st.AvgColumnsPerTbl = float64(cols) / float64(st.Tables)
-		st.AvgRowsPerTable = float64(rows) / float64(st.Tables)
+	if liveTables > 0 {
+		st.AvgColumnsPerTbl = float64(cols) / float64(liveTables)
+		st.AvgRowsPerTable = float64(rows) / float64(liveTables)
 	}
 	return st
 }
@@ -349,7 +490,7 @@ func (s *ShardedStore) ComputeStats() Stats {
 // Not safe for use concurrent with readers.
 func (s *ShardedStore) AddTable(t *table.Table) int32 {
 	sh := s.shardFor(t.Name)
-	local := s.shards[sh].AddTable(t)
+	local := s.shard(sh).AddTable(t)
 	g := int32(len(s.refs))
 	s.refs = append(s.refs, shardRef{shard: int32(sh), local: local})
 	s.globalTID[sh] = append(s.globalTID[sh], g)
@@ -375,7 +516,7 @@ func (s *ShardedStore) AddTablesBatch(tables []*table.Table, workers int) []int3
 		sh := s.shardFor(t.Name)
 		g := int32(len(s.refs))
 		ids[i] = g
-		local := int32(s.shards[sh].NumTables() + len(perShard[sh]))
+		local := int32(s.shard(sh).NumTables() + len(perShard[sh]))
 		s.refs = append(s.refs, shardRef{shard: int32(sh), local: local})
 		s.globalTID[sh] = append(s.globalTID[sh], g)
 		perShard[sh] = append(perShard[sh], t)
@@ -394,7 +535,7 @@ func (s *ShardedStore) AddTablesBatch(tables []*table.Table, workers int) []int3
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			s.shards[sh].AddTablesBatch(group, 1)
+			s.shard(sh).AddTablesBatch(group, 1)
 		}(sh, group)
 	}
 	wg.Wait()
@@ -409,7 +550,7 @@ func (s *ShardedStore) RemoveTable(tid int32) error {
 		return berr.New(berr.CodeNotFound, "storage.remove", "no table with id %d", tid)
 	}
 	r := s.refs[tid]
-	return s.shards[r.shard].RemoveTable(r.local)
+	return s.shard(int(r.shard)).RemoveTable(r.local)
 }
 
 // Compact physically reclaims tombstoned tables by rebuilding the lake
@@ -425,11 +566,17 @@ func (s *ShardedStore) Compact() int {
 	live := make([]*table.Table, 0, len(s.refs)-removed)
 	for g := range s.refs {
 		r := s.refs[g]
-		if s.shards[r.shard].TableAlive(r.local) {
-			live = append(live, s.shards[r.shard].reconstructTable(r.local))
+		if sh := s.shard(int(r.shard)); sh.TableAlive(r.local) {
+			live = append(live, sh.reconstructTable(r.local))
 		}
 	}
+	old := s.seg
 	*s = *BuildSharded(s.layout, live, len(s.shards))
+	if old != nil {
+		// The rebuilt lake is fully heap-resident (reconstruction copies
+		// every cell), so the mapping can be released.
+		old.close()
+	}
 	return removed
 }
 
@@ -456,7 +603,7 @@ type shardView struct {
 	shard  int
 }
 
-func (v *shardView) store() *Store { return v.parent.shards[v.shard] }
+func (v *shardView) store() *Store { return v.parent.shard(v.shard) }
 
 // Layout reports the shard's physical layout.
 func (v *shardView) Layout() Layout { return v.parent.layout }

@@ -253,7 +253,7 @@ func TestV1FilesStillLoadAsMonolithic(t *testing.T) {
 func TestLoadShardedRejectsBadDirectory(t *testing.T) {
 	orig := BuildSharded(ColumnStore, lakeFixture(), 2)
 	var buf bytes.Buffer
-	if err := orig.Save(&buf); err != nil {
+	if err := orig.SaveLegacy(&buf, 3); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()

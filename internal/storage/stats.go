@@ -14,9 +14,17 @@ type Stats struct {
 	AvgPostingLength float64
 	MaxPostingLength int
 	DictBytes        int64
-	EstimatedBytes   int64
+	EstimatedBytes   int64 // heap-resident footprint (resident shards only when mapped)
 	AvgColumnsPerTbl float64
 	AvgRowsPerTable  float64
+
+	// Lazily mapped (v4) indexes report how much of the lake is actually
+	// on the heap versus still just memory-mapped file pages. For
+	// heap-built or eagerly loaded indexes ResidentShards == Shards and
+	// MappedBytes == 0. Content scans above cover resident shards only,
+	// so a stats probe never forces the whole index resident.
+	ResidentShards int
+	MappedBytes    int64
 }
 
 // ComputeStats scans the index once and returns its summary.
@@ -29,6 +37,7 @@ func (s *Store) ComputeStats() Stats {
 		Entries:        s.NumEntries(),
 		DistinctValues: s.NumDistinctValues(),
 		EstimatedBytes: s.SizeBytes(),
+		ResidentShards: 1,
 	}
 	for _, v := range s.dict {
 		st.DictBytes += int64(len(v))

@@ -1,0 +1,151 @@
+package blend
+
+// End-to-end differential coverage for the mmap open path: a saved index
+// opened with the default lazy mapping and with WithMmap(false) must be
+// indistinguishable through the public query and maintenance surfaces.
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"blend/internal/datalake"
+)
+
+// mmapLakePath builds a moderately sized sharded lake, saves it, and
+// returns the index path plus a seeker-friendly sample of its vocabulary.
+func mmapLakePath(t *testing.T) (string, []string) {
+	t.Helper()
+	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
+		Name: "mmap-e2e", NumTables: 24, ColsPerTable: 4, RowsPerTable: 40,
+		VocabSize: 1200, Seed: 41,
+	})
+	d := IndexTables(ColumnStore, lake.Tables, WithShards(4))
+	path := filepath.Join(t.TempDir(), "lake.blend")
+	if err := d.SaveIndex(path); err != nil {
+		t.Fatal(err)
+	}
+	vals := lake.Vocab[:6]
+	return path, vals
+}
+
+func runMmapPlan(t *testing.T, d *Discovery, vals []string) *Result {
+	t.Helper()
+	p := NewPlan()
+	p.MustAddSeeker("sc", SC(vals[:3], 8))
+	p.MustAddSeeker("kw", KW(vals[3:], 8))
+	p.MustAddSeeker("mc", MC([][]string{{vals[0], vals[1]}}, 8))
+	p.MustAddCombiner("all", Union(8), "sc", "kw", "mc")
+	res, err := d.Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestOpenIndexMmapMatchesEager runs the same seekers and plan against
+// both open modes and compares rankings, then applies the same
+// maintenance sequence to both and compares again across a save/reopen.
+func TestOpenIndexMmapMatchesEager(t *testing.T) {
+	path, vals := mmapLakePath(t)
+	eager, err := OpenIndex(path, WithMmap(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+
+	if eager.NumTables() != mapped.NumTables() || eager.NumShards() != mapped.NumShards() {
+		t.Fatalf("shape: eager %d/%d tables/shards, mapped %d/%d",
+			eager.NumTables(), eager.NumShards(), mapped.NumTables(), mapped.NumShards())
+	}
+	st := mapped.Stats()
+	if st.MappedBytes <= 0 {
+		t.Fatalf("mapped index reports MappedBytes = %d", st.MappedBytes)
+	}
+	if eager.Stats().MappedBytes != 0 {
+		t.Fatal("eager index reports a mapping")
+	}
+
+	for _, s := range []Seeker{SC(vals[:3], 8), KW(vals[3:], 8), MC([][]string{{vals[0], vals[1]}}, 8)} {
+		want, err := eager.Seek(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mapped.Seek(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("seeker results diverge: eager %v, mapped %v", want, got)
+		}
+	}
+	if w, g := runMmapPlan(t, eager, vals), runMmapPlan(t, mapped, vals); !reflect.DeepEqual(w.Tables, g.Tables) {
+		t.Fatalf("plan results diverge: eager %v, mapped %v", w.Tables, g.Tables)
+	}
+
+	// Maintenance parity: add, remove, compact on both, re-query.
+	extra := datalake.GenJoinLake(datalake.JoinLakeConfig{
+		Name: "mmap-extra", NumTables: 6, ColsPerTable: 4, RowsPerTable: 20,
+		VocabSize: 1200, Seed: 42,
+	}).Tables
+	if _, err := eager.AddTables(context.Background(), extra); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapped.AddTables(context.Background(), extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := eager.RemoveTable(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.RemoveTable(3); err != nil {
+		t.Fatal(err)
+	}
+	if e, m := eager.Compact(), mapped.Compact(); e != m {
+		t.Fatalf("Compact removed %d vs %d", e, m)
+	}
+	if w, g := runMmapPlan(t, eager, vals), runMmapPlan(t, mapped, vals); !reflect.DeepEqual(w.Tables, g.Tables) {
+		t.Fatalf("post-maintenance plan results diverge: eager %v, mapped %v", w.Tables, g.Tables)
+	}
+
+	// The mutated mapped index persists and reopens identically.
+	path2 := filepath.Join(t.TempDir(), "lake2.blend")
+	if err := mapped.SaveIndex(path2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenIndex(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if w, g := runMmapPlan(t, eager, vals), runMmapPlan(t, back, vals); !reflect.DeepEqual(w.Tables, g.Tables) {
+		t.Fatalf("reopened plan results diverge: eager %v, reopened %v", w.Tables, g.Tables)
+	}
+}
+
+// TestOpenIndexCloseIdempotent checks Close is safe to call twice and on
+// eagerly opened indexes (where there is no mapping to release).
+func TestOpenIndexCloseIdempotent(t *testing.T) {
+	path, _ := mmapLakePath(t)
+	mapped, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eager, err := OpenIndex(path, WithMmap(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eager.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,8 +4,11 @@
 # ns/op, B/op, and allocs/op, the native-vs-SQL speedup for each
 # *NativePath/*SQLPath pair, the multi-column seeker's native-vs-SQL
 # pairing (mc_native_speedup, from BenchmarkMCNative/BenchmarkMCSQL and
-# their sharded variants), and the bulk-ingest speedup of the batched
-# write path over the sequential AddTable loop. CI runs it as a
+# their sharded variants), the bulk-ingest speedup of the batched
+# write path over the sequential AddTable loop, the cold-open speedup of
+# the v4 mmap path over an eager v3 load (open_speedup), and the on-disk
+# size of the same lake in both formats (index_bytes_on_disk). CI runs
+# it as a
 # non-blocking job (make bench), uploads the artifact, and diffs it
 # against the previous main run with scripts/benchdelta.sh.
 #
@@ -18,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${BENCH_OUT:-BENCH.json}
 BENCHTIME=${BENCHTIME:-500x}
-PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest'
+PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest|OpenIndexCold'
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE=$(date -u +%FT%TZ)
@@ -39,9 +42,13 @@ awk -v out="$OUT" -v benchtime="$BENCHTIME" -v commit="$COMMIT" -v date="$DATE" 
     name = $1
     sub(/-[0-9]+$/, "", name)
     iters[name] = $2
-    ns[name] = $3
-    bytes[name] = $5
-    allocs[name] = $7
+    # Everything after the iteration count is (value, unit) pairs; custom
+    # b.ReportMetric units (disk_bytes, workers) interleave with ns/op and
+    # the -benchmem pair, so index by unit instead of field position.
+    for (i = 3; i + 1 <= NF; i += 2) m[name "|" $(i+1)] = $i
+    ns[name] = m[name "|ns/op"]
+    bytes[name] = m[name "|B/op"]
+    allocs[name] = m[name "|allocs/op"]
     order[n++] = name
 }
 END {
@@ -86,8 +93,30 @@ END {
     if ((seqn in ns) && (batn in ns) && ns[batn] > 0) {
         # Batched shard-parallel ingest vs the sequential AddTable loop;
         # the parallel component of the speedup scales with cpu_cores.
-        printf ",\n  \"bulk_ingest_speedup\": {\"sequential_ns_per_op\": %s, \"batch_ns_per_op\": %s, \"speedup\": %.2f, \"bytes_sequential\": %s, \"bytes_batch\": %s, \"workers\": 8, \"cpu_cores\": %s}", \
-            ns[seqn], ns[batn], ns[seqn] / ns[batn], bytes[seqn], bytes[batn], cores >> out
+        # workers is the effective parallelism the benchmark reported
+        # (min of the flag, shard count, and GOMAXPROCS), not the flag.
+        workers = (batn "|workers" in m) ? m[batn "|workers"] : "null"
+        printf ",\n  \"bulk_ingest_speedup\": {\"sequential_ns_per_op\": %s, \"batch_ns_per_op\": %s, \"speedup\": %.2f, \"bytes_sequential\": %s, \"bytes_batch\": %s, \"workers\": %s, \"cpu_cores\": %s}", \
+            ns[seqn], ns[batn], ns[seqn] / ns[batn], bytes[seqn], bytes[batn], workers, cores >> out
+    }
+    v3o = "BenchmarkOpenIndexCold/V3Eager"
+    v4o = "BenchmarkOpenIndexCold/V4Mmap"
+    if ((v3o in ns) && (v4o in ns) && ns[v4o] > 0) {
+        # Cold time-to-queryable: eager v3 decode vs v4 mmap + footer parse.
+        printf ",\n  \"open_speedup\": {\"v3_eager_ns_per_op\": %s, \"v4_mmap_ns_per_op\": %s, \"speedup\": %.2f", \
+            ns[v3o], ns[v4o], ns[v3o] / ns[v4o] >> out
+        v4e = "BenchmarkOpenIndexCold/V4Eager"
+        if ((v4e in ns) && ns[v4e] > 0)
+            printf ", \"v4_eager_ns_per_op\": %s", ns[v4e] >> out
+        printf "}" >> out
+    }
+    v3b = m[v3o "|disk_bytes"]
+    v4b = m[v4o "|disk_bytes"]
+    if (v3b > 0 && v4b > 0) {
+        # The same lake persisted in both formats; ratio is v3/v4, so
+        # > 1 means the segmented varint format is smaller on disk.
+        printf ",\n  \"index_bytes_on_disk\": {\"v3_bytes\": %s, \"v4_bytes\": %s, \"ratio\": %.2f}", \
+            v3b, v4b, v3b / v4b >> out
     }
     printf "\n}\n" >> out
 }' "$RAW"

@@ -47,5 +47,21 @@ jq -rn --slurpfile o "$old" --slurpfile n "$new" '
 ' 2>/dev/null || echo "_failed to parse bench reports_"
 
 echo
+
+# Headline derived metrics: cold-open speedup and on-disk index size,
+# old vs new (reports predating these fields show "n/a").
+jq -rn --slurpfile o "$old" --slurpfile n "$new" '
+    def x(v): if v == null then "n/a" else (v | tostring) + "x" end;
+    def fmt(v): if v == null then "n/a" else (v | tostring) end;
+    "Cold open (v4 mmap vs v3 eager): old speedup "
+        + x($o[0].open_speedup.speedup) + " → new speedup "
+        + x($n[0].open_speedup.speedup),
+    "On-disk size (v3/v4 ratio): old "
+        + x($o[0].index_bytes_on_disk.ratio) + " → new "
+        + x($n[0].index_bytes_on_disk.ratio) + " ("
+        + fmt($n[0].index_bytes_on_disk.v4_bytes) + " bytes v4)"
+' 2>/dev/null || echo "_no open/size metrics to compare_"
+
+echo
 echo "_delta = (new − old) / old; negative is faster. Non-blocking: noisy runners make small deltas meaningless._"
 exit 0
