@@ -159,7 +159,7 @@ func (s *Store) SaveLegacy(w io.Writer, version uint32) error {
 	switch version {
 	case persistVersion:
 		if s.numDead > 0 {
-			return fmt.Errorf("cannot write v1 format with %d tombstoned tables", s.numDead)
+			return berr.New(berr.CodeBadRequest, "storage.save", "cannot write v1 format with %d tombstoned tables", s.numDead)
 		}
 		bw := bufio.NewWriter(w)
 		if _, err := bw.WriteString(persistMagic); err != nil {
@@ -175,7 +175,7 @@ func (s *Store) SaveLegacy(w io.Writer, version uint32) error {
 	case persistVersionTombstones:
 		return s.saveV3(w)
 	default:
-		return fmt.Errorf("monolithic stores have no legacy version %d", version)
+		return berr.New(berr.CodeBadRequest, "storage.save", "monolithic stores have no legacy version %d", version)
 	}
 }
 
@@ -185,7 +185,7 @@ func (s *ShardedStore) SaveLegacy(w io.Writer, version uint32) error {
 	switch version {
 	case persistVersionSharded:
 		if s.Tombstones() > 0 {
-			return fmt.Errorf("cannot write v2 format with %d tombstoned tables", s.Tombstones())
+			return berr.New(berr.CodeBadRequest, "storage.save", "cannot write v2 format with %d tombstoned tables", s.Tombstones())
 		}
 		bw := bufio.NewWriter(w)
 		if _, err := bw.WriteString(persistMagic); err != nil {
@@ -201,7 +201,7 @@ func (s *ShardedStore) SaveLegacy(w io.Writer, version uint32) error {
 	case persistVersionTombstones:
 		return s.saveV3(w)
 	default:
-		return fmt.Errorf("sharded stores have no legacy version %d", version)
+		return berr.New(berr.CodeBadRequest, "storage.save", "sharded stores have no legacy version %d", version)
 	}
 }
 
