@@ -326,7 +326,7 @@ func (d *Discovery) Seek(ctx context.Context, s Seeker, opts ...RunOption) (Hits
 //
 // Deprecated: use Run with a context.
 func (d *Discovery) RunPlan(p *Plan) (*Result, error) {
-	return d.Run(context.Background(), p)
+	return d.Run(context.Background(), p) // lint:ignore ctxflow deprecated pre-v2 surface kept for compatibility; Run is the ctx-aware API
 }
 
 // RunUnoptimized executes a plan without operator reordering or query
@@ -334,7 +334,7 @@ func (d *Discovery) RunPlan(p *Plan) (*Result, error) {
 //
 // Deprecated: use Run with WithoutOptimizer.
 func (d *Discovery) RunUnoptimized(p *Plan) (*Result, error) {
-	return d.Run(context.Background(), p, WithoutOptimizer())
+	return d.Run(context.Background(), p, WithoutOptimizer()) // lint:ignore ctxflow deprecated pre-v2 surface kept for compatibility; Run is the ctx-aware API
 }
 
 // RunWithOptions executes a plan with an explicit options struct. The
@@ -353,8 +353,10 @@ func (d *Discovery) RunWithOptions(p *Plan, opts RunOptions) (*Result, error) {
 // TrainCostModels runs the offline cost-model training of §VII-B:
 // samplesPerKind random inputs per seeker type are executed and timed, and
 // a linear model per type is fitted and installed for use by the optimizer.
-func (d *Discovery) TrainCostModels(samplesPerKind int, seed int64) error {
-	_, err := core.TrainCostModels(d.engine, samplesPerKind, seed)
+// The context bounds the whole training sweep: cancellation aborts between
+// (and inside) sample runs.
+func (d *Discovery) TrainCostModels(ctx context.Context, samplesPerKind int, seed int64) error {
+	_, err := core.TrainCostModels(ctx, d.engine, samplesPerKind, seed)
 	return err
 }
 

@@ -261,7 +261,7 @@ func tableSet(names []string) map[string]bool {
 
 func TestTrainCostModelsPublicAPI(t *testing.T) {
 	d := IndexTables(ColumnStore, fig1Tables())
-	if err := d.TrainCostModels(30, 7); err != nil {
+	if err := d.TrainCostModels(context.Background(), 30, 7); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -355,7 +355,7 @@ func TestCostModelPersistencePublicAPI(t *testing.T) {
 	if err := d.SaveCostModels(path); err == nil {
 		t.Fatal("saving untrained models must fail")
 	}
-	if err := d.TrainCostModels(30, 7); err != nil {
+	if err := d.TrainCostModels(context.Background(), 30, 7); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.SaveCostModels(path); err != nil {

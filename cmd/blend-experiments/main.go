@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,9 +49,10 @@ func main() {
 		}
 		run = []experiments.Experiment{*e}
 	}
+	ctx := context.Background()
 	for _, e := range run {
 		start := time.Now()
-		rep := e.Run(scale)
+		rep := e.Run(ctx, scale)
 		fmt.Print(rep.String())
 		fmt.Printf("   [%s in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

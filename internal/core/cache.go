@@ -199,6 +199,8 @@ func seekerFingerprint(sb *strings.Builder, s Seeker) bool {
 // cacheKey renders the full lookup key for a seeker run: store generation,
 // correlation sample size (it changes C-seeker results), seeker
 // fingerprint, and rewrite predicate.
+//
+// lockguard: caller holds mu
 func (e *Engine) cacheKey(s Seeker, rw Rewrite) (string, bool) {
 	var sb strings.Builder
 	sb.WriteString("g")
@@ -224,6 +226,8 @@ func (e *Engine) cacheKey(s Seeker, rw Rewrite) (string, bool) {
 // preserved); a miss executes the seeker and stores its result. With no
 // cache configured it is a plain dispatch. Callers hold the engine's read
 // lock, so the generation embedded in the key cannot move mid-run.
+//
+// lockguard: caller holds mu
 func (e *Engine) runSeekerCached(ctx context.Context, s Seeker, rw Rewrite) (Hits, RunStats, error) {
 	cache := e.cache
 	if cache == nil {

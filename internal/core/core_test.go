@@ -589,7 +589,7 @@ func TestForcedOrder(t *testing.T) {
 
 func TestTrainCostModels(t *testing.T) {
 	e := fig1Engine()
-	per, err := TrainCostModels(e, 40, 1)
+	per, err := TrainCostModels(context.Background(), e, 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -623,7 +623,7 @@ func TestTrainCostModelsPathSeparation(t *testing.T) {
 			// samples the native run's result at zero measured cost.
 			e.SetResultCache(64)
 		}
-		per, err := TrainCostModels(e, 40, 3)
+		per, err := TrainCostModels(context.Background(), e, 40, 3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -646,7 +646,7 @@ func TestTrainCostModelsPathSeparation(t *testing.T) {
 
 func TestTrainCostModelsTooFewSamples(t *testing.T) {
 	e := fig1Engine()
-	if _, err := TrainCostModels(e, 2, 1); err == nil {
+	if _, err := TrainCostModels(context.Background(), e, 2, 1); err == nil {
 		t.Fatal("want error for tiny sample count")
 	}
 }

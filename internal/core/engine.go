@@ -37,8 +37,8 @@ type Engine struct {
 	// holds it for reading, AddTable for writing. The storage layer itself
 	// is safe for concurrent readers once built.
 	mu    sync.RWMutex
-	store storage.Index
-	cat   *minisql.Catalog
+	store storage.Index    // guarded by mu
+	cat   *minisql.Catalog // immutable after NewEngine; the relation it serves reads store
 
 	// shardCats holds one catalog per shard when the index is sharded
 	// (nil for monolithic stores).
@@ -61,17 +61,17 @@ type Engine struct {
 	// cache memoizes seeker results when configured (nil otherwise); gen
 	// is the store generation embedded in cache keys, bumped by every
 	// index mutation (AddTable, AddTables, RemoveTable, Compact).
-	cache *resultCache
-	gen   uint64
+	cache *resultCache // guarded by mu
+	gen   uint64       // guarded by mu
 
 	// maint counts index maintenance for operators (see MaintStats).
-	maint MaintStats
+	maint MaintStats // guarded by mu
 	// names caches the live table names for AddTables' duplicate check,
 	// built lazily and maintained incrementally under the write lock;
 	// nil means "rebuild on next use" (RemoveTable invalidates it, since
 	// duplicate names the unchecked AddTable may have introduced make an
 	// incremental delete ambiguous).
-	names map[string]struct{}
+	names map[string]struct{} // guarded by mu
 
 	// SampleH is the number of leading row ids sampled by the correlation
 	// seeker (the `rowid < h` predicate of Listing 3).
@@ -85,8 +85,8 @@ type Engine struct {
 	// rebuilt when the store generation moves (table added or removed), so
 	// ANN results never reference tables the index no longer serves.
 	semMu  sync.Mutex
-	semIdx *semanticIdx
-	semGen uint64
+	semIdx *semanticIdx // guarded by semMu
+	semGen uint64       // guarded by semMu
 }
 
 // NewEngine wraps an AllTables index for plan execution.
@@ -113,7 +113,7 @@ func NewEngine(store storage.Index) *Engine {
 // Store returns the engine's index. Callers touching it directly are not
 // covered by the engine's lock; prefer the Engine accessors when queries
 // may run concurrently.
-func (e *Engine) Store() storage.Index { return e.store }
+func (e *Engine) Store() storage.Index { return e.store } // lint:ignore lockguard documented unlocked accessor; callers own the locking once they hold the store
 
 // Catalog returns the unified SQL catalog (exposed for tests and advanced
 // embedding). For sharded indexes it serves the global single-relation
@@ -122,7 +122,11 @@ func (e *Engine) Store() storage.Index { return e.store }
 func (e *Engine) Catalog() *minisql.Catalog { return e.cat }
 
 // NumShards reports how many partitions the engine scans per seeker.
-func (e *Engine) NumShards() int { return e.store.NumShards() }
+func (e *Engine) NumShards() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store.NumShards()
+}
 
 // AddTable appends one table to the index without rebuilding it — the
 // incremental maintenance a single unified index enables (§I). It takes
@@ -314,6 +318,8 @@ func (e *Engine) TableNames(h Hits) []string {
 
 // tableNames is TableNames without locking, for callers already holding
 // the engine lock (Engine.Run's result assembly).
+//
+// lockguard: caller holds mu
 func (e *Engine) tableNames(h Hits) []string {
 	out := make([]string, len(h))
 	for i, t := range h {

@@ -101,7 +101,7 @@ func (e *Engine) RemoveTable(tid int32) error {
 	if err := e.store.RemoveTable(tid); err != nil {
 		return err
 	}
-	e.gen++
+	e.gen++       // lint:gen-lazy removal keeps cached entries; the bumped generation already makes their keys unreachable (see cache.go)
 	e.names = nil // see the field comment: removals invalidate the name cache
 	e.maint.TablesRemoved++
 	return nil
@@ -130,6 +130,8 @@ func (e *Engine) Compact() int {
 
 // liveNamesLocked returns the cached live table-name set, building it
 // once per invalidation. Callers hold the engine's write lock.
+//
+// lockguard: caller holds mu
 func (e *Engine) liveNamesLocked() map[string]struct{} {
 	if e.names == nil {
 		e.names = make(map[string]struct{}, e.store.NumTables())

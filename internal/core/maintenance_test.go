@@ -249,7 +249,7 @@ func TestTrainCostModelsSurvivesTombstones(t *testing.T) {
 	}
 	// The sampler draws ids across the whole allocated space; tombstoned
 	// ids must be resampled, not dereferenced.
-	if _, err := TrainCostModels(e, 40, 5); err != nil {
+	if _, err := TrainCostModels(context.Background(), e, 40, 5); err != nil {
 		t.Fatal(err)
 	}
 }

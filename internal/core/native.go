@@ -315,6 +315,8 @@ func scanShardOverlap(ctx context.Context, r storage.Reader, values []string,
 // SQL path's topK applies — so both paths return identical results. The
 // returned group count approximates RunStats.SQLRows: the rows the
 // generated SQL would have returned.
+//
+// lockguard: caller holds mu
 func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
 	k, minOverlap int, perColumn bool, rw Rewrite) (Hits, int, error) {
 

@@ -25,7 +25,10 @@ func (e *Engine) nativeServes(k SeekerKind) bool {
 // execution-path indicator, so trained models can price the native and SQL
 // executions of one kind separately. Every optimizer or training call site
 // goes through here — never through Seeker.Features directly, which cannot
-// know the engine's path configuration.
+// know the engine's path configuration (TrainCostModels also calls it
+// lock-free; training is a documented offline step).
+//
+// lockguard: caller holds mu
 func (e *Engine) seekerFeatures(s Seeker) costmodel.Features {
 	f := s.Features(e.store)
 	if e.nativeServes(s.Kind()) {

@@ -45,7 +45,7 @@ type RunOptions struct {
 	// blend.RunOptions alias keeps compiling; Engine.Run ignores it.
 	//
 	// Deprecated: use the ctx parameter of Engine.Run.
-	Context context.Context
+	Context context.Context // lint:ignore ctxflow deprecated compat field retained one release; Engine.Run ignores it
 }
 
 // PlanResult is the outcome of executing a discovery plan.
@@ -166,7 +166,6 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 		e:           e,
 		p:           p,
 		res:         res,
-		ctx:         ctx,
 		optimize:    opts.Optimize,
 		explain:     opts.Explain,
 		groupOf:     groupOf,
@@ -174,9 +173,9 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 		rankedOf:    rankedOf,
 	}
 	if opts.Parallel {
-		err = ex.runScheduled(topo, opts.MaxWorkers)
+		err = ex.runScheduled(ctx, topo, opts.MaxWorkers)
 	} else {
-		err = ex.runSequential(topo)
+		err = ex.runSequential(ctx, topo)
 	}
 	if err != nil {
 		// Only type as canceled/deadline when the failure actually came

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"blend/internal/berr"
 )
 
 // planExec carries the shared state of one plan execution. Both execution
@@ -16,7 +18,6 @@ type planExec struct {
 	e   *Engine
 	p   *Plan
 	res *PlanResult
-	ctx context.Context
 
 	optimize    bool
 	explain     bool
@@ -32,8 +33,8 @@ type planExec struct {
 }
 
 // runSeeker executes one seeker node and records its result.
-func (x *planExec) runSeeker(id string, rw Rewrite) error {
-	if err := x.ctx.Err(); err != nil {
+func (x *planExec) runSeeker(ctx context.Context, id string, rw Rewrite) error {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	n := x.p.nodes[id]
@@ -44,10 +45,12 @@ func (x *planExec) runSeeker(id string, rw Rewrite) error {
 			break
 		}
 	}
-	hits, stats, err := x.e.runSeekerCached(x.ctx, n.seeker, rw)
+	hits, stats, err := x.e.runSeekerCached(ctx, n.seeker, rw)
 	atomic.AddInt32(&x.inFlight, -1)
 	if err != nil {
-		return fmt.Errorf("plan node %q: %w", id, err)
+		// Wrap preserves an inner typed code (and errors.Is through Err),
+		// so cancellation and index corruption keep their classification.
+		return berr.Wrap(berr.CodeInternal, fmt.Sprintf("plan.node[%s]", id), err)
 	}
 	x.mu.Lock()
 	x.res.NodeHits[id] = hits
@@ -85,14 +88,14 @@ func (x *planExec) done(id string) bool {
 // Intersection rewrite rule). The chain is inherently sequential — every
 // member's SQL depends on its predecessor's result — so a group forms a
 // single scheduler task.
-func (x *planExec) runGroup(g *executionGroup) error {
+func (x *planExec) runGroup(ctx context.Context, g *executionGroup) error {
 	var prior []int32
 	for i, id := range x.rankedOf[g.combiner] {
 		rw := NoRewrite
 		if i > 0 {
 			rw = IncludeTables(prior)
 		}
-		if err := x.runSeeker(id, rw); err != nil {
+		if err := x.runSeeker(ctx, id, rw); err != nil {
 			return err
 		}
 		prior = x.hitsOf(id).TableIDs()
@@ -101,8 +104,8 @@ func (x *planExec) runGroup(g *executionGroup) error {
 }
 
 // runCombiner merges the (already resolved) inputs of a combiner node.
-func (x *planExec) runCombiner(id string) error {
-	if err := x.ctx.Err(); err != nil {
+func (x *planExec) runCombiner(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	n := x.p.nodes[id]
@@ -122,7 +125,7 @@ func (x *planExec) runCombiner(id string) error {
 // runSequential resolves nodes depth-first in topological order — the
 // reference execution whose results the scheduler must reproduce bit for
 // bit.
-func (x *planExec) runSequential(topo []string) error {
+func (x *planExec) runSequential(ctx context.Context, topo []string) error {
 	var resolve func(id string) error
 	resolve = func(id string) error {
 		if x.done(id) {
@@ -131,15 +134,15 @@ func (x *planExec) runSequential(topo []string) error {
 		n := x.p.nodes[id]
 		if n.isSeeker() {
 			if g := x.groupOf[id]; g != nil {
-				return x.runGroup(g)
+				return x.runGroup(ctx, g)
 			}
 			if sub, ok := x.excludeFrom[id]; ok {
 				if err := resolve(sub); err != nil {
 					return err
 				}
-				return x.runSeeker(id, ExcludeTables(x.hitsOf(sub).TableIDs()))
+				return x.runSeeker(ctx, id, ExcludeTables(x.hitsOf(sub).TableIDs()))
 			}
-			return x.runSeeker(id, NoRewrite)
+			return x.runSeeker(ctx, id, NoRewrite)
 		}
 		// Combiner: resolve inputs first. For Difference the subtrahend
 		// resolves before the minuend so its result can rewrite the
@@ -154,7 +157,7 @@ func (x *planExec) runSequential(topo []string) error {
 				return err
 			}
 		}
-		return x.runCombiner(id)
+		return x.runCombiner(ctx, id)
 	}
 	for _, id := range topo {
 		if err := resolve(id); err != nil {
@@ -174,7 +177,7 @@ type schedTask struct {
 // runScheduled executes the plan as a task DAG on a bounded worker pool:
 // free seekers, execution groups, Difference-rewrite chains, and combiners
 // each become one task, dispatched the moment their dependencies resolve.
-func (x *planExec) runScheduled(topo []string, maxWorkers int) error {
+func (x *planExec) runScheduled(ctx context.Context, topo []string, maxWorkers int) error {
 	taskOf := make(map[string]*schedTask, len(topo))
 	var tasks []*schedTask
 	newTask := func(run func() error) *schedTask {
@@ -193,20 +196,20 @@ func (x *planExec) runScheduled(topo []string, maxWorkers int) error {
 			g := x.groupOf[id]
 			t, ok := groupTask[g.combiner]
 			if !ok {
-				t = newTask(func() error { return x.runGroup(g) })
+				t = newTask(func() error { return x.runGroup(ctx, g) })
 				groupTask[g.combiner] = t
 			}
 			taskOf[id] = t
 		case n.isSeeker():
 			if sub, ok := x.excludeFrom[id]; ok {
 				taskOf[id] = newTask(func() error {
-					return x.runSeeker(id, ExcludeTables(x.hitsOf(sub).TableIDs()))
+					return x.runSeeker(ctx, id, ExcludeTables(x.hitsOf(sub).TableIDs()))
 				})
 			} else {
-				taskOf[id] = newTask(func() error { return x.runSeeker(id, NoRewrite) })
+				taskOf[id] = newTask(func() error { return x.runSeeker(ctx, id, NoRewrite) })
 			}
 		default:
-			taskOf[id] = newTask(func() error { return x.runCombiner(id) })
+			taskOf[id] = newTask(func() error { return x.runCombiner(ctx, id) })
 		}
 	}
 	// Wire dependencies in a second pass: a Difference subtrahend may sit
@@ -233,7 +236,7 @@ func (x *planExec) runScheduled(topo []string, maxWorkers int) error {
 			dep(taskOf[in], taskOf[id])
 		}
 	}
-	return runTaskPool(x.ctx, tasks, maxWorkers)
+	return runTaskPool(ctx, tasks, maxWorkers)
 }
 
 // runTaskPool drains a task DAG with a bounded number of workers. On the

@@ -392,6 +392,10 @@ func (s *MCSeeker) SQL(rw Rewrite) string {
 	return sb.String()
 }
 
+// run executes the MC seeker (seekers only run inside Engine.Run /
+// Engine.RunSeeker / the offline trainer).
+//
+// lockguard: caller holds mu
 func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: MC, Rewritten: rw.active(), Path: PathSQL}
 	if s.width() == 0 || len(s.Tuples) == 0 {

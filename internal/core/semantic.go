@@ -138,6 +138,8 @@ type semanticIdx struct {
 // RemoveTable therefore invalidate ANN results exactly like they
 // invalidate the result cache. Callers hold the engine's read lock, so the
 // generation cannot move mid-build.
+//
+// lockguard: caller holds mu
 func (e *Engine) semanticIndex() *semanticIdx {
 	e.semMu.Lock()
 	defer e.semMu.Unlock()

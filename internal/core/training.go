@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"blend/internal/berr"
 	"blend/internal/costmodel"
 	"blend/internal/table"
 )
@@ -27,9 +28,9 @@ import (
 // Training is deterministic for a given seed. samplesPerKind of 1000
 // matches the paper; experiments here use smaller counts because the
 // synthetic lakes are smaller.
-func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerKind, error) {
+func TrainCostModels(ctx context.Context, e *Engine, samplesPerKind int, seed int64) (*costmodel.PerKind, error) {
 	if samplesPerKind < 8 {
-		return nil, fmt.Errorf("core: need at least 8 samples per kind, got %d", samplesPerKind)
+		return nil, berr.New(berr.CodeBadRequest, "core.train", "need at least 8 samples per kind, got %d", samplesPerKind)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	per := &costmodel.PerKind{}
@@ -53,10 +54,10 @@ func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerK
 				// cached run would hand the second path the first path's
 				// result with no measured duration — a zero-cost sample that
 				// would corrupt the fitted path weight.
-				_, stats, err := s.run(context.Background(), e, NoRewrite)
+				_, stats, err := s.run(ctx, e, NoRewrite)
 				if err != nil {
 					e.NoNativeExec = prev
-					return nil, fmt.Errorf("core: training run for %v: %w", kind, err)
+					return nil, berr.Wrap(berr.CodeInternal, fmt.Sprintf("core.train[%v]", kind), err)
 				}
 				feats = append(feats, e.seekerFeatures(s))
 				times = append(times, float64(stats.Duration.Microseconds()))
@@ -80,7 +81,7 @@ func TrainCostModels(e *Engine, samplesPerKind int, seed int64) (*costmodel.PerK
 // the paper samples 1000 random Qs from Gittables per seeker type. Returns
 // nil when the randomly chosen table cannot supply the kind's input shape.
 func sampleSeeker(e *Engine, rng *rand.Rand, kind SeekerKind) Seeker {
-	st := e.store
+	st := e.store // lint:ignore lockguard offline training step; documented not to run concurrently with queries
 	if st.NumTables() == 0 {
 		return nil
 	}

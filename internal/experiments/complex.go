@@ -43,7 +43,7 @@ type taskResult struct {
 // RunComplexTasks regenerates Table III: the four complex discovery tasks,
 // each implemented once with BLEND (optimized and unoptimized) and once as
 // a federation of the reimplemented state-of-the-art systems.
-func RunComplexTasks(scale Scale) *Report {
+func RunComplexTasks(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "complex", Title: "Table III: complex discovery tasks"}
 	queries := 4 * scale.factor()
 
@@ -51,10 +51,10 @@ func RunComplexTasks(scale Scale) *Report {
 		name string
 		res  taskResult
 	}{
-		{"With Negative Examples", runNegativeTask(scale, queries)},
-		{"Data Imputation", runImputationTask(scale, queries)},
-		{"Feature Discovery", runFeatureTask(scale, max(2, queries/2))},
-		{"Multi-Objective Discovery", runMultiTask(scale, max(2, queries/2))},
+		{"With Negative Examples", runNegativeTask(ctx, scale, queries)},
+		{"Data Imputation", runImputationTask(ctx, scale, queries)},
+		{"Feature Discovery", runFeatureTask(ctx, scale, max(2, queries/2))},
+		{"Multi-Objective Discovery", runMultiTask(ctx, scale, max(2, queries/2))},
 	}
 	r.Printf("%-26s %10s %10s %10s | %5s %5s | %8s | %8s",
 		"Task", "BLEND", "B-NO", "Baseline", "LOC-B", "LOC-b", "#Systems", "#Indexes")
@@ -75,7 +75,7 @@ func negLake(scale Scale, seed int64) *datalake.JoinLake {
 	})
 }
 
-func runNegativeTask(scale Scale, queries int) taskResult {
+func runNegativeTask(ctx context.Context, scale Scale, queries int) taskResult {
 	lake := negLake(scale, 21)
 	d := blend.IndexTables(blend.ColumnStore, lake.Tables)
 	mateIx := mate.Build(lake.Tables)
@@ -95,8 +95,8 @@ func runNegativeTask(scale Scale, queries int) taskResult {
 			continue
 		}
 		plan := blend.NegativeExamplesPlan(pos, neg, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
-		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
+		res.blend += timeIt(func() { mustRun(d.Run(ctx, plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(ctx, plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() { baselineNegative(mateIx, db, pos, neg, 10) })
 	}
 	return res
@@ -145,7 +145,7 @@ func baselineNegative(ix *mate.Index, db *storage.Store, pos, neg [][]string, k 
 	return out
 }
 
-func runImputationTask(scale Scale, queries int) taskResult {
+func runImputationTask(ctx context.Context, scale Scale, queries int) taskResult {
 	lake := negLake(scale, 22)
 	d := blend.IndexTables(blend.ColumnStore, lake.Tables)
 	mateIx := mate.Build(lake.Tables)
@@ -163,8 +163,8 @@ func runImputationTask(scale Scale, queries int) taskResult {
 		}
 		queriesCol := lake.QueryColumn(12)
 		plan := blend.ImputationPlan(examples, queriesCol, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
-		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
+		res.blend += timeIt(func() { mustRun(d.Run(ctx, plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(ctx, plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() { baselineImputation(mateIx, josieIx, db, examples, queriesCol, 10) })
 	}
 	return res
@@ -195,7 +195,7 @@ func baselineImputation(mi *mate.Index, ji *josie.Index, db *storage.Store, exam
 	return out
 }
 
-func runFeatureTask(scale Scale, queries int) taskResult {
+func runFeatureTask(ctx context.Context, scale Scale, queries int) taskResult {
 	bench := datalake.GenCorrBenchmark(datalake.CorrConfig{
 		Name: "feat", NumTables: 16 * scale.factor(), Rows: 80,
 		CorrelatedShare: 0.3, Queries: queries, Seed: 23,
@@ -221,8 +221,8 @@ func runFeatureTask(scale Scale, queries int) taskResult {
 			joinTuples = append(joinTuples, []string{q.Keys[i]})
 		}
 		plan := blend.FeatureDiscoveryPlan(q.Keys, q.Targets, [][]float64{feature}, joinTuples, 10)
-		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
-		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
+		res.blend += timeIt(func() { mustRun(d.Run(ctx, plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(ctx, plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() {
 			baselineFeature(sketchIx, mateIx, db, q.Keys, q.Targets, [][]float64{feature}, joinTuples, 10)
 		})
@@ -259,7 +259,7 @@ func baselineFeature(si *qcrsketch.Index, mi *mate.Index, db *storage.Store, key
 	return out
 }
 
-func runMultiTask(scale Scale, queries int) taskResult {
+func runMultiTask(ctx context.Context, scale Scale, queries int) taskResult {
 	lake := negLake(scale, 24)
 	d := blend.IndexTables(blend.ColumnStore, lake.Tables)
 	josieIx := josie.Build(lake.Tables)
@@ -279,8 +279,8 @@ func runMultiTask(scale Scale, queries int) taskResult {
 		if err != nil {
 			panic(err)
 		}
-		res.blend += timeIt(func() { mustRun(d.Run(context.Background(), plan)) })
-		res.bno += timeIt(func() { mustRun(d.Run(context.Background(), plan, blend.WithoutOptimizer())) })
+		res.blend += timeIt(func() { mustRun(d.Run(ctx, plan)) })
+		res.bno += timeIt(func() { mustRun(d.Run(ctx, plan, blend.WithoutOptimizer())) })
 		res.base += timeIt(func() {
 			baselineMulti(josieIx, starmieIx, sketchIx, db, keywords, query, 10)
 		})

@@ -19,7 +19,7 @@ import (
 // indexes row-shuffled tables, emulating the a-priori shuffle ablation;
 // the baseline is the QCR sketch with h fixed at indexing time. h = 256
 // throughout, as in the paper.
-func RunCorrelation(scale Scale) *Report {
+func RunCorrelation(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "correlation", Title: "Table VII: correlation discovery"}
 	const h = 256
 	r.Printf("%-10s %-14s | %7s %7s | %10s", "Lake", "System", "P@10", "R@10", "Runtime")
@@ -49,7 +49,7 @@ func RunCorrelation(scale Scale) *Report {
 			seeker := blend.Correlation(q.Keys, q.Targets, 10)
 
 			start := time.Now()
-			hits, err := d.Seek(context.Background(), seeker)
+			hits, err := d.Seek(ctx, seeker)
 			if err != nil {
 				panic(err)
 			}
@@ -57,7 +57,7 @@ func RunCorrelation(scale Scale) *Report {
 			bRuns = append(bRuns, metrics.Run{Retrieved: d.TableNames(hits), Relevant: truth})
 
 			start = time.Now()
-			hits, err = dRand.Seek(context.Background(), seeker)
+			hits, err = dRand.Seek(ctx, seeker)
 			if err != nil {
 				panic(err)
 			}

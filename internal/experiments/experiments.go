@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -58,11 +59,13 @@ func (r *Report) String() string {
 	return sb.String()
 }
 
-// Experiment is one runnable reproduction.
+// Experiment is one runnable reproduction. Run threads the caller's
+// context through every engine invocation, so a canceled context aborts
+// the reproduction mid-sweep.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Scale) *Report
+	Run   func(context.Context, Scale) *Report
 }
 
 // All lists every experiment in paper order.

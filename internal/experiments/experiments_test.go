@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -40,7 +41,7 @@ func TestRegistryMatchesPaperOrder(t *testing.T) {
 }
 
 func TestLakesCoversAllEleven(t *testing.T) {
-	ls := lines(t, RunLakes(Small))
+	ls := lines(t, RunLakes(context.Background(), Small))
 	if len(ls) != 12 { // header + 11 lakes
 		t.Fatalf("lake rows = %d", len(ls))
 	}
@@ -55,9 +56,9 @@ func TestLakesCoversAllEleven(t *testing.T) {
 func TestComplexTasksShape(t *testing.T) {
 	// The structured invariants are easier to assert on the task results
 	// than on formatted lines.
-	neg := runNegativeTask(Small, 4)
-	imp := runImputationTask(Small, 4)
-	multi := runMultiTask(Small, 2)
+	neg := runNegativeTask(context.Background(), Small, 4)
+	imp := runImputationTask(context.Background(), Small, 4)
+	multi := runMultiTask(context.Background(), Small, 2)
 
 	// Query rewriting helps the rewritable tasks: BLEND ≤ B-NO with slack
 	// for timer noise.
@@ -85,7 +86,7 @@ func TestComplexTasksShape(t *testing.T) {
 }
 
 func TestOptimizerShape(t *testing.T) {
-	ls := lines(t, RunOptimizer(Small))
+	ls := lines(t, RunOptimizer(context.Background(), Small))
 	if len(ls) != 5 { // header + 4 seeker categories
 		t.Fatalf("optimizer rows = %d: %v", len(ls), ls)
 	}
@@ -103,7 +104,7 @@ func TestOptimizerShape(t *testing.T) {
 }
 
 func TestMCPrecisionShape(t *testing.T) {
-	ls := lines(t, RunMCPrecision(Small))
+	ls := lines(t, RunMCPrecision(context.Background(), Small))
 	// Parse TP/FP columns: BLEND's FP must not exceed MATE's on each lake
 	// (the SQL join prunes before XASH).
 	var blendFP, mateFP []float64
@@ -141,7 +142,7 @@ func TestMCPrecisionShape(t *testing.T) {
 }
 
 func TestUnionQualityShape(t *testing.T) {
-	ls := lines(t, RunUnionQuality(Small))
+	ls := lines(t, RunUnionQuality(context.Background(), Small))
 	// SANTOS Large must be excluded (no ground truth in the paper).
 	for _, l := range ls {
 		if strings.Contains(l, "SANTOS Large") {
@@ -156,7 +157,7 @@ func TestUnionQualityShape(t *testing.T) {
 }
 
 func TestCorrelationShape(t *testing.T) {
-	ls := lines(t, RunCorrelation(Small))
+	ls := lines(t, RunCorrelation(context.Background(), Small))
 	// The sketch baseline must collapse to 0% on the numeric-key lake and
 	// be competitive on the categorical one.
 	var allBaseline, catBaseline string
@@ -177,7 +178,7 @@ func TestCorrelationShape(t *testing.T) {
 }
 
 func TestIndexSizeShape(t *testing.T) {
-	ls := lines(t, RunIndexSize(Small))
+	ls := lines(t, RunIndexSize(context.Background(), Small))
 	// The TOTAL row must show the SOTA combination larger than BLEND.
 	var total string
 	for _, l := range ls {
@@ -202,14 +203,14 @@ func TestIndexSizeShape(t *testing.T) {
 }
 
 func TestSCRuntimeShape(t *testing.T) {
-	ls := lines(t, RunSCRuntime(Small))
+	ls := lines(t, RunSCRuntime(context.Background(), Small))
 	if len(ls) != 10 { // header + 3 lakes × 3 sizes
 		t.Fatalf("rows = %d", len(ls))
 	}
 }
 
 func TestLakeBenchShape(t *testing.T) {
-	ls := lines(t, RunLakeBench(Small))
+	ls := lines(t, RunLakeBench(context.Background(), Small))
 	body := strings.Join(ls, "\n")
 	// BLEND and JOSIE return identical exact-overlap results: both should
 	// report the same effectiveness columns.
@@ -228,14 +229,14 @@ func TestLakeBenchShape(t *testing.T) {
 }
 
 func TestUnionRuntimeShape(t *testing.T) {
-	ls := lines(t, RunUnionRuntime(Small))
+	ls := lines(t, RunUnionRuntime(context.Background(), Small))
 	if len(ls) != 5 { // header + 4 lakes
 		t.Fatalf("rows = %d", len(ls))
 	}
 }
 
 func TestUserStudyReport(t *testing.T) {
-	ls := lines(t, RunUserStudy(Small))
+	ls := lines(t, RunUserStudy(context.Background(), Small))
 	body := strings.Join(ls, "\n")
 	for _, want := range []string{"Participants", "Q7", "BLEND"} {
 		if !strings.Contains(body, want) {
@@ -257,7 +258,7 @@ func sscanF(tok string, out *float64) (int, error) {
 }
 
 func TestHSweepShape(t *testing.T) {
-	ls := lines(t, RunHSweep(Small))
+	ls := lines(t, RunHSweep(context.Background(), Small))
 	if len(ls) < 7 { // header + 5 h values + note
 		t.Fatalf("rows = %d", len(ls))
 	}
@@ -270,7 +271,7 @@ func TestHSweepShape(t *testing.T) {
 }
 
 func TestShardingExperimentShape(t *testing.T) {
-	body := strings.Join(lines(t, RunSharding(Small)), "\n")
+	body := strings.Join(lines(t, RunSharding(context.Background(), Small)), "\n")
 	if strings.Contains(body, "identical results: false") {
 		t.Fatalf("sharded or scheduled execution diverged:\n%s", body)
 	}

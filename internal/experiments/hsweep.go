@@ -16,7 +16,7 @@ import (
 // time — changing it means re-indexing the lake. The sweep reports, per h,
 // BLEND's quality with zero re-index cost versus the baseline's quality
 // plus the re-index time it must pay.
-func RunHSweep(scale Scale) *Report {
+func RunHSweep(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "h_sweep", Title: "Ablation: query-time sample size h (§VIII-G)"}
 	bench := datalake.GenCorrBenchmark(datalake.CorrConfig{
 		Name: "hsweep", NumTables: 16 * scale.factor(), Rows: 600,
@@ -34,7 +34,7 @@ func RunHSweep(scale Scale) *Report {
 		rebuild := time.Since(start)
 		for _, q := range bench.Queries {
 			truth := metrics.SetOf(q.TopTables...)
-			hits, err := d.Seek(context.Background(), blend.Correlation(q.Keys, q.Targets, 10))
+			hits, err := d.Seek(ctx, blend.Correlation(q.Keys, q.Targets, 10))
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"blend/internal/baselines/dataxformer"
 	"blend/internal/baselines/josie"
 	"blend/internal/baselines/mate"
@@ -17,7 +19,7 @@ import (
 // paper reports BLEND needing 57% less storage on average; the unified
 // layout wins because locations, super keys, and quadrant bits share one
 // dictionary-encoded relation instead of four redundant structures.
-func RunIndexSize(scale Scale) *Report {
+func RunIndexSize(_ context.Context, scale Scale) *Report {
 	r := &Report{ID: "indexsize", Title: "Table VIII: index storage"}
 	r.Printf("%-30s %14s %14s %8s", "Lake", "BLEND", "Σ S.O.T.A.", "ratio")
 	var sumB, sumS int64

@@ -17,7 +17,7 @@ import (
 // ground truth for k ∈ {5, 10, 15, 20}. BLEND and JOSIE return identical
 // result sets (both compute exact overlap); DeepJoin is fastest but
 // diverges because its similarity is semantic.
-func RunLakeBench(scale Scale) *Report {
+func RunLakeBench(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "lakebench", Title: "Fig. 6: LakeBench runtime and effectiveness"}
 	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
 		Name: "webtable", NumTables: 60 * scale.factor(), ColsPerTable: 4,
@@ -36,7 +36,7 @@ func RunLakeBench(scale Scale) *Report {
 		truth := metrics.SetOf(lake.BruteForceTopOverlap(col, 20)...)
 
 		start := time.Now()
-		hits, err := d.Seek(context.Background(), blend.SC(col, 20))
+		hits, err := d.Seek(ctx, blend.SC(col, 20))
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"blend/internal/datalake"
@@ -10,7 +11,7 @@ import (
 // RunLakes regenerates Table II: for each corpus the paper lists, the
 // scaled synthetic stand-in is generated and its actual shape and index
 // footprint are reported next to the paper's sizes.
-func RunLakes(scale Scale) *Report {
+func RunLakes(_ context.Context, scale Scale) *Report {
 	r := &Report{ID: "lakes", Title: "Table II: data lakes used in the experiments"}
 	r.Printf("%-30s %12s %12s %12s | %8s %8s %10s %12s",
 		"Lake", "paper tables", "paper cols", "paper rows",

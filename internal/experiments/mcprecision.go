@@ -14,7 +14,7 @@ import (
 // comparing BLEND's MC seeker against MATE on true positives, false
 // positives, precision, and runtime. Recall is 100% for both by the XASH
 // bloom-filter property.
-func RunMCPrecision(scale Scale) *Report {
+func RunMCPrecision(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "mcprecision", Title: "Table V: MC precision vs MATE"}
 	r.Printf("%-18s %-8s %8s %8s %9s %10s", "Lake", "System", "TP", "FP", "Precision", "Runtime")
 	for _, spec := range []struct {
@@ -41,7 +41,7 @@ func RunMCPrecision(scale Scale) *Report {
 				continue
 			}
 			start := time.Now()
-			_, stats, err := e.RunSeeker(context.Background(), blend.MC(tuples, 10))
+			_, stats, err := e.RunSeeker(ctx, blend.MC(tuples, 10))
 			if err != nil {
 				panic(err)
 			}

@@ -16,7 +16,7 @@ import (
 // (faster) order, reporting runtime gain and ordering accuracy. The lake
 // and sampling protocol follow §VIII-C (Gittables as the target lake and
 // the source of random inputs).
-func RunOptimizer(scale Scale) *Report {
+func RunOptimizer(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "optimizer", Title: "Table IV: optimizer effectiveness"}
 	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
 		Name: "opt", NumTables: 50 * scale.factor(), ColsPerTable: 4,
@@ -24,7 +24,7 @@ func RunOptimizer(scale Scale) *Report {
 	})
 	d := blend.IndexTables(blend.ColumnStore, lake.Tables)
 	// Offline training step of §VII-B.
-	if err := d.TrainCostModels(24, 7); err != nil {
+	if err := d.TrainCostModels(ctx, 24, 7); err != nil {
 		panic(err)
 	}
 	e := d.Engine()
@@ -47,7 +47,7 @@ func RunOptimizer(scale Scale) *Report {
 			plan.MustAddCombiner("i", core.NewIntersect(10), "s0", "s1")
 
 			run := func(order []string) (time.Duration, error) {
-				res, err := e.Run(context.Background(), plan, core.RunOptions{Optimize: true, ForcedOrder: order})
+				res, err := e.Run(ctx, plan, core.RunOptions{Optimize: true, ForcedOrder: order})
 				if err != nil {
 					return 0, err
 				}
@@ -68,7 +68,7 @@ func RunOptimizer(scale Scale) *Report {
 			} else {
 				idealT += tB
 			}
-			res, err := e.Run(context.Background(), plan, core.RunOptions{Optimize: true})
+			res, err := e.Run(ctx, plan, core.RunOptions{Optimize: true})
 			if err != nil {
 				panic(err)
 			}

@@ -15,7 +15,7 @@ import (
 // query sizes up to 100k on billion-row corpora; the scaled sweep keeps
 // the series shape (runtime grows with query size; the column layout beats
 // the row layout; JOSIE sits between them).
-func RunSCRuntime(scale Scale) *Report {
+func RunSCRuntime(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "sc_runtime", Title: "Fig. 5: SC seeker runtime vs JOSIE"}
 	lakes := []struct {
 		name  string
@@ -42,12 +42,12 @@ func RunSCRuntime(scale Scale) *Report {
 				col := lake.QueryColumn(size)
 				seeker := blend.SC(col, 10)
 				start := time.Now()
-				if _, err := dRow.Seek(context.Background(), seeker); err != nil {
+				if _, err := dRow.Seek(ctx, seeker); err != nil {
 					panic(err)
 				}
 				tRow += time.Since(start)
 				start = time.Now()
-				if _, err := dCol.Seek(context.Background(), seeker); err != nil {
+				if _, err := dCol.Seek(ctx, seeker); err != nil {
 					panic(err)
 				}
 				tCol += time.Since(start)

@@ -26,7 +26,7 @@ var Workers = 0
 // verifies, per configuration, that results are identical to the
 // monolithic sequential reference — the invariant the scheduler and the
 // shard merge are built around.
-func RunSharding(scale Scale) *Report {
+func RunSharding(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "sharding", Title: "Extension: sharded AllTables + concurrent plan scheduler"}
 	lake := datalake.GenJoinLake(datalake.JoinLakeConfig{
 		Name: "shard", NumTables: 80 * scale.factor(), ColsPerTable: 4,
@@ -45,7 +45,7 @@ func RunSharding(scale Scale) *Report {
 		var names []string
 		for _, q := range queries {
 			start := time.Now()
-			hits, err := d.Seek(context.Background(), blend.SC(q, 10))
+			hits, err := d.Seek(ctx, blend.SC(q, 10))
 			if err != nil {
 				panic(err)
 			}
@@ -73,7 +73,7 @@ func RunSharding(scale Scale) *Report {
 		p.MustAddCombiner("any", blend.Union(10), "sc0", "sc1", "kw", "sc3")
 		return p
 	}
-	ref, err := shard.Run(context.Background(), mkPlan())
+	ref, err := shard.Run(ctx, mkPlan())
 	if err != nil {
 		panic(err)
 	}
@@ -86,7 +86,7 @@ func RunSharding(scale Scale) *Report {
 	workerSteps := []int{1, 2, maxW}
 	sort.Ints(workerSteps)
 	for _, w := range workerSteps {
-		res, err := shard.Run(context.Background(), mkPlan(), blend.WithMaxWorkers(w))
+		res, err := shard.Run(ctx, mkPlan(), blend.WithMaxWorkers(w))
 		if err != nil {
 			panic(err)
 		}

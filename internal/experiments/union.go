@@ -41,7 +41,7 @@ func unionBenchmarks(scale Scale) []*datalake.UnionBenchmark {
 // benchmarks, at k = 10 and 20 (plus 50 and 100 for the TUS-style lakes,
 // as in the paper). SANTOS Large is runtime-only in the paper (no ground
 // truth) and is therefore skipped here too.
-func RunUnionQuality(scale Scale) *Report {
+func RunUnionQuality(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "unionquality", Title: "Table VI: union search quality vs Starmie"}
 	r.Printf("%-14s %4s | %8s %8s %8s | %8s %8s %8s",
 		"Lake", "k", "P BLEND", "R BLEND", "MAP BLD", "P Starm", "R Starm", "MAP Starm")
@@ -59,7 +59,7 @@ func RunUnionQuality(scale Scale) *Report {
 		var bRuns, sRuns []metrics.Run
 		for _, q := range bench.Queries {
 			plan := blend.UnionSearchPlan(q.Query, 10*maxK, maxK)
-			res, err := d.Run(context.Background(), plan)
+			res, err := d.Run(ctx, plan)
 			if err != nil {
 				panic(err)
 			}
@@ -84,7 +84,7 @@ func RunUnionQuality(scale Scale) *Report {
 
 // RunUnionRuntime regenerates Fig. 7: union-search runtime of Starmie,
 // BLEND (row layout), and BLEND (column layout) on the four benchmarks.
-func RunUnionRuntime(scale Scale) *Report {
+func RunUnionRuntime(ctx context.Context, scale Scale) *Report {
 	r := &Report{ID: "union_runtime", Title: "Fig. 7: union search runtime vs Starmie"}
 	r.Printf("%-14s | %12s %12s %12s", "Lake", "STARMIE", "BLEND(Row)", "BLEND(Col)")
 	for _, bench := range unionBenchmarks(scale) {
@@ -99,12 +99,12 @@ func RunUnionRuntime(scale Scale) *Report {
 
 			plan := blend.UnionSearchPlan(q.Query, 100, 10)
 			start = time.Now()
-			if _, err := dRow.Run(context.Background(), plan); err != nil {
+			if _, err := dRow.Run(ctx, plan); err != nil {
 				panic(err)
 			}
 			tRow += time.Since(start)
 			start = time.Now()
-			if _, err := dCol.Run(context.Background(), plan); err != nil {
+			if _, err := dCol.Run(ctx, plan); err != nil {
 				panic(err)
 			}
 			tCol += time.Since(start)

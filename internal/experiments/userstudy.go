@@ -1,10 +1,14 @@
 package experiments
 
-import "blend/internal/userstudy"
+import (
+	"context"
+
+	"blend/internal/userstudy"
+)
 
 // RunUserStudy regenerates Table IX from the embedded per-participant
 // response dataset (see internal/userstudy for the substitution note).
-func RunUserStudy(Scale) *Report {
+func RunUserStudy(_ context.Context, _ Scale) *Report {
 	r := &Report{ID: "userstudy", Title: "Table IX: user study"}
 	s := userstudy.Aggregate(userstudy.Responses())
 	for _, line := range splitLines(s.Format()) {

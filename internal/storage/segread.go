@@ -14,7 +14,7 @@ import (
 // hand-crafted input, it returns errors that the caller surfaces as
 // bad-index failures.
 type segDecoder struct {
-	b   []byte
+	b   []byte // mmapref: mapped (decoders read in place; decoded values are copied out)
 	pos int
 }
 
@@ -84,7 +84,7 @@ type segShard struct {
 // the validated footer directory. Shard bodies are decoded on demand by
 // materializeShard.
 type segFile struct {
-	data  []byte
+	data  []byte // mmapref: mapped — valid only until unmap; see close()
 	unmap func() error
 
 	kind      byte
@@ -108,7 +108,11 @@ func (sf *segFile) close() error {
 	return sf.closeErr
 }
 
-// section returns the byte range of a validated section.
+// section returns the byte range of a validated section. The slice
+// aliases the mapping, so it must not be retained past close/Compact —
+// decode in place and copy values out (see the mmapref analyzer).
+//
+// mmapref: returns mapped memory
 func (sf *segFile) section(sec segSection) []byte {
 	return sf.data[sec.off : sec.off+sec.n]
 }

@@ -51,7 +51,7 @@ type ShardedStore struct {
 type shardSlot struct {
 	once sync.Once
 	done atomic.Bool
-	err  error
+	err  error // guarded by once: written inside Do, read after it returns
 }
 
 // shard returns shard i, materializing it from the mapped file on first
