@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"blend/internal/lint"
+	"blend/internal/lint/linttest"
+)
+
+func TestBerrcheck(t *testing.T) {
+	// The import path must end in one of BerrcheckPackages for the
+	// analyzer to apply.
+	diags := linttest.Run(t, lint.Berrcheck, "testdata/src/berrcheck/a", "blendtest/internal/storage")
+
+	// The direct fmt.Errorf finding must carry the berr.New rewrite.
+	hasFix := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "fmt.Errorf") && len(d.Fixes) > 0 {
+			hasFix = true
+		}
+	}
+	if !hasFix {
+		t.Errorf("expected the fmt.Errorf diagnostic to carry a suggested berr.New fix")
+	}
+}
+
+func TestBerrcheckSkipsUnlistedPackages(t *testing.T) {
+	diags := linttest.Diags(t, lint.Berrcheck, "testdata/src/berrcheck/b", "blendtest/pkg/other")
+	if len(diags) != 0 {
+		t.Errorf("berrcheck fired outside its package list: %v", diags)
+	}
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow enforces the context-threading discipline: contexts are created
+// at the process edge (cmd/*, examples, tests) and flow down through the
+// shard fan-out and scheduler paths as explicit first parameters.
+//
+// Rules:
+//
+//  1. No context.Background()/context.TODO() outside cmd/* and examples/
+//     package trees, package main, and _test.go files. The one blessed
+//     in-library idiom is the nil guard
+//     `if ctx == nil { ctx = context.Background() }` on a deprecated
+//     compat surface.
+//
+//  2. When a function takes a context.Context it must be the first
+//     parameter (after the receiver), per Go convention.
+//
+//  3. context.Context must not be stored in a struct field — contexts are
+//     call-scoped; parking one in a struct detaches cancellation from the
+//     call tree.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Background()/context.TODO() only at the process edge " +
+		"(cmd/*, examples, tests); context.Context is the first parameter " +
+		"and is forwarded, never stored in a struct field",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) error {
+	if PkgPathHasDir(pass.Pkg.Path(), "cmd") ||
+		PkgPathHasDir(pass.Pkg.Path(), "examples") ||
+		pass.Pkg.Name() == "main" {
+		return nil
+	}
+	inspectAll(pass.Files, func(n ast.Node, stack []ast.Node) {
+		if inTestFile(pass, n) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if !funcIs(fn, "context", "Background") && !funcIs(fn, "context", "TODO") {
+				return
+			}
+			if isNilGuardAssign(stack) {
+				return
+			}
+			pass.Reportf(n.Pos(),
+				"context.%s() in library code severs the caller's cancellation; thread the caller's ctx through instead",
+				fn.Name())
+		case *ast.FuncDecl:
+			checkCtxFirstParam(pass, n)
+		case *ast.StructType:
+			checkNoCtxFields(pass, n)
+		}
+	})
+	return nil
+}
+
+// inTestFile reports whether the node lives in a _test.go file.
+func inTestFile(pass *Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// isNilGuardAssign recognizes the deprecated-surface compat idiom: the
+// Background/TODO call is the RHS of an assignment to a variable that the
+// directly enclosing if-statement checked against nil.
+func isNilGuardAssign(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		asg, ok := stack[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(asg.Lhs) != 1 {
+			return false
+		}
+		lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		// Find the enclosing if and require `<lhs> == nil` (either order).
+		for j := i - 1; j >= 0; j-- {
+			ifs, ok := stack[j].(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			cond, ok := ifs.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op.String() != "==" {
+				return false
+			}
+			x, xo := ast.Unparen(cond.X).(*ast.Ident)
+			y, yo := ast.Unparen(cond.Y).(*ast.Ident)
+			if xo && yo {
+				return (x.Name == lhs.Name && y.Name == "nil") ||
+					(y.Name == lhs.Name && x.Name == "nil")
+			}
+			return false
+		}
+		return false
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkCtxFirstParam flags a context.Context parameter in any position
+// but the first.
+func checkCtxFirstParam(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		t := pass.Info.Types[field.Type].Type
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextType(t) && idx != 0 {
+			pass.Reportf(field.Pos(),
+				"context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+		idx += n
+	}
+}
+
+// checkNoCtxFields flags context.Context struct fields.
+func checkNoCtxFields(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.Info.Types[field.Type].Type
+		if t != nil && isContextType(t) {
+			pass.Reportf(field.Pos(),
+				"context.Context stored in a struct field detaches cancellation from the call tree; pass it as a parameter")
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"blend/internal/lint"
+	"blend/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, lint.Ctxflow, "testdata/src/ctxflow/a", "blendtest/internal/foo")
+}
+
+func TestCtxflowExemptsCmdTree(t *testing.T) {
+	// The same sources under cmd/ are the process edge: no findings.
+	diags := linttest.Diags(t, lint.Ctxflow, "testdata/src/ctxflow/a", "blendtest/cmd/foo")
+	if len(diags) != 0 {
+		t.Errorf("ctxflow fired inside a cmd/ tree: %v", diags)
+	}
+}
+
+func TestCtxflowExemptsExamplesTree(t *testing.T) {
+	diags := linttest.Diags(t, lint.Ctxflow, "testdata/src/ctxflow/a", "blendtest/examples/foo")
+	if len(diags) != 0 {
+		t.Errorf("ctxflow fired inside an examples/ tree: %v", diags)
+	}
+}

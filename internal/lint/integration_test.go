@@ -1,0 +1,102 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blend/internal/lint"
+)
+
+// TestRepoIsClean asserts the full suite reports nothing on the
+// repository itself — the CI contract `blendlint ./...` exits 0.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, fset, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := lint.Run(pkgs, fset, lint.All())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// TestSeededViolations builds a throwaway module with one violation per
+// analyzer and asserts each is caught — the end-to-end "non-zero exit
+// with file:line output" acceptance probe, minus the process boundary.
+func TestSeededViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module m\n\ngo 1.22\n")
+	write("internal/service/svc.go", `package service
+
+import "fmt"
+
+func Handle(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	return nil
+}
+`)
+	write("internal/core/eng.go", `package core
+
+import (
+	"context"
+	"sync"
+)
+
+type engine struct {
+	mu    sync.Mutex
+	count int // guarded by mu
+}
+
+func (e *engine) Count() int {
+	return e.count
+}
+
+func Run() error {
+	ctx := context.Background()
+	return ctx.Err()
+}
+`)
+
+	pkgs, fset, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading seeded module: %v", err)
+	}
+	diags, err := lint.Run(pkgs, fset, lint.All())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	byAnalyzer := make(map[string]int)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if pos := fset.Position(d.Pos); !pos.IsValid() {
+			t.Errorf("diagnostic without a position: %s", d.Message)
+		}
+	}
+	for _, want := range []string{"berrcheck", "ctxflow", "lockguard"} {
+		if byAnalyzer[want] == 0 {
+			t.Errorf("seeded %s violation not reported; got %v", want, byAnalyzer)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package linttest is the analysistest-style harness for the blendlint
+// suite: it type-checks a golden package from testdata/src, runs one
+// analyzer over it, and asserts the reported diagnostics against
+// `// want "regexp"` comments in the sources.
+//
+// Standard-library imports are resolved by compiling them from source
+// (go/importer's "source" compiler), and imports naming a sibling
+// directory under testdata/src (e.g. the stub berr package) are
+// type-checked from those files — the harness therefore needs neither
+// network access nor prebuilt export data.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"blend/internal/lint"
+)
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// Run type-checks the package in dir (relative to the test's working
+// directory) under the given import path, applies the analyzer, and
+// matches diagnostics against the `// want` expectations.
+func Run(t *testing.T, a *lint.Analyzer, dir, pkgPath string) []lint.Diagnostic {
+	t.Helper()
+	fset, syntax, diags := analyze(t, a, dir, pkgPath)
+	match(t, fset, syntax, diags)
+	return diags
+}
+
+// Diags runs the analyzer without asserting `// want` comments — for
+// exemption tests, where the same golden sources must produce nothing
+// under a different import path and the wants intentionally go unhit.
+func Diags(t *testing.T, a *lint.Analyzer, dir, pkgPath string) []lint.Diagnostic {
+	t.Helper()
+	_, _, diags := analyze(t, a, dir, pkgPath)
+	return diags
+}
+
+func analyze(t *testing.T, a *lint.Analyzer, dir, pkgPath string) (*token.FileSet, []*ast.File, []lint.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:    t,
+		fset: fset,
+		src:  filepath.Dir(filepath.Clean(dir)), // testdata/src root is dir's parent... adjusted below
+	}
+	// Local sibling packages live under the same testdata/src root; walk
+	// up from dir until the directory is named "src".
+	root := filepath.Clean(dir)
+	for root != "." && root != string(filepath.Separator) && filepath.Base(root) != "src" {
+		root = filepath.Dir(root)
+	}
+	ld.src = root
+	ld.built = make(map[string]*types.Package)
+
+	pkg, syntax := ld.check(dir, pkgPath)
+	diags, err := lint.Run([]*lint.Package{{
+		PkgPath: pkgPath,
+		Name:    pkg.Name(),
+		Dir:     dir,
+		Syntax:  syntax,
+		Types:   pkg,
+		Info:    ld.infos[pkgPath],
+	}}, fset, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	return fset, syntax, diags
+}
+
+// loader type-checks testdata packages with srcimporter-backed std deps.
+type loader struct {
+	t     *testing.T
+	fset  *token.FileSet
+	src   string // testdata/src root for local sibling imports
+	built map[string]*types.Package
+	infos map[string]*types.Info
+	std   types.Importer
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.built[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(l.src, path); dirExists(dir) {
+		pkg, _ := l.check(dir, path)
+		return pkg, nil
+	}
+	if l.std == nil {
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// check parses and type-checks one testdata package.
+func (l *loader) check(dir, pkgPath string) (*types.Package, []*ast.File) {
+	l.t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.t.Fatalf("reading %s: %v", dir, err)
+	}
+	var syntax []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		syntax = append(syntax, af)
+	}
+	if len(syntax) == 0 {
+		l.t.Fatalf("no Go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := &types.Config{Importer: l, Error: func(error) {}}
+	pkg, err := conf.Check(pkgPath, l.fset, syntax, info)
+	if err != nil {
+		l.t.Fatalf("typecheck %s: %v", pkgPath, err)
+	}
+	if l.infos == nil {
+		l.infos = make(map[string]*types.Info)
+	}
+	l.infos[pkgPath] = info
+	l.built[pkgPath] = pkg
+	return pkg, syntax
+}
+
+// expectation is one `// want` assertion.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// match compares diagnostics against want comments.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}

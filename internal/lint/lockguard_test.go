@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"blend/internal/lint"
+	"blend/internal/lint/linttest"
+)
+
+func TestLockguard(t *testing.T) {
+	linttest.Run(t, lint.Lockguard, "testdata/src/lockguard/a", "blendtest/internal/engine")
+}

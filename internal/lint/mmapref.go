@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mmapref polices the lifetime of byte slices backed by mmap'd index
+// sections — the PR 6 use-after-unmap hazard: a slice into a mapped
+// segment faults (or silently reads remapped bytes) once Close or
+// Compact unmaps the file, so mapped memory must never outlive the
+// function that borrowed it without an explicit copy.
+//
+// The analysis is annotation-driven:
+//
+//   - a struct field commented `// mmapref: mapped` holds mapped memory
+//     (segFile.data, segDecoder.b);
+//   - a function commented `// mmapref: returns mapped memory` is a
+//     blessed accessor whose []byte result is mapped (segFile.section).
+//
+// Within each unannotated function, values read from annotated fields or
+// accessor calls — and any subslice of them — are tainted. Returning a
+// tainted []byte, or storing one into an unannotated struct field, is a
+// finding. Copies launder the taint: string(b) conversions,
+// append(dst, b...), and copy(dst, b) all materialize heap-owned bytes.
+var Mmapref = &Analyzer{
+	Name: "mmapref",
+	Doc: "byte slices derived from mmap'd sections (fields annotated " +
+		"`// mmapref: mapped`, accessors annotated `// mmapref: returns " +
+		"mapped memory`) must not be stored into unannotated fields or " +
+		"returned from unannotated functions without a copy",
+	Run: runMmapref,
+}
+
+const (
+	mappedFieldMark  = "mmapref: mapped"
+	mappedReturnMark = "mmapref: returns mapped memory"
+)
+
+func runMmapref(pass *Pass) error {
+	m := &mmapchecker{pass: pass}
+	m.collectAnnotations()
+	if len(m.mappedFields) == 0 && len(m.mappedFuncs) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				m.checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+type mmapchecker struct {
+	pass         *Pass
+	mappedFields map[*types.Var]bool
+	mappedFuncs  map[types.Object]bool
+}
+
+func (m *mmapchecker) collectAnnotations() {
+	m.mappedFields = make(map[*types.Var]bool)
+	m.mappedFuncs = make(map[types.Object]bool)
+	for _, f := range m.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if !fieldHasMark(field, mappedFieldMark) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := m.pass.Info.Defs[name].(*types.Var); ok {
+							m.mappedFields[v] = true
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Doc != nil && strings.Contains(n.Doc.Text(), mappedReturnMark) {
+					if obj := m.pass.Info.Defs[n.Name]; obj != nil {
+						m.mappedFuncs[obj] = true
+					}
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func fieldHasMark(field *ast.Field, mark string) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg != nil && strings.Contains(cg.Text(), mark) {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// checkFunc runs the per-function lexical taint walk.
+func (m *mmapchecker) checkFunc(fd *ast.FuncDecl) {
+	info := m.pass.Info
+	annotated := fd.Doc != nil && strings.Contains(fd.Doc.Text(), mappedReturnMark)
+	tainted := make(map[types.Object]bool)
+
+	var exprTainted func(e ast.Expr) bool
+	exprTainted = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[info.Uses[e]]
+		case *ast.SelectorExpr:
+			if sel := info.Selections[e]; sel != nil {
+				if v, ok := sel.Obj().(*types.Var); ok && m.mappedFields[v] {
+					return true
+				}
+			}
+			return false
+		case *ast.SliceExpr:
+			return exprTainted(e.X)
+		case *ast.CallExpr:
+			// string(b), append, copy, and clone helpers launder taint.
+			if fn := calleeFunc(info, e); fn != nil {
+				return m.mappedFuncs[fn]
+			}
+			return false
+		}
+		return false
+	}
+
+	inspectAll([]*ast.File{fileOfDecl(m.pass, fd)}, func(n ast.Node, stack []ast.Node) {
+		if !withinNode(fd, n) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				} else {
+					continue
+				}
+				taint := exprTainted(rhs)
+				switch lhs := ast.Unparen(l).(type) {
+				case *ast.Ident:
+					obj := info.Defs[lhs]
+					if obj == nil {
+						obj = info.Uses[lhs]
+					}
+					if obj == nil || !isByteSlice(obj.Type()) {
+						continue
+					}
+					if taint {
+						tainted[obj] = true
+					} else {
+						delete(tainted, obj)
+					}
+				case *ast.SelectorExpr:
+					if !taint {
+						continue
+					}
+					sel := info.Selections[lhs]
+					if sel == nil {
+						continue
+					}
+					if v, ok := sel.Obj().(*types.Var); ok && !m.mappedFields[v] {
+						m.pass.Reportf(rhs.Pos(),
+							"mmap-backed bytes stored into field %s outlive the mapping; copy with append/string, or annotate the field `// mmapref: mapped`",
+							v.Name())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if annotated {
+				return
+			}
+			for _, res := range n.Results {
+				t := info.Types[res].Type
+				if t == nil || !isByteSlice(t) {
+					continue
+				}
+				if exprTainted(res) {
+					m.pass.Reportf(res.Pos(),
+						"mmap-backed bytes returned from %s escape the mapping's lifetime; return a copy, or annotate the function `// mmapref: returns mapped memory`",
+						fd.Name.Name)
+				}
+			}
+		}
+	})
+}
+
+// fileOfDecl finds the file containing the declaration.
+func fileOfDecl(pass *Pass, fd *ast.FuncDecl) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= fd.Pos() && fd.Pos() < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// withinNode reports whether n lies inside decl's source range.
+func withinNode(decl *ast.FuncDecl, n ast.Node) bool {
+	return n.Pos() >= decl.Pos() && n.End() <= decl.End()
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"blend/internal/lint"
+	"blend/internal/lint/linttest"
+)
+
+func TestMmapref(t *testing.T) {
+	linttest.Run(t, lint.Mmapref, "testdata/src/mmapref/a", "blendtest/internal/segread")
+}

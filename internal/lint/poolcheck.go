@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolcheck enforces the sync.Pool scratch-buffer discipline of the
+// native execution paths.
+//
+// A package-level sync.Pool defines two blessed roles: getter functions
+// (whose bodies call pool.Get — e.g. grabScratch) and releaser
+// functions/methods (whose bodies call pool.Put — e.g. release). Every
+// other function that acquires a pooled value through a getter must:
+//
+//   - release it via `defer`, so the Put happens on every return path,
+//     panics included;
+//   - not touch the value after a non-deferred release (use-after-Put is
+//     a data race with the next Get);
+//   - not let the value escape: returning it or storing it into a struct
+//     field retains a reference the pool may hand to another goroutine.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "sync.Pool Get/Put pair on all return paths (release via defer, " +
+		"panics included); no pooled-buffer reference used or retained " +
+		"after Put",
+	Run: runPoolcheck,
+}
+
+func runPoolcheck(pass *Pass) error {
+	p := &poolchecker{pass: pass}
+	p.collectPools()
+	if len(p.pools) == 0 {
+		return nil
+	}
+	p.collectAccessors()
+	p.checkUsers()
+	return nil
+}
+
+type poolchecker struct {
+	pass      *Pass
+	pools     map[types.Object]bool // package-level sync.Pool vars
+	getters   map[types.Object]bool // funcs whose body calls pool.Get
+	releasers map[types.Object]bool // funcs whose body calls pool.Put
+}
+
+func isSyncPool(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}
+
+func (p *poolchecker) collectPools() {
+	p.pools = make(map[types.Object]bool)
+	scope := p.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok && isSyncPool(v.Type()) {
+			p.pools[v] = true
+		}
+	}
+}
+
+// poolMethodCall reports whether call is <pool>.<method>() on a tracked
+// package-level pool.
+func (p *poolchecker) poolMethodCall(call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return p.pools[p.pass.Info.Uses[id]]
+}
+
+// collectAccessors classifies the package's functions into getters and
+// releasers by whether their bodies touch a pool directly.
+func (p *poolchecker) collectAccessors() {
+	p.getters = make(map[types.Object]bool)
+	p.releasers = make(map[types.Object]bool)
+	for _, f := range p.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := p.pass.Info.Defs[fd.Name]
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p.poolMethodCall(call, "Get") {
+					p.getters[fn] = true
+				}
+				if p.poolMethodCall(call, "Put") {
+					p.releasers[fn] = true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// releaseCallOn reports whether call releases the given pooled object:
+// v.release(), release(v), or pool.Put(v).
+func (p *poolchecker) releaseCallOn(call *ast.CallExpr, obj types.Object) bool {
+	if p.poolMethodCall(call, "Put") {
+		return len(call.Args) == 1 && identObjIs(p.pass.Info, call.Args[0], obj)
+	}
+	fn := calleeFunc(p.pass.Info, call)
+	if fn == nil || !p.releasers[fn] {
+		return false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return identObjIs(p.pass.Info, sel.X, obj)
+	}
+	return len(call.Args) == 1 && identObjIs(p.pass.Info, call.Args[0], obj)
+}
+
+func identObjIs(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// checkUsers verifies every non-accessor function that acquires pooled
+// scratch through a getter.
+func (p *poolchecker) checkUsers() {
+	for _, f := range p.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := p.pass.Info.Defs[fd.Name]
+			if p.getters[fn] || p.releasers[fn] {
+				continue // accessors are the blessed pool surface
+			}
+			p.checkFunc(fd)
+		}
+	}
+}
+
+func (p *poolchecker) checkFunc(fd *ast.FuncDecl) {
+	info := p.pass.Info
+	// Pooled objects acquired in this function: obj -> acquisition pos.
+	acquired := make(map[types.Object]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || !p.getters[fn] {
+			return true
+		}
+		for _, l := range asg.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name != "_" {
+				if obj := info.Defs[id]; obj != nil {
+					acquired[obj] = id.Pos()
+				} else if obj := info.Uses[id]; obj != nil {
+					acquired[obj] = id.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	for obj, pos := range acquired {
+		var (
+			deferredRelease bool
+			plainReleasePos token.Pos
+		)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				if p.releaseCallOn(n.Call, obj) {
+					deferredRelease = true
+					return false
+				}
+				// defer func() { ... v.release() ... }()
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						if c, ok := m.(*ast.CallExpr); ok && p.releaseCallOn(c, obj) {
+							deferredRelease = true
+						}
+						return true
+					})
+					if deferredRelease {
+						return false
+					}
+				}
+			case *ast.ExprStmt:
+				if c, ok := n.X.(*ast.CallExpr); ok && p.releaseCallOn(c, obj) {
+					if !plainReleasePos.IsValid() {
+						plainReleasePos = c.Pos()
+					}
+					return false
+				}
+			}
+			return true
+		})
+
+		switch {
+		case deferredRelease:
+			// The good path; nothing more to prove for pairing.
+		case plainReleasePos.IsValid():
+			p.pass.Reportf(plainReleasePos,
+				"pooled %s released without defer: a panic between Get and Put leaks the buffer; use `defer %s`",
+				obj.Name(), releaseHint(obj))
+			p.checkUseAfter(fd, obj, plainReleasePos)
+		default:
+			p.pass.Reportf(pos,
+				"pooled %s acquired but never released in %s; add `defer %s`",
+				obj.Name(), fd.Name.Name, releaseHint(obj))
+		}
+		p.checkEscapes(fd, obj)
+	}
+}
+
+func releaseHint(obj types.Object) string {
+	return obj.Name() + ".release()"
+}
+
+// checkUseAfter flags lexical uses of obj after a non-deferred release.
+func (p *poolchecker) checkUseAfter(fd *ast.FuncDecl, obj types.Object, after token.Pos) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= after || p.pass.Info.Uses[id] != obj {
+			return true
+		}
+		p.pass.Reportf(id.Pos(),
+			"pooled %s used after Put: the pool may have handed it to another goroutine",
+			obj.Name())
+		return true
+	})
+}
+
+// checkEscapes flags the pooled value being returned or stored into a
+// struct field.
+func (p *poolchecker) checkEscapes(fd *ast.FuncDecl, obj types.Object) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if identObjIs(p.pass.Info, res, obj) {
+					p.pass.Reportf(res.Pos(),
+						"pooled %s escapes via return; copy the data out before release",
+						obj.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if _, ok := ast.Unparen(l).(*ast.SelectorExpr); ok &&
+					identObjIs(p.pass.Info, n.Rhs[i], obj) {
+					p.pass.Reportf(n.Rhs[i].Pos(),
+						"pooled %s stored into a field outlives its release; copy instead",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"blend/internal/lint"
+	"blend/internal/lint/linttest"
+)
+
+func TestPoolcheck(t *testing.T) {
+	linttest.Run(t, lint.Poolcheck, "testdata/src/poolcheck/a", "blendtest/internal/native")
+}

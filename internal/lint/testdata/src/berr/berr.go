@@ -1,0 +1,41 @@
+// Package berr is a minimal stub of blend/internal/berr for the analyzer
+// golden tests: berrcheck recognizes the package by import-path tail, so
+// the stub only needs the constructor shapes, not the behavior.
+package berr
+
+// Code classifies an error.
+type Code int
+
+// Stub codes.
+const (
+	CodeUnknown Code = iota
+	CodeInternal
+	CodeBadRequest
+)
+
+// Error is the typed error.
+type Error struct {
+	Code Code
+	Op   string
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Op }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// New builds a typed error.
+func New(code Code, op, format string, args ...any) *Error {
+	_ = format
+	_ = args
+	return &Error{Code: code, Op: op}
+}
+
+// Wrap types a cause.
+func Wrap(code Code, op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: code, Op: op, Err: err}
+}

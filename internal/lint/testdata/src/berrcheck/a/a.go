@@ -1,0 +1,70 @@
+// Package a is the berrcheck golden package; the test loads it under an
+// import path ending in internal/storage so the analyzer applies.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"berr"
+)
+
+// Exported returns raw constructor results directly — both flavors flag.
+func Exported(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n) // want "raw fmt.Errorf in exported Exported"
+	}
+	if n == 0 {
+		return errors.New("zero") // want "raw errors.New in exported Exported"
+	}
+	return nil
+}
+
+// Wrapped is clean: the raw cause is an argument of a berr constructor.
+func Wrapped(n int) error {
+	if n < 0 {
+		return berr.Wrap(berr.CodeInternal, "a.wrapped", fmt.Errorf("bad n %d", n))
+	}
+	return nil
+}
+
+// helper returns raw errors — allowed, it is unexported.
+func helper() error { return errors.New("inner") }
+
+// helper2 propagates helper's rawness through the fixed point.
+func helper2() error { return helper() }
+
+// Boundary leaks helper's raw error across the exported boundary.
+func Boundary() error {
+	err := helper()
+	if err != nil {
+		return err // want "error from helper may leave exported Boundary untyped"
+	}
+	return nil
+}
+
+// Chain leaks through the transitive helper.
+func Chain() error {
+	return helper2() // want "error from helper2 may leave exported Chain untyped"
+}
+
+// BoundaryWrapped types the helper error at the boundary — clean.
+func BoundaryWrapped() error {
+	if err := helper(); err != nil {
+		return berr.Wrap(berr.CodeInternal, "a.boundary", err)
+	}
+	return nil
+}
+
+// Reassigned shows taint clearing: the raw value is replaced by a typed
+// one before returning.
+func Reassigned() error {
+	err := helper()
+	err = berr.Wrap(berr.CodeInternal, "a.reassigned", err)
+	return err
+}
+
+// Waived demonstrates the explicit escape hatch.
+func Waived() error {
+	return errors.New("special") // lint:ignore berrcheck golden waiver case
+}

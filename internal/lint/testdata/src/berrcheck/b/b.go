@@ -1,0 +1,12 @@
+// Package b carries raw errors in an exported function but is loaded
+// under an import path outside BerrcheckPackages — the analyzer must
+// stay silent (no `// want` comments here on purpose).
+package b
+
+import "errors"
+
+// Exported may return raw errors: this package is not a typed-error
+// boundary.
+func Exported() error {
+	return errors.New("raw is fine here")
+}

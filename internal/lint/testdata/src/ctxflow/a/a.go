@@ -1,0 +1,53 @@
+// Package a is the ctxflow golden package; the test loads it under a
+// library import path (not cmd/*, not examples), so the edge exemptions
+// do not apply.
+package a
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	n   int
+}
+
+// Background flags: library code must thread the caller's context.
+func Background() {
+	_ = context.Background() // want "context.Background\(\) in library code"
+}
+
+// Todo flags the same way.
+func Todo() {
+	ctx := context.TODO() // want "context.TODO\(\) in library code"
+	_ = ctx
+}
+
+// NilGuard is the one blessed in-library idiom (deprecated surfaces).
+func NilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Forwarded is the discipline the analyzer wants.
+func Forwarded(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func work(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+func badOrder(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	return ctx.Err()
+}
+
+// Waived demonstrates the explicit escape hatch.
+func Waived() {
+	_ = context.Background() // lint:ignore ctxflow golden waiver case
+}
+
+var _ = holder{}
+var _ = badOrder

@@ -1,0 +1,69 @@
+// Package a is the mmapref golden package: a segment-file shape whose
+// mapped bytes must not outlive the mapping without a copy.
+package a
+
+type segFile struct {
+	data []byte // mmapref: mapped
+	name string
+}
+
+// section returns a window of the mapping.
+//
+// mmapref: returns mapped memory
+func (f *segFile) section(off, n int) []byte {
+	return f.data[off : off+n]
+}
+
+// Leak returns the raw mapping from an unannotated function.
+func Leak(f *segFile) []byte {
+	return f.data // want "mmap-backed bytes returned from Leak"
+}
+
+// LeakSlice shows taint propagating through a subslice.
+func LeakSlice(f *segFile) []byte {
+	b := f.section(0, 8)
+	return b[2:4] // want "mmap-backed bytes returned from LeakSlice"
+}
+
+// Copied launders the taint with an explicit append copy.
+func Copied(f *segFile) []byte {
+	b := f.section(0, 8)
+	return append([]byte(nil), b...)
+}
+
+// Recycled shows the taint clearing when the variable is reassigned to a
+// heap-owned copy.
+func Recycled(f *segFile) []byte {
+	b := f.section(0, 8)
+	b = append([]byte(nil), b...)
+	return b
+}
+
+// StringCopy materializes heap bytes via string conversion.
+func StringCopy(f *segFile) string {
+	return string(f.section(0, 4))
+}
+
+type cachedBlock struct {
+	buf []byte
+	key string
+}
+
+// Store parks mapped bytes in an unannotated field.
+func Store(c *cachedBlock, f *segFile) {
+	c.buf = f.section(0, 8) // want "mmap-backed bytes stored into field buf"
+}
+
+type window struct {
+	view []byte // mmapref: mapped
+}
+
+// StoreAnnotated is clean: the destination field is annotated mapped.
+func StoreAnnotated(w *window, f *segFile) {
+	w.view = f.section(0, 8)
+}
+
+// Waived demonstrates the explicit escape hatch.
+func Waived(f *segFile) []byte {
+	return f.data // lint:ignore mmapref golden waiver case
+}

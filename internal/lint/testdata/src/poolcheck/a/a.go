@@ -1,0 +1,71 @@
+// Package a is the poolcheck golden package: a scratch-buffer pool with
+// blessed getter/releaser accessors and every user-side failure mode.
+package a
+
+import "sync"
+
+type scratch struct{ b []byte }
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// grab is the blessed getter.
+func grab() *scratch { return scratchPool.Get().(*scratch) }
+
+// release is the blessed releaser.
+func (s *scratch) release() {
+	s.b = s.b[:0]
+	scratchPool.Put(s)
+}
+
+// Good releases via defer — the Put runs on every return path.
+func Good() int {
+	s := grab()
+	defer s.release()
+	s.b = append(s.b, 1)
+	return len(s.b)
+}
+
+// GoodClosure releases inside a deferred closure.
+func GoodClosure() {
+	s := grab()
+	defer func() {
+		s.release()
+	}()
+	s.b = append(s.b, 2)
+}
+
+// Missing never returns the buffer to the pool.
+func Missing() {
+	s := grab() // want "pooled s acquired but never released in Missing"
+	s.b = append(s.b, 3)
+}
+
+// NotDeferred releases on the happy path only, then touches the buffer
+// after the Put.
+func NotDeferred() int {
+	s := grab()
+	s.b = append(s.b, 4)
+	s.release()     // want "pooled s released without defer"
+	return len(s.b) // want "pooled s used after Put"
+}
+
+// Escapes hands the pooled value to the caller.
+func Escapes() *scratch {
+	s := grab() // want "pooled s acquired but never released in Escapes"
+	return s    // want "pooled s escapes via return"
+}
+
+type holder struct{ s *scratch }
+
+// Stored parks the pooled value in a struct field that outlives it.
+func Stored(h *holder) {
+	s := grab()
+	defer s.release()
+	h.s = s // want "pooled s stored into a field outlives its release"
+}
+
+// Waived demonstrates the explicit escape hatch.
+func Waived() {
+	s := grab() // lint:ignore poolcheck golden waiver case
+	s.b = append(s.b, 5)
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Waiver syntax: `// lint:ignore <analyzer>[,<analyzer>...] <reason>`.
+// The waiver covers findings of the named analyzers on the comment's own
+// line, or — when the comment stands alone on its line — on the next
+// source line. The reason is mandatory: a waiver without one is itself a
+// finding, so every suppressed invariant is explained in the diff.
+
+const ignorePrefix = "lint:ignore"
+
+// waiverSet indexes the waivers of one package by file and line.
+type waiverSet struct {
+	// byLine maps filename -> line -> analyzer names waived on that line.
+	byLine map[string]map[int]map[string]bool
+	// malformed collects diagnostics for waivers missing their reason.
+	malformed []Diagnostic
+}
+
+// collectWaivers scans the comments of every file.
+func collectWaivers(fset *token.FileSet, files []*ast.File) *waiverSet {
+	w := &waiverSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimPrefix(text, "/*"))
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(reason) == "" {
+					w.malformed = append(w.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lint",
+						Message:  "malformed waiver: want `// lint:ignore <analyzer> <reason>` with a non-empty reason",
+					})
+					continue
+				}
+				// A trailing comment waives its own line; a comment
+				// standing alone waives the line below. The AST does not
+				// retain raw source, so the waiver covers both — the
+				// over-coverage is one line and always explicit in review.
+				fm := w.byLine[pos.Filename]
+				if fm == nil {
+					fm = make(map[int]map[string]bool)
+					w.byLine[pos.Filename] = fm
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					lm := fm[line]
+					if lm == nil {
+						lm = make(map[string]bool)
+						fm[line] = lm
+					}
+					for _, n := range strings.Split(names, ",") {
+						lm[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+	return w
+}
+
+// covers reports whether d is waived.
+func (w *waiverSet) covers(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	fm := w.byLine[pos.Filename]
+	if fm == nil {
+		return false
+	}
+	lm := fm[pos.Line]
+	if lm == nil {
+		return false
+	}
+	return lm[d.Analyzer] || lm["all"]
+}
