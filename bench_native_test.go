@@ -20,6 +20,7 @@ var benchPath = struct {
 	shardNative *Discovery
 	shardSQL    *Discovery
 	cached      *Discovery
+	corrSQL     *Discovery
 }{}
 
 func benchPathSetup(b *testing.B) {
@@ -32,6 +33,7 @@ func benchPathSetup(b *testing.B) {
 		benchPath.shardNative = IndexTables(ColumnStore, tables, WithShards(4))
 		benchPath.shardSQL = IndexTables(ColumnStore, tables, WithShards(4), WithoutNativeExec())
 		benchPath.cached = IndexTables(ColumnStore, tables, WithResultCache(64))
+		benchPath.corrSQL = IndexTables(ColumnStore, benchLake.corr.Tables, WithoutNativeExec())
 	})
 }
 
@@ -111,6 +113,32 @@ func BenchmarkMCNativeSharded(b *testing.B) {
 func BenchmarkMCSQLSharded(b *testing.B) {
 	benchPathSetup(b)
 	benchSeekMC(b, benchPath.shardSQL)
+}
+
+func benchSeekCorr(b *testing.B, d *Discovery) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := benchLake.corr.Queries[i%len(benchLake.corr.Queries)]
+		if _, err := d.Seek(context.Background(), Correlation(q.Keys, q.Targets, 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Correlation (QCR) seeking: the native two-pass posting scan — fold the
+// key→quadrant map, scan each distinct key value once, heap the per-table
+// agreement scores — vs the interpreted two-way IN-join + grouped
+// aggregation it replaced. scripts/bench.sh records this pairing as
+// corr_native_speedup in BENCH.json.
+func BenchmarkCorrSeekerNativePath(b *testing.B) {
+	benchPathSetup(b)
+	benchSeekCorr(b, benchLake.corrCol)
+}
+
+func BenchmarkCorrSeekerSQLPath(b *testing.B) {
+	benchPathSetup(b)
+	benchSeekCorr(b, benchPath.corrSQL)
 }
 
 // Serve-style repeated traffic with the result cache on: after the first

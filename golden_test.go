@@ -2,12 +2,18 @@ package blend
 
 // Golden end-to-end regression trace: a small committed CSV corpus
 // (testdata/golden/lake) is indexed through the public API and queried
-// with one fixed input per seeker kind — SC, KW, MC, C — plus a union
-// search plan. The named, scored results must match the committed trace in
-// testdata/golden/expected.json byte-for-byte, on the native executor and
-// on the SQL fallback alike, so any future executor change that shifts
-// results (scores, order, tie-breaks) diffs against a known-good baseline
-// instead of only against the other path.
+// with one fixed input per seeker kind — SC, KW, MC, C, Semantic — plus a
+// union search plan. The named, scored results must match the committed
+// trace in testdata/golden/expected.json byte-for-byte, on the native
+// executor and on the SQL fallback alike, so any future executor change
+// that shifts results (scores, order, tie-breaks) diffs against a
+// known-good baseline instead of only against the other path. (The
+// semantic trace is deterministic because the HNSW level generator is
+// seeded and the embedder is hash-based.)
+//
+// TestGoldenTracePaths additionally pins the execution-path attribution
+// for every kind on both engines, so a silent fall-through to the
+// interpreter fails the build rather than just slowing it down.
 //
 // Regenerate after an intentional semantic change with:
 //
@@ -22,6 +28,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"blend/internal/core"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden/expected.json from the current engine output")
@@ -56,6 +64,7 @@ func goldenQueries(t *testing.T, d *Discovery) goldenTrace {
 	seek("c", Correlation(
 		[]string{"HR", "IT", "Sales", "Finance", "Marketing"},
 		[]float64{33, 92, 80, 31, 28}, 5))
+	seek("semantic", Semantic([]string{"Firenze", "Berlin", "Madrid"}, 3))
 
 	// Union search: a two-column probe table through the KW fan-out +
 	// Counter plan.
@@ -133,4 +142,59 @@ func TestGoldenTrace(t *testing.T) {
 	mustContain("c", "payroll")
 	mustContain("sc", "headcount")
 	mustContain("union", "teams_us")
+	mustContain("semantic", "teams_eu")
+}
+
+// TestGoldenTracePaths pins the execution-path attribution of the golden
+// query set: on the default engine every relational seeker kind runs on
+// the native executor and the semantic seeker on the ANN index; under
+// WithoutNativeExec the relational kinds report the minisql interpreter,
+// while semantic keeps its ANN path (it has no SQL form to fall back to).
+// A silent fall-through to the interpreter therefore fails the build
+// rather than just slowing it down.
+func TestGoldenTracePaths(t *testing.T) {
+	lakeDir := filepath.Join("testdata", "golden", "lake")
+	seekers := map[string]Seeker{
+		"sc": SC([]string{"HR", "IT", "Sales", "Finance", "Marketing"}, 5),
+		"kw": KW([]string{"HR", "Firenze", "2024"}, 5),
+		"mc": MC([][]string{{"HR", "Anna Rossi"}, {"IT", "Jonas Weber"}}, 5),
+		"c": Correlation(
+			[]string{"HR", "IT", "Sales", "Finance", "Marketing"},
+			[]float64{33, 92, 80, 31, 28}, 5),
+		"semantic": Semantic([]string{"Firenze", "Berlin", "Madrid"}, 3),
+	}
+	fastPath := map[string]string{
+		"sc": core.PathNative, "kw": core.PathNative, "mc": core.PathNative,
+		"c": core.PathNative, "semantic": core.PathANN,
+	}
+	slowPath := map[string]string{
+		"sc": core.PathSQL, "kw": core.PathSQL, "mc": core.PathSQL,
+		"c": core.PathSQL, "semantic": core.PathANN,
+	}
+
+	ctx := context.Background()
+	check := func(d *Discovery, want map[string]string, label string) {
+		t.Helper()
+		for key, s := range seekers {
+			_, stats, err := d.Engine().RunSeeker(ctx, s)
+			if err != nil {
+				t.Fatalf("%s %s: %v", label, key, err)
+			}
+			if stats.Path != want[key] {
+				t.Fatalf("%s %s: path = %q, want %q", label, key, stats.Path, want[key])
+			}
+		}
+	}
+
+	d, err := IndexCSVDir(ColumnStore, lakeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(d, fastPath, "native engine")
+
+	dSQL, err := IndexCSVDir(ColumnStore, lakeDir, WithoutNativeExec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(dSQL, slowPath, "sql engine")
 }

@@ -145,10 +145,19 @@ func appendLenPrefixed(sb *strings.Builder, s string) {
 }
 
 // seekerFingerprint renders a deterministic, collision-free identity for
-// the built-in seeker kinds. The second result is false for user-defined
-// (or semantic) seekers, which are never cached: custom seekers may close
-// over mutable state, and the semantic seeker's ANN search is already
-// served by its own side index.
+// the built-in relational seeker kinds — SC, KW, MC, and Correlation are
+// all cache-eligible, including the correlation seeker's native fast
+// path (the sampled h that shapes its result is part of the cache key,
+// see cacheKey). The second result is false for anything else, which is
+// then never cached:
+//
+//   - user-defined seekers may close over mutable state a fingerprint
+//     cannot see, so memoizing them would be unsound;
+//   - the semantic seeker is already served by the engine's HNSW side
+//     index, which carries its own generation-based invalidation, and its
+//     tunables (Probe, MinSupport) change results without changing the
+//     query values — caching it would buy little and risk serving a hit
+//     computed under different knobs.
 func seekerFingerprint(sb *strings.Builder, s Seeker) bool {
 	switch x := s.(type) {
 	case *SCSeeker:

@@ -198,6 +198,59 @@ func TestResultCacheConcurrent(t *testing.T) {
 	}
 }
 
+// TestResultCacheEligibility pins the cache-eligibility matrix for the
+// non-trivial kinds: correlation runs (native fast path included) are
+// cached under a key that folds in the sample size h, so changing
+// SampleH misses rather than serving a result computed under a different
+// sample; semantic runs never touch the cache in either direction.
+func TestResultCacheEligibility(t *testing.T) {
+	e := cacheTestEngine(16)
+	ctx := context.Background()
+	keys := []string{"Finance", "Marketing", "HR", "IT", "Sales"}
+	targets := []float64{31, 28, 33, 92, 80}
+
+	first, st1, err := e.RunSeeker(ctx, NewCorrelation(keys, targets, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHit || st1.Path != PathNative {
+		t.Fatalf("first correlation run: %+v, want native-path miss", st1)
+	}
+	second, st2, err := e.RunSeeker(ctx, NewCorrelation(keys, targets, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || st2.Path != PathNative {
+		t.Fatalf("repeat correlation run: %+v, want cached hit with native path", st2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached correlation hits differ: %v vs %v", second, first)
+	}
+	// Different targets and a different sample size must both miss.
+	bumped := append([]float64(nil), targets...)
+	bumped[0]++
+	if _, st, _ := e.RunSeeker(ctx, NewCorrelation(keys, bumped, 5)); st.CacheHit {
+		t.Fatal("different targets must miss")
+	}
+	e.SampleH = e.SampleH / 2
+	if _, st, _ := e.RunSeeker(ctx, NewCorrelation(keys, targets, 5)); st.CacheHit {
+		t.Fatal("changed SampleH must miss")
+	}
+
+	// Semantic seeks bypass the cache entirely: same query twice, no hit,
+	// and no cache entries or lookups recorded beyond the correlation ones.
+	before := e.ResultCacheStats()
+	for i := 0; i < 2; i++ {
+		if _, st, err := e.RunSeeker(ctx, NewSemantic([]string{"Harry Potter", "Luna Lovegood"}, 3)); err != nil || st.CacheHit {
+			t.Fatalf("semantic run %d: err %v, stats %+v, want uncached", i, err, st)
+		}
+	}
+	after := e.ResultCacheStats()
+	if after != before {
+		t.Fatalf("semantic seeks touched the cache: %+v -> %+v", before, after)
+	}
+}
+
 // TestCacheDisabledByDefault asserts a fresh engine performs no caching
 // until configured — experiments and benchmarks measure real executions.
 func TestCacheDisabledByDefault(t *testing.T) {

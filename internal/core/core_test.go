@@ -105,11 +105,12 @@ func TestKWSeeker(t *testing.T) {
 	}
 }
 
-// TestRunStatsFunnelMCOnly pins the RunStats invariant: Candidates and
-// Validated describe the MC validation funnel and are exactly zero for
-// every other seeker kind, on both execution paths — consumers must gate
-// funnel attribution on Kind == MC, never on non-zero counters.
-func TestRunStatsFunnelMCOnly(t *testing.T) {
+// TestRunStatsFunnelKinds pins the RunStats invariant: Candidates and
+// Validated belong to the MC and semantic validation funnels and are
+// exactly zero for every other seeker kind, on both execution paths —
+// consumers must gate funnel attribution on Kind, never on non-zero
+// counters.
+func TestRunStatsFunnelKinds(t *testing.T) {
 	for _, noNative := range []bool{false, true} {
 		e := fig1Engine()
 		e.NoNativeExec = noNative
@@ -134,6 +135,15 @@ func TestRunStatsFunnelMCOnly(t *testing.T) {
 		}
 		if stats.Candidates == 0 || stats.Validated == 0 {
 			t.Fatalf("mc (noNative=%v): funnel empty: %+v", noNative, stats)
+		}
+		// So does the semantic seeker: ANN candidates in, posting-validated
+		// tables out (departments appear verbatim in the lake).
+		_, stats, err = e.RunSeeker(context.Background(), NewSemantic(departments, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates == 0 || stats.Validated == 0 {
+			t.Fatalf("semantic (noNative=%v): funnel empty: %+v", noNative, stats)
 		}
 	}
 }
@@ -769,6 +779,41 @@ func TestPlanResultProfile(t *testing.T) {
 		if !strings.Contains(prof, want) {
 			t.Fatalf("profile missing %q:\n%s", want, prof)
 		}
+	}
+}
+
+// TestPlanResultProfilePaths pins the per-node path column of the profile
+// report for the fast-path kinds: the correlation node must show native,
+// the semantic node ann — and with the native executor disabled the
+// correlation node flips to sql while semantic keeps ann.
+func TestPlanResultProfilePaths(t *testing.T) {
+	run := func(e *Engine) string {
+		t.Helper()
+		p := NewPlan()
+		p.MustAddSeeker("corr", NewCorrelation(
+			[]string{"Finance", "Marketing", "HR", "IT", "Sales"},
+			[]float64{31, 28, 33, 92, 80}, 5))
+		p.MustAddSeeker("sem", NewSemantic([]string{"Harry Potter", "Luna Lovegood"}, 5))
+		p.MustAddCombiner("u", NewUnion(5), "corr", "sem")
+		res, err := e.Run(context.Background(), p, RunOptions{Optimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile()
+	}
+
+	prof := run(fig1Engine())
+	for _, want := range []string{PathNative, PathANN} {
+		if !strings.Contains(prof, want) {
+			t.Fatalf("native-engine profile missing %q:\n%s", want, prof)
+		}
+	}
+
+	sqlEngine := fig1Engine()
+	sqlEngine.NoNativeExec = true
+	prof = run(sqlEngine)
+	if strings.Contains(prof, PathNative) || !strings.Contains(prof, PathSQL) || !strings.Contains(prof, PathANN) {
+		t.Fatalf("sql-engine profile paths wrong:\n%s", prof)
 	}
 }
 

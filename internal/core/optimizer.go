@@ -7,14 +7,16 @@ import (
 )
 
 // nativeServes reports whether the engine's native posting-list executor
-// will serve the given seeker kind; the others fall back to SQL (or ANN for
-// the semantic seeker).
+// will serve the given seeker kind. With every relational seeker family
+// (KW, SC, MC, C) served natively, the minisql interpreter is reachable
+// only through NoNativeExec (-no-native) or raw SQL; the semantic seeker
+// runs on its ANN side-index regardless of this switch.
 func (e *Engine) nativeServes(k SeekerKind) bool {
 	if e.NoNativeExec {
 		return false
 	}
 	switch k {
-	case KW, SC, MC:
+	case KW, SC, MC, C:
 		return true
 	default:
 		return false

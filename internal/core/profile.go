@@ -7,9 +7,9 @@ import (
 )
 
 // Profile renders a per-node execution report: which seekers ran in what
-// order, with their durations, SQL row counts, rewrite status, and the MC
-// validation funnel — the observability counterpart of the paper's
-// Table IV/V diagnostics.
+// order, with their durations, SQL row counts, rewrite status, and the
+// validation funnels of the MC and semantic seekers — the observability
+// counterpart of the paper's Table IV/V diagnostics.
 func (r *PlanResult) Profile() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "total %v across %d nodes\n", r.Duration, len(r.NodeHits))
@@ -30,7 +30,7 @@ func (r *PlanResult) Profile() string {
 		}
 		fmt.Fprintf(&sb, "  %-20s %-9s %-7s %10v  sql_rows=%-6d hits=%-4d",
 			id, st.Kind.String(), path, st.Duration.Round(10_000), st.SQLRows, len(r.NodeHits[id]))
-		if st.Kind == MC {
+		if st.Kind == MC || st.Kind == Semantic {
 			fmt.Fprintf(&sb, " candidates=%-5d validated=%-5d", st.Candidates, st.Validated)
 		}
 		if st.Rewritten {

@@ -27,18 +27,22 @@ const (
 // RunStats captures per-seeker execution diagnostics used by the
 // experiments (Table V counts true/false positives of the MC seeker).
 //
-// Invariant: Candidates and Validated describe the MC validation funnel
-// only — candidate rows surviving the XASH super-key filter, then rows
-// surviving exact tuple validation. Every other seeker kind has no such
-// funnel and reports both as zero, on the native and the SQL path alike
-// (core_test.go asserts this). Consumers attributing funnel counters must
-// therefore gate on Kind == MC, not on the counters being non-zero.
+// Invariant: Candidates and Validated describe a seeker's validation
+// funnel and exist for exactly two kinds. For MC they are candidate rows
+// surviving the XASH super-key filter, then rows surviving exact tuple
+// validation. For Semantic they are distinct candidate tables surviving
+// the rewrite post-filter of the ANN search, then tables corroborated by
+// at least one exact query-value posting. Every other seeker kind has no
+// such funnel and reports both as zero, on the native and the SQL path
+// alike (core_test.go asserts this). Consumers attributing funnel
+// counters must therefore gate on Kind (MC or Semantic), not on the
+// counters being non-zero.
 type RunStats struct {
 	Kind       SeekerKind
 	Duration   time.Duration
-	SQLRows    int // rows the seeker's (actual or equivalent) SQL produced
-	Candidates int // candidate rows after XASH filtering (MC only; see above)
-	Validated  int // rows surviving exact validation (MC only; see above)
+	SQLRows    int // rows the seeker's (actual or equivalent) SQL produced; ANN neighbours for Semantic
+	Candidates int // funnel input (MC and Semantic only; see above)
+	Validated  int // funnel survivors (MC and Semantic only; see above)
 	Rewritten  bool
 	// Path reports the execution path the run took: PathNative for the
 	// posting-list fast path, PathSQL for the minisql interpreter, PathANN
@@ -595,6 +599,22 @@ func (s *CorrelationSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hit
 	h := e.SampleH
 	if h <= 0 {
 		h = DefaultSampleH
+	}
+	if e.nativeServes(C) {
+		k0, k1 := s.split()
+		if len(k0)+len(k1) > 0 {
+			start := time.Now()
+			hits, groups, err := e.runNativeCorrelation(ctx, k0, k1, s.K, int32(h), rw)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Path = PathNative
+			stats.Duration = time.Since(start)
+			stats.SQLRows = groups
+			return hits, stats, nil
+		}
+		// Every key is empty: fall through so both paths degenerate
+		// identically (the SQL renders `CellValue IN ()`).
 	}
 	res, dur, err := e.execSQL(ctx, s.sqlWithH(rw, h))
 	if err != nil {

@@ -31,6 +31,13 @@ type SemanticSeeker struct {
 	// Probe is how many ANN neighbours to fetch before table dedup and
 	// rewrite filtering; defaults to 4·K.
 	Probe int
+	// MinSupport, when positive, drops ANN candidates whose table shares
+	// fewer than MinSupport distinct query values with the lake — the
+	// native posting validation fused onto the ANN funnel. Zero (the
+	// default) keeps validation observational: support is still counted
+	// into RunStats.Validated, but no candidate is dropped, so results
+	// match a pure ANN search.
+	MinSupport int
 }
 
 // NewSemantic builds a semantic seeker over a query column's values.
@@ -98,12 +105,58 @@ func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, 
 			best[tid] = sim
 		}
 	}
+
+	// Native posting validation, fused onto the ANN funnel: Candidates is
+	// the distinct tables surviving the rewrite post-filter, Validated the
+	// subset syntactically supported by at least one exact query value in
+	// the unified index. With MinSupport set the unsupported candidates are
+	// dropped; otherwise validation only feeds the funnel counters.
+	stats.Candidates = len(best)
+	support := e.semanticSupport(s.Values, best)
+	minSupport := s.MinSupport
+	for tid := range best {
+		if support[tid] > 0 {
+			stats.Validated++
+		}
+		if support[tid] < minSupport {
+			delete(best, tid)
+		}
+	}
+
 	hits := make(Hits, 0, len(best))
 	for tid, sim := range best {
 		hits = append(hits, TableHit{TableID: tid, Score: sim})
 	}
 	stats.Duration = time.Since(start)
 	return topK(hits, s.K), stats, nil
+}
+
+// semanticSupport counts, for each ANN candidate table, how many distinct
+// query values appear verbatim in that table — one posting scan per
+// distinct value, restricted to the candidate set. It is the exact-match
+// complement of the embedding search: ANN proposes, postings corroborate.
+//
+// lockguard: caller holds mu
+func (e *Engine) semanticSupport(values []string, cand map[int32]float64) map[int32]int {
+	support := make(map[int32]int, len(cand))
+	if len(cand) == 0 {
+		return support
+	}
+	seen := make(map[int32]struct{}, len(cand))
+	for _, v := range distinct(values) {
+		clear(seen)
+		e.store.ScanPostings(v, func(tid, _, _ int32) {
+			if _, ok := cand[tid]; !ok {
+				return
+			}
+			if _, dup := seen[tid]; dup {
+				return
+			}
+			seen[tid] = struct{}{}
+			support[tid]++
+		})
+	}
+	return support
 }
 
 // filterSets converts a rewrite into post-filter sets for operators that

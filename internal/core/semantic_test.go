@@ -58,6 +58,56 @@ func TestSemanticSeekerEmptyAndZeroInputs(t *testing.T) {
 	}
 }
 
+// TestSemanticFunnelAndMinSupport exercises the fused ANN + posting
+// validation: the funnel counters report how many candidate tables the
+// unified index corroborates, and MinSupport turns that corroboration
+// into a filter.
+func TestSemanticFunnelAndMinSupport(t *testing.T) {
+	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
+	// "berlin" and "munich" exist verbatim in the cities table; "dresden"
+	// does not exist anywhere. The people table shares no query value.
+	q := []string{"berlin", "munich", "dresden"}
+
+	hits, stats, err := e.RunSeeker(context.Background(), NewSemantic(q, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Path != PathANN {
+		t.Fatalf("path = %q, want %q", stats.Path, PathANN)
+	}
+	if stats.Candidates != len(hits) {
+		t.Fatalf("candidates = %d, hits = %d — default MinSupport must not drop", stats.Candidates, len(hits))
+	}
+	if stats.Validated != 1 {
+		t.Fatalf("validated = %d, want 1 (only cities shares query values)", stats.Validated)
+	}
+
+	// MinSupport 2 keeps cities (berlin + munich = support 2).
+	s := NewSemantic(q, 5)
+	s.MinSupport = 2
+	hits, stats, err = e.RunSeeker(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "cities" {
+		t.Fatalf("MinSupport=2 hits = %v (%v)", hits, e.TableNames(hits))
+	}
+	if stats.Candidates < 1 || stats.Validated != 1 {
+		t.Fatalf("MinSupport=2 funnel = %+v", stats)
+	}
+
+	// MinSupport 3 exceeds any table's support and empties the result.
+	s = NewSemantic(q, 5)
+	s.MinSupport = 3
+	hits, _, err = e.RunSeeker(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("MinSupport=3 hits = %v", hits)
+	}
+}
+
 func TestSemanticSeekerIndexReused(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
 	a := e.semanticIndex()

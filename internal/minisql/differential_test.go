@@ -94,7 +94,7 @@ func genCmpOp(rng *rand.Rand) string {
 // fresh parse provides.
 func referenceFilter(t *testing.T, m *MemRelation, where Expr) []int {
 	t.Helper()
-	src := &Result{cols: m.cols, quals: make([]string, len(m.cols)), rows: m.rows}
+	src := &rowResult{cols: m.cols, quals: make([]string, len(m.cols)), rows: m.rows}
 	ctx := &evalCtx{res: src}
 	var keep []int
 	for r := range m.rows {

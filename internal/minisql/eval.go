@@ -2,10 +2,25 @@ package minisql
 
 import "math"
 
+// evalSrc is the surface the evaluator reads rows through. The columnar
+// executor's *Result implements it over column vectors; the scan and join
+// operators implement it over single-row staging buffers so predicates run
+// before any output materialization; the frozen row-at-a-time reference
+// executor implements it over row slices.
+type evalSrc interface {
+	// NumRows bounds the implicit aggregation group.
+	NumRows() int
+	// at returns the value at (row, col) without bounds or NULL-column
+	// checks beyond what the implementation needs.
+	at(row, col int) Value
+	// resolve finds the position of a (possibly qualified) column name.
+	resolve(qual, name string) (int, error)
+}
+
 // evalCtx carries the row (or group of rows) an expression is evaluated
 // against, plus name resolution.
 type evalCtx struct {
-	res *Result
+	res evalSrc
 	// row is the current row for scalar contexts.
 	row int
 	// group, when non-nil, holds the row positions of the current group;
@@ -51,7 +66,7 @@ func eval(e Expr, ctx *evalCtx) (Value, error) {
 		if r < 0 {
 			return Null, nil
 		}
-		return ctx.res.rows[r][col], nil
+		return ctx.res.at(r, col), nil
 	case *Bin:
 		return evalBin(x, ctx)
 	case *Un:

@@ -5,36 +5,56 @@ import (
 	"strings"
 )
 
-// Result is a materialized query result. It implements Relation, so results
-// can feed further queries.
+// Result is a materialized query result in columnar form: one Value vector
+// per output column plus a row count. The batched executor below builds
+// these vectors directly — predicates run against single-row staging
+// buffers and survivors append column-wise, so a filtered scan allocates a
+// handful of vectors instead of one slice per row. It implements Relation,
+// so results can feed further queries, and evalSrc, so expressions read it
+// directly.
+//
+// A nil column vector is a NULL column: projection pushdown leaves the
+// positions a query never references unmaterialized, and every read path
+// treats them as uniformly NULL.
 type Result struct {
 	cols  []string
 	quals []string
-	rows  [][]Value
+	vals  [][]Value // vals[col][row]; nil vector = all-NULL column
+	n     int
 }
 
 // Columns implements Relation.
 func (r *Result) Columns() []string { return r.cols }
 
 // NumRows implements Relation.
-func (r *Result) NumRows() int { return len(r.rows) }
+func (r *Result) NumRows() int { return r.n }
 
 // Cell implements Relation.
-func (r *Result) Cell(row, col int) Value { return r.rows[row][col] }
+func (r *Result) Cell(row, col int) Value {
+	if v := r.vals[col]; v != nil {
+		return v[row]
+	}
+	return Null
+}
 
-// Row returns the raw values of one result row (shared, do not modify).
-func (r *Result) Row(row int) []Value { return r.rows[row] }
+// at implements evalSrc.
+func (r *Result) at(row, col int) Value { return r.Cell(row, col) }
 
-// resolve finds the position of a (possibly qualified) column name,
+// resolve implements evalSrc.
+func (r *Result) resolve(qual, name string) (int, error) {
+	return resolveCol(r.cols, r.quals, qual, name)
+}
+
+// resolveCol finds the position of a (possibly qualified) column name,
 // case-insensitively. Unqualified names matching several columns are
 // ambiguous unless all matches share the position.
-func (r *Result) resolve(qual, name string) (int, error) {
+func resolveCol(cols, quals []string, qual, name string) (int, error) {
 	found := -1
-	for i := range r.cols {
-		if !strings.EqualFold(r.cols[i], name) {
+	for i := range cols {
+		if !strings.EqualFold(cols[i], name) {
 			continue
 		}
-		if qual != "" && !strings.EqualFold(r.quals[i], qual) {
+		if qual != "" && !strings.EqualFold(quals[i], qual) {
 			continue
 		}
 		if found >= 0 {
@@ -49,6 +69,51 @@ func (r *Result) resolve(qual, name string) (int, error) {
 		return 0, errorf("unknown column %s", name)
 	}
 	return found, nil
+}
+
+// newResult allocates an empty columnar result with the given header.
+func newResult(cols, quals []string) *Result {
+	return &Result{cols: cols, quals: quals, vals: make([][]Value, len(cols))}
+}
+
+// appendRow appends one staged row, materializing only the columns the
+// mask wants (nil mask = all).
+func (r *Result) appendRow(buf []Value, wanted []bool) {
+	for c := range r.vals {
+		if wanted == nil || wanted[c] {
+			r.vals[c] = append(r.vals[c], buf[c])
+		}
+	}
+	r.n++
+}
+
+// gatherRows materializes the selected rows, in selection order, as a new
+// result. NULL columns stay unmaterialized.
+func (r *Result) gatherRows(sel []int) *Result {
+	out := &Result{cols: r.cols, quals: r.quals, vals: make([][]Value, len(r.vals)), n: len(sel)}
+	for c, v := range r.vals {
+		if v == nil {
+			continue
+		}
+		g := make([]Value, len(sel))
+		for i, row := range sel {
+			g[i] = v[row]
+		}
+		out.vals[c] = g
+	}
+	return out
+}
+
+// truncate returns the first n rows. Column vectors are re-sliced, not
+// copied — results are never mutated in place, so sharing is safe.
+func (r *Result) truncate(n int) *Result {
+	out := &Result{cols: r.cols, quals: r.quals, vals: make([][]Value, len(r.vals)), n: n}
+	for c, v := range r.vals {
+		if v != nil {
+			out.vals[c] = v[:n]
+		}
+	}
+	return out
 }
 
 // MergeResults concatenates partial results produced by executing the same
@@ -66,8 +131,30 @@ func MergeResults(parts ...*Result) *Result {
 		if merged.cols == nil {
 			merged.cols = p.cols
 			merged.quals = p.quals
+			merged.vals = make([][]Value, len(p.cols))
 		}
-		merged.rows = append(merged.rows, p.rows...)
+		for c := range merged.vals {
+			pv := p.vals[c]
+			if pv == nil {
+				// A NULL column stays nil until some part materializes the
+				// position; then the gap is padded explicitly.
+				if merged.vals[c] != nil {
+					for i := 0; i < p.n; i++ {
+						merged.vals[c] = append(merged.vals[c], Null)
+					}
+				}
+				continue
+			}
+			if merged.vals[c] == nil && merged.n > 0 {
+				pad := make([]Value, merged.n, merged.n+len(pv))
+				for i := range pad {
+					pad[i] = Null
+				}
+				merged.vals[c] = pad
+			}
+			merged.vals[c] = append(merged.vals[c], pv...)
+		}
+		merged.n += p.n
 	}
 	return merged
 }
@@ -81,7 +168,10 @@ func ExecSQL(cat *Catalog, sql string) (*Result, error) {
 	return Exec(cat, q)
 }
 
-// Exec executes a parsed query against the catalog.
+// Exec executes a parsed query against the catalog with the batched
+// columnar pipeline. ExecSQLRowAtATime runs the same query through the
+// frozen row-at-a-time reference executor (rowexec.go); the two must agree
+// exactly.
 func Exec(cat *Catalog, q *Query) (*Result, error) {
 	src, err := execSource(cat, q)
 	if err != nil {
@@ -106,38 +196,41 @@ func Exec(cat *Catalog, q *Query) (*Result, error) {
 		return nil, err
 	}
 	if q.Distinct {
-		out.rows = dedupeRows(out.rows)
+		out = dedupeResult(out)
 	}
-	if q.Limit >= 0 && len(out.rows) > q.Limit {
-		out.rows = out.rows[:q.Limit]
+	if q.Limit >= 0 && out.n > q.Limit {
+		out = out.truncate(q.Limit)
 	}
 	return out, nil
 }
 
-// dedupeRows removes duplicate output rows (SELECT DISTINCT), keeping the
-// first occurrence so ORDER BY ranking is preserved. Keys are built in one
-// reused buffer; only first-seen rows pay a key-string allocation (map
+// dedupeResult removes duplicate output rows (SELECT DISTINCT), keeping
+// the first occurrence so ORDER BY ranking is preserved. Keys are built in
+// one reused buffer; only first-seen rows pay a key-string allocation (map
 // lookups with string(kb) convert without allocating).
-func dedupeRows(rows [][]Value) [][]Value {
-	if len(rows) == 0 {
-		return rows
+func dedupeResult(res *Result) *Result {
+	if res.n == 0 {
+		return res
 	}
-	seen := make(map[string]struct{}, len(rows))
-	out := rows[:0]
+	seen := make(map[string]struct{}, res.n)
+	sel := make([]int, 0, res.n)
 	var kb []byte
-	for _, row := range rows {
+	for r := 0; r < res.n; r++ {
 		kb = kb[:0]
-		for _, v := range row {
-			kb = v.AppendGroupKey(kb)
+		for c := range res.vals {
+			kb = res.Cell(r, c).AppendGroupKey(kb)
 			kb = append(kb, 0x1f)
 		}
 		if _, dup := seen[string(kb)]; dup {
 			continue
 		}
 		seen[string(kb)] = struct{}{}
-		out = append(out, row)
+		sel = append(sel, r)
 	}
-	return out
+	if len(sel) == res.n {
+		return res
+	}
+	return res.gatherRows(sel)
 }
 
 // execSource evaluates FROM, JOINs, and WHERE, returning the filtered
@@ -231,7 +324,7 @@ func execFromItem(cat *Catalog, f FromItem, where Expr, need neededCols) (*Resul
 		for i := range quals {
 			quals[i] = f.Alias
 		}
-		res = &Result{cols: res.cols, quals: quals, rows: res.rows}
+		res = &Result{cols: res.cols, quals: quals, vals: res.vals, n: res.n}
 		if where == nil {
 			return res, nil
 		}
@@ -248,18 +341,32 @@ func execFromItem(cat *Catalog, f FromItem, where Expr, need neededCols) (*Resul
 	return scanBase(rel, qual, where, need)
 }
 
-// scanBase materializes the rows of a base relation that satisfy where,
-// using an index access path for `col IN (literals)` conjuncts when the
-// relation supports one. When need is non-nil, only the named columns are
-// materialized; unreferenced positions stay NULL and are never read from
-// the relation (projection pushdown).
+// rowView is the single-row staging surface of the batched scan: the
+// predicate evaluates against the buffer the current candidate row was
+// staged into, before any output materialization.
+type rowView struct {
+	cols, quals []string
+	buf         []Value
+}
+
+func (v *rowView) NumRows() int        { return 1 }
+func (v *rowView) at(_, col int) Value { return v.buf[col] }
+func (v *rowView) resolve(qual, name string) (int, error) {
+	return resolveCol(v.cols, v.quals, qual, name)
+}
+
+// scanBase materializes the rows of a base relation that satisfy where
+// into column vectors, using an index access path for `col IN (literals)`
+// conjuncts when the relation supports one. When need is non-nil, only the
+// named columns are materialized; unreferenced positions stay NULL columns
+// and are never read from the relation (projection pushdown).
 func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, error) {
 	cols := rel.Columns()
 	quals := make([]string, len(cols))
 	for i := range quals {
 		quals[i] = qual
 	}
-	out := &Result{cols: append([]string(nil), cols...), quals: quals}
+	out := newResult(append([]string(nil), cols...), quals)
 	wanted := make([]bool, len(cols))
 	for i, c := range cols {
 		if need == nil {
@@ -282,35 +389,22 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 
 	// Materialization cost control: when the emitted row count is known up
 	// front (index access path: the posting lengths bound it; unfiltered
-	// scan: the relation size), out.rows gets an exact capacity hint, and
-	// row copies are carved out of chunked arenas — one bulk allocation
-	// per chunk instead of one per row.
-	nc := len(cols)
+	// scan: the relation size), each wanted column vector gets an exact
+	// capacity hint — the columnar counterpart of the old executor's
+	// chunked row arenas, with one allocation per column instead of one
+	// arena chunk per 512 rows.
 	expect := -1
 	if !fullScan {
 		expect = len(candidates)
 	} else if where == nil {
 		expect = rel.NumRows()
 	}
-	if expect >= 0 {
-		out.rows = make([][]Value, 0, expect)
-	}
-	const arenaChunkRows = 512
-	var arena []Value
-	takeRow := func() []Value {
-		if len(arena) < nc || nc == 0 {
-			chunk := arenaChunkRows
-			if expect >= 0 && expect < chunk {
-				chunk = expect
+	if expect > 0 {
+		for c := range cols {
+			if wanted[c] {
+				out.vals[c] = make([]Value, 0, expect)
 			}
-			if chunk < 1 {
-				chunk = 1
-			}
-			arena = make([]Value, nc*chunk)
 		}
-		row := arena[:nc:nc]
-		arena = arena[nc:]
-		return row
 	}
 
 	// Tombstone visibility: rows a Tombstoned relation marks dead are
@@ -322,8 +416,7 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 	}
 
 	buf := make([]Value, len(cols))
-	scratch := &Result{cols: out.cols, quals: out.quals, rows: [][]Value{buf}}
-	ctx := &evalCtx{res: scratch}
+	ctx := &evalCtx{res: &rowView{cols: out.cols, quals: out.quals, buf: buf}}
 	emit := func(r int) error {
 		if visible != nil && !visible(r) {
 			return nil
@@ -344,9 +437,7 @@ func scanBase(rel Relation, qual string, where Expr, need neededCols) (*Result, 
 				return nil
 			}
 		}
-		row := takeRow()
-		copy(row, buf)
-		out.rows = append(out.rows, row)
+		out.appendRow(buf, wanted)
 		return nil
 	}
 	if fullScan {
@@ -442,25 +533,52 @@ func tryIndex(rel IndexedRelation, cols []string, qual string, cr *ColRef, vals 
 	}
 }
 
+// filterResult evaluates where per row into a selection vector and gathers
+// the survivors column-wise.
 func filterResult(src *Result, where Expr) (*Result, error) {
-	out := &Result{cols: src.cols, quals: src.quals}
 	ctx := &evalCtx{res: src}
-	for r := range src.rows {
+	sel := make([]int, 0, src.n)
+	for r := 0; r < src.n; r++ {
 		ctx.row = r
 		v, err := eval(where, ctx)
 		if err != nil {
 			return nil, err
 		}
 		if v.Truthy() {
-			out.rows = append(out.rows, src.rows[r])
+			sel = append(sel, r)
 		}
 	}
-	return out, nil
+	if len(sel) == src.n {
+		return src, nil
+	}
+	return src.gatherRows(sel), nil
+}
+
+// pairView is the staging surface of the join's residual filter: one
+// candidate (left row, right row) pair, read through the concatenated
+// output schema without materializing the joined row.
+type pairView struct {
+	cols, quals []string
+	left, right *Result
+	lr, rr      int
+}
+
+func (v *pairView) NumRows() int { return 1 }
+func (v *pairView) at(_, col int) Value {
+	if col < len(v.left.cols) {
+		return v.left.Cell(v.lr, col)
+	}
+	return v.right.Cell(v.rr, col-len(v.left.cols))
+}
+func (v *pairView) resolve(qual, name string) (int, error) {
+	return resolveCol(v.cols, v.quals, qual, name)
 }
 
 // hashJoin executes an inner join. Equality conjuncts between the two
 // sides become the hash key; remaining conjuncts are evaluated as a
-// residual filter on each joined row.
+// residual filter on each candidate pair. Matching pairs accumulate as two
+// selection vectors and the output gathers both sides column-wise — no
+// per-row slice is ever allocated.
 func hashJoin(left, right *Result, on Expr) (*Result, error) {
 	type eqPair struct{ l, r int }
 	var eqs []eqPair
@@ -501,10 +619,8 @@ func hashJoin(left, right *Result, on Expr) (*Result, error) {
 		return nil, err
 	}
 
-	out := &Result{
-		cols:  append(append([]string(nil), left.cols...), right.cols...),
-		quals: append(append([]string(nil), left.quals...), right.quals...),
-	}
+	cols := append(append([]string(nil), left.cols...), right.cols...)
+	quals := append(append([]string(nil), left.quals...), right.quals...)
 	var resid Expr
 	for _, e := range residual {
 		if resid == nil {
@@ -513,129 +629,181 @@ func hashJoin(left, right *Result, on Expr) (*Result, error) {
 			resid = &Bin{Op: "AND", L: resid, R: e}
 		}
 	}
-	ctx := &evalCtx{res: out}
-	emit := func(lr, rr []Value) error {
-		row := make([]Value, 0, len(lr)+len(rr))
-		row = append(row, lr...)
-		row = append(row, rr...)
+	pv := &pairView{cols: cols, quals: quals, left: left, right: right}
+	ctx := &evalCtx{res: pv}
+	var lsel, rsel []int
+	emit := func(lr, rr int) error {
 		if resid != nil {
-			out.rows = append(out.rows, row) // temporarily visible to ctx
-			ctx.row = len(out.rows) - 1
+			pv.lr, pv.rr = lr, rr
 			v, err := eval(resid, ctx)
 			if err != nil {
 				return err
 			}
 			if !v.Truthy() {
-				out.rows = out.rows[:len(out.rows)-1]
+				return nil
 			}
-			return nil
 		}
-		out.rows = append(out.rows, row)
+		lsel = append(lsel, lr)
+		rsel = append(rsel, rr)
 		return nil
 	}
 
 	if len(eqs) == 0 {
 		// Nested loop for pure residual joins (rare in our dialect).
-		for lr := range left.rows {
-			for rr := range right.rows {
-				if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+		for lr := 0; lr < left.n; lr++ {
+			for rr := 0; rr < right.n; rr++ {
+				if err := emit(lr, rr); err != nil {
 					return nil, err
 				}
 			}
 		}
-		return out, nil
+		return gatherJoin(cols, quals, left, right, lsel, rsel), nil
 	}
 
-	// Build on the smaller side, probe with the larger.
-	buildLeft := len(left.rows) < len(right.rows)
+	// Build on the smaller side, probe with the larger. Keys are built in
+	// one reused buffer and interned once per distinct key: lookups with
+	// string(kb) convert without allocating, so probe rows and repeated
+	// build keys cost no key allocation at all.
+	buildLeft := left.n < right.n
 	build, probe := right, left
 	if buildLeft {
 		build, probe = left, right
 	}
-	key := func(res *Result, r int) (string, bool) {
-		var sb strings.Builder
+	var kb []byte
+	key := func(res *Result, r int) bool {
+		kb = kb[:0]
 		for _, eq := range eqs {
 			col := eq.r
 			if res == left {
 				col = eq.l
 			}
-			v := res.rows[r][col]
+			v := res.Cell(r, col)
 			if v.IsNull() {
-				return "", false // NULL never joins
+				return false // NULL never joins
 			}
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0x1f)
+			kb = v.AppendGroupKey(kb)
+			kb = append(kb, 0x1f)
 		}
-		return sb.String(), true
+		return true
 	}
-	ht := make(map[string][]int, len(build.rows))
-	for r := range build.rows {
-		if k, ok := key(build, r); ok {
-			ht[k] = append(ht[k], r)
+	ids := make(map[string]int, build.n)
+	var lists [][]int
+	for r := 0; r < build.n; r++ {
+		if !key(build, r) {
+			continue
 		}
+		id, ok := ids[string(kb)]
+		if !ok {
+			id = len(lists)
+			ids[string(kb)] = id
+			lists = append(lists, nil)
+		}
+		lists[id] = append(lists[id], r)
 	}
-	for pr := range probe.rows {
-		k, ok := key(probe, pr)
+	for pr := 0; pr < probe.n; pr++ {
+		if !key(probe, pr) {
+			continue
+		}
+		id, ok := ids[string(kb)]
 		if !ok {
 			continue
 		}
-		for _, br := range ht[k] {
+		for _, br := range lists[id] {
 			lr, rr := pr, br
 			if buildLeft {
 				lr, rr = br, pr
 			}
-			if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+			if err := emit(lr, rr); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return out, nil
+	return gatherJoin(cols, quals, left, right, lsel, rsel), nil
 }
 
-// execProject evaluates the select list per source row, applies ORDER BY
-// (which may reference source columns or select aliases), and returns the
-// projected rows.
+// gatherJoin materializes the joined output from the two sides' selection
+// vectors, column-wise. NULL columns of either side stay unmaterialized.
+func gatherJoin(cols, quals []string, left, right *Result, lsel, rsel []int) *Result {
+	out := &Result{cols: cols, quals: quals, vals: make([][]Value, len(cols)), n: len(lsel)}
+	for c, v := range left.vals {
+		if v == nil {
+			continue
+		}
+		g := make([]Value, len(lsel))
+		for i, r := range lsel {
+			g[i] = v[r]
+		}
+		out.vals[c] = g
+	}
+	lc := len(left.cols)
+	for c, v := range right.vals {
+		if v == nil {
+			continue
+		}
+		g := make([]Value, len(rsel))
+		for i, r := range rsel {
+			g[i] = v[r]
+		}
+		out.vals[lc+c] = g
+	}
+	return out
+}
+
+// execProject evaluates the select list per source row into per-item
+// column vectors, applies ORDER BY (which may reference source columns or
+// select aliases), and returns the projected result.
 func execProject(q *Query, src *Result) (*Result, error) {
 	aliases := aliasMap(q)
 	if q.Star {
-		ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
+		if len(q.OrderBy) == 0 {
+			return src, nil
+		}
+		ordered, err := orderRows(q, src, src.n, nil, aliases, pushableLimit(q))
 		if err != nil {
 			return nil, err
 		}
-		out := &Result{cols: src.cols, quals: src.quals}
-		for _, r := range ordered {
-			out.rows = append(out.rows, src.rows[r])
-		}
-		return out, nil
+		return src.gatherRows(ordered), nil
 	}
 	cols, quals := outputColumns(q)
-	proj := make([][]Value, len(src.rows))
+	proj := make([][]Value, len(q.Select))
+	for i := range proj {
+		proj[i] = make([]Value, src.n)
+	}
 	ctx := &evalCtx{res: src}
-	for r := range src.rows {
+	for r := 0; r < src.n; r++ {
 		ctx.row = r
-		row := make([]Value, len(q.Select))
 		for i, it := range q.Select {
 			v, err := eval(it.Expr, ctx)
 			if err != nil {
 				return nil, err
 			}
-			row[i] = v
+			proj[i][r] = v
 		}
-		proj[r] = row
 	}
-	ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
+	out := &Result{cols: cols, quals: quals, vals: make([][]Value, len(cols)), n: src.n}
+	if len(q.OrderBy) == 0 {
+		copy(out.vals, proj)
+		return out, nil
+	}
+	ordered, err := orderRows(q, src, src.n, nil, aliases, pushableLimit(q))
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{cols: cols, quals: quals}
-	for _, r := range ordered {
-		out.rows = append(out.rows, proj[r])
+	out.n = len(ordered)
+	for i := range proj {
+		g := make([]Value, len(ordered))
+		for j, r := range ordered {
+			g[j] = proj[i][r]
+		}
+		out.vals[i] = g
 	}
 	return out, nil
 }
 
 // execAggregate groups source rows by the GROUP BY keys (or one implicit
-// group) and evaluates select and order expressions per group.
+// group) and evaluates select and order expressions per group. Group keys
+// are built in one reused buffer; only first-seen groups pay a key-string
+// allocation.
 func execAggregate(q *Query, src *Result) (*Result, error) {
 	if q.Star {
 		return nil, errorf("SELECT * cannot be combined with aggregation")
@@ -646,25 +814,25 @@ func execAggregate(q *Query, src *Result) (*Result, error) {
 	// Form groups preserving first-seen order for determinism.
 	var groups [][]int
 	if len(q.GroupBy) == 0 {
-		groups = [][]int{identityIndices(len(src.rows))}
+		groups = [][]int{identityIndices(src.n)}
 	} else {
 		index := make(map[string]int)
-		for r := range src.rows {
+		var kb []byte
+		for r := 0; r < src.n; r++ {
 			ctx.row = r
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, ge := range q.GroupBy {
 				v, err := eval(ge, ctx)
 				if err != nil {
 					return nil, err
 				}
-				kb.WriteString(v.GroupKey())
-				kb.WriteByte(0x1f)
+				kb = v.AppendGroupKey(kb)
+				kb = append(kb, 0x1f)
 			}
-			k := kb.String()
-			gi, ok := index[k]
+			gi, ok := index[string(kb)]
 			if !ok {
 				gi = len(groups)
-				index[k] = gi
+				index[string(kb)] = gi
 				groups = append(groups, nil)
 			}
 			groups[gi] = append(groups[gi], r)
@@ -689,26 +857,35 @@ func execAggregate(q *Query, src *Result) (*Result, error) {
 	}
 
 	cols, quals := outputColumns(q)
-	out := &Result{cols: cols, quals: quals}
-	rows := make([][]Value, len(groups))
+	proj := make([][]Value, len(q.Select))
+	for i := range proj {
+		proj[i] = make([]Value, len(groups))
+	}
 	for gi, g := range groups {
 		gctx := &evalCtx{res: src, group: g, aliases: aliases}
-		row := make([]Value, len(q.Select))
 		for i, it := range q.Select {
 			v, err := eval(it.Expr, gctx)
 			if err != nil {
 				return nil, err
 			}
-			row[i] = v
+			proj[i][gi] = v
 		}
-		rows[gi] = row
 	}
 	order, err := orderRows(q, src, len(groups), groups, aliases, pushableLimit(q))
 	if err != nil {
 		return nil, err
 	}
-	for _, gi := range order {
-		out.rows = append(out.rows, rows[gi])
+	out := &Result{cols: cols, quals: quals, vals: make([][]Value, len(cols)), n: len(order)}
+	if len(q.OrderBy) == 0 {
+		copy(out.vals, proj)
+		return out, nil
+	}
+	for i := range proj {
+		g := make([]Value, len(order))
+		for j, gi := range order {
+			g[j] = proj[i][gi]
+		}
+		out.vals[i] = g
 	}
 	return out, nil
 }
@@ -728,7 +905,7 @@ func execAggregate(q *Query, src *Result) (*Result, error) {
 // selection apply identically, so results are deterministic and
 // limit-insensitive. (The seekers' generated SQL additionally orders by
 // TableId ASC explicitly; the index tie-break covers every other query.)
-func orderRows(q *Query, src *Result, n int, groups [][]int, aliases map[string]Expr, limit int) ([]int, error) {
+func orderRows(q *Query, src evalSrc, n int, groups [][]int, aliases map[string]Expr, limit int) ([]int, error) {
 	if len(q.OrderBy) == 0 {
 		return identityIndices(n), nil
 	}

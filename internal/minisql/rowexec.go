@@ -1,0 +1,542 @@
+package minisql
+
+import "strings"
+
+// This file is the frozen row-at-a-time reference executor: the exact
+// pipeline the engine ran before the columnar rewrite in exec.go, kept as
+// an independently-executable oracle. It exists for two reasons:
+//
+//   - Differential safety net: columnar_test.go runs every query through
+//     both executors and requires cell-identical results, so any batching
+//     bug surfaces as a divergence from this simpler implementation.
+//   - Honest ablation: the BenchmarkMinisqlRowAtATime /
+//     BenchmarkMinisqlColumnar pair measures the columnar rewrite against
+//     the real former executor — per-row slice materialization, chunked
+//     row arenas, strings.Builder keys and all — not against a strawman.
+//
+// It shares the planning helpers (collectNeeded, bestIndexPath, orderRows,
+// selectTopUnits, aliasMap, outputColumns) with the live executor so the
+// two differ only in data representation, and it must not be "improved":
+// its value is staying byte-for-byte faithful to the old execution
+// strategy.
+
+// rowResult is the row-major result representation of the reference
+// executor. It implements evalSrc, so both executors share eval.
+type rowResult struct {
+	cols  []string
+	quals []string
+	rows  [][]Value
+}
+
+func (r *rowResult) NumRows() int          { return len(r.rows) }
+func (r *rowResult) at(row, col int) Value { return r.rows[row][col] }
+func (r *rowResult) resolve(qual, name string) (int, error) {
+	return resolveCol(r.cols, r.quals, qual, name)
+}
+
+// toColumnar converts the reference representation into the public Result
+// form so callers can compare the two executors' outputs directly.
+func (r *rowResult) toColumnar() *Result {
+	out := &Result{cols: r.cols, quals: r.quals, vals: make([][]Value, len(r.cols)), n: len(r.rows)}
+	for c := range r.cols {
+		v := make([]Value, len(r.rows))
+		for i, row := range r.rows {
+			v[i] = row[c]
+		}
+		out.vals[c] = v
+	}
+	return out
+}
+
+// ExecSQLRowAtATime parses and executes a statement with the frozen
+// row-at-a-time reference executor. Production code uses ExecSQL; this
+// entry point exists for differential tests and ablation benchmarks.
+func ExecSQLRowAtATime(cat *Catalog, sql string) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	res, err := execRow(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	return res.toColumnar(), nil
+}
+
+// execRow is the reference counterpart of Exec.
+func execRow(cat *Catalog, q *Query) (*rowResult, error) {
+	src, err := execSourceRow(cat, q)
+	if err != nil {
+		return nil, err
+	}
+	needsAgg := len(q.GroupBy) > 0
+	if !needsAgg {
+		for _, it := range q.Select {
+			if hasAggregate(it.Expr) {
+				needsAgg = true
+				break
+			}
+		}
+	}
+	var out *rowResult
+	if needsAgg {
+		out, err = execAggregateRow(q, src)
+	} else {
+		out, err = execProjectRow(q, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		out.rows = dedupeRowsRow(out.rows)
+	}
+	if q.Limit >= 0 && len(out.rows) > q.Limit {
+		out.rows = out.rows[:q.Limit]
+	}
+	return out, nil
+}
+
+// dedupeRowsRow removes duplicate output rows, keeping the first
+// occurrence so ORDER BY ranking is preserved.
+func dedupeRowsRow(rows [][]Value) [][]Value {
+	if len(rows) == 0 {
+		return rows
+	}
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	var kb []byte
+	for _, row := range rows {
+		kb = kb[:0]
+		for _, v := range row {
+			kb = v.AppendGroupKey(kb)
+			kb = append(kb, 0x1f)
+		}
+		if _, dup := seen[string(kb)]; dup {
+			continue
+		}
+		seen[string(kb)] = struct{}{}
+		out = append(out, row)
+	}
+	return out
+}
+
+func execSourceRow(cat *Catalog, q *Query) (*rowResult, error) {
+	if len(q.Joins) == 0 {
+		return execFromItemRow(cat, q.From, q.Where, collectNeeded(q))
+	}
+	left, err := execFromItemRow(cat, q.From, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range q.Joins {
+		right, err := execFromItemRow(cat, j.Right, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		left, err = hashJoinRow(left, right, j.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Where == nil {
+		return left, nil
+	}
+	return filterResultRow(left, q.Where)
+}
+
+func execFromItemRow(cat *Catalog, f FromItem, where Expr, need neededCols) (*rowResult, error) {
+	if f.Sub != nil {
+		res, err := execRow(cat, f.Sub)
+		if err != nil {
+			return nil, err
+		}
+		quals := make([]string, len(res.cols))
+		for i := range quals {
+			quals[i] = f.Alias
+		}
+		res = &rowResult{cols: res.cols, quals: quals, rows: res.rows}
+		if where == nil {
+			return res, nil
+		}
+		return filterResultRow(res, where)
+	}
+	rel, ok := cat.Lookup(f.Table)
+	if !ok {
+		return nil, errorf("unknown relation %q", f.Table)
+	}
+	qual := f.Alias
+	if qual == "" {
+		qual = f.Table
+	}
+	return scanBaseRow(rel, qual, where, need)
+}
+
+// scanBaseRow materializes matching rows one slice at a time, carving
+// copies out of chunked arenas — the old executor's materialization
+// strategy, preserved for the ablation.
+func scanBaseRow(rel Relation, qual string, where Expr, need neededCols) (*rowResult, error) {
+	cols := rel.Columns()
+	quals := make([]string, len(cols))
+	for i := range quals {
+		quals[i] = qual
+	}
+	out := &rowResult{cols: append([]string(nil), cols...), quals: quals}
+	wanted := make([]bool, len(cols))
+	for i, c := range cols {
+		if need == nil {
+			wanted[i] = true
+			continue
+		}
+		_, wanted[i] = need[strings.ToLower(c)]
+	}
+
+	var candidates []int
+	fullScan := true
+	if where != nil {
+		if ix, ok := rel.(IndexedRelation); ok {
+			if rows, ok := bestIndexPath(ix, cols, qual, where); ok {
+				candidates = rows
+				fullScan = false
+			}
+		}
+	}
+
+	nc := len(cols)
+	expect := -1
+	if !fullScan {
+		expect = len(candidates)
+	} else if where == nil {
+		expect = rel.NumRows()
+	}
+	if expect >= 0 {
+		out.rows = make([][]Value, 0, expect)
+	}
+	const arenaChunkRows = 512
+	var arena []Value
+	takeRow := func() []Value {
+		if len(arena) < nc || nc == 0 {
+			chunk := arenaChunkRows
+			if expect >= 0 && expect < chunk {
+				chunk = expect
+			}
+			if chunk < 1 {
+				chunk = 1
+			}
+			arena = make([]Value, nc*chunk)
+		}
+		row := arena[:nc:nc]
+		arena = arena[nc:]
+		return row
+	}
+
+	var visible func(int) bool
+	if tr, ok := rel.(Tombstoned); ok && tr.HasTombstones() {
+		visible = tr.RowVisible
+	}
+
+	buf := make([]Value, len(cols))
+	scratch := &rowResult{cols: out.cols, quals: out.quals, rows: [][]Value{buf}}
+	ctx := &evalCtx{res: scratch}
+	emit := func(r int) error {
+		if visible != nil && !visible(r) {
+			return nil
+		}
+		for c := range cols {
+			if wanted[c] {
+				buf[c] = rel.Cell(r, c)
+			} else {
+				buf[c] = Null
+			}
+		}
+		if where != nil {
+			v, err := eval(where, ctx)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				return nil
+			}
+		}
+		row := takeRow()
+		copy(row, buf)
+		out.rows = append(out.rows, row)
+		return nil
+	}
+	if fullScan {
+		n := rel.NumRows()
+		for r := 0; r < n; r++ {
+			if err := emit(r); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, r := range candidates {
+			if err := emit(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func filterResultRow(src *rowResult, where Expr) (*rowResult, error) {
+	out := &rowResult{cols: src.cols, quals: src.quals}
+	ctx := &evalCtx{res: src}
+	for r := range src.rows {
+		ctx.row = r
+		v, err := eval(where, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			out.rows = append(out.rows, src.rows[r])
+		}
+	}
+	return out, nil
+}
+
+// hashJoinRow materializes one joined slice per emitted row and builds
+// hash keys with strings.Builder — the old executor's join, preserved for
+// the ablation.
+func hashJoinRow(left, right *rowResult, on Expr) (*rowResult, error) {
+	type eqPair struct{ l, r int }
+	var eqs []eqPair
+	var residual []Expr
+	var collect func(e Expr) error
+	collect = func(e Expr) error {
+		if b, ok := e.(*Bin); ok {
+			if b.Op == "AND" {
+				if err := collect(b.L); err != nil {
+					return err
+				}
+				return collect(b.R)
+			}
+			if b.Op == "=" {
+				lc, lok := b.L.(*ColRef)
+				rc, rok := b.R.(*ColRef)
+				if lok && rok {
+					li, lerr := left.resolve(lc.Qual, lc.Name)
+					ri, rerr := right.resolve(rc.Qual, rc.Name)
+					if lerr == nil && rerr == nil {
+						eqs = append(eqs, eqPair{li, ri})
+						return nil
+					}
+					li2, lerr2 := left.resolve(rc.Qual, rc.Name)
+					ri2, rerr2 := right.resolve(lc.Qual, lc.Name)
+					if lerr2 == nil && rerr2 == nil {
+						eqs = append(eqs, eqPair{li2, ri2})
+						return nil
+					}
+				}
+			}
+		}
+		residual = append(residual, e)
+		return nil
+	}
+	if err := collect(on); err != nil {
+		return nil, err
+	}
+
+	out := &rowResult{
+		cols:  append(append([]string(nil), left.cols...), right.cols...),
+		quals: append(append([]string(nil), left.quals...), right.quals...),
+	}
+	var resid Expr
+	for _, e := range residual {
+		if resid == nil {
+			resid = e
+		} else {
+			resid = &Bin{Op: "AND", L: resid, R: e}
+		}
+	}
+	ctx := &evalCtx{res: out}
+	emit := func(lr, rr []Value) error {
+		row := make([]Value, 0, len(lr)+len(rr))
+		row = append(row, lr...)
+		row = append(row, rr...)
+		if resid != nil {
+			out.rows = append(out.rows, row) // temporarily visible to ctx
+			ctx.row = len(out.rows) - 1
+			v, err := eval(resid, ctx)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				out.rows = out.rows[:len(out.rows)-1]
+			}
+			return nil
+		}
+		out.rows = append(out.rows, row)
+		return nil
+	}
+
+	if len(eqs) == 0 {
+		for lr := range left.rows {
+			for rr := range right.rows {
+				if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	buildLeft := len(left.rows) < len(right.rows)
+	build, probe := right, left
+	if buildLeft {
+		build, probe = left, right
+	}
+	key := func(res *rowResult, r int) (string, bool) {
+		var sb strings.Builder
+		for _, eq := range eqs {
+			col := eq.r
+			if res == left {
+				col = eq.l
+			}
+			v := res.rows[r][col]
+			if v.IsNull() {
+				return "", false // NULL never joins
+			}
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0x1f)
+		}
+		return sb.String(), true
+	}
+	ht := make(map[string][]int, len(build.rows))
+	for r := range build.rows {
+		if k, ok := key(build, r); ok {
+			ht[k] = append(ht[k], r)
+		}
+	}
+	for pr := range probe.rows {
+		k, ok := key(probe, pr)
+		if !ok {
+			continue
+		}
+		for _, br := range ht[k] {
+			lr, rr := pr, br
+			if buildLeft {
+				lr, rr = br, pr
+			}
+			if err := emit(left.rows[lr], right.rows[rr]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func execProjectRow(q *Query, src *rowResult) (*rowResult, error) {
+	aliases := aliasMap(q)
+	if q.Star {
+		ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
+		if err != nil {
+			return nil, err
+		}
+		out := &rowResult{cols: src.cols, quals: src.quals}
+		for _, r := range ordered {
+			out.rows = append(out.rows, src.rows[r])
+		}
+		return out, nil
+	}
+	cols, quals := outputColumns(q)
+	proj := make([][]Value, len(src.rows))
+	ctx := &evalCtx{res: src}
+	for r := range src.rows {
+		ctx.row = r
+		row := make([]Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := eval(it.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		proj[r] = row
+	}
+	ordered, err := orderRows(q, src, len(src.rows), nil, aliases, pushableLimit(q))
+	if err != nil {
+		return nil, err
+	}
+	out := &rowResult{cols: cols, quals: quals}
+	for _, r := range ordered {
+		out.rows = append(out.rows, proj[r])
+	}
+	return out, nil
+}
+
+// execAggregateRow groups with per-row strings.Builder keys — the old
+// executor's aggregation, preserved for the ablation.
+func execAggregateRow(q *Query, src *rowResult) (*rowResult, error) {
+	if q.Star {
+		return nil, errorf("SELECT * cannot be combined with aggregation")
+	}
+	aliases := aliasMap(q)
+	ctx := &evalCtx{res: src, aliases: aliases}
+
+	var groups [][]int
+	if len(q.GroupBy) == 0 {
+		groups = [][]int{identityIndices(len(src.rows))}
+	} else {
+		index := make(map[string]int)
+		for r := range src.rows {
+			ctx.row = r
+			var kb strings.Builder
+			for _, ge := range q.GroupBy {
+				v, err := eval(ge, ctx)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.GroupKey())
+				kb.WriteByte(0x1f)
+			}
+			k := kb.String()
+			gi, ok := index[k]
+			if !ok {
+				gi = len(groups)
+				index[k] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], r)
+		}
+	}
+
+	if q.Having != nil {
+		kept := groups[:0]
+		for _, g := range groups {
+			gctx := &evalCtx{res: src, group: g, aliases: aliases}
+			v, err := eval(q.Having, gctx)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+
+	cols, quals := outputColumns(q)
+	out := &rowResult{cols: cols, quals: quals}
+	rows := make([][]Value, len(groups))
+	for gi, g := range groups {
+		gctx := &evalCtx{res: src, group: g, aliases: aliases}
+		row := make([]Value, len(q.Select))
+		for i, it := range q.Select {
+			v, err := eval(it.Expr, gctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		rows[gi] = row
+	}
+	order, err := orderRows(q, src, len(groups), groups, aliases, pushableLimit(q))
+	if err != nil {
+		return nil, err
+	}
+	for _, gi := range order {
+		out.rows = append(out.rows, rows[gi])
+	}
+	return out, nil
+}

@@ -7,6 +7,23 @@ import (
 	"testing"
 )
 
+// rowsOf flattens a columnar result back into row slices for test
+// comparisons.
+func rowsOf(r *Result) [][]Value {
+	if r.NumRows() == 0 {
+		return nil
+	}
+	out := make([][]Value, r.NumRows())
+	for i := range out {
+		row := make([]Value, len(r.Columns()))
+		for c := range row {
+			row[c] = r.Cell(i, c)
+		}
+		out[i] = row
+	}
+	return out
+}
+
 // TestOrderByLimitMatchesFullSort is the partial-selection property test:
 // for random data, random ORDER BY directions, and every limit, a LIMIT k
 // query must return exactly the first k rows of the unlimited query —
@@ -40,15 +57,16 @@ func TestOrderByLimitMatchesFullSort(t *testing.T) {
 				continue
 			}
 			limited := exec(t, cat, fmt.Sprintf("%s LIMIT %d", q, k))
-			want := full.rows
+			want := rowsOf(full)
 			if k < len(want) {
 				want = want[:k]
 			}
-			if len(limited.rows) == 0 && len(want) == 0 {
+			got := rowsOf(limited)
+			if len(got) == 0 && len(want) == 0 {
 				continue
 			}
-			if !reflect.DeepEqual(limited.rows, want) {
-				t.Fatalf("%s LIMIT %d:\n got %v\nwant %v", q, k, limited.rows, want)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s LIMIT %d:\n got %v\nwant %v", q, k, got, want)
 			}
 		}
 	}

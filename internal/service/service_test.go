@@ -190,6 +190,53 @@ func TestQueryExplainReportsMCNativePath(t *testing.T) {
 	}
 }
 
+// TestQueryExplainReportsCorrAndSemanticPaths completes the per-kind path
+// attribution over HTTP: a plan mixing a correlation and a semantic node
+// must report path=native (resp. path=sql under the forced fallback) for
+// the correlation node, while the semantic node reports path=ann on both
+// engines — ANN has no SQL form to fall back to.
+func TestQueryExplainReportsCorrAndSemanticPaths(t *testing.T) {
+	const plan = `{
+	  "output": "merge",
+	  "nodes": [
+	    {"id": "corr", "seeker": {"kind": "correlation",
+	     "keys": ["Finance","Marketing","HR","IT","Sales"],
+	     "targets": [31, 28, 33, 92, 80], "k": 5}},
+	    {"id": "sem", "seeker": {"kind": "semantic",
+	     "values": ["Harry Potter","Luna Lovegood"], "k": 5}},
+	    {"id": "merge", "combiner": {"kind": "union", "k": 5},
+	     "inputs": ["corr", "sem"]}
+	  ]
+	}`
+	body := fmt.Sprintf(`{"plan": %s, "options": {"explain": true}}`, plan)
+	for _, tc := range []struct {
+		name     string
+		opts     []blend.IndexOption
+		wantCorr string
+	}{
+		{"native", nil, "native"},
+		{"sql-fallback", []blend.IndexOption{blend.WithoutNativeExec()}, "sql"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newTestServer(t, fig1Discovery(tc.opts...))
+			resp, raw := postJSON(t, srv.URL+"/v1/query", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var qr QueryResponse
+			if err := json.Unmarshal(raw, &qr); err != nil {
+				t.Fatal(err)
+			}
+			if got := qr.PathByNode["corr"]; got != tc.wantCorr {
+				t.Fatalf("path_by_node[corr] = %q, want %q (full: %v)", got, tc.wantCorr, qr.PathByNode)
+			}
+			if got := qr.PathByNode["sem"]; got != "ann" {
+				t.Fatalf("path_by_node[sem] = %q, want %q (full: %v)", got, "ann", qr.PathByNode)
+			}
+		})
+	}
+}
+
 func errorCode(t *testing.T, body []byte) string {
 	t.Helper()
 	var eb ErrorBody

@@ -64,6 +64,15 @@ type Reader interface {
 	// native multi-column executor, which prunes rows by super-key
 	// containment before reconstructing them for exact validation.
 	ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key))
+	// ScanTableNumeric streams the numeric cells (Quadrant not null) of
+	// table tid whose RowId < maxRow, in ascending (RowId, ColumnId)
+	// order — the column-reconstruction stream of the native correlation
+	// executor, which merge-joins it against key-column posting hits
+	// without materializing either side. Entries within a table are
+	// sorted by (RowId, ColumnId), so the rid bound cuts the scan short
+	// instead of filtering it. A tombstoned (or, on a shard view,
+	// foreign) table streams nothing.
+	ScanTableNumeric(tid, maxRow int32, fn func(cid, rid int32, q int8))
 	// Frequency returns the number of index entries holding value v.
 	Frequency(v string) int
 	// AvgFrequency returns the mean index frequency of the given values.

@@ -362,6 +362,17 @@ func (s *ShardedStore) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, 
 	}
 }
 
+// ScanTableNumeric streams the numeric cells of global table tid with
+// RowId < maxRow. Tables live whole on one shard, so the call delegates to
+// the owning shard with the local id.
+func (s *ShardedStore) ScanTableNumeric(tid, maxRow int32, fn func(cid, rid int32, q int8)) {
+	if tid < 0 || int(tid) >= len(s.refs) {
+		return
+	}
+	r := s.refs[tid]
+	s.shard(int(r.shard)).ScanTableNumeric(r.local, maxRow, fn)
+}
+
 // Frequency returns the number of index entries holding value v.
 func (s *ShardedStore) Frequency(v string) int {
 	total := 0
@@ -673,6 +684,20 @@ func (v *shardView) ScanPostingsSuper(val string, fn func(tid, cid, rid int32, s
 	v.store().ScanPostingsSuper(val, func(tid, cid, rid int32, super xash.Key) {
 		fn(g[tid], cid, rid, super)
 	})
+}
+
+// ScanTableNumeric streams the numeric cells of a global table id with
+// RowId < maxRow; a table owned by another shard streams nothing, matching
+// the view's empty TableEntries range for foreign tables.
+func (v *shardView) ScanTableNumeric(tid, maxRow int32, fn func(cid, rid int32, q int8)) {
+	if tid < 0 || int(tid) >= len(v.parent.refs) {
+		return
+	}
+	r := v.parent.refs[tid]
+	if int(r.shard) != v.shard {
+		return
+	}
+	v.store().ScanTableNumeric(r.local, maxRow, fn)
 }
 
 // Frequency returns the shard-local frequency of value v.

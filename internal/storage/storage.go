@@ -582,6 +582,45 @@ func (s *Store) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super x
 	}
 }
 
+// ScanTableNumeric streams the numeric cells (Quadrant not null) of table
+// tid whose RowId < maxRow, in ascending (RowId, ColumnId) order — the
+// per-table quadrant stream the native correlation executor merge-joins
+// against key-column posting hits. Entries within a table are sorted by
+// (RowId, ColumnId), so the first entry at or past maxRow ends the scan.
+// A tombstoned table streams nothing (TableEntries yields the empty
+// range). The column layout touches only the three attribute arrays it
+// needs; the row layout decodes each packed record, paying the per-tuple
+// deforming cost its SQL scans do.
+func (s *Store) ScanTableNumeric(tid, maxRow int32, fn func(cid, rid int32, q int8)) {
+	start, end := s.TableEntries(tid)
+	if s.layout == RowStore {
+		for i := start; i < end; i++ {
+			rec := s.record(i)
+			rid := int32(getU32(rec[rowOffRowID:]))
+			if rid >= maxRow {
+				return
+			}
+			q := int8(rec[rowOffQuadrant])
+			if q == QuadrantNull {
+				continue
+			}
+			fn(int32(getU32(rec[rowOffColumnID:])), rid, q)
+		}
+		return
+	}
+	for i := start; i < end; i++ {
+		rid := s.rowIDs[i]
+		if rid >= maxRow {
+			return
+		}
+		q := s.quadrant[i]
+		if q == QuadrantNull {
+			continue
+		}
+		fn(s.columnIDs[i], rid, q)
+	}
+}
+
 // AvgFrequency returns the mean index frequency of the given values — the
 // statistic BLEND's learned cost model uses as a feature (§VII-B).
 func (s *Store) AvgFrequency(values []string) float64 {

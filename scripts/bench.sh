@@ -4,7 +4,11 @@
 # ns/op, B/op, and allocs/op, the native-vs-SQL speedup for each
 # *NativePath/*SQLPath pair, the multi-column seeker's native-vs-SQL
 # pairing (mc_native_speedup, from BenchmarkMCNative/BenchmarkMCSQL and
-# their sharded variants), the bulk-ingest speedup of the batched
+# their sharded variants), the correlation seeker's native-vs-SQL pairing
+# (corr_native_speedup, from BenchmarkCorrSeeker{Native,SQL}Path), the
+# columnar minisql executor against its frozen row-at-a-time reference
+# (minisql_columnar_speedup, from BenchmarkMinisql{Columnar,RowAtATime} —
+# the headline there is the allocs ratio), the bulk-ingest speedup of the batched
 # write path over the sequential AddTable loop, the cold-open speedup of
 # the v4 mmap path over an eager v3 load (open_speedup), and the on-disk
 # size of the same lake in both formats (index_bytes_on_disk). CI runs
@@ -21,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${BENCH_OUT:-BENCH.json}
 BENCHTIME=${BENCHTIME:-500x}
-PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest|OpenIndexCold'
+PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|CorrSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest|OpenIndexCold|MinisqlColumnar|MinisqlRowAtATime'
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE=$(date -u +%FT%TZ)
@@ -35,6 +39,8 @@ echo "running seeker/ingest benchmarks (-benchtime $BENCHTIME)..." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW" >&2
 echo "running service benchmarks..." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/service/ | tee -a "$RAW" >&2
+echo "running minisql executor ablation..." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" ./internal/minisql/ | tee -a "$RAW" >&2
 
 awk -v out="$OUT" -v benchtime="$BENCHTIME" -v commit="$COMMIT" -v date="$DATE" \
     -v gover="$GOVER" -v cores="$CORES" '
@@ -87,6 +93,25 @@ END {
         if ((shs in ns) && (shn in ns) && ns[shn] > 0)
             printf ", \"sharded_speedup\": %.2f", ns[shs] / ns[shn] >> out
         printf "}" >> out
+    }
+    crs = "BenchmarkCorrSeekerSQLPath"
+    crn = "BenchmarkCorrSeekerNativePath"
+    if ((crs in ns) && (crn in ns) && ns[crn] > 0) {
+        # The correlation seeker pairing: native quadrant-fold posting
+        # scan + bounded heap vs the interpreted two-way join + grouped
+        # QCR aggregation.
+        printf ",\n  \"corr_native_speedup\": {\"sql_ns_per_op\": %s, \"native_ns_per_op\": %s, \"speedup\": %.2f, \"allocs_sql\": %s, \"allocs_native\": %s}", \
+            ns[crs], ns[crn], ns[crs] / ns[crn], allocs[crs], allocs[crn] >> out
+    }
+    mqr = "BenchmarkMinisqlRowAtATime"
+    mqc = "BenchmarkMinisqlColumnar"
+    if ((mqr in ns) && (mqc in ns) && ns[mqc] > 0 && allocs[mqc] > 0) {
+        # The minisql fallback ablation: the live columnar executor vs the
+        # frozen row-at-a-time reference on the seeker-shaped workload.
+        # speedup is wall-clock; allocs_ratio is the headline (column
+        # vectors + selection-vector joins vs per-row slices).
+        printf ",\n  \"minisql_columnar_speedup\": {\"row_ns_per_op\": %s, \"columnar_ns_per_op\": %s, \"speedup\": %.2f, \"allocs_row\": %s, \"allocs_columnar\": %s, \"allocs_ratio\": %.2f}", \
+            ns[mqr], ns[mqc], ns[mqr] / ns[mqc], allocs[mqr], allocs[mqc], allocs[mqr] / allocs[mqc] >> out
     }
     seqn = "BenchmarkBulkIngestSequential"
     batn = "BenchmarkBulkIngestBatch"

@@ -48,11 +48,19 @@ jq -rn --slurpfile o "$old" --slurpfile n "$new" '
 
 echo
 
-# Headline derived metrics: cold-open speedup and on-disk index size,
-# old vs new (reports predating these fields show "n/a").
+# Headline derived metrics: correlation fast-path and columnar-executor
+# speedups, cold-open speedup, and on-disk index size, old vs new
+# (reports predating these fields show "n/a").
 jq -rn --slurpfile o "$old" --slurpfile n "$new" '
     def x(v): if v == null then "n/a" else (v | tostring) + "x" end;
     def fmt(v): if v == null then "n/a" else (v | tostring) end;
+    "Correlation native vs SQL: old speedup "
+        + x($o[0].corr_native_speedup.speedup) + " → new speedup "
+        + x($n[0].corr_native_speedup.speedup),
+    "Minisql columnar vs row-at-a-time: old allocs ratio "
+        + x($o[0].minisql_columnar_speedup.allocs_ratio) + " → new allocs ratio "
+        + x($n[0].minisql_columnar_speedup.allocs_ratio) + " (wall-clock "
+        + x($n[0].minisql_columnar_speedup.speedup) + ")",
     "Cold open (v4 mmap vs v3 eager): old speedup "
         + x($o[0].open_speedup.speedup) + " → new speedup "
         + x($n[0].open_speedup.speedup),
