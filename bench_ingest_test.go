@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"blend/internal/datalake"
 )
@@ -124,4 +125,91 @@ func BenchmarkBulkIngestCSVDir(b *testing.B) {
 			b.Fatalf("csv ingest added %d tables, want %d", report.TablesAdded, len(benchIngest.add))
 		}
 	}
+}
+
+// Read-under-ingest pairing: BenchmarkReadQuiescent measures seek latency
+// on an idle index, BenchmarkConcurrentReadDuringIngest the same seeks
+// while a writer continuously publishes generations (AddTables +
+// RemoveTable per cycle). scripts/bench.sh pairs them into BENCH.json's
+// read_under_ingest_speedup; a ratio near 1.0 means snapshot-pinned reads
+// do not stall behind the write path.
+
+// benchReadQuery derives a stable seek input from the seed lake.
+func benchReadQuery() []string {
+	t := benchIngest.seed[0]
+	q := make([]string, 0, 8)
+	for r := 0; r < t.NumRows() && len(q) < 8; r++ {
+		q = append(q, t.Cell(r, 0))
+	}
+	return q
+}
+
+func BenchmarkReadQuiescent(b *testing.B) {
+	benchIngestSetup(b)
+	d := IndexTables(ColumnStore, benchIngest.seed, WithShards(benchIngestShards))
+	q := benchReadQuery()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := d.Seek(ctx, SC(q, 10)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkConcurrentReadDuringIngest(b *testing.B) {
+	benchIngestSetup(b)
+	d := IndexTables(ColumnStore, benchIngest.seed, WithShards(benchIngestShards))
+	q := benchReadQuery()
+	ctx := context.Background()
+
+	// Writer: one add + one remove per cycle keeps the lake size stable
+	// while generations churn for the whole measurement window. The cycle
+	// is paced so the benchmark measures reader stall under a steady
+	// ingest rate, not raw CPU/GC contention from an unthrottled loop.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := benchIngest.add
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			t := src[i%len(src)].Clone()
+			t.Name = "churn"
+			ids, err := d.AddTables(ctx, []*Table{t})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := d.RemoveTable(ids[0]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := d.Seek(ctx, SC(q, 10)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
 }

@@ -272,12 +272,57 @@ func OpenIndex(path string, opts ...IndexOption) (*Discovery, error) {
 	return newDiscovery(s, cfg), nil
 }
 
-// SaveIndex persists the index to a file for later OpenIndex calls.
+// SaveIndex persists the index to a file for later OpenIndex calls. With
+// a write-ahead log enabled (EnableWAL), a successful save also
+// checkpoints the log at the saved generation, so only mutations after
+// the save are ever replayed.
 func (d *Discovery) SaveIndex(path string) error {
 	if err := d.engine.SaveFile(path); err != nil {
 		return fmt.Errorf("blend: save index %s: %w", path, err)
 	}
 	return nil
+}
+
+// EnableWAL attaches an append-only write-ahead log at path to the index:
+// every mutation is journaled and synced before its generation publishes,
+// so a crash between a publish and the next SaveIndex loses nothing — on
+// reopen, EnableWAL replays the mutations recorded since the log's last
+// checkpoint and resumes at the generation the crashed process had
+// published. Call it right after IndexTables/OpenIndex, before mutations
+// begin; SaveIndex checkpoints the log so it stays short. The returned
+// close function releases the log file handle (call it after the
+// Discovery is done mutating).
+func (d *Discovery) EnableWAL(path string) (func() error, error) {
+	wal, recs, gen, err := storage.OpenWAL(path)
+	if err != nil {
+		return nil, fmt.Errorf("blend: open wal %s: %w", path, err)
+	}
+	// Fast-forward to the checkpointed generation first so replayed
+	// mutations continue the pre-crash numbering, then apply the recorded
+	// mutations through the engine — journal not yet attached, so replay
+	// does not re-append what the log already holds.
+	d.engine.SeedGeneration(gen)
+	for _, rec := range recs {
+		if tables, ok := rec.IsAddTables(); ok {
+			if _, err := d.engine.AddTables(tables, 0); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("blend: replay wal %s: %w", path, err)
+			}
+			continue
+		}
+		if tid, ok := rec.IsRemove(); ok {
+			if err := d.engine.RemoveTable(tid); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("blend: replay wal %s: %w", path, err)
+			}
+			continue
+		}
+		if rec.IsCompact() {
+			d.engine.Compact()
+		}
+	}
+	d.engine.SetJournal(wal)
+	return wal.Close, nil
 }
 
 // Run executes a plan under the given context — the single query entry
@@ -289,8 +334,13 @@ func (d *Discovery) SaveIndex(path string) error {
 // Cancellation is honored between scheduler tasks, execution-group
 // members, and per-shard index scans; on cancellation the error matches
 // blend.ErrCanceled (or blend.ErrDeadlineExceeded) under errors.Is, and
-// also wraps the context's own error. Run is safe for concurrent use,
-// including concurrently with AddTable.
+// also wraps the context's own error.
+//
+// Run pins one generation snapshot at entry and executes lock-free against
+// it, so it is safe for concurrent use — including concurrently with
+// ingestion, which never blocks it (and is never blocked by it).
+// WithAsOf(g) pins retained historical generation g instead (time travel);
+// a generation outside the retention window fails with ErrGenerationGone.
 func (d *Discovery) Run(ctx context.Context, p *Plan, opts ...RunOption) (*Result, error) {
 	cfg, copts := coreOptions(opts)
 	if cfg.deadline > 0 {
@@ -305,8 +355,9 @@ func (d *Discovery) Run(ctx context.Context, p *Plan, opts ...RunOption) (*Resul
 }
 
 // Seek executes a single seeker outside any plan under the given context
-// and returns the scored tables. It accepts the same options as Run;
-// WithoutOptimizer and WithMaxWorkers are no-ops for a single operator.
+// and returns the scored tables. It accepts the same options as Run
+// (WithAsOf included); WithoutOptimizer and WithMaxWorkers are no-ops for
+// a single operator.
 func (d *Discovery) Seek(ctx context.Context, s Seeker, opts ...RunOption) (Hits, error) {
 	cfg, _ := coreOptions(opts)
 	if cfg.deadline > 0 {
@@ -317,38 +368,104 @@ func (d *Discovery) Seek(ctx context.Context, s Seeker, opts ...RunOption) (Hits
 		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
 		defer cancel()
 	}
+	if cfg.asOf > 0 {
+		sn, err := d.engine.SnapshotAt(cfg.asOf)
+		if err != nil {
+			return nil, err
+		}
+		defer sn.Release()
+		hits, _, err := sn.RunSeeker(ctx, s)
+		return hits, err
+	}
 	hits, _, err := d.engine.RunSeeker(ctx, s)
 	return hits, err
 }
 
-// RunPlan executes a plan with the optimizer enabled and no cancellation —
-// the pre-v2 Run.
-//
-// Deprecated: use Run with a context.
-func (d *Discovery) RunPlan(p *Plan) (*Result, error) {
-	return d.Run(context.Background(), p) // lint:ignore ctxflow deprecated pre-v2 surface kept for compatibility; Run is the ctx-aware API
-}
-
-// RunUnoptimized executes a plan without operator reordering or query
-// rewriting (the paper's B-NO configuration).
-//
-// Deprecated: use Run with WithoutOptimizer.
-func (d *Discovery) RunUnoptimized(p *Plan) (*Result, error) {
-	return d.Run(context.Background(), p, WithoutOptimizer()) // lint:ignore ctxflow deprecated pre-v2 surface kept for compatibility; Run is the ctx-aware API
-}
-
-// RunWithOptions executes a plan with an explicit options struct. The
-// options' deprecated Context field, when non-nil, becomes the run
-// context.
-//
-// Deprecated: use Run with a context and functional options.
-func (d *Discovery) RunWithOptions(p *Plan, opts RunOptions) (*Result, error) {
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
+// Snapshot pins the current index generation and returns a handle whose
+// queries all see that exact state, no matter how much ingestion happens
+// concurrently — the way to run a multi-query analysis against one
+// consistent lake. Release the handle when done; a retained generation's
+// resources are freed only after both the retention window moves past it
+// and the last handle releases it.
+func (d *Discovery) Snapshot() (*Snapshot, error) {
+	sn, err := d.engine.Snapshot()
+	if err != nil {
+		return nil, err
 	}
-	return d.engine.Run(ctx, p, opts)
+	return &Snapshot{sn: sn, d: d}, nil
 }
+
+// SnapshotAt pins retained historical generation gen (0 means current).
+// Generations outside the retention window fail with ErrGenerationGone.
+func (d *Discovery) SnapshotAt(gen uint64) (*Snapshot, error) {
+	sn, err := d.engine.SnapshotAt(gen)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{sn: sn, d: d}, nil
+}
+
+// Snapshot is a pinned generation of the index: a read-only, immutable
+// handle whose Run and Seek execute against the exact state published at
+// Generation, regardless of concurrent ingestion. Obtain one with
+// Discovery.Snapshot or Discovery.SnapshotAt; Release it exactly once.
+type Snapshot struct {
+	sn *core.Snapshot
+	d  *Discovery
+}
+
+// Generation reports the pinned generation number.
+func (s *Snapshot) Generation() uint64 { return s.sn.Generation() }
+
+// Run executes a plan against the pinned generation. It accepts the same
+// options as Discovery.Run, except WithAsOf, which is ignored — the handle
+// already fixes the generation.
+func (s *Snapshot) Run(ctx context.Context, p *Plan, opts ...RunOption) (*Result, error) {
+	cfg, copts := coreOptions(opts)
+	copts.AsOf = 0
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	return s.sn.Run(ctx, p, copts)
+}
+
+// Seek executes a single seeker against the pinned generation.
+func (s *Snapshot) Seek(ctx context.Context, seeker Seeker, opts ...RunOption) (Hits, error) {
+	cfg, _ := coreOptions(opts)
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	hits, _, err := s.sn.RunSeeker(ctx, seeker)
+	return hits, err
+}
+
+// Release unpins the generation. Queries through the handle fail after
+// Release; releasing twice is a no-op.
+func (s *Snapshot) Release() { s.sn.Release() }
+
+// Generation reports the currently published index generation. Generations
+// start at 1 and advance by one per committed mutation (AddTable,
+// AddTables, RemoveTable, Compact).
+func (d *Discovery) Generation() uint64 { return d.engine.Generation() }
+
+// RetainedGenerations lists the generations currently pinnable for time
+// travel, oldest first; the last entry is the current generation.
+func (d *Discovery) RetainedGenerations() []uint64 { return d.engine.RetainedGenerations() }
+
+// SetRetention bounds how many generations stay pinnable for WithAsOf /
+// SnapshotAt (minimum 1, the current one; default 4). Shrinking the window
+// releases the excess immediately.
+func (d *Discovery) SetRetention(n int) { d.engine.SetRetention(n) }
 
 // TrainCostModels runs the offline cost-model training of §VII-B:
 // samplesPerKind random inputs per seeker type are executed and timed, and
@@ -443,17 +560,12 @@ func (d *Discovery) TableByID(id int32) *Table { return d.engine.ReconstructTabl
 // IndexSizeBytes estimates the resident size of the unified index.
 func (d *Discovery) IndexSizeBytes() int64 { return d.engine.SizeBytes() }
 
-// Close releases the resources of an index opened with OpenIndex under
-// the default mmap mode — the memory mapping of the index file. It is a
-// no-op for built or eagerly loaded indexes. After Close, the Discovery
-// must not be queried (shards not yet materialized have nothing to decode
-// from); close only after in-flight queries have drained.
-func (d *Discovery) Close() error {
-	if c, ok := d.engine.Store().(io.Closer); ok {
-		return c.Close()
-	}
-	return nil
-}
+// Close releases every retained generation and the resources behind them
+// — for an index opened with OpenIndex under the default mmap mode, the
+// memory mapping of the index file (released once the last in-flight query
+// unpins its snapshot). After Close, new queries fail with a typed
+// internal error; closing twice is a no-op.
+func (d *Discovery) Close() error { return d.engine.Close() }
 
 // Engine exposes the underlying execution engine for advanced use
 // (experiments, benchmarking, raw SQL via Engine.Catalog).

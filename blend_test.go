@@ -549,9 +549,4 @@ func TestRunWithContextPublicAPI(t *testing.T) {
 	if len(res.Tables) == 0 {
 		t.Fatal("live context run found nothing")
 	}
-	// The deprecated options-struct wrapper still honors its Context
-	// field for one release.
-	if _, err := d.RunWithOptions(p, RunOptions{Optimize: true, Context: ctx}); !errors.Is(err, ErrCanceled) {
-		t.Fatalf("deprecated wrapper lost the context: %v", err)
-	}
 }

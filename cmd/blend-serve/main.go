@@ -16,8 +16,9 @@
 //
 // with per-request contexts and timeouts, concurrent request handling
 // over the (optionally sharded) store, and structured JSON errors
-// carrying the library's typed error codes. Ingestion runs behind the
-// engine's write lock, so it is safe while queries are being served.
+// carrying the library's typed error codes. Ingestion publishes
+// copy-on-write generation snapshots, so it is safe while queries are
+// being served — readers never block on writers.
 // SIGINT/SIGTERM drain in-flight requests before exit.
 //
 // Usage:
@@ -72,6 +73,8 @@ func run(args []string) error {
 	ingestBatch := fs.Int("ingest-batch", 0, "tables per atomic ingest commit batch (0 = library default)")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter for every seeker (A/B against path=native in /v1/query explain output)")
 	mmap := fs.Bool("mmap", true, "memory-map a v4 -index with lazy shard loading (false = eager load)")
+	retain := fs.Int("retain", 0, "generations kept addressable for as_of_generation time travel (0 = library default)")
+	wal := fs.String("wal", "", "write-ahead log file: replayed at startup, appended per mutation (crash recovery between saves)")
 	if err := fs.Parse(args); err != nil {
 		return berr.New(berr.CodeBadRequest, "serve.flags", "%v", err)
 	}
@@ -85,6 +88,17 @@ func run(args []string) error {
 	}
 	if *cache > 0 {
 		d.SetResultCache(*cache)
+	}
+	if *retain > 0 {
+		d.SetRetention(*retain)
+	}
+	if *wal != "" {
+		closeWAL, err := d.EnableWAL(*wal)
+		if err != nil {
+			return err
+		}
+		defer closeWAL()
+		log.Printf("write-ahead log at %s (generation %d after replay)", *wal, d.Generation())
 	}
 	st := d.Stats()
 	if st.MappedBytes > 0 {

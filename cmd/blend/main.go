@@ -189,6 +189,7 @@ func cmdPlan(args []string) error {
 	explain := fs.Bool("explain", false, "print the SQL executed per seeker, rewrites included")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter (A/B against path=native under -explain)")
 	mmap := fs.Bool("mmap", true, "memory-map a v4 index with lazy shard loading (false = eager load)")
+	asOf := fs.Uint64("as-of", 0, "execute against this retained generation instead of the current one (0 = current)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -220,6 +221,9 @@ func cmdPlan(args []string) error {
 	}
 	if *explain {
 		opts = append(opts, blend.WithExplain())
+	}
+	if *asOf > 0 {
+		opts = append(opts, blend.WithAsOf(*asOf))
 	}
 	res, err := d.Run(context.Background(), p, opts...)
 	if err != nil {
@@ -353,6 +357,7 @@ func cmdSeek(args []string) error {
 	timeout := fs.Duration("timeout", 0, "abort the search after this duration (0 = none)")
 	noNative := fs.Bool("no-native", false, "force the SQL interpreter instead of the native fast path")
 	mmap := fs.Bool("mmap", true, "memory-map a v4 index with lazy shard loading (false = eager load)")
+	asOf := fs.Uint64("as-of", 0, "seek against this retained generation instead of the current one (0 = current)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -386,7 +391,11 @@ func cmdSeek(args []string) error {
 	}
 	ctx, cancel := queryContext(*timeout)
 	defer cancel()
-	hits, err := d.Seek(ctx, seeker)
+	var seekOpts []blend.RunOption
+	if *asOf > 0 {
+		seekOpts = append(seekOpts, blend.WithAsOf(*asOf))
+	}
+	hits, err := d.Seek(ctx, seeker, seekOpts...)
 	if err != nil {
 		return err
 	}

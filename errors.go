@@ -50,6 +50,9 @@ const (
 	// CodeDuplicateTable reports an ingest whose table name is already
 	// indexed (or repeated within one batch).
 	CodeDuplicateTable = berr.CodeDuplicateTable
+	// CodeGenerationGone reports a time-travel query (WithAsOf,
+	// SnapshotAt) pinned to a generation outside the retention window.
+	CodeGenerationGone = berr.CodeGenerationGone
 )
 
 // Sentinel errors for errors.Is dispatch, one per code.
@@ -81,6 +84,10 @@ var (
 	// ErrDuplicateTable matches ingests rejected because a table name is
 	// already indexed or repeated within the batch.
 	ErrDuplicateTable = berr.ErrDuplicateTable
+	// ErrGenerationGone matches time-travel queries pinned to a
+	// generation that has fallen out of (or never entered) the retention
+	// window; the service maps it to HTTP 410 Gone.
+	ErrGenerationGone = berr.ErrGenerationGone
 )
 
 // ErrorCodeOf extracts the code of the first typed error in err's chain,

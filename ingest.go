@@ -15,8 +15,9 @@ import (
 // operation; IngestCSVDir streams a directory of CSV files through a
 // concurrent parse pipeline into batched commits; RemoveTable and Compact
 // let the lake evolve. All of them are safe concurrently with queries —
-// mutations serialize behind the engine's write lock and wait for
-// in-flight plans to drain.
+// mutations serialize among themselves, build the next generation
+// copy-on-write, and publish it atomically; in-flight plans keep reading
+// their pinned snapshot and never wait.
 
 // MaintStats counts index maintenance (batches, tables/rows added,
 // removals, compactions) since the Discovery was built. See
@@ -56,9 +57,9 @@ func WithIngestWorkers(n int) IngestOption {
 
 // WithIngestBatchSize sets how many tables are committed per index batch.
 // Each batch is atomic — it is applied entirely or not at all — and costs
-// one generation bump and one result-cache purge regardless of its size.
-// Larger batches amortize better but hold the engine's write lock longer
-// per commit. n <= 0 restores DefaultIngestBatchSize.
+// one generation publish regardless of its size. Larger batches amortize
+// better but make each copy-on-write commit larger. n <= 0 restores
+// DefaultIngestBatchSize.
 func WithIngestBatchSize(n int) IngestOption {
 	return func(c *ingestConfig) { c.batchSize = n }
 }

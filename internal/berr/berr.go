@@ -54,6 +54,10 @@ const (
 	// CodeDuplicateTable reports an ingest of a table whose name is
 	// already indexed (or repeated within one batch).
 	CodeDuplicateTable
+	// CodeGenerationGone reports a time-travel query pinned to an index
+	// generation that has fallen out of (or never entered) the engine's
+	// retention window.
+	CodeGenerationGone
 )
 
 // String returns the stable wire name of the code.
@@ -81,6 +85,8 @@ func (c Code) String() string {
 		return "internal"
 	case CodeDuplicateTable:
 		return "duplicate_table"
+	case CodeGenerationGone:
+		return "generation_gone"
 	default:
 		return "unknown"
 	}
@@ -146,6 +152,7 @@ var (
 	ErrNotFound         = &Error{Code: CodeNotFound}
 	ErrInternal         = &Error{Code: CodeInternal}
 	ErrDuplicateTable   = &Error{Code: CodeDuplicateTable}
+	ErrGenerationGone   = &Error{Code: CodeGenerationGone}
 )
 
 // New builds a typed error from a format string.

@@ -12,27 +12,27 @@ import (
 // repeated /v1/seek and /v1/query traffic over an unchanged index returns
 // the cached list instead of rescanning posting lists (or interpreting
 // SQL). Entries are keyed by (seeker fingerprint, rewrite, store
-// generation), and every index mutation bumps the generation, so a cached
-// list can never be served after a mutation. The cache is opt-in
+// generation), so a lookup can only ever hit a result computed at the
+// exact generation it executes against — mutations publish new generations
+// and therefore new key spaces. The cache is opt-in
 // (Engine.SetResultCache) so library benchmarks and the paper-reproduction
 // experiments keep measuring real executions.
 //
-// Invalidation granularity differs by mutation, sized to its cost:
+// Invalidation follows the retention window, not individual mutations:
 //
-//   - AddTable / AddTables purge eagerly — but once per *batch*, not per
-//     table: a 1000-table AddTables call bumps the generation and drops
-//     the entries exactly once, where the same ingest through AddTable
-//     would purge 1000 times and thrash every concurrently warming key.
-//   - RemoveTable invalidates only: the generation bump makes every
-//     memoized key unreachable (lookups for the new generation miss), and
-//     the stale entries age out through normal LRU eviction instead of an
-//     eager purge. Removal is expected to interleave with serving
-//     traffic, so it should not stall lookups behind a full-map sweep;
-//     correctness needs only the generation, which is embedded in every
-//     key.
-//   - Compact purges eagerly: it reassigns table ids, so stale entries
-//     are not merely unreachable but actively wrong, and dropping them
-//     promptly frees the capacity they would otherwise pin.
+//   - Entries for generations still inside the window stay resident and
+//     valid — a WithAsOf / Snapshot query pinned to generation g hits the
+//     results memoized when g was current, and traffic racing an ingest
+//     keeps its warm keys until the window moves past them.
+//   - When a generation falls out of the window (publish beyond the bound,
+//     SetRetention shrinking it), sweepBelow removes every entry below the
+//     oldest retained generation in one bounded pass. That keeps
+//     retained-history memory accounted: an unreachable entry is dropped
+//     when its generation dies, not when LRU pressure happens to evict it.
+//   - Compact reassigns table ids, but needs no special casing: its
+//     entries are only reachable under pre-compaction generation keys,
+//     which only pre-compaction snapshots — whose stores still use the old
+//     ids — can look up.
 
 // CacheStats summarizes the engine result cache for operators
 // (Engine.ResultCacheStats, the service's `/v1/stats`).
@@ -45,13 +45,16 @@ type CacheStats struct {
 	// Hits / Misses count lookups since the cache was configured.
 	Hits   uint64
 	Misses uint64
-	// Invalidations counts full purges triggered by AddTable.
+	// Invalidations counts retention sweeps that dropped at least one
+	// entry (a generation left the retention window with results still
+	// memoized).
 	Invalidations uint64
 }
 
 // cacheEntry is one memoized seeker result.
 type cacheEntry struct {
 	key  string
+	gen  uint64 // generation the result was computed at, for sweepBelow
 	hits Hits
 	path string // execution path that produced the entry
 }
@@ -94,7 +97,7 @@ func (c *resultCache) get(key string) (Hits, string, bool) {
 
 // put inserts (or refreshes) a key, evicting the least-recently-used entry
 // beyond capacity.
-func (c *resultCache) put(key string, h Hits, path string) {
+func (c *resultCache) put(key string, gen uint64, h Hits, path string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.idx[key]; ok {
@@ -104,7 +107,7 @@ func (c *resultCache) put(key string, h Hits, path string) {
 		ent.path = path
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, hits: append(Hits(nil), h...), path: path})
+	el := c.ll.PushFront(&cacheEntry{key: key, gen: gen, hits: append(Hits(nil), h...), path: path})
 	c.idx[key] = el
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
@@ -113,14 +116,27 @@ func (c *resultCache) put(key string, h Hits, path string) {
 	}
 }
 
-// purge drops every entry (index mutation). Counters survive so operators
-// see cumulative hit rates.
-func (c *resultCache) purge() {
+// sweepBelow drops every entry computed at a generation below minGen — the
+// bounded sweep the engine runs when generations leave the retention
+// window, so dead-generation results do not stay resident until LRU
+// pressure reaches them. One O(entries) pass per eviction batch; counters
+// survive so operators see cumulative hit rates.
+func (c *resultCache) sweepBelow(minGen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	clear(c.idx)
-	c.invalidations++
+	removed := false
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.gen < minGen {
+			c.ll.Remove(el)
+			delete(c.idx, ent.key)
+			removed = true
+		}
+		el = next
+	}
+	if removed {
+		c.invalidations++
+	}
 }
 
 // stats snapshots the cache counters.
@@ -205,17 +221,15 @@ func seekerFingerprint(sb *strings.Builder, s Seeker) bool {
 	return true
 }
 
-// cacheKey renders the full lookup key for a seeker run: store generation,
-// correlation sample size (it changes C-seeker results), seeker
-// fingerprint, and rewrite predicate.
-//
-// lockguard: caller holds mu
-func (e *Engine) cacheKey(s Seeker, rw Rewrite) (string, bool) {
+// cacheKey renders the full lookup key for a seeker run: the pinned
+// snapshot's generation, correlation sample size (it changes C-seeker
+// results), seeker fingerprint, and rewrite predicate.
+func (v *view) cacheKey(s Seeker, rw Rewrite) (string, bool) {
 	var sb strings.Builder
 	sb.WriteString("g")
-	sb.WriteString(strconv.FormatUint(e.gen, 10))
+	sb.WriteString(strconv.FormatUint(v.sn.gen, 10))
 	sb.WriteString("|h")
-	sb.WriteString(strconv.Itoa(e.SampleH))
+	sb.WriteString(strconv.Itoa(v.SampleH))
 	sb.WriteByte('|')
 	if !seekerFingerprint(&sb, s) {
 		return "", false
@@ -233,25 +247,23 @@ func (e *Engine) cacheKey(s Seeker, rw Rewrite) (string, bool) {
 // runSeekerCached executes a seeker through the result cache: a hit
 // returns the memoized top-k (with CacheHit set and the original path
 // preserved); a miss executes the seeker and stores its result. With no
-// cache configured it is a plain dispatch. Callers hold the engine's read
-// lock, so the generation embedded in the key cannot move mid-run.
-//
-// lockguard: caller holds mu
-func (e *Engine) runSeekerCached(ctx context.Context, s Seeker, rw Rewrite) (Hits, RunStats, error) {
-	cache := e.cache
+// cache configured it is a plain dispatch. The generation embedded in the
+// key is the pinned snapshot's, so it cannot move mid-run.
+func (v *view) runSeekerCached(ctx context.Context, s Seeker, rw Rewrite) (Hits, RunStats, error) {
+	cache := v.cache.Load()
 	if cache == nil {
-		return s.run(ctx, e, rw)
+		return s.run(ctx, v, rw)
 	}
-	key, cacheable := e.cacheKey(s, rw)
+	key, cacheable := v.cacheKey(s, rw)
 	if !cacheable {
-		return s.run(ctx, e, rw)
+		return s.run(ctx, v, rw)
 	}
 	if hits, path, ok := cache.get(key); ok {
 		return hits, RunStats{Kind: s.Kind(), Rewritten: rw.active(), Path: path, CacheHit: true}, nil
 	}
-	hits, stats, err := s.run(ctx, e, rw)
+	hits, stats, err := s.run(ctx, v, rw)
 	if err == nil {
-		cache.put(key, hits, stats.Path)
+		cache.put(key, v.sn.gen, hits, stats.Path)
 	}
 	return hits, stats, err
 }

@@ -55,18 +55,23 @@ func TestResultCacheHit(t *testing.T) {
 	if _, st4, _ := e.RunSeeker(context.Background(), NewKW([]string{"HR", "IT", "Marketing"}, 4)); st4.CacheHit {
 		t.Fatal("different k must miss")
 	}
-	if _, st5, err := e.runSeekerCached(context.Background(), s, ExcludeTables([]int32{0})); err != nil || st5.CacheHit {
+	v, releaseV := testView(t, e)
+	defer releaseV()
+	if _, st5, err := v.runSeekerCached(context.Background(), s, ExcludeTables([]int32{0})); err != nil || st5.CacheHit {
 		t.Fatalf("rewritten run must miss (err %v)", err)
 	}
-	if _, st6, err := e.runSeekerCached(context.Background(), s, ExcludeTables([]int32{0})); err != nil || !st6.CacheHit {
+	if _, st6, err := v.runSeekerCached(context.Background(), s, ExcludeTables([]int32{0})); err != nil || !st6.CacheHit {
 		t.Fatalf("repeated rewritten run must hit (err %v)", err)
 	}
 }
 
-// TestResultCacheInvalidationOnAddTable asserts AddTable purges the cache
-// and subsequent runs see the new table.
+// TestResultCacheInvalidationOnAddTable asserts a post-AddTable run
+// misses (the generation moved, so the warm key is unreachable) and that
+// with a retention window of one the publish sweeps the dead
+// generation's entry in the same call.
 func TestResultCacheInvalidationOnAddTable(t *testing.T) {
 	e := cacheTestEngine(16)
+	e.SetRetention(1)
 	s := NewKW([]string{"HR", "IT", "Marketing"}, 10)
 	before, _, err := e.RunSeeker(context.Background(), s)
 	if err != nil {
@@ -193,8 +198,11 @@ func TestResultCacheConcurrent(t *testing.T) {
 	if cs.Hits+cs.Misses == 0 {
 		t.Fatal("no lookups recorded")
 	}
-	if cs.Invalidations != 10 {
-		t.Fatalf("expected 10 invalidations, got %+v", cs)
+	// Sweeps follow the retention window: each AddTable publish can evict
+	// at most one generation, and only sweeps that drop a resident entry
+	// count — an upper bound, not an exact figure, under concurrency.
+	if cs.Invalidations > 10 {
+		t.Fatalf("more invalidations than publishes: %+v", cs)
 	}
 }
 

@@ -66,7 +66,7 @@ func TestSCSeeker(t *testing.T) {
 	if hits[0].Score != 6 || hits[1].Score != 6 || hits[2].Score != 5 {
 		t.Fatalf("scores = %v", hits)
 	}
-	if e.store.TableName(hits[2].TableID) != "T1" {
+	if e.Store().TableName(hits[2].TableID) != "T1" {
 		t.Fatal("T1 should be last")
 	}
 }
@@ -100,7 +100,7 @@ func TestKWSeeker(t *testing.T) {
 	if len(hits) != 2 {
 		t.Fatalf("hits = %v", hits)
 	}
-	if e.store.TableName(hits[0].TableID) != "T3" || hits[0].Score != 2 {
+	if e.Store().TableName(hits[0].TableID) != "T3" || hits[0].Score != 2 {
 		t.Fatalf("best = %v", hits[0])
 	}
 }
@@ -192,7 +192,7 @@ func TestMCSeekerCountsJoinableRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "T3" || hits[0].Score != 3 {
+	if len(hits) != 1 || e.Store().TableName(hits[0].TableID) != "T3" || hits[0].Score != 3 {
 		t.Fatalf("hits = %v", hits)
 	}
 }
@@ -612,7 +612,7 @@ func TestTrainCostModels(t *testing.T) {
 	}
 	// Prediction should be finite.
 	m := per.Get(SC)
-	v := m.Predict(NewSC(departments, 10).Features(e.store))
+	v := m.Predict(NewSC(departments, 10).Features(e.Store()))
 	if v != v { // NaN check
 		t.Fatal("prediction is NaN")
 	}
@@ -644,7 +644,7 @@ func TestTrainCostModelsPathSeparation(t *testing.T) {
 		if m == nil {
 			t.Fatal("SC model missing")
 		}
-		f := NewSC(departments, 10).Features(e.store)
+		f := NewSC(departments, 10).Features(e.Store())
 		fNative := f
 		fNative.Native = 1
 		if n, s := m.Predict(fNative), m.Predict(f); n >= s {
@@ -843,7 +843,7 @@ func TestKWSeekerMinOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "T3" {
+	if len(hits) != 1 || e.Store().TableName(hits[0].TableID) != "T3" {
 		t.Fatalf("hits = %v", e.TableNames(hits))
 	}
 }

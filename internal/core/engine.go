@@ -2,11 +2,10 @@ package core
 
 import (
 	"context"
-	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"blend/internal/alltables"
 	"blend/internal/berr"
 	"blend/internal/costmodel"
 	"blend/internal/minisql"
@@ -19,59 +18,65 @@ import (
 const DefaultSampleH = 256
 
 // Engine executes discovery plans against one indexed data lake. It owns
-// the SQL catalog exposing the AllTables relation and, optionally, the
-// trained per-seeker cost models used by the optimizer.
+// the trained per-seeker cost models used by the optimizer and publishes
+// MVCC generation snapshots of the index (see snapshot.go): each snapshot
+// carries its own SQL catalog exposing the AllTables relation and, when the
+// index is sharded, one catalog per shard so every seeker's SQL executes
+// against all shards concurrently with the partial results merged exactly
+// (tables are partitioned whole, so per-table aggregates are shard-local).
 //
-// When the index is sharded, the engine additionally keeps one catalog per
-// shard and executes every seeker's SQL against all shards concurrently,
-// merging the partial results; tables are partitioned whole, so every
-// per-table aggregate in the generated SQL is shard-local and the merge is
-// exact. The unified catalog remains available for raw SQL.
-//
-// The engine is safe for concurrent use: queries (Run, RunSeeker, raw SQL,
-// stats, table reconstruction) share a read lock, while incremental index
-// maintenance (AddTable) takes the write lock and waits for in-flight
-// queries to drain.
+// The engine is safe for concurrent use, and reads never block on writes:
+// a query pins the current snapshot once at start and runs lock-free
+// against it, while mutations (AddTable, AddTables, RemoveTable, Compact)
+// serialize on writeMu, derive the next store copy-on-write, and publish it
+// atomically. Queries started before a mutation keep seeing the old
+// generation; queries started after it see the new one.
 type Engine struct {
-	// mu guards the store against concurrent mutation: every query path
-	// holds it for reading, AddTable for writing. The storage layer itself
-	// is safe for concurrent readers once built.
-	mu    sync.RWMutex
-	store storage.Index    // guarded by mu
-	cat   *minisql.Catalog // immutable after NewEngine; the relation it serves reads store
+	// snap is the currently published generation; the only synchronization
+	// the read path touches (one atomic load + one atomic reference count).
+	snap atomic.Pointer[snapshot]
 
-	// shardCats holds one catalog per shard when the index is sharded
-	// (nil for monolithic stores).
-	shardCats []*minisql.Catalog
-	// shardSem bounds how many per-shard SQL executions run at once
+	// writeMu serializes mutations and guards the write-side bookkeeping:
+	// the generation counter, the live-name cache, the journal, and the
+	// store lineage's file-mapping lease.
+	writeMu sync.Mutex
+	gen     uint64 // guarded by writeMu
+	// names caches the live table names for AddTables' duplicate check,
+	// built lazily and maintained incrementally; nil means "rebuild on next
+	// use" (RemoveTable invalidates it, since duplicate names the unchecked
+	// AddTable may have introduced make an incremental delete ambiguous).
+	names   map[string]struct{} // guarded by writeMu
+	journal Journal             // guarded by writeMu
+	lease   *storeLease         // guarded by writeMu
+
+	// retained holds the generations pinnable for time travel, oldest
+	// first; each entry owns one snapshot reference.
+	retainMu  sync.Mutex
+	retained  []*snapshot // guarded by retainMu
+	retention int         // guarded by retainMu
+
+	// maint counts index maintenance for operators (see MaintStats).
+	maintMu sync.Mutex
+	maint   MaintStats // guarded by maintMu
+
+	// cache memoizes seeker results when configured (nil otherwise);
+	// entries are tagged with the generation they were computed at and
+	// swept when that generation leaves the retention window.
+	cache atomic.Pointer[resultCache]
+
+	// closed flips once at Close and breaks the pin retry loop.
+	closed atomic.Bool
+
+	// shardSem bounds how many per-shard executions run at once
 	// engine-wide, so plan-level and shard-level parallelism compose
-	// without oversubscribing the machine.
+	// without oversubscribing the machine. Nil for monolithic stores
+	// (the shard count never changes across generations).
 	shardSem chan struct{}
 
-	// nativeViews holds the per-shard readers the native posting-list
-	// executor scans (one element wrapping the whole store when
-	// monolithic). Views reference the store, so AddTable needs no
-	// rebuild.
-	nativeViews []storage.Reader
 	// NoNativeExec forces every seeker through SQL generation and the
 	// minisql interpreter — the pre-fast-path behavior, kept for A/B
 	// benchmarking and the path-equivalence tests.
 	NoNativeExec bool
-
-	// cache memoizes seeker results when configured (nil otherwise); gen
-	// is the store generation embedded in cache keys, bumped by every
-	// index mutation (AddTable, AddTables, RemoveTable, Compact).
-	cache *resultCache // guarded by mu
-	gen   uint64       // guarded by mu
-
-	// maint counts index maintenance for operators (see MaintStats).
-	maint MaintStats // guarded by mu
-	// names caches the live table names for AddTables' duplicate check,
-	// built lazily and maintained incrementally under the write lock;
-	// nil means "rebuild on next use" (RemoveTable invalidates it, since
-	// duplicate names the unchecked AddTable may have introduced make an
-	// incremental delete ambiguous).
-	names map[string]struct{} // guarded by mu
 
 	// SampleH is the number of leading row ids sampled by the correlation
 	// seeker (the `rowid < h` predicate of Listing 3).
@@ -80,112 +85,115 @@ type Engine struct {
 	// Cost holds the learned cost models per seeker kind; when nil the
 	// optimizer falls back to pure rule-based ranking.
 	Cost *costmodel.PerKind
-
-	// Lazily built embedding side-index for the SemanticSeeker extension,
-	// rebuilt when the store generation moves (table added or removed), so
-	// ANN results never reference tables the index no longer serves.
-	semMu  sync.Mutex
-	semIdx *semanticIdx // guarded by semMu
-	semGen uint64       // guarded by semMu
 }
 
-// NewEngine wraps an AllTables index for plan execution.
+// NewEngine wraps an AllTables index for plan execution and publishes it as
+// generation 1.
 func NewEngine(store storage.Index) *Engine {
-	cat := minisql.NewCatalog()
-	cat.Register(alltables.Name, alltables.New(store))
-	e := &Engine{store: store, cat: cat, SampleH: DefaultSampleH}
-	e.nativeViews = []storage.Reader{store}
-	if sh, ok := store.(storage.Sharded); ok {
-		if views := sh.ShardReaders(); len(views) > 1 {
-			e.shardCats = make([]*minisql.Catalog, len(views))
-			for i, v := range views {
-				c := minisql.NewCatalog()
-				c.Register(alltables.Name, alltables.New(v))
-				e.shardCats[i] = c
-			}
-			e.shardSem = make(chan struct{}, runtime.GOMAXPROCS(0))
-			e.nativeViews = views
-		}
+	e := &Engine{SampleH: DefaultSampleH, retention: DefaultRetainedGenerations}
+	e.lease = newStoreLease(store)
+	if sh, ok := store.(storage.Sharded); ok && len(sh.ShardReaders()) > 1 {
+		e.shardSem = newShardSem()
 	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.gen = 1
+	e.publish(e.buildSnapshot(store, e.gen))
 	return e
 }
 
-// Store returns the engine's index. Callers touching it directly are not
-// covered by the engine's lock; prefer the Engine accessors when queries
-// may run concurrently.
-func (e *Engine) Store() storage.Index { return e.store } // lint:ignore lockguard documented unlocked accessor; callers own the locking once they hold the store
+// Store returns the current generation's index. The returned value is an
+// immutable published view: mutations derive new stores rather than
+// touching it, but holding it does not pin the generation — the backing
+// file mapping may be released once the generation leaves the retention
+// window. Prefer the Engine accessors or a Snapshot handle.
+func (e *Engine) Store() storage.Index { return e.snap.Load().store }
 
-// Catalog returns the unified SQL catalog (exposed for tests and advanced
-// embedding). For sharded indexes it serves the global single-relation
-// view; seekers use the concurrent per-shard path instead. Prefer
-// ExecRawSQL, which also takes the engine's read lock.
-func (e *Engine) Catalog() *minisql.Catalog { return e.cat }
+// Catalog returns the current generation's unified SQL catalog (exposed
+// for tests and advanced embedding). For sharded indexes it serves the
+// global single-relation view; seekers use the concurrent per-shard path
+// instead. Prefer ExecRawSQL, which pins the generation for the statement.
+func (e *Engine) Catalog() *minisql.Catalog { return e.snap.Load().cat }
 
 // NumShards reports how many partitions the engine scans per seeker.
-func (e *Engine) NumShards() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.NumShards()
-}
+func (e *Engine) NumShards() int { return e.snap.Load().store.NumShards() }
 
 // AddTable appends one table to the index without rebuilding it — the
-// incremental maintenance a single unified index enables (§I). It takes
-// the engine's write lock, so it is safe concurrently with queries: the
-// call waits for in-flight plans to finish, and queries started after it
+// incremental maintenance a single unified index enables (§I). It derives
+// and publishes a new generation, so it is safe concurrently with queries:
+// in-flight plans keep their pinned snapshot, and queries started after it
 // returns see the new table. Unlike AddTables it performs no duplicate
-// check, and it pays the generation bump and cache purge per call — bulk
-// ingestion should batch through AddTables.
+// check, and it pays the generation publish per call — bulk ingestion
+// should batch through AddTables. A journal append failure panics with a
+// typed error (durability was promised and cannot be delivered); use
+// AddTables to handle journal errors gracefully.
 func (e *Engine) AddTable(t *table.Table) int32 {
 	start := time.Now()
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	// The mutation invalidates every memoized result: bump the generation
-	// (so in-flight keys can never collide with post-mutation ones) and
-	// drop the entries.
-	e.gen++
-	if e.cache != nil {
-		e.cache.purge()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if e.journal != nil {
+		if err := e.journal.AddTables([]*table.Table{t}); err != nil {
+			panic(berr.Wrap(berr.CodeInternal, "engine.wal", err))
+		}
 	}
-	id := e.store.AddTable(t)
+	next, id := cloneAddTables(e.snap.Load().store, []*table.Table{t}, 0)
+	e.gen++
+	e.publish(e.buildSnapshot(next, e.gen))
 	if e.names != nil {
 		e.names[t.Name] = struct{}{}
 	}
+	e.recordBatch(1, uint64(len(t.Rows)), time.Since(start))
+	return id[0]
+}
+
+// cloneAddTables derives the next store with the batch appended,
+// copy-on-write when the store supports it. The in-place fallback covers
+// custom Index implementations outside this module: readers of older
+// snapshots then share the mutated store — the pre-MVCC behavior.
+func cloneAddTables(s storage.Index, tables []*table.Table, workers int) (storage.Index, []int32) {
+	if c, ok := s.(storage.CowIndex); ok {
+		return c.CloneAddTablesBatch(tables, workers)
+	}
+	return s, s.AddTablesBatch(tables, workers)
+}
+
+// recordBatch updates the ingest counters for one committed batch.
+func (e *Engine) recordBatch(tables int, rows uint64, d time.Duration) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
 	e.maint.Batches++
-	e.maint.TablesAdded++
-	e.maint.RowsAdded += uint64(len(t.Rows))
-	e.maint.LastBatchTables = 1
-	e.maint.LastBatchDuration = time.Since(start)
-	return id
+	e.maint.TablesAdded += uint64(tables)
+	e.maint.RowsAdded += rows
+	e.maint.LastBatchTables = tables
+	e.maint.LastBatchDuration = d
 }
 
 // SetResultCache configures the engine's seeker result cache to hold up to
 // capacity entries; capacity <= 0 disables caching. The cache memoizes
 // per-seeker top-k lists keyed by (seeker fingerprint, rewrite, store
-// generation) and is purged by AddTable, so it never serves stale results.
-// Reconfiguring resets the hit/miss counters.
+// generation); entries are swept when their generation leaves the
+// retention window, so it never serves stale results and bounds what
+// retained history can keep resident. Reconfiguring resets the counters.
 func (e *Engine) SetResultCache(capacity int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if capacity <= 0 {
-		e.cache = nil
+		e.cache.Store(nil)
 		return
 	}
-	e.cache = newResultCache(capacity)
+	e.cache.Store(newResultCache(capacity))
 }
 
 // ResultCacheStats snapshots the result cache counters; the zero value is
 // returned when no cache is configured.
 func (e *Engine) ResultCacheStats() CacheStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.cache == nil {
+	c := e.cache.Load()
+	if c == nil {
 		return CacheStats{}
 	}
-	return e.cache.stats()
+	return c.stats()
 }
 
 // ExecRawSQL runs one SQL statement against the unified AllTables relation
-// under the engine's read lock. Invalid statements report typed bad-query
+// of the current generation. Invalid statements report typed bad-query
 // errors. Cancellation is honored at statement granularity: a context
 // already canceled reports the typed canceled code, but the minisql
 // executor does not interrupt a statement mid-flight.
@@ -196,97 +204,128 @@ func (e *Engine) ExecRawSQL(ctx context.Context, sql string) (*minisql.Result, e
 	if err := ctx.Err(); err != nil {
 		return nil, berr.FromContext("sql.exec", err)
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return minisql.ExecSQL(e.cat, sql)
+	sn, err := e.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.unpin(sn)
+	return minisql.ExecSQL(sn.cat, sql)
 }
 
 // ExplainRawSQL renders the execution plan of one SQL statement against
 // the unified relation.
 func (e *Engine) ExplainRawSQL(sql string) (string, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return minisql.ExplainSQL(e.cat, sql)
+	sn, err := e.pin()
+	if err != nil {
+		return "", err
+	}
+	defer e.unpin(sn)
+	return minisql.ExplainSQL(sn.cat, sql)
 }
 
-// ComputeStats summarizes the index under the engine's read lock.
+// ComputeStats summarizes the current generation of the index.
 func (e *Engine) ComputeStats() storage.Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.ComputeStats()
+	sn, err := e.pin()
+	if err != nil {
+		return storage.Stats{}
+	}
+	defer e.unpin(sn)
+	return sn.store.ComputeStats()
 }
 
 // NumTables reports the number of allocated table ids, tombstoned slots
 // included — the bound for id-space iteration. See LiveTables for the
 // discoverable-table count.
 func (e *Engine) NumTables() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.NumTables()
+	sn, err := e.pin()
+	if err != nil {
+		return 0
+	}
+	defer e.unpin(sn)
+	return sn.store.NumTables()
 }
 
 // LiveTables reports the number of discoverable tables: allocated ids
 // minus removed-but-not-compacted tombstones.
 func (e *Engine) LiveTables() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.NumTables() - e.store.Tombstones()
+	sn, err := e.pin()
+	if err != nil {
+		return 0
+	}
+	defer e.unpin(sn)
+	return sn.store.NumTables() - sn.store.Tombstones()
 }
 
 // ReconstructTable materializes one indexed table, or nil when the id is
 // out of range.
 func (e *Engine) ReconstructTable(tid int32) *table.Table {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if tid < 0 || int(tid) >= e.store.NumTables() {
+	sn, err := e.pin()
+	if err != nil {
 		return nil
 	}
-	return e.store.ReconstructTable(tid)
+	defer e.unpin(sn)
+	if tid < 0 || int(tid) >= sn.store.NumTables() {
+		return nil
+	}
+	return sn.store.ReconstructTable(tid)
 }
 
 // SizeBytes estimates the resident size of the unified index.
 func (e *Engine) SizeBytes() int64 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.SizeBytes()
+	sn, err := e.pin()
+	if err != nil {
+		return 0
+	}
+	defer e.unpin(sn)
+	return sn.store.SizeBytes()
 }
 
-// SaveFile persists the index under the engine's read lock (persistence
-// only reads the store, so concurrent queries may proceed, but a
-// concurrent AddTable waits).
+// SaveFile persists the current generation and, when a journal is
+// installed, checkpoints it at that generation — the mutations before the
+// save need never be replayed again. Serializes with mutations so the
+// checkpoint can not run ahead of the bytes on disk.
 func (e *Engine) SaveFile(path string) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.SaveFile(path)
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	sn := e.snap.Load()
+	if err := sn.store.SaveFile(path); err != nil {
+		return err
+	}
+	if e.journal != nil {
+		if err := e.journal.Checkpoint(sn.gen); err != nil {
+			return berr.Wrap(berr.CodeInternal, "engine.wal", err)
+		}
+	}
+	return nil
 }
 
-// execSQL runs a seeker's SQL and times it. On a sharded index the
-// statement executes against every shard concurrently and the partial
-// results are merged; tables never span shards, so the merged rows equal a
-// run against the unified relation. The context cancels the fan-out
-// between shard scans. Callers hold the engine's read lock (seekers only
-// run inside Engine.Run / Engine.RunSeeker).
-func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time.Duration, error) {
+// execSQL runs a seeker's SQL against the view's pinned snapshot and times
+// it. On a sharded index the statement executes against every shard
+// concurrently and the partial results are merged; tables never span
+// shards, so the merged rows equal a run against the unified relation. The
+// context cancels the fan-out between shard scans.
+func (v *view) execSQL(ctx context.Context, sql string) (*minisql.Result, time.Duration, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
-	if len(e.shardCats) == 0 {
-		res, err := minisql.ExecSQL(e.cat, sql)
+	sn := v.sn
+	if len(sn.shardCats) == 0 {
+		res, err := minisql.ExecSQL(sn.cat, sql)
 		return res, time.Since(start), err
 	}
-	parts := make([]*minisql.Result, len(e.shardCats))
-	errs := make([]error, len(e.shardCats))
-	panics := make([]any, len(e.shardCats))
+	parts := make([]*minisql.Result, len(sn.shardCats))
+	errs := make([]error, len(sn.shardCats))
+	panics := make([]any, len(sn.shardCats))
 	var wg sync.WaitGroup
-	for i, cat := range e.shardCats {
+	for i, cat := range sn.shardCats {
 		wg.Add(1)
 		go func(i int, cat *minisql.Catalog) {
 			defer wg.Done()
 			defer func() { panics[i] = recover() }()
 			select {
-			case e.shardSem <- struct{}{}:
-				defer func() { <-e.shardSem }()
+			case v.shardSem <- struct{}{}:
+				defer func() { <-v.shardSem }()
 			case <-ctx.Done():
 				errs[i] = ctx.Err()
 				return
@@ -308,22 +347,23 @@ func (e *Engine) execSQL(ctx context.Context, sql string) (*minisql.Result, time
 	return minisql.MergeResults(parts...), time.Since(start), nil
 }
 
-// TableNames maps hits to table names, preserving order, under the
-// engine's read lock.
+// TableNames maps hits to table names, preserving order, against the
+// current generation.
 func (e *Engine) TableNames(h Hits) []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tableNames(h)
+	sn, err := e.pin()
+	if err != nil {
+		return make([]string, len(h))
+	}
+	defer e.unpin(sn)
+	return (&view{Engine: e, sn: sn}).tableNames(h)
 }
 
-// tableNames is TableNames without locking, for callers already holding
-// the engine lock (Engine.Run's result assembly).
-//
-// lockguard: caller holds mu
-func (e *Engine) tableNames(h Hits) []string {
+// tableNames is TableNames against the view's pinned snapshot (Run's
+// result assembly resolves names at the generation the plan executed at).
+func (v *view) tableNames(h Hits) []string {
 	out := make([]string, len(h))
 	for i, t := range h {
-		out[i] = e.store.TableName(t.TableID)
+		out[i] = v.sn.store.TableName(t.TableID)
 	}
 	return out
 }

@@ -4,14 +4,16 @@ import (
 	"time"
 
 	"blend/internal/berr"
+	"blend/internal/storage"
 	"blend/internal/table"
 )
 
-// Index maintenance: the write path of the engine. Mutations take the
-// engine's write lock, so they serialize against each other and wait for
-// in-flight queries to drain; queries started after a mutation returns see
-// its effect. Batch ingestion (AddTables) amortizes the per-mutation costs
-// — generation bump, result-cache purge, derived-state refresh — over the
+// Index maintenance: the write path of the engine. Mutations serialize on
+// writeMu, derive the next store copy-on-write, append to the journal when
+// one is installed, and publish the result as a new generation — in-flight
+// queries keep their pinned snapshot, queries started after a mutation
+// returns see its effect. Batch ingestion (AddTables) amortizes the
+// per-mutation costs — journal append, snapshot build, publish — over the
 // whole batch instead of paying them per table.
 
 // MaintStats counts index maintenance since the engine was built; the
@@ -37,10 +39,10 @@ type MaintStats struct {
 }
 
 // AddTables appends a batch of tables to the index as one maintenance
-// operation: one write-lock acquisition, one generation bump, and one
-// result-cache purge for the whole batch (AddTable pays each per call).
-// On a sharded index the per-shard inserts run concurrently, bounded by
-// workers (<= 0 means GOMAXPROCS).
+// operation: one journal append, one derived store, one published
+// generation for the whole batch (AddTable pays each per call). On a
+// sharded index the per-shard inserts run concurrently, bounded by workers
+// (<= 0 means GOMAXPROCS).
 //
 // Table names must be unique: a name already indexed (and not removed), or
 // repeated within the batch, fails the whole call with a typed
@@ -51,8 +53,8 @@ func (e *Engine) AddTables(tables []*table.Table, workers int) ([]int32, error) 
 		return nil, nil
 	}
 	start := time.Now()
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	// Duplicate check against the cached live-name set (O(batch), not
 	// O(lake), per batch) plus an intra-batch scratch set; the cache is
 	// only updated after the batch commits, so a rejected batch leaves it
@@ -70,73 +72,118 @@ func (e *Engine) AddTables(tables []*table.Table, workers int) ([]int32, error) 
 		}
 		batch[t.Name] = struct{}{}
 	}
-	e.gen++
-	if e.cache != nil {
-		e.cache.purge()
+	if e.journal != nil {
+		if err := e.journal.AddTables(tables); err != nil {
+			return nil, berr.Wrap(berr.CodeInternal, "engine.wal", err)
+		}
 	}
-	ids := e.store.AddTablesBatch(tables, workers)
+	next, ids := cloneAddTables(e.snap.Load().store, tables, workers)
+	e.gen++
+	e.publish(e.buildSnapshot(next, e.gen))
 	for _, t := range tables {
 		names[t.Name] = struct{}{}
 	}
-	e.maint.Batches++
-	e.maint.TablesAdded += uint64(len(ids))
+	rows := uint64(0)
 	for _, t := range tables {
-		e.maint.RowsAdded += uint64(len(t.Rows))
+		rows += uint64(len(t.Rows))
 	}
-	e.maint.LastBatchTables = len(ids)
-	e.maint.LastBatchDuration = time.Since(start)
+	e.recordBatch(len(ids), rows, time.Since(start))
 	return ids, nil
 }
 
 // RemoveTable tombstones one table: it immediately disappears from every
-// query path (seekers, raw SQL, reconstruction, name lookups) while its
-// entries stay allocated until Compact reclaims them. The store generation
-// is bumped so memoized results referencing the table become unreachable,
-// but the result cache is not purged — see cache.go for why removal
-// invalidates lazily where ingestion purges eagerly. An unknown or
-// already-removed id reports a typed not-found error.
+// query path of the new generation (seekers, raw SQL, reconstruction, name
+// lookups) while its entries stay allocated until Compact reclaims them —
+// and while retained historical generations still serve it to time-travel
+// queries. Memoized results referencing the table stay reachable only
+// under their historical generation keys and are swept when that
+// generation leaves the retention window. An unknown or already-removed id
+// reports a typed not-found error with the index unchanged.
 func (e *Engine) RemoveTable(tid int32) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.store.RemoveTable(tid); err != nil {
-		return err
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	var next storage.Index
+	if c, ok := cur.store.(storage.CowIndex); ok {
+		derived, err := c.CloneRemoveTable(tid)
+		if err != nil {
+			return err
+		}
+		next = derived
+	} else {
+		// In-place fallback for custom Index implementations; older
+		// snapshots then share the mutated store (the pre-MVCC behavior).
+		if err := cur.store.RemoveTable(tid); err != nil {
+			return err
+		}
+		next = cur.store
 	}
-	e.gen++       // lint:gen-lazy removal keeps cached entries; the bumped generation already makes their keys unreachable (see cache.go)
+	if e.journal != nil {
+		if err := e.journal.RemoveTable(tid); err != nil {
+			return berr.Wrap(berr.CodeInternal, "engine.wal", err)
+		}
+	}
+	e.gen++
+	e.publish(e.buildSnapshot(next, e.gen))
 	e.names = nil // see the field comment: removals invalidate the name cache
+	e.maintMu.Lock()
 	e.maint.TablesRemoved++
+	e.maintMu.Unlock()
 	return nil
 }
 
 // Compact physically reclaims every tombstoned table and returns how many
-// were removed. Table ids are reassigned contiguously, so the generation
-// is bumped and the result cache purged; callers holding ids from before
-// the compaction must re-resolve them by name. A lake without tombstones
-// returns 0 without touching the index.
+// were removed. The new generation is rebuilt from scratch, so table ids
+// are reassigned contiguously and the store lineage changes: the old file
+// mapping (if any) closes once the last retained or pinned generation
+// using it is released. Callers holding ids from before the compaction
+// must re-resolve them by name. A lake without tombstones returns 0
+// without publishing. A journal append failure panics with a typed error
+// (the compaction is already built and durability was promised).
 func (e *Engine) Compact() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	removed := e.store.Compact()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.snap.Load()
+	var next storage.Index
+	var removed int
+	if c, ok := cur.store.(storage.CowIndex); ok {
+		next, removed = c.CloneCompact()
+	} else {
+		removed = cur.store.Compact()
+		next = cur.store
+	}
 	if removed == 0 {
 		return 0
 	}
-	e.gen++
-	if e.cache != nil {
-		e.cache.purge()
+	if e.journal != nil {
+		if err := e.journal.Compact(); err != nil {
+			panic(berr.Wrap(berr.CodeInternal, "engine.wal", err))
+		}
 	}
+	// The rebuilt store starts a fresh lineage: new snapshots lease its
+	// backing (a no-op closer for heap stores), while older generations
+	// keep the previous lease and unmap the old file when the last of them
+	// is released.
+	e.lease = newStoreLease(next)
+	e.gen++
+	e.publish(e.buildSnapshot(next, e.gen))
+	e.maintMu.Lock()
 	e.maint.Compactions++
 	e.maint.TablesCompacted += uint64(removed)
+	e.maintMu.Unlock()
 	return removed
 }
 
 // liveNamesLocked returns the cached live table-name set, building it
-// once per invalidation. Callers hold the engine's write lock.
+// once per invalidation from the current snapshot.
 //
-// lockguard: caller holds mu
+// lockguard: caller holds writeMu
 func (e *Engine) liveNamesLocked() map[string]struct{} {
 	if e.names == nil {
-		e.names = make(map[string]struct{}, e.store.NumTables())
-		for tid := 0; tid < e.store.NumTables(); tid++ {
-			if n := e.store.TableName(int32(tid)); n != "" {
+		store := e.snap.Load().store
+		e.names = make(map[string]struct{}, store.NumTables())
+		for tid := 0; tid < store.NumTables(); tid++ {
+			if n := store.TableName(int32(tid)); n != "" {
 				e.names[n] = struct{}{}
 			}
 		}
@@ -146,16 +193,19 @@ func (e *Engine) liveNamesLocked() map[string]struct{} {
 
 // MaintStats snapshots the maintenance counters.
 func (e *Engine) MaintStats() MaintStats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
 	return e.maint
 }
 
 // TableIDByName resolves a live table name to its current id (-1 when
-// absent) under the engine's read lock — the stable way to re-find a
+// absent) against the current generation — the stable way to re-find a
 // table across compactions, which reassign ids.
 func (e *Engine) TableIDByName(name string) int32 {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.store.TableIDByName(name)
+	sn, err := e.pin()
+	if err != nil {
+		return -1
+	}
+	defer e.unpin(sn)
+	return sn.store.TableIDByName(name)
 }

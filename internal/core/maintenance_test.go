@@ -104,6 +104,7 @@ func TestBatchCachePurgeOncePerBatch(t *testing.T) {
 	base := maintLake("cache", 6)
 	e := NewEngine(storage.Build(storage.ColumnStore, base))
 	e.SetResultCache(32)
+	e.SetRetention(1)
 	sc := NewSC([]string{base[0].Cell(0, 0)}, 8)
 	warm := func() {
 		if _, _, err := e.RunSeeker(context.Background(), sc); err != nil {
@@ -116,41 +117,43 @@ func TestBatchCachePurgeOncePerBatch(t *testing.T) {
 		t.Fatalf("warm-up hits = %d", cs.Hits)
 	}
 
-	// One AddTables batch of 5 → exactly one invalidation, where the
-	// sequential AddTable loop would purge five times.
+	// One AddTables batch of 5 publishes exactly one generation — the
+	// retention window moves once, sweeping the warmed generation in one
+	// pass, where a sequential AddTable loop would sweep five times.
+	genBefore := e.Generation()
 	if _, err := e.AddTables(maintLake("more", 5), 2); err != nil {
 		t.Fatal(err)
+	}
+	if got := e.Generation(); got != genBefore+1 {
+		t.Fatalf("batch published %d generations, want 1", got-genBefore)
 	}
 	if cs := e.ResultCacheStats(); cs.Invalidations != 1 {
 		t.Fatalf("batch caused %d invalidations, want 1", cs.Invalidations)
 	}
 
-	// RemoveTable invalidates lazily: no purge, but the generation moved,
-	// so the warmed key misses and the stale entry is unreachable.
+	// RemoveTable follows the same retention rule: the old generation dies
+	// (retention 1), so its entry is swept and the re-warmed key misses.
 	warm()
-	entriesBefore := e.ResultCacheStats().Entries
 	missesBefore := e.ResultCacheStats().Misses
 	if err := e.RemoveTable(1); err != nil {
 		t.Fatal(err)
 	}
 	cs := e.ResultCacheStats()
-	if cs.Invalidations != 1 {
-		t.Fatalf("RemoveTable purged the cache (invalidations = %d)", cs.Invalidations)
-	}
-	if cs.Entries != entriesBefore {
-		t.Fatal("RemoveTable dropped entries eagerly")
+	if cs.Invalidations != 2 || cs.Entries != 0 {
+		t.Fatalf("RemoveTable must sweep the dead generation: %+v", cs)
 	}
 	warm()
 	if e.ResultCacheStats().Misses != missesBefore+1 {
 		t.Fatal("post-remove lookup must miss (generation moved)")
 	}
 
-	// Compact purges eagerly: ids are reassigned.
+	// Compact needs no special casing: its publish moves the window too,
+	// and the pre-compaction entry dies with its generation.
 	if e.Compact() != 1 {
 		t.Fatal("compact must reclaim the tombstone")
 	}
-	if cs := e.ResultCacheStats(); cs.Invalidations != 2 || cs.Entries != 0 {
-		t.Fatalf("compact must purge: %+v", cs)
+	if cs := e.ResultCacheStats(); cs.Invalidations != 3 || cs.Entries != 0 {
+		t.Fatalf("compact must sweep: %+v", cs)
 	}
 }
 
@@ -221,15 +224,21 @@ func TestNativeSQLEquivalenceAfterRemoveCompact(t *testing.T) {
 				}
 			}
 			check("pre-remove")
-			// Remove two tables (both engines share the store; one call).
-			for _, tid := range []int32{2, 7} {
-				if err := native.RemoveTable(tid); err != nil {
-					t.Fatal(err)
+			// Each engine owns its generation lineage now, so the removal
+			// is applied to both (copy-on-write: mutating one engine no
+			// longer leaks into the other's published store).
+			for _, e := range []*Engine{native, sql} {
+				for _, tid := range []int32{2, 7} {
+					if err := e.RemoveTable(tid); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			check("post-remove")
-			if got := native.Compact(); got != 2 {
-				t.Fatalf("Compact = %d, want 2", got)
+			for _, e := range []*Engine{native, sql} {
+				if got := e.Compact(); got != 2 {
+					t.Fatalf("Compact = %d, want 2", got)
+				}
 			}
 			check("post-compact")
 			if native.NumTables() != 18 {

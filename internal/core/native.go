@@ -315,17 +315,15 @@ func scanShardOverlap(ctx context.Context, r storage.Reader, values []string,
 // SQL path's topK applies — so both paths return identical results. The
 // returned group count approximates RunStats.SQLRows: the rows the
 // generated SQL would have returned.
-//
-// lockguard: caller holds mu
-func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
+func (v *view) runNativeOverlap(ctx context.Context, values []string,
 	k, minOverlap int, perColumn bool, rw Rewrite) (Hits, int, error) {
 
 	values = dedupeValues(values)
 	f := compileFilter(rw)
-	numTables := e.store.NumTables()
+	numTables := v.sn.store.NumTables()
 
-	if len(e.nativeViews) == 1 {
-		hits, groups, err := scanShardOverlap(ctx, e.nativeViews[0], values, k, minOverlap, perColumn, &f, numTables)
+	if len(v.sn.nativeViews) == 1 {
+		hits, groups, err := scanShardOverlap(ctx, v.sn.nativeViews[0], values, k, minOverlap, perColumn, &f, numTables)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -335,7 +333,7 @@ func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
 		return topK(hits, k), groups, nil
 	}
 
-	partials, counts, err := fanOutShards(ctx, e, func(ctx context.Context, r storage.Reader) (Hits, int, error) {
+	partials, counts, err := fanOutShards(ctx, v, func(ctx context.Context, r storage.Reader) (Hits, int, error) {
 		return scanShardOverlap(ctx, r, values, k, minOverlap, perColumn, &f, numTables)
 	})
 	if err != nil {
@@ -357,30 +355,31 @@ func (e *Engine) runNativeOverlap(ctx context.Context, values []string,
 // included — fails the whole fan-out. Both native executors (overlap and
 // MC) share this scaffolding so the semaphore/cancellation protocol lives
 // in exactly one place.
-func fanOutShards[C any](ctx context.Context, e *Engine,
+func fanOutShards[C any](ctx context.Context, v *view,
 	scan func(ctx context.Context, r storage.Reader) (Hits, C, error)) ([]Hits, []C, error) {
 
-	partials := make([]Hits, len(e.nativeViews))
-	counts := make([]C, len(e.nativeViews))
-	errs := make([]error, len(e.nativeViews))
-	panics := make([]any, len(e.nativeViews))
+	shards := v.sn.nativeViews
+	partials := make([]Hits, len(shards))
+	counts := make([]C, len(shards))
+	errs := make([]error, len(shards))
+	panics := make([]any, len(shards))
 	var wg sync.WaitGroup
-	for i, view := range e.nativeViews {
+	for i, r := range shards {
 		wg.Add(1)
-		go func(i int, view storage.Reader) {
+		go func(i int, r storage.Reader) {
 			defer wg.Done()
 			defer func() { panics[i] = recover() }()
-			if e.shardSem != nil {
+			if v.shardSem != nil {
 				select {
-				case e.shardSem <- struct{}{}:
-					defer func() { <-e.shardSem }()
+				case v.shardSem <- struct{}{}:
+					defer func() { <-v.shardSem }()
 				case <-ctx.Done():
 					errs[i] = ctx.Err()
 					return
 				}
 			}
-			partials[i], counts[i], errs[i] = scan(ctx, view)
-		}(i, view)
+			partials[i], counts[i], errs[i] = scan(ctx, r)
+		}(i, r)
 	}
 	wg.Wait()
 	repanic(panics)

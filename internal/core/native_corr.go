@@ -165,32 +165,30 @@ func scanShardCorr(ctx context.Context, r storage.Reader, vals []string,
 // k0 and k1 are the seeker's quadrant-partitioned key lists (split());
 // they fold into one distinct value list with a per-value partition
 // bitmask so each posting list is scanned exactly once.
-//
-// lockguard: caller holds mu
-func (e *Engine) runNativeCorrelation(ctx context.Context, k0, k1 []string,
+func (v *view) runNativeCorrelation(ctx context.Context, k0, k1 []string,
 	k int, h int32, rw Rewrite) (Hits, int, error) {
 
 	vals := make([]string, 0, len(k0)+len(k1))
 	masks := make([]uint8, 0, len(k0)+len(k1))
 	idx := make(map[string]int, len(k0)+len(k1))
-	for _, v := range k0 {
-		idx[v] = len(vals)
-		vals = append(vals, v)
+	for _, key := range k0 {
+		idx[key] = len(vals)
+		vals = append(vals, key)
 		masks = append(masks, 1)
 	}
-	for _, v := range k1 {
-		if i, ok := idx[v]; ok {
+	for _, key := range k1 {
+		if i, ok := idx[key]; ok {
 			masks[i] |= 2
 			continue
 		}
-		idx[v] = len(vals)
-		vals = append(vals, v)
+		idx[key] = len(vals)
+		vals = append(vals, key)
 		masks = append(masks, 2)
 	}
 	f := compileFilter(rw)
 
-	if len(e.nativeViews) == 1 {
-		hits, groups, err := scanShardCorr(ctx, e.nativeViews[0], vals, masks, h, k, &f)
+	if len(v.sn.nativeViews) == 1 {
+		hits, groups, err := scanShardCorr(ctx, v.sn.nativeViews[0], vals, masks, h, k, &f)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -200,7 +198,7 @@ func (e *Engine) runNativeCorrelation(ctx context.Context, k0, k1 []string,
 		return topK(hits, k), groups, nil
 	}
 
-	partials, counts, err := fanOutShards(ctx, e, func(ctx context.Context, r storage.Reader) (Hits, int, error) {
+	partials, counts, err := fanOutShards(ctx, v, func(ctx context.Context, r storage.Reader) (Hits, int, error) {
 		return scanShardCorr(ctx, r, vals, masks, h, k, &f)
 	})
 	if err != nil {

@@ -47,7 +47,7 @@ func TestNativeCorrSQLEquivalence(t *testing.T) {
 		t.Run(cfg.name, func(t *testing.T) {
 			for _, h := range sampleHs {
 				native, sql := buildCorrTestEngines(cfg.layout, cfg.shards, h, bench.Tables)
-				numTables := int32(native.store.NumTables())
+				numTables := int32(native.Store().NumTables())
 				for qi, q := range bench.Queries {
 					keys := append([]string(nil), q.Keys...)
 					targets := append([]float64(nil), q.Targets...)
@@ -86,7 +86,7 @@ func TestNativeCorrSQLEquivalence(t *testing.T) {
 // statsFor runs a seeker and returns its RunStats.
 func statsFor(t *testing.T, e *Engine, s Seeker, rw Rewrite) RunStats {
 	t.Helper()
-	_, stats, err := s.run(context.Background(), e, rw)
+	_, stats, err := runDirect(context.Background(), e, s, rw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +114,11 @@ func TestNativeCorrEmptyAndDegenerate(t *testing.T) {
 		{"absent-vocab", []string{"no_such_a", "no_such_b"}, []float64{1, 2}},
 	} {
 		s := NewCorrelation(tc.keys, tc.targets, 5)
-		nh, _, err := s.run(ctx, native, NoRewrite)
+		nh, _, err := runDirect(ctx, native, s, NoRewrite)
 		if err != nil {
 			t.Fatalf("%s: native: %v", tc.name, err)
 		}
-		sh, _, err := s.run(ctx, sql, NoRewrite)
+		sh, _, err := runDirect(ctx, sql, s, NoRewrite)
 		if err != nil {
 			t.Fatalf("%s: sql: %v", tc.name, err)
 		}
@@ -128,7 +128,7 @@ func TestNativeCorrEmptyAndDegenerate(t *testing.T) {
 	}
 
 	s := NewCorrelation(nil, nil, 5)
-	hits, stats, err := s.run(ctx, native, NoRewrite)
+	hits, stats, err := runDirect(ctx, native, s, NoRewrite)
 	if err != nil || hits != nil {
 		t.Fatalf("no-keys run = (%v, %v), want (nil, nil)", hits, err)
 	}
@@ -140,7 +140,7 @@ func TestNativeCorrEmptyAndDegenerate(t *testing.T) {
 	cctx, cancel := context.WithCancel(ctx)
 	cancel()
 	q := bench.Queries[0]
-	if _, _, err := NewCorrelation(q.Keys, q.Targets, 5).run(cctx, native, NoRewrite); err == nil {
+	if _, _, err := runDirect(cctx, native, NewCorrelation(q.Keys, q.Targets, 5), NoRewrite); err == nil {
 		t.Fatal("expected cancellation error from native correlation path")
 	}
 }
@@ -166,14 +166,18 @@ func TestNativeCorrEquivalenceAfterRemoveCompact(t *testing.T) {
 				}
 			}
 			check("pre-remove")
-			for _, tid := range []int32{1, 6} {
-				if err := native.RemoveTable(tid); err != nil {
-					t.Fatal(err)
+			for _, e := range []*Engine{native, sql} {
+				for _, tid := range []int32{1, 6} {
+					if err := e.RemoveTable(tid); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			check("post-remove")
-			if got := native.Compact(); got != 2 {
-				t.Fatalf("Compact = %d, want 2", got)
+			for _, e := range []*Engine{native, sql} {
+				if got := e.Compact(); got != 2 {
+					t.Fatalf("Compact = %d, want 2", got)
+				}
 			}
 			check("post-compact")
 		})

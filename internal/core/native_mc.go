@@ -214,7 +214,7 @@ func scanShardMC(ctx context.Context, r storage.Reader, cols [][]string,
 // the partials merge with the deterministic (score desc, TableId asc)
 // order of the SQL path. Tables never span shards, so per-shard candidate
 // rows — and therefore the summed counters — partition exactly.
-func (e *Engine) runNativeMC(ctx context.Context, s *MCSeeker, rw Rewrite) (Hits, mcCounters, error) {
+func (v *view) runNativeMC(ctx context.Context, s *MCSeeker, rw Rewrite) (Hits, mcCounters, error) {
 	x := s.width()
 	cols := make([][]string, x)
 	for i := range cols {
@@ -231,8 +231,8 @@ func (e *Engine) runNativeMC(ctx context.Context, s *MCSeeker, rw Rewrite) (Hits
 	}
 	f := compileFilter(rw)
 
-	if len(e.nativeViews) == 1 {
-		hits, c, err := scanShardMC(ctx, e.nativeViews[0], cols, s.Tuples, tupleKeys, s.K, &f)
+	if len(v.sn.nativeViews) == 1 {
+		hits, c, err := scanShardMC(ctx, v.sn.nativeViews[0], cols, s.Tuples, tupleKeys, s.K, &f)
 		if err != nil {
 			return nil, c, err
 		}
@@ -242,7 +242,7 @@ func (e *Engine) runNativeMC(ctx context.Context, s *MCSeeker, rw Rewrite) (Hits
 		return topK(hits, s.K), c, nil
 	}
 
-	partials, counts, err := fanOutShards(ctx, e, func(ctx context.Context, r storage.Reader) (Hits, mcCounters, error) {
+	partials, counts, err := fanOutShards(ctx, v, func(ctx context.Context, r storage.Reader) (Hits, mcCounters, error) {
 		return scanShardMC(ctx, r, cols, s.Tuples, tupleKeys, s.K, &f)
 	})
 	var c mcCounters

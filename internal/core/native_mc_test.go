@@ -20,11 +20,11 @@ import (
 func runBothMC(t *testing.T, native, sql *Engine, s *MCSeeker, rw Rewrite, label string) Hits {
 	t.Helper()
 	ctx := context.Background()
-	nh, nst, err := s.run(ctx, native, rw)
+	nh, nst, err := runDirect(ctx, native, s, rw)
 	if err != nil {
 		t.Fatalf("%s: native run: %v", label, err)
 	}
-	sh, sst, err := s.run(ctx, sql, rw)
+	sh, sst, err := runDirect(ctx, sql, s, rw)
 	if err != nil {
 		t.Fatalf("%s: sql run: %v", label, err)
 	}
@@ -80,7 +80,7 @@ func TestNativeMCSQLEquivalence(t *testing.T) {
 	for _, cfg := range nativeTestConfigs {
 		t.Run(cfg.name, func(t *testing.T) {
 			native, sql := buildNativeTestEngines(cfg.layout, cfg.shards, lake)
-			numTables := int32(native.store.NumTables())
+			numTables := int32(native.Store().NumTables())
 			for trial := 0; trial < 20; trial++ {
 				width := 1 + rng.Intn(4)
 				tuples := mcQueryTuples(rng, lake, 1+rng.Intn(6), width)
@@ -122,15 +122,20 @@ func TestNativeMCEquivalenceAfterRemoveCompact(t *testing.T) {
 				}
 			}
 			check("pre-remove")
-			// Both engines share the store; one removal call suffices.
-			for _, tid := range []int32{3, 9} {
-				if err := native.RemoveTable(tid); err != nil {
-					t.Fatal(err)
+			// Copy-on-write generations: each engine must apply the
+			// mutation to its own lineage.
+			for _, e := range []*Engine{native, sql} {
+				for _, tid := range []int32{3, 9} {
+					if err := e.RemoveTable(tid); err != nil {
+						t.Fatal(err)
+					}
 				}
 			}
 			check("post-remove")
-			if got := native.Compact(); got != 2 {
-				t.Fatalf("Compact = %d, want 2", got)
+			for _, e := range []*Engine{native, sql} {
+				if got := e.Compact(); got != 2 {
+					t.Fatalf("Compact = %d, want 2", got)
+				}
 			}
 			check("post-compact")
 		})
@@ -216,11 +221,11 @@ func TestNativeMCEdgeShapes(t *testing.T) {
 	// All-empty column: the native path must return the SQL path's empty
 	// result without scanning.
 	s := NewMC([][]string{{"", "Firenze"}}, 10)
-	nh, _, err := s.run(context.Background(), native, NoRewrite)
+	nh, _, err := runDirect(context.Background(), native, s, NoRewrite)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, _, err := s.run(context.Background(), sql, NoRewrite)
+	sh, _, err := runDirect(context.Background(), sql, s, NoRewrite)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +280,7 @@ func TestNativeMCCanceledContext(t *testing.T) {
 	cancel()
 	tuples, _ := lake.QueryTuples(3, 2)
 	s := NewMC(tuples, 5)
-	if _, _, err := s.run(ctx, native, NoRewrite); err == nil {
+	if _, _, err := runDirect(ctx, native, s, NoRewrite); err == nil {
 		t.Fatal("expected cancellation error from native MC path")
 	}
 }

@@ -44,11 +44,11 @@ func buildNativeTestEngines(layout storage.Layout, shards int, lake *datalake.Jo
 func runBoth(t *testing.T, native, sql *Engine, s Seeker, rw Rewrite, label string) Hits {
 	t.Helper()
 	ctx := context.Background()
-	nh, nst, err := s.run(ctx, native, rw)
+	nh, nst, err := runDirect(ctx, native, s, rw)
 	if err != nil {
 		t.Fatalf("%s: native run: %v", label, err)
 	}
-	sh, sst, err := s.run(ctx, sql, rw)
+	sh, sst, err := runDirect(ctx, sql, s, rw)
 	if err != nil {
 		t.Fatalf("%s: sql run: %v", label, err)
 	}
@@ -80,7 +80,7 @@ func TestNativeSQLEquivalence(t *testing.T) {
 	for _, cfg := range nativeTestConfigs {
 		t.Run(cfg.name, func(t *testing.T) {
 			native, sql := buildNativeTestEngines(cfg.layout, cfg.shards, lake)
-			numTables := int32(native.store.NumTables())
+			numTables := int32(native.Store().NumTables())
 			for trial := 0; trial < 25; trial++ {
 				values := lake.QueryColumn(1 + rng.Intn(40))
 				k := 1 + rng.Intn(15)
@@ -257,7 +257,7 @@ func TestNativeCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s := NewSC(lake.QueryColumn(10), 5)
-	if _, _, err := s.run(ctx, native, NoRewrite); err == nil {
+	if _, _, err := runDirect(ctx, native, s, NoRewrite); err == nil {
 		t.Fatal("expected cancellation error from native path")
 	}
 }

@@ -27,13 +27,10 @@ func (e *Engine) nativeServes(k SeekerKind) bool {
 // execution-path indicator, so trained models can price the native and SQL
 // executions of one kind separately. Every optimizer or training call site
 // goes through here — never through Seeker.Features directly, which cannot
-// know the engine's path configuration (TrainCostModels also calls it
-// lock-free; training is a documented offline step).
-//
-// lockguard: caller holds mu
-func (e *Engine) seekerFeatures(s Seeker) costmodel.Features {
-	f := s.Features(e.store)
-	if e.nativeServes(s.Kind()) {
+// know the engine's path configuration.
+func (v *view) seekerFeatures(s Seeker) costmodel.Features {
+	f := s.Features(v.sn.store)
+	if v.nativeServes(s.Kind()) {
 		f.Native = 1
 	}
 	return f
@@ -104,7 +101,7 @@ func (p *Plan) findExecutionGroups() []executionGroup {
 // kinds, learned cost estimation within a kind (falling back to a frequency
 // heuristic when no model is trained). The sort is stable over plan
 // insertion order, keeping optimization deterministic.
-func (e *Engine) rankSeekers(p *Plan, members []string) []string {
+func (v *view) rankSeekers(p *Plan, members []string) []string {
 	type ranked struct {
 		id   string
 		rule int
@@ -114,9 +111,9 @@ func (e *Engine) rankSeekers(p *Plan, members []string) []string {
 	for i, id := range members {
 		s := p.nodes[id].seeker
 		r := ranked{id: id, rule: ruleRank(s.Kind())}
-		f := e.seekerFeatures(s)
-		if e.Cost != nil {
-			if m := e.Cost.Get(s.Kind()); m != nil {
+		f := v.seekerFeatures(s)
+		if v.Cost != nil {
+			if m := v.Cost.Get(s.Kind()); m != nil {
 				r.cost = m.Predict(f)
 				rs[i] = r
 				continue

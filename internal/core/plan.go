@@ -9,7 +9,7 @@ import (
 
 // Plan is a declarative discovery task: a DAG of named seeker and combiner
 // nodes where edges carry table collections (Fig. 2b). Build one by adding
-// nodes, then execute it with Engine.RunPlan.
+// nodes, then execute it with Engine.Run.
 type Plan struct {
 	nodes map[string]*planNode
 	// order preserves insertion order: it is the unoptimized execution

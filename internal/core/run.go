@@ -40,12 +40,12 @@ type RunOptions struct {
 	// predicates — into PlanResult.SQLByNode.
 	Explain bool
 
-	// Context is deprecated: pass the context as the first argument of
-	// Engine.Run instead. It is retained for one release so the exported
-	// blend.RunOptions alias keeps compiling; Engine.Run ignores it.
-	//
-	// Deprecated: use the ctx parameter of Engine.Run.
-	Context context.Context // lint:ignore ctxflow deprecated compat field retained one release; Engine.Run ignores it
+	// AsOf executes the plan against retained historical generation AsOf
+	// instead of the current snapshot (time travel). Zero means current. A
+	// generation outside the retention window fails with a typed
+	// generation-gone error before any seeker runs. Ignored by
+	// Snapshot.Run, where the handle already fixes the generation.
+	AsOf uint64
 }
 
 // PlanResult is the outcome of executing a discovery plan.
@@ -92,15 +92,34 @@ type PlanResult struct {
 }
 
 // Run executes the plan under the given context with explicit options —
-// the single execution entry point of the engine (the former
-// RunPlan/RunPlanNoOpt convenience pair collapsed into the options). A nil
-// ctx means context.Background(). On cancellation the returned error
-// carries the typed canceled/deadline code and wraps the context's error;
-// partial results are discarded.
+// the single execution entry point of the engine. A nil ctx means
+// context.Background(). On cancellation the returned error carries the
+// typed canceled/deadline code and wraps the context's error; partial
+// results are discarded.
 //
-// Run holds the engine's read lock for the duration of the plan, so it is
-// safe to call concurrently with other runs and with AddTable.
+// Run pins one generation snapshot at entry (RunOptions.AsOf selects a
+// retained historical one; zero means current) and executes lock-free
+// against it, so it is safe to call concurrently with other runs and with
+// index mutations — neither side ever waits for the other.
 func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, berr.FromContext("plan.run", err)
+	}
+	sn, err := e.pinAt(opts.AsOf)
+	if err != nil {
+		return nil, err
+	}
+	defer e.unpin(sn)
+	return e.runPinned(ctx, sn, p, opts)
+}
+
+// runPinned is Run against an already pinned snapshot; the caller owns the
+// pin for the duration of the call (Engine.Run pins per call, Snapshot.Run
+// holds one for the handle's lifetime).
+func (e *Engine) runPinned(ctx context.Context, sn *snapshot, p *Plan, opts RunOptions) (*PlanResult, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -112,8 +131,7 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 	if err != nil {
 		return nil, err
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	v := &view{Engine: e, sn: sn}
 	res := &PlanResult{
 		NodeHits: make(map[string]Hits, len(p.nodes)),
 		Stats:    make(map[string]RunStats),
@@ -155,7 +173,7 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 	// (and the deterministic SeekerOrder) share one ranking.
 	rankedOf := make(map[string][]string, len(groups))
 	for gi := range groups {
-		order := e.rankSeekers(p, groups[gi].members)
+		order := v.rankSeekers(p, groups[gi].members)
 		if len(opts.ForcedOrder) > 0 {
 			order = applyForcedOrder(order, opts.ForcedOrder)
 		}
@@ -163,7 +181,7 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 	}
 
 	ex := &planExec{
-		e:           e,
+		v:           v,
 		p:           p,
 		res:         res,
 		optimize:    opts.Optimize,
@@ -190,24 +208,34 @@ func (e *Engine) Run(ctx context.Context, p *Plan, opts RunOptions) (*PlanResult
 	res.CompletionOrder = ex.completion
 	res.PeakConcurrency = int(ex.peak)
 	res.Output = res.NodeHits[p.output]
-	res.Tables = e.tableNames(res.Output)
+	res.Tables = v.tableNames(res.Output)
 	res.Duration = time.Since(start)
 	return res, nil
 }
 
 // RunSeeker executes a single seeker outside any plan under the given
 // context (the "simple task" mode of §VII-A). A nil ctx means
-// context.Background().
+// context.Background(). Like Run, it pins the current generation once at
+// entry and executes lock-free against it.
 func (e *Engine) RunSeeker(ctx context.Context, s Seeker) (Hits, RunStats, error) {
+	sn, err := e.pin()
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	defer e.unpin(sn)
+	return e.runSeekerPinned(ctx, sn, s)
+}
+
+// runSeekerPinned is RunSeeker against an already pinned snapshot.
+func (e *Engine) runSeekerPinned(ctx context.Context, sn *snapshot, s Seeker) (Hits, RunStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, RunStats{}, berr.FromContext("seeker.run", err)
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	hits, stats, err := e.runSeekerCached(ctx, s, NoRewrite)
+	v := &view{Engine: e, sn: sn}
+	hits, stats, err := v.runSeekerCached(ctx, s, NoRewrite)
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return nil, stats, berr.FromContext("seeker.run", err)
 	}

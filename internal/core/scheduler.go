@@ -15,7 +15,7 @@ import (
 // through the same node helpers, so their NodeHits are computed by
 // identical code and differ only in dispatch order.
 type planExec struct {
-	e   *Engine
+	v   *view
 	p   *Plan
 	res *PlanResult
 
@@ -45,7 +45,7 @@ func (x *planExec) runSeeker(ctx context.Context, id string, rw Rewrite) error {
 			break
 		}
 	}
-	hits, stats, err := x.e.runSeekerCached(ctx, n.seeker, rw)
+	hits, stats, err := x.v.runSeekerCached(ctx, n.seeker, rw)
 	atomic.AddInt32(&x.inFlight, -1)
 	if err != nil {
 		// Wrap preserves an inner typed code (and errors.Is through Err),

@@ -167,7 +167,7 @@ func (s *blockingSeeker) Features(storage.Reader) costmodel.Features {
 	return costmodel.Features{Card: 1, Cols: 1, AvgFreq: 1}
 }
 func (s *blockingSeeker) SQL(Rewrite) string { return "" }
-func (s *blockingSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *blockingSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	s.started <- s.id
 	select {
 	case <-s.release:

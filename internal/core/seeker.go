@@ -67,10 +67,11 @@ type Seeker interface {
 	// SQL renders the seeker's (first-phase) SQL statement with the given
 	// rewrite predicate injected, as the optimizer would execute it.
 	SQL(rw Rewrite) string
-	// run executes the seeker on the engine. The context cancels index
-	// scans between shards; implementations must return promptly once it
-	// is done.
-	run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error)
+	// run executes the seeker against a view — one pinned generation
+	// snapshot plus the engine's execution knobs. The context cancels
+	// index scans between shards; implementations must return promptly
+	// once it is done.
+	run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error)
 }
 
 // Rewrite is the combiner-dependent predicate the optimizer injects into a
@@ -198,14 +199,14 @@ func (s *SCSeeker) SQL(rw Rewrite) string {
 	return sql + " ORDER BY overlap DESC, TableId ASC"
 }
 
-func (s *SCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *SCSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: SC, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
 	}
-	if e.nativeServes(SC) {
+	if v.nativeServes(SC) {
 		start := time.Now()
-		hits, groups, err := e.runNativeOverlap(ctx, s.Values, s.K, s.MinOverlap, true, rw)
+		hits, groups, err := v.runNativeOverlap(ctx, s.Values, s.K, s.MinOverlap, true, rw)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -214,7 +215,7 @@ func (s *SCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 		stats.SQLRows = groups
 		return hits, stats, nil
 	}
-	res, dur, err := e.execSQL(ctx, s.SQL(rw))
+	res, dur, err := v.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -274,14 +275,14 @@ func (s *KWSeeker) SQL(rw Rewrite) string {
 	return sql
 }
 
-func (s *KWSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *KWSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: KW, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Keywords) == 0 {
 		return nil, stats, nil
 	}
-	if e.nativeServes(KW) {
+	if v.nativeServes(KW) {
 		start := time.Now()
-		hits, groups, err := e.runNativeOverlap(ctx, s.Keywords, s.K, s.MinOverlap, false, rw)
+		hits, groups, err := v.runNativeOverlap(ctx, s.Keywords, s.K, s.MinOverlap, false, rw)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -290,7 +291,7 @@ func (s *KWSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 		stats.SQLRows = groups
 		return hits, stats, nil
 	}
-	res, dur, err := e.execSQL(ctx, s.SQL(rw))
+	res, dur, err := v.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -396,18 +397,16 @@ func (s *MCSeeker) SQL(rw Rewrite) string {
 	return sb.String()
 }
 
-// run executes the MC seeker (seekers only run inside Engine.Run /
-// Engine.RunSeeker / the offline trainer).
-//
-// lockguard: caller holds mu
-func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+// run executes the MC seeker against the view's pinned snapshot (seekers
+// only run inside Engine.Run / Engine.RunSeeker / the offline trainer).
+func (s *MCSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: MC, Rewritten: rw.active(), Path: PathSQL}
 	if s.width() == 0 || len(s.Tuples) == 0 {
 		return nil, stats, nil
 	}
-	if e.nativeServes(MC) {
+	if v.nativeServes(MC) {
 		start := time.Now()
-		hits, c, err := e.runNativeMC(ctx, s, rw)
+		hits, c, err := v.runNativeMC(ctx, s, rw)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -418,7 +417,7 @@ func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 		stats.Validated = c.validated
 		return hits, stats, nil
 	}
-	res, dur, err := e.execSQL(ctx, s.SQL(rw))
+	res, dur, err := v.execSQL(ctx, s.SQL(rw))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -461,7 +460,7 @@ func (s *MCSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunSta
 
 		// Exact validation at the application level: every value of the
 		// tuple must occur in the candidate row.
-		row := e.store.ReconstructRow(rk.tid, rk.rid)
+		row := v.sn.store.ReconstructRow(rk.tid, rk.rid)
 		cells := make(map[string]struct{}, len(row))
 		for _, c := range row {
 			if c != "" {
@@ -591,20 +590,20 @@ func (s *CorrelationSeeker) sqlWithH(rw Rewrite, h int) string {
 		cond, h, quoteList(all), rw.predicate("TableId"), h)
 }
 
-func (s *CorrelationSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *CorrelationSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: C, Rewritten: rw.active(), Path: PathSQL}
 	if len(s.Keys) == 0 {
 		return nil, stats, nil
 	}
-	h := e.SampleH
+	h := v.SampleH
 	if h <= 0 {
 		h = DefaultSampleH
 	}
-	if e.nativeServes(C) {
+	if v.nativeServes(C) {
 		k0, k1 := s.split()
 		if len(k0)+len(k1) > 0 {
 			start := time.Now()
-			hits, groups, err := e.runNativeCorrelation(ctx, k0, k1, s.K, int32(h), rw)
+			hits, groups, err := v.runNativeCorrelation(ctx, k0, k1, s.K, int32(h), rw)
 			if err != nil {
 				return nil, stats, err
 			}
@@ -616,7 +615,7 @@ func (s *CorrelationSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hit
 		// Every key is empty: fall through so both paths degenerate
 		// identically (the SQL renders `CellValue IN ()`).
 	}
-	res, dur, err := e.execSQL(ctx, s.sqlWithH(rw, h))
+	res, dur, err := v.execSQL(ctx, s.sqlWithH(rw, h))
 	if err != nil {
 		return nil, stats, err
 	}

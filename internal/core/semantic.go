@@ -61,7 +61,7 @@ func (s *SemanticSeeker) Features(store storage.Reader) costmodel.Features {
 // side-index, not the relational one; it has no SQL form.
 func (s *SemanticSeeker) SQL(Rewrite) string { return "" }
 
-func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, RunStats, error) {
+func (s *SemanticSeeker) run(ctx context.Context, v *view, rw Rewrite) (Hits, RunStats, error) {
 	stats := RunStats{Kind: Semantic, Rewritten: rw.active(), Path: PathANN}
 	if len(s.Values) == 0 {
 		return nil, stats, nil
@@ -70,7 +70,7 @@ func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, 
 		return nil, stats, err
 	}
 	start := time.Now()
-	idx := e.semanticIndex()
+	idx := v.semanticIndex()
 	vec := embed.Column(s.Values)
 	if vec.IsZero() {
 		stats.Duration = time.Since(start)
@@ -112,7 +112,7 @@ func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, 
 	// the unified index. With MinSupport set the unsupported candidates are
 	// dropped; otherwise validation only feeds the funnel counters.
 	stats.Candidates = len(best)
-	support := e.semanticSupport(s.Values, best)
+	support := v.semanticSupport(s.Values, best)
 	minSupport := s.MinSupport
 	for tid := range best {
 		if support[tid] > 0 {
@@ -135,17 +135,15 @@ func (s *SemanticSeeker) run(ctx context.Context, e *Engine, rw Rewrite) (Hits, 
 // query values appear verbatim in that table — one posting scan per
 // distinct value, restricted to the candidate set. It is the exact-match
 // complement of the embedding search: ANN proposes, postings corroborate.
-//
-// lockguard: caller holds mu
-func (e *Engine) semanticSupport(values []string, cand map[int32]float64) map[int32]int {
+func (v *view) semanticSupport(values []string, cand map[int32]float64) map[int32]int {
 	support := make(map[int32]int, len(cand))
 	if len(cand) == 0 {
 		return support
 	}
 	seen := make(map[int32]struct{}, len(cand))
-	for _, v := range distinct(values) {
+	for _, val := range distinct(values) {
 		clear(seen)
-		e.store.ScanPostings(v, func(tid, _, _ int32) {
+		v.sn.store.ScanPostings(val, func(tid, _, _ int32) {
 			if _, ok := cand[tid]; !ok {
 				return
 			}
@@ -185,23 +183,23 @@ type semanticIdx struct {
 	refs []int32
 }
 
-// semanticIndex returns the engine's embedding index, building it on first
-// use from the store's reconstructed columns and rebuilding it whenever
-// the store generation has moved since the last build — AddTable(s) and
-// RemoveTable therefore invalidate ANN results exactly like they
-// invalidate the result cache. Callers hold the engine's read lock, so the
-// generation cannot move mid-build.
-//
-// lockguard: caller holds mu
-func (e *Engine) semanticIndex() *semanticIdx {
-	e.semMu.Lock()
-	defer e.semMu.Unlock()
-	if e.semIdx != nil && e.semGen == e.gen {
-		return e.semIdx
+// semanticIndex returns the pinned snapshot's embedding index, building it
+// on first use from the snapshot's reconstructed columns. Snapshots are
+// immutable, so the index is built at most once per generation and can
+// never go stale — a mutation publishes a new snapshot whose first
+// semantic query builds a fresh one, exactly like the result cache keys
+// roll over. Retained historical generations keep theirs, so time-travel
+// semantic queries stay consistent with what was served live.
+func (v *view) semanticIndex() *semanticIdx {
+	sn := v.sn
+	sn.semMu.Lock()
+	defer sn.semMu.Unlock()
+	if sn.semIdx != nil {
+		return sn.semIdx
 	}
 	idx := &semanticIdx{ann: hnsw.New(hnsw.DefaultConfig())}
-	for tid := int32(0); tid < int32(e.store.NumTables()); tid++ {
-		t := e.store.ReconstructTable(tid)
+	for tid := int32(0); tid < int32(sn.store.NumTables()); tid++ {
+		t := sn.store.ReconstructTable(tid)
 		if t == nil { // tombstoned
 			continue
 		}
@@ -218,7 +216,6 @@ func (e *Engine) semanticIndex() *semanticIdx {
 			}
 		}
 	}
-	e.semIdx = idx
-	e.semGen = e.gen
-	return e.semIdx
+	sn.semIdx = idx
+	return sn.semIdx
 }

@@ -38,7 +38,7 @@ func TestSemanticSeekerFindsSimilarColumn(t *testing.T) {
 	if stats.Kind != Semantic {
 		t.Fatalf("kind = %v", stats.Kind)
 	}
-	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "cities" {
+	if len(hits) != 1 || e.Store().TableName(hits[0].TableID) != "cities" {
 		t.Fatalf("hits = %v (%v)", hits, e.TableNames(hits))
 	}
 	if hits[0].Score <= 0 {
@@ -89,7 +89,7 @@ func TestSemanticFunnelAndMinSupport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hits) != 1 || e.store.TableName(hits[0].TableID) != "cities" {
+	if len(hits) != 1 || e.Store().TableName(hits[0].TableID) != "cities" {
 		t.Fatalf("MinSupport=2 hits = %v (%v)", hits, e.TableNames(hits))
 	}
 	if stats.Candidates < 1 || stats.Validated != 1 {
@@ -110,8 +110,10 @@ func TestSemanticFunnelAndMinSupport(t *testing.T) {
 
 func TestSemanticSeekerIndexReused(t *testing.T) {
 	e := NewEngine(storage.Build(storage.ColumnStore, semanticLake()))
-	a := e.semanticIndex()
-	b := e.semanticIndex()
+	v, release := testView(t, e)
+	defer release()
+	a := v.semanticIndex()
+	b := v.semanticIndex()
 	if a != b {
 		t.Fatal("semantic index must be built once and reused")
 	}
@@ -131,7 +133,7 @@ func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
 		t.Fatal("no hits")
 	}
 	// Excluding the best table must remove it without erroring.
-	filtered, _, err := s.run(context.Background(), e, ExcludeTables([]int32{all[0].TableID}))
+	filtered, _, err := runDirect(context.Background(), e, s, ExcludeTables([]int32{all[0].TableID}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestSemanticSeekerRewriteIsPostFilter(t *testing.T) {
 		t.Fatal("exclude rewrite ignored")
 	}
 	// Including only the best table must keep exactly it.
-	only, _, err := s.run(context.Background(), e, IncludeTables([]int32{all[0].TableID}))
+	only, _, err := runDirect(context.Background(), e, s, IncludeTables([]int32{all[0].TableID}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,6 +34,15 @@ func TrainCostModels(ctx context.Context, e *Engine, samplesPerKind int, seed in
 	}
 	rng := rand.New(rand.NewSource(seed))
 	per := &costmodel.PerKind{}
+	// Pin one snapshot for the whole training run: every sample draws from
+	// and executes against the same generation, so fitted models are not
+	// skewed by a concurrent ingest shifting the lake mid-training.
+	sn, err := e.pin()
+	if err != nil {
+		return nil, err
+	}
+	defer e.unpin(sn)
+	v := &view{Engine: e, sn: sn}
 	for _, kind := range []SeekerKind{KW, SC, MC, C} {
 		var feats []costmodel.Features
 		var times []float64
@@ -42,7 +51,7 @@ func TrainCostModels(ctx context.Context, e *Engine, samplesPerKind int, seed in
 			paths = []bool{false, true} // sample the native executor and the SQL fallback
 		}
 		for i := 0; i < samplesPerKind; i++ {
-			s := sampleSeeker(e, rng, kind)
+			s := sampleSeeker(v, rng, kind)
 			if s == nil {
 				continue
 			}
@@ -54,12 +63,12 @@ func TrainCostModels(ctx context.Context, e *Engine, samplesPerKind int, seed in
 				// cached run would hand the second path the first path's
 				// result with no measured duration — a zero-cost sample that
 				// would corrupt the fitted path weight.
-				_, stats, err := s.run(ctx, e, NoRewrite)
+				_, stats, err := s.run(ctx, v, NoRewrite)
 				if err != nil {
 					e.NoNativeExec = prev
 					return nil, berr.Wrap(berr.CodeInternal, fmt.Sprintf("core.train[%v]", kind), err)
 				}
-				feats = append(feats, e.seekerFeatures(s))
+				feats = append(feats, v.seekerFeatures(s))
 				times = append(times, float64(stats.Duration.Microseconds()))
 			}
 			e.NoNativeExec = prev
@@ -80,8 +89,8 @@ func TrainCostModels(ctx context.Context, e *Engine, samplesPerKind int, seed in
 // sampleSeeker draws a random seeker input from the lake, mirroring how
 // the paper samples 1000 random Qs from Gittables per seeker type. Returns
 // nil when the randomly chosen table cannot supply the kind's input shape.
-func sampleSeeker(e *Engine, rng *rand.Rand, kind SeekerKind) Seeker {
-	st := e.store // lint:ignore lockguard offline training step; documented not to run concurrently with queries
+func sampleSeeker(v *view, rng *rand.Rand, kind SeekerKind) Seeker {
+	st := v.sn.store
 	if st.NumTables() == 0 {
 		return nil
 	}

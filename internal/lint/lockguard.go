@@ -23,15 +23,23 @@ import (
 //
 // Additionally, a guarded field named `gen` is treated as the engine's
 // store generation: every `gen++` must appear in a function that also
-// purges the result cache (a `.purge(...)` call), unless the bump carries
-// an explicit `// lint:gen-lazy <reason>` comment. The reason is
+// publishes a snapshot or invalidates the result cache (a `.publish(...)`,
+// `.sweepBelow(...)`, or legacy `.purge(...)` call), unless the bump
+// carries an explicit `// lint:gen-lazy <reason>` comment. The reason is
 // mandatory, exactly as for lint:ignore waivers.
+//
+// Finally, a snapshot publish — a `.Store(...)` call whose receiver is a
+// field named `snap` — must pair with a retire call in the same function
+// (`.retire(...)`), so published generations always enter the retention
+// window and dead ones are swept; `// lint:gen-lazy <reason>` waives this
+// too.
 var Lockguard = &Analyzer{
 	Name: "lockguard",
 	Doc: "fields annotated `// guarded by <mu>` are only accessed while " +
 		"holding the lock (or under `// lockguard: caller holds <mu>`); " +
-		"store-generation bumps pair with a cache purge or a " +
-		"`// lint:gen-lazy <reason>` waiver",
+		"store-generation bumps pair with a snapshot publish or cache " +
+		"sweep, and snap.Store pairs with retire, or waive with " +
+		"`// lint:gen-lazy <reason>`",
 	Run: runLockguard,
 }
 
@@ -264,14 +272,48 @@ func (g *lockguarder) checkAccesses() {
 				"%s %s without holding %s (annotate the caller `// lockguard: caller holds %s` if the lock is held upstream)",
 				verb, v.Name(), gi.name, gi.name)
 		}
-		// Generation bump pairing: gen++ must purge or be waived lazy.
+		// Generation bump pairing: gen++ must publish (MVCC path), sweep,
+		// or purge (legacy path) — or be waived lazy.
 		if write && v.Name() == "gen" && isIncrement(sel, stack) {
-			if !g.genLazyCovers(sel.Pos()) && !fdCallsPurge(fd) {
+			if !g.genLazyCovers(sel.Pos()) && !fdCallsAny(fd, "publish", "sweepBelow", "purge") {
 				g.pass.Reportf(sel.Sel.Pos(),
-					"store-generation bump without a cache purge; call purge() in the same critical section or waive with `// lint:gen-lazy <reason>`")
+					"store-generation bump without a snapshot publish or cache sweep; call publish()/sweepBelow()/purge() in the same critical section or waive with `// lint:gen-lazy <reason>`")
 			}
 		}
 	})
+
+	// Snapshot publish pairing: snap.Store must retire in the same
+	// function so the retention window advances with every publish.
+	inspectAll(g.pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSnapStore(call) {
+			return
+		}
+		fd := enclosingFuncDecl(stack)
+		if fd == nil {
+			return
+		}
+		if !g.genLazyCovers(call.Pos()) && !fdCallsAny(fd, "retire") {
+			g.pass.Reportf(call.Pos(),
+				"snapshot publish without retiring into the retention window; call retire() in the same function or waive with `// lint:gen-lazy <reason>`")
+		}
+	})
+}
+
+// isSnapStore reports whether call is `<...>.snap.Store(...)` — the
+// atomic publish of a new generation snapshot.
+func isSnapStore(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" {
+		return false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return recv.Sel.Name == "snap"
+	case *ast.Ident:
+		return recv.Name == "snap"
+	}
+	return false
 }
 
 // isWriteAccess reports whether sel is assigned or incremented.
@@ -341,16 +383,21 @@ func (g *lockguarder) freshLocal(fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
 	return fresh
 }
 
-// fdCallsPurge reports whether fd's body calls a purge method.
-func fdCallsPurge(fd *ast.FuncDecl) bool {
+// fdCallsAny reports whether fd's body calls a method with one of the
+// given names.
+func fdCallsAny(fd *ast.FuncDecl, names ...string) bool {
 	found := false
 	ast.Inspect(fd, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "purge" {
-			found = true
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			for _, name := range names {
+				if sel.Sel.Name == name {
+					found = true
+				}
+			}
 		}
 		return true
 	})

@@ -60,7 +60,7 @@ func (e *engine) GenGood() {
 func (e *engine) GenBad() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.gen++ // want "store-generation bump without a cache purge"
+	e.gen++ // want "store-generation bump without a snapshot publish or cache sweep"
 }
 
 // GenLazy carries the explicit lazy-invalidation waiver.
@@ -94,6 +94,49 @@ func (s *slot) Peek() error {
 	return s.err // want "read err without holding once"
 }
 
+// snapPtr mirrors atomic.Pointer[snapshot] shape-wise: the lockguard
+// publish rule keys on a Store call through a field named snap.
+type snapPtr struct{ v any }
+
+func (p *snapPtr) Store(v any) { p.v = v }
+
+// mvcc is the MVCC-engine golden shape: gen bumps pair with publish
+// (which itself pairs snap.Store with retire).
+type mvcc struct {
+	mu   sync.Mutex
+	gen  uint64 // guarded by mu
+	snap snapPtr
+}
+
+func (m *mvcc) retire(v any) {}
+
+// publish is the good pairing: Store plus retire in one function.
+func (m *mvcc) publish(v any) {
+	m.snap.Store(v)
+	m.retire(v)
+}
+
+// GenPublish bumps the generation and publishes — the MVCC pairing.
+func (m *mvcc) GenPublish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	m.publish(nil)
+}
+
+// PublishBad stores a snapshot without retiring the window.
+func (m *mvcc) PublishBad(v any) {
+	m.snap.Store(v) // want "snapshot publish without retiring into the retention window"
+}
+
+// PublishWaived carries the lazy waiver on the raw store.
+func (m *mvcc) PublishWaived(v any) {
+	m.snap.Store(v) // lint:gen-lazy golden raw-publish case
+}
+
 var _ = newEngine
 var _ = (*engine).size
 var _ = (*slot).init
+var _ = (*mvcc).GenPublish
+var _ = (*mvcc).PublishBad
+var _ = (*mvcc).PublishWaived

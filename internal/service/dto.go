@@ -54,6 +54,11 @@ type RunOptionsDTO struct {
 	NoOptimize bool `json:"no_optimize,omitempty"`
 	// Explain records the executed SQL per seeker into the response.
 	Explain bool `json:"explain,omitempty"`
+	// AsOfGeneration executes the request against the retained historical
+	// generation instead of the current index (time travel). Zero or
+	// omitted means current; a generation that already left the retention
+	// window fails with generation_gone (HTTP 410).
+	AsOfGeneration uint64 `json:"as_of_generation,omitempty"`
 }
 
 // Hit is one scored table.
@@ -196,6 +201,11 @@ type StatsResponse struct {
 	CacheHits          uint64 `json:"cache_hits"`
 	CacheMisses        uint64 `json:"cache_misses"`
 	CacheInvalidations uint64 `json:"cache_invalidations"`
+
+	// Generation counters: the current published generation and the
+	// window of retained ones still addressable by as_of_generation.
+	CurrentGeneration   uint64   `json:"current_generation"`
+	RetainedGenerations []uint64 `json:"retained_generations"`
 
 	// Ingest progress/throughput counters (see POST /v1/tables).
 	IngestBatches        uint64 `json:"ingest_batches"`

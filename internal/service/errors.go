@@ -23,6 +23,8 @@ func httpStatus(code berr.Code) int {
 		return http.StatusGatewayTimeout
 	case berr.CodeNoCostModel, berr.CodeDuplicateTable:
 		return http.StatusConflict
+	case berr.CodeGenerationGone:
+		return http.StatusGone
 	default:
 		return http.StatusInternalServerError
 	}

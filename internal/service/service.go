@@ -44,8 +44,9 @@ type Options struct {
 // Service exposes one Discovery over HTTP: the versioned discovery API of
 // cmd/blend-serve. All handlers execute under the request's context, so a
 // disconnecting client or an expired deadline cancels the plan mid-run,
-// and all of them run concurrently — the engine's read lock admits any
-// number of simultaneous queries over the sharded store.
+// and all of them run concurrently — each query pins a generation
+// snapshot at entry and executes lock-free against it, so any number of
+// simultaneous queries (and ingests) proceed without blocking each other.
 type Service struct {
 	d    *blend.Discovery
 	opts Options
@@ -131,6 +132,9 @@ func (s *Service) runOptions(dto *RunOptionsDTO) []blend.RunOption {
 	if dto != nil && dto.Explain {
 		opts = append(opts, blend.WithExplain())
 	}
+	if dto != nil && dto.AsOfGeneration > 0 {
+		opts = append(opts, blend.WithAsOf(dto.AsOfGeneration))
+	}
 	return opts
 }
 
@@ -192,7 +196,11 @@ func (s *Service) handleSeek(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.Options)
 	defer cancel()
 	start := time.Now()
-	hits, err := s.d.Seek(ctx, seeker)
+	var seekOpts []blend.RunOption
+	if req.Options != nil && req.Options.AsOfGeneration > 0 {
+		seekOpts = append(seekOpts, blend.WithAsOf(req.Options.AsOfGeneration))
+	}
+	hits, err := s.d.Seek(ctx, seeker, seekOpts...)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -253,6 +261,9 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		ResidentShards:   st.ResidentShards,
 		MappedBytes:      st.MappedBytes,
 
+		CurrentGeneration:   s.d.Generation(),
+		RetainedGenerations: s.d.RetainedGenerations(),
+
 		CacheCapacity:      cs.Capacity,
 		CacheEntries:       cs.Entries,
 		CacheHits:          cs.Hits,
@@ -299,8 +310,7 @@ func (s *Service) ingestOptions(workers, batchSize int) []blend.IngestOption {
 //     bodies with a clear error.
 //
 // Both commit through the engine's batched maintenance path, so the whole
-// upload (or each directory batch) is atomic and costs one result-cache
-// purge.
+// upload (or each directory batch) is atomic and publishes one generation.
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {

@@ -531,7 +531,7 @@ func loadPayload(br *bufio.Reader, withTombstones bool) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{layout: Layout(layoutRaw), dictIdx: make(map[string]int32)}
+	s := &Store{layout: Layout(layoutRaw), dictBase: make(map[string]int32)}
 
 	numTables, err := readU32(br)
 	if err != nil {
@@ -578,7 +578,7 @@ func loadPayload(br *bufio.Reader, withTombstones bool) (*Store, error) {
 			return nil, err
 		}
 		dict = append(dict, v)
-		s.dictIdx[v] = int32(i)
+		s.dictBase[v] = int32(i)
 	}
 	s.dict = dict
 

@@ -314,7 +314,7 @@ func (sf *segFile) materializeShard(i int) (*Store, error) {
 		}
 	}
 	info := &sf.shards[i]
-	s := &Store{layout: sf.layout, dictIdx: make(map[string]int32)}
+	s := &Store{layout: sf.layout, dictBase: make(map[string]int32)}
 
 	d := &segDecoder{b: sf.section(info.secs[secCatalog])}
 	numTables, err := d.count("table")
@@ -368,7 +368,7 @@ func (sf *segFile) materializeShard(i int) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.dictIdx[val] = int32(len(s.dict))
+		s.dictBase[val] = int32(len(s.dict))
 		s.dict = append(s.dict, val)
 	}
 	if err := d.done(); err != nil {
@@ -536,13 +536,17 @@ func (sf *segFile) eagerIndex() (Index, error) {
 // first touch. Monolithic files become a single-shard store that remembers
 // its kind, so Save round-trips it back as monolithic.
 func (sf *segFile) lazyIndex() *ShardedStore {
+	slots := make([]*shardSlot, len(sf.shards))
+	for i := range slots {
+		slots[i] = new(shardSlot)
+	}
 	s := &ShardedStore{
 		layout:    sf.layout,
 		shards:    make([]*Store, len(sf.shards)),
 		refs:      sf.refs,
 		globalTID: sf.globalTID,
 		seg:       sf,
-		slots:     make([]shardSlot, len(sf.shards)),
+		slots:     slots,
 		mono:      sf.kind == persistKindMonolithic,
 	}
 	s.recomputeBase()

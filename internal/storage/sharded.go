@@ -39,11 +39,15 @@ type ShardedStore struct {
 
 	// seg/slots back a lazily mapped v4 index (MapFile): shards[i] stays
 	// nil until first touch, when slots[i] materializes it from the
-	// mapped segments. Both are nil for heap-built stores. mono records
-	// that the file was written as monolithic, so Save preserves the
-	// kind. See shard().
+	// mapped segments. Both are nil for heap-built stores. Slots are
+	// pointers and shared across copy-on-write clones (see cow.go), so a
+	// shard materialized through any generation becomes resident for all
+	// of them; a clone that mutates shard i overrides it by setting
+	// shards[i], which always wins over the slot. mono records that the
+	// file was written as monolithic, so Save preserves the kind. See
+	// shard().
 	seg   *segFile
-	slots []shardSlot
+	slots []*shardSlot
 	mono  bool
 }
 
@@ -51,7 +55,8 @@ type ShardedStore struct {
 type shardSlot struct {
 	once sync.Once
 	done atomic.Bool
-	err  error // guarded by once: written inside Do, read after it returns
+	st   *Store // the materialized shard; written inside Do
+	err  error  // guarded by once: written inside Do, read after it returns
 }
 
 // shard returns shard i, materializing it from the mapped file on first
@@ -63,31 +68,37 @@ type shardSlot struct {
 // through. Structural problems (bad footer, bad offsets) are caught
 // eagerly by MapFile instead.
 func (s *ShardedStore) shard(i int) *Store {
-	if s.slots == nil {
-		return s.shards[i]
+	if st := s.shards[i]; st != nil {
+		return st
 	}
-	sl := &s.slots[i]
+	sl := s.slots[i]
 	sl.once.Do(func() {
 		st, err := s.seg.materializeShard(i)
 		if err != nil {
 			sl.err = err
 			return
 		}
-		s.shards[i] = st
+		sl.st = st
 		sl.done.Store(true)
 	})
 	if sl.err != nil {
 		panic(berr.New(berr.CodeBadIndex, "storage.mmap", "shard %d: %v", i, sl.err))
 	}
-	return s.shards[i]
+	return sl.st
 }
 
 // residentShard returns shard i only if it is already heap-resident, nil
 // otherwise. Stats and size accounting use it to avoid forcing
 // materialization.
 func (s *ShardedStore) residentShard(i int) *Store {
-	if s.slots == nil || s.slots[i].done.Load() {
-		return s.shards[i]
+	if st := s.shards[i]; st != nil {
+		return st
+	}
+	if s.slots == nil {
+		return nil
+	}
+	if sl := s.slots[i]; sl.done.Load() {
+		return sl.st
 	}
 	return nil
 }
@@ -109,7 +120,7 @@ func (s *ShardedStore) ResidentShards() int {
 	}
 	n := 0
 	for i := range s.slots {
-		if s.slots[i].done.Load() {
+		if s.shards[i] != nil || s.slots[i].done.Load() {
 			n++
 		}
 	}

@@ -78,9 +78,16 @@ type TableMeta struct {
 type Store struct {
 	layout Layout
 
-	// Dictionary-encoded cell values.
-	dict    []string
-	dictIdx map[string]int32
+	// Dictionary-encoded cell values. The value -> id map is split in two
+	// layers so copy-on-write clones (see cow.go) can share the bulk of it
+	// across generations: dictBase is shared read-only once a clone exists
+	// and must never be written after that point; dictDelta holds this
+	// generation's new values and is always owned by exactly one store. A
+	// store built from scratch (builder, loader) has a nil delta and writes
+	// its base directly. Values never appear in both layers.
+	dict      []string
+	dictBase  map[string]int32
+	dictDelta map[string]int32
 
 	// Column layout: parallel arrays, sorted by (TableID, RowID, ColumnID).
 	valIdx    []int32
@@ -114,8 +121,8 @@ type Store struct {
 func NewBuilder(layout Layout) *Builder {
 	return &Builder{
 		store: &Store{
-			layout:  layout,
-			dictIdx: make(map[string]int32),
+			layout:   layout,
+			dictBase: make(map[string]int32),
 		},
 	}
 }
@@ -295,12 +302,37 @@ func (s *Store) addTable(t *table.Table) int32 {
 	return tid
 }
 
+// lookupValue resolves a cell value to its dictionary id across both map
+// layers.
+func (s *Store) lookupValue(v string) (int32, bool) {
+	if vi, ok := s.dictBase[v]; ok {
+		return vi, true
+	}
+	if s.dictDelta != nil {
+		if vi, ok := s.dictDelta[v]; ok {
+			return vi, true
+		}
+	}
+	return 0, false
+}
+
+// internValue records a new value -> id mapping. A store with a delta layer
+// shares its base read-only with older generations and must write the delta;
+// an unshared store writes its base directly.
+func (s *Store) internValue(v string, vi int32) {
+	if s.dictDelta != nil {
+		s.dictDelta[v] = vi
+		return
+	}
+	s.dictBase[v] = vi
+}
+
 func (s *Store) appendEntry(v string, tid, cid, rid int32, key xash.Key, q int8) {
-	vi, ok := s.dictIdx[v]
+	vi, ok := s.lookupValue(v)
 	if !ok {
 		vi = int32(len(s.dict))
 		s.dict = append(s.dict, v)
-		s.dictIdx[v] = vi
+		s.internValue(v, vi)
 		s.postings = append(s.postings, nil)
 	}
 	pos := int32(len(s.valIdx))
@@ -482,7 +514,7 @@ func (s *Store) Quadrant(i int32) int8 {
 // modify it); with tombstones a filtered copy is allocated — Compact
 // restores the zero-copy path.
 func (s *Store) Postings(v string) []int32 {
-	vi, ok := s.dictIdx[v]
+	vi, ok := s.lookupValue(v)
 	if !ok {
 		return nil
 	}
@@ -500,7 +532,7 @@ func (s *Store) Postings(v string) []int32 {
 
 // Frequency returns the number of live index entries holding value v.
 func (s *Store) Frequency(v string) int {
-	vi, ok := s.dictIdx[v]
+	vi, ok := s.lookupValue(v)
 	if !ok {
 		return 0
 	}
@@ -523,7 +555,7 @@ func (s *Store) Frequency(v string) int {
 // directly; the row layout decodes each packed record, paying the same
 // per-tuple deforming cost its SQL scans do.
 func (s *Store) ScanPostings(v string, fn func(tid, cid, rid int32)) {
-	vi, ok := s.dictIdx[v]
+	vi, ok := s.lookupValue(v)
 	if !ok {
 		return
 	}
@@ -555,7 +587,7 @@ func (s *Store) ScanPostings(v string, fn func(tid, cid, rid int32)) {
 // packed record it already touched for the ids, so the key costs no extra
 // cache line.
 func (s *Store) ScanPostingsSuper(v string, fn func(tid, cid, rid int32, super xash.Key)) {
-	vi, ok := s.dictIdx[v]
+	vi, ok := s.lookupValue(v)
 	if !ok {
 		return
 	}

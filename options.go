@@ -23,6 +23,7 @@ type runConfig struct {
 	maxWorkers int
 	deadline   time.Duration
 	explain    bool
+	asOf       uint64
 }
 
 // WithMaxWorkers executes the plan on the concurrent DAG scheduler with a
@@ -59,6 +60,18 @@ func WithExplain() RunOption {
 	return func(c *runConfig) { c.explain = true }
 }
 
+// WithAsOf executes the call against retained historical generation gen
+// instead of the current index state (time travel): the query sees the
+// lake exactly as it was when generation gen was published, regardless of
+// ingestion since. Zero means current. A generation that has fallen out
+// of — or never entered — the retention window (see
+// Discovery.SetRetention) fails with ErrGenerationGone before anything
+// executes. Ignored by Snapshot.Run, where the handle already fixes the
+// generation.
+func WithAsOf(gen uint64) RunOption {
+	return func(c *runConfig) { c.asOf = gen }
+}
+
 // coreOptions folds the functional options into the engine's option
 // struct.
 func coreOptions(opts []RunOption) (runConfig, core.RunOptions) {
@@ -71,5 +84,6 @@ func coreOptions(opts []RunOption) (runConfig, core.RunOptions) {
 		Parallel:   cfg.parallel,
 		MaxWorkers: cfg.maxWorkers,
 		Explain:    cfg.explain,
+		AsOf:       cfg.asOf,
 	}
 }

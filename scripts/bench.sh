@@ -10,8 +10,12 @@
 # (minisql_columnar_speedup, from BenchmarkMinisql{Columnar,RowAtATime} —
 # the headline there is the allocs ratio), the bulk-ingest speedup of the batched
 # write path over the sequential AddTable loop, the cold-open speedup of
-# the v4 mmap path over an eager v3 load (open_speedup), and the on-disk
-# size of the same lake in both formats (index_bytes_on_disk). CI runs
+# the v4 mmap path over an eager v3 load (open_speedup), the on-disk
+# size of the same lake in both formats (index_bytes_on_disk), and the
+# snapshot-isolation headline (read_under_ingest_speedup): seek latency
+# on a quiescent index vs the same seeks while a writer continuously
+# publishes generations — held near 1.0 by MVCC reads never taking the
+# engine lock after pinning. CI runs
 # it as a
 # non-blocking job (make bench), uploads the artifact, and diffs it
 # against the previous main run with scripts/benchdelta.sh.
@@ -25,7 +29,7 @@ cd "$(dirname "$0")/.."
 
 OUT=${BENCH_OUT:-BENCH.json}
 BENCHTIME=${BENCHTIME:-500x}
-PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|CorrSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest|OpenIndexCold|MinisqlColumnar|MinisqlRowAtATime'
+PATTERN='SCSeeker|KWSeeker|MCNative|MCSQL|CorrSeeker|UnionPlan|SeekerResultCache|ServeQuery|ServeSeek|BulkIngest|OpenIndexCold|MinisqlColumnar|MinisqlRowAtATime|ReadQuiescent|ConcurrentReadDuringIngest'
 
 COMMIT=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 DATE=$(date -u +%FT%TZ)
@@ -134,6 +138,17 @@ END {
         if ((v4e in ns) && ns[v4e] > 0)
             printf ", \"v4_eager_ns_per_op\": %s", ns[v4e] >> out
         printf "}" >> out
+    }
+    rdq = "BenchmarkReadQuiescent"
+    rdi = "BenchmarkConcurrentReadDuringIngest"
+    if ((rdq in ns) && (rdi in ns) && ns[rdi] > 0) {
+        # Snapshot-isolation headline: parallel seeks on an idle index vs
+        # the same seeks while a writer churns generations. speedup is
+        # quiescent/under-ingest ns ratio — near 1.0 means readers never
+        # stall behind the write path (they pin a generation snapshot and
+        # run lock-free); well below 1.0 means ingestion blocks reads.
+        printf ",\n  \"read_under_ingest_speedup\": {\"quiescent_ns_per_op\": %s, \"under_ingest_ns_per_op\": %s, \"speedup\": %.2f, \"allocs_quiescent\": %s, \"allocs_under_ingest\": %s}", \
+            ns[rdq], ns[rdi], ns[rdq] / ns[rdi], allocs[rdq], allocs[rdi] >> out
     }
     v3b = m[v3o "|disk_bytes"]
     v4b = m[v4o "|disk_bytes"]

@@ -49,8 +49,8 @@ jq -rn --slurpfile o "$old" --slurpfile n "$new" '
 echo
 
 # Headline derived metrics: correlation fast-path and columnar-executor
-# speedups, cold-open speedup, and on-disk index size, old vs new
-# (reports predating these fields show "n/a").
+# speedups, cold-open speedup, on-disk index size, and read-under-ingest
+# isolation, old vs new (reports predating these fields show "n/a").
 jq -rn --slurpfile o "$old" --slurpfile n "$new" '
     def x(v): if v == null then "n/a" else (v | tostring) + "x" end;
     def fmt(v): if v == null then "n/a" else (v | tostring) end;
@@ -67,7 +67,12 @@ jq -rn --slurpfile o "$old" --slurpfile n "$new" '
     "On-disk size (v3/v4 ratio): old "
         + x($o[0].index_bytes_on_disk.ratio) + " → new "
         + x($n[0].index_bytes_on_disk.ratio) + " ("
-        + fmt($n[0].index_bytes_on_disk.v4_bytes) + " bytes v4)"
+        + fmt($n[0].index_bytes_on_disk.v4_bytes) + " bytes v4)",
+    "Read under ingest (quiescent/under-ingest, 1.0 = no reader stall): old "
+        + x($o[0].read_under_ingest_speedup.speedup) + " → new "
+        + x($n[0].read_under_ingest_speedup.speedup) + " ("
+        + fmt($n[0].read_under_ingest_speedup.under_ingest_ns_per_op)
+        + " ns/op under ingest)"
 ' 2>/dev/null || echo "_no open/size metrics to compare_"
 
 echo
